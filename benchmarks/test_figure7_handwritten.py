@@ -1,0 +1,61 @@
+"""Figure 7: Lift-generated kernels vs hand-written reference kernels.
+
+Running this module prints the full Figure-7 table (six benchmarks × three
+GPUs, giga-elements updated per second for Lift and for the reference) and
+times the explore → tune → simulate pipeline per benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.apps.suite import FIGURE7_BENCHMARKS
+from repro.experiments.pipeline import lift_best_result, reference_result
+from repro.runtime.simulator.device import DEVICES
+
+from .conftest import TUNER_BUDGET
+
+
+def test_figure7_trends(figure7_rows, benchmark):
+    """Check the paper's headline Figure-7 observations on the generated rows."""
+    benchmark(lambda: None)  # the heavy work happens in the session fixture
+
+    by_key = {(r.benchmark, r.device): r for r in figure7_rows}
+    assert len(figure7_rows) == 6 * 3
+
+    # Lift is competitive with the hand-written kernels everywhere.
+    assert all(r.speedup_over_reference > 0.5 for r in figure7_rows)
+
+    # Hotspot2D: the Nvidia-tuned reference collapses on AMD and loses on ARM.
+    assert by_key[("Hotspot2D", "Radeon HD 7970")].speedup_over_reference > 4.0
+    assert by_key[("Hotspot2D", "Mali-T628 MP6")].speedup_over_reference > 1.5
+
+    # The small SRAD inputs cannot saturate the discrete GPUs.
+    assert (
+        by_key[("SRAD1", "Tesla K20c")].lift_gelements
+        < by_key[("Stencil2D", "Tesla K20c")].lift_gelements
+    )
+
+
+@pytest.mark.parametrize("key", FIGURE7_BENCHMARKS)
+@pytest.mark.parametrize("device_key", sorted(DEVICES))
+def test_lift_pipeline_per_benchmark(benchmark, key, device_key):
+    """Time the full Lift pipeline (exploration + tuning + simulation) per point."""
+    bench = get_benchmark(key)
+    device = DEVICES[device_key]
+
+    outcome = benchmark(
+        lambda: lift_best_result(bench, device=device, tuner_budget=TUNER_BUDGET)
+    )
+    assert outcome.gelements_per_second > 0
+
+
+@pytest.mark.parametrize("key", FIGURE7_BENCHMARKS)
+def test_reference_kernel_simulation(benchmark, key):
+    """Time the hand-written kernel model evaluation (one device)."""
+    bench = get_benchmark(key)
+    result = benchmark(
+        lambda: reference_result(bench, key, DEVICES["nvidia"])
+    )
+    assert result.gelements_per_second > 0

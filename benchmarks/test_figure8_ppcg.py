@@ -1,0 +1,75 @@
+"""Figure 8: Lift-generated kernels vs the PPCG polyhedral compiler.
+
+Running this module prints the full Figure-8 table (eight benchmarks × two
+input sizes × three GPUs, speedup of the best Lift kernel over the best PPCG
+kernel, both tuned with the same budget) together with the tiling-usage
+summary the paper discusses in §7.2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.apps.suite import FIGURE8_BENCHMARKS
+from repro.experiments.figure8 import tiling_usage
+from repro.experiments.pipeline import lift_best_result, ppcg_best_result
+from repro.runtime.simulator.device import DEVICES
+
+from .conftest import TUNER_BUDGET
+
+
+def test_figure8_trends(figure8_rows, benchmark):
+    """Check the paper's headline Figure-8 observations on the generated rows."""
+    benchmark(lambda: None)  # the heavy work happens in the session fixture
+
+    # 8 benchmarks × (3 devices for small + 2 devices for large: ARM skips large).
+    assert len(figure8_rows) == 8 * 5
+
+    # Lift is on par with or clearly outperforms PPCG on nearly every point.
+    at_least_par = [r for r in figure8_rows if r.speedup_over_ppcg >= 0.9]
+    assert len(at_least_par) >= 0.85 * len(figure8_rows)
+
+    # Large 3D benchmarks show multi-x speedups (paper: Heat 4.3x on Nvidia).
+    heat_nvidia_large = [
+        r for r in figure8_rows
+        if r.benchmark == "Heat" and "K20c" in r.device and r.size == "large"
+    ][0]
+    assert heat_nvidia_large.speedup_over_ppcg > 2.0
+
+    # Tiling usage: common on Nvidia, absent on ARM, rare on AMD (paper §7.2).
+    usage = tiling_usage(figure8_rows)
+    assert usage["Mali-T628 MP6"] == 0.0
+    assert usage["Radeon HD 7970"] <= 0.5
+    assert usage["Tesla K20c"] > usage["Radeon HD 7970"]
+
+
+@pytest.mark.parametrize("key", FIGURE8_BENCHMARKS)
+@pytest.mark.parametrize("size", ["small", "large"])
+def test_lift_vs_ppcg_point(benchmark, key, size):
+    """Time one Figure-8 data point (Lift pipeline + PPCG tuning) on Nvidia."""
+    bench = get_benchmark(key)
+    device = DEVICES["nvidia"]
+    shape = bench.shape_for(size)
+
+    def run_point():
+        lift = lift_best_result(bench, shape=shape, device=device,
+                                tuner_budget=TUNER_BUDGET)
+        ppcg, _, _ = ppcg_best_result(bench, device, shape=shape,
+                                      tuner_budget=TUNER_BUDGET)
+        return lift.gelements_per_second / ppcg.gelements_per_second
+
+    speedup = benchmark(run_point)
+    assert speedup > 0.5
+
+
+@pytest.mark.parametrize("device_key", sorted(DEVICES))
+def test_ppcg_tuning_cost(benchmark, device_key):
+    """Time the PPCG baseline's exhaustive tile/block tuning on each device."""
+    bench = get_benchmark("jacobi2d5pt")
+    device = DEVICES[device_key]
+    result, _, evaluations = benchmark(
+        lambda: ppcg_best_result(bench, device, tuner_budget=TUNER_BUDGET)
+    )
+    assert result.gelements_per_second > 0
+    assert evaluations > 0

@@ -1,0 +1,52 @@
+"""Table 1: the benchmark suite and its characteristics.
+
+Also benchmarks the front half of the Lift pipeline (building, type checking
+and verifying the benchmark expressions), which corresponds to the paper's
+claim that all twelve stencils are expressible with just ``pad`` and ``slide``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_BENCHMARKS, get_benchmark
+from repro.apps.suite import table1_rows
+from repro.core.typecheck import check_program
+from repro.experiments.table1 import format_table1
+
+SMALL_SHAPES = {2: (16, 16), 3: (8, 8, 8)}
+
+
+def test_table1_contents(benchmark):
+    """Regenerate Table 1 and check it lists the paper's benchmarks and sizes."""
+    table = benchmark(format_table1)
+    print("\n\n=== Table 1: benchmarks used in the evaluation ===")
+    print(table)
+    assert "Stencil2D" in table and "Acoustic" in table and "Poisson" in table
+    assert "4098×4098" in table
+    rows = table1_rows()
+    assert len(rows) == len(ALL_BENCHMARKS)
+
+
+@pytest.mark.parametrize("key", sorted(ALL_BENCHMARKS))
+def test_build_and_typecheck_benchmark(benchmark, key):
+    """Time how long building + type-checking each benchmark's Lift expression takes."""
+    bench = get_benchmark(key)
+    shape = SMALL_SHAPES[bench.ndims]
+
+    def build_and_check():
+        program = bench.build_program()
+        return check_program(program, bench.input_types(shape))
+
+    result_type = benchmark(build_and_check)
+    assert result_type is not None
+
+
+@pytest.mark.parametrize("key", ["jacobi2d5pt", "heat", "acoustic"])
+def test_interpret_benchmark_small_grid(benchmark, key):
+    """Time the reference interpreter on a small grid (the correctness oracle)."""
+    bench = get_benchmark(key)
+    shape = SMALL_SHAPES[bench.ndims]
+    inputs = bench.make_inputs(shape, seed=0)
+    out = benchmark(lambda: bench.run_lift(inputs))
+    assert out.shape == tuple(shape)

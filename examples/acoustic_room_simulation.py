@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Room-acoustics simulation (paper §3.5, Listing 3) over multiple time steps.
+
+The paper's most complex stencil: a 3D wave-propagation update that reads the
+previous and current pressure grids plus a per-cell neighbour-count mask that
+encodes the room's walls.  This example
+
+1. builds the Lift expression of Listing 3,
+2. runs a multi-step simulation with the reference interpreter by feeding each
+   step's output back as the next step's input (what the ``iterate`` primitive
+   expresses for a single grid),
+3. cross-checks every step against an independent NumPy implementation,
+4. generates the OpenCL kernel that Lift would launch per time step.
+
+Run with::
+
+    python examples/acoustic_room_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.acoustic import (
+    build_acoustic,
+    compute_num_neighbours,
+    reference_acoustic,
+)
+from repro.apps.base import squeeze_result
+from repro.codegen import generate_kernel
+from repro.core.types import Float, array
+from repro.rewriting.strategies import NAIVE, lower_program
+from repro.runtime.interpreter import evaluate_program
+
+ROOM_SHAPE = (6, 10, 10)
+TIME_STEPS = 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Initial conditions: silence, plus a pressure impulse in the room centre.
+    grid_prev = np.zeros(ROOM_SHAPE)
+    grid_curr = np.zeros(ROOM_SHAPE)
+    centre = tuple(extent // 2 for extent in ROOM_SHAPE)
+    grid_curr[centre] = 1.0
+    mask = compute_num_neighbours(ROOM_SHAPE)
+
+    program = build_acoustic()
+    print(f"Simulating a {ROOM_SHAPE} room for {TIME_STEPS} time steps...")
+
+    for step in range(TIME_STEPS):
+        lift_next = squeeze_result(
+            np.array(evaluate_program(program, [grid_prev, grid_curr, mask]))
+        )
+        golden_next = reference_acoustic(grid_prev, grid_curr, mask)
+        assert np.allclose(lift_next, golden_next), "Lift diverged from the golden model"
+
+        energy = float(np.sum(lift_next ** 2))
+        peak = float(np.max(np.abs(lift_next)))
+        print(f"  step {step + 1}: energy={energy:.6f}  peak={peak:.4f}  ✓ matches NumPy")
+
+        grid_prev, grid_curr = grid_curr, lift_next
+
+    # The wave must have propagated away from the source cell.
+    assert np.count_nonzero(np.abs(grid_curr) > 1e-9) > 1
+    print("Wavefront propagated from the impulse as expected.")
+
+    # One OpenCL kernel performs one time step; the host swaps the buffers.
+    lowered = lower_program(program, NAIVE)
+    kernel = generate_kernel(
+        lowered,
+        [array(Float, *ROOM_SHAPE)] * 3,
+        "acoustic_step",
+    )
+    print("\nGenerated per-time-step OpenCL kernel (first lines):")
+    print("\n".join(kernel.source.splitlines()[:26]))
+    print("  ...")
+    print(kernel.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Building a new stencil application on top of the Lift primitives.
+
+The paper's pitch is that DSL authors can target Lift instead of writing their
+own GPU backend.  This example plays the role of such a DSL author: it defines
+a small "image-processing DSL" (blur, sharpen, edge detection) whose operators
+are all compiled through the same ``pad``/``slide``/``map`` composition, then
+checks the results against NumPy and emits OpenCL kernels.
+
+Run with::
+
+    python examples/custom_stencil_dsl.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.ir import FunCall, Lambda
+from repro.core.types import Float, array
+from repro.core.userfuns import weighted_sum
+from repro.codegen import generate_kernel
+from repro.rewriting.strategies import NAIVE, lower_program
+from repro.runtime.interpreter import evaluate_program
+
+
+def convolution_3x3(weights: np.ndarray, boundary: str = "mirror") -> Lambda:
+    """A 3×3 convolution as a Lift program — the DSL's single building block."""
+    fn = weighted_sum(weights.ravel().tolist(), name="conv3x3")
+    return L.fun(
+        [array(Float, Var("N"), Var("M"))],
+        lambda image: L.map_nd(
+            lambda nbh: FunCall(fn, L.join(nbh)),
+            L.slide_nd(3, 1, L.pad_nd(1, 1, boundary, image, 2), 2),
+            2,
+        ),
+        names=["image"],
+    )
+
+
+#: The DSL's operator table: name -> 3x3 kernel weights.
+OPERATORS = {
+    "box_blur": np.full((3, 3), 1.0 / 9.0),
+    "sharpen": np.array([[0.0, -1.0, 0.0], [-1.0, 5.0, -1.0], [0.0, -1.0, 0.0]]),
+    "edge_detect": np.array([[-1.0, -1.0, -1.0], [-1.0, 8.0, -1.0], [-1.0, -1.0, -1.0]]),
+}
+
+
+def numpy_convolution(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    # Lift's "mirror" boundary repeats the edge element (NumPy's "symmetric" mode).
+    padded = np.pad(image, 1, mode="symmetric")
+    n, m = image.shape
+    out = np.zeros_like(image)
+    for di in range(3):
+        for dj in range(3):
+            out += weights[di, dj] * padded[di:di + n, dj:dj + m]
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    image = rng.random((24, 32))
+
+    print("A small image-processing DSL compiled through Lift:\n")
+    for name, weights in OPERATORS.items():
+        program = convolution_3x3(weights)
+        raw = np.array(evaluate_program(program, [image]), dtype=float)
+        lift_out = raw[..., 0] if raw.ndim == 3 else raw
+        golden = numpy_convolution(image, weights)
+        matches = np.allclose(lift_out, golden)
+        print(f"  {name:<12} output {lift_out.shape}, matches NumPy: {matches}")
+        assert matches
+
+        kernel = generate_kernel(
+            lower_program(program, NAIVE), [array(Float, 24, 32)], f"{name}_kernel"
+        )
+        lines = len(kernel.source.splitlines())
+        print(f"               generated OpenCL kernel '{name}_kernel' ({lines} lines)")
+
+    print("\nEvery operator reuses the same three primitives (pad, slide, map) —")
+    print("no operator-specific GPU code was written.")
+
+
+if __name__ == "__main__":
+    main()

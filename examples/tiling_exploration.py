@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Optimisation-space exploration and auto-tuning across the three GPUs.
+
+This example mirrors the paper's evaluation methodology on one benchmark
+(the 9-point Stencil2D from SHOC): the macro rewrites enumerate untiled and
+overlapped-tiling variants, the ATF-style tuner picks thread counts and
+per-thread work for each variant on each virtual device, and the results show
+how the best optimisation choice differs per platform — the essence of the
+paper's performance-portability claim.
+
+Run with::
+
+    python examples/tiling_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import get_benchmark
+from repro.experiments.pipeline import lift_best_result, ppcg_best_result
+from repro.rewriting.exploration import explore
+from repro.runtime.simulator.device import DEVICES
+
+BENCHMARK = "stencil2d"
+SHAPE = (2048, 2048)
+BUDGET = 2000
+
+
+def main() -> None:
+    benchmark = get_benchmark(BENCHMARK)
+    program = benchmark.build_program()
+
+    print(f"Benchmark: {benchmark.name} ({benchmark.points}-point, "
+          f"{benchmark.ndims}D, input {SHAPE[0]}x{SHAPE[1]})\n")
+
+    # 1. Macro exploration: which structurally different kernels exist?
+    variants = explore(program, stencil_size=3, stencil_step=1,
+                       padded_length=SHAPE[-1] + 2, tile_sizes=(6, 10, 18, 34),
+                       validate_tiles=False)
+    print(f"Macro exploration produced {len(variants)} kernel variants:")
+    for variant in variants:
+        print(f"  - {variant.describe()}")
+
+    # 2. Per-device tuning: the best variant differs per platform.
+    print("\nBest kernel per device (explore + tune + simulate):")
+    header = f"{'Device':<16} {'GElem/s':>9} {'best variant':<32} {'configuration'}"
+    print(header)
+    print("-" * len(header))
+    for device in DEVICES.values():
+        outcome = lift_best_result(benchmark, shape=SHAPE, device=device,
+                                   tuner_budget=BUDGET)
+        print(f"{device.name:<16} {outcome.gelements_per_second:>9.3f} "
+              f"{outcome.strategy:<32} {outcome.configuration}")
+
+    # 3. The same tuner applied to the PPCG baseline, for comparison.
+    print("\nPPCG baseline (same tuning budget):")
+    for device in DEVICES.values():
+        result, config, _ = ppcg_best_result(benchmark, device, shape=SHAPE,
+                                             tuner_budget=BUDGET)
+        print(f"{device.name:<16} {result.gelements_per_second:>9.3f} "
+              f"tile/block = {config}")
+
+    print("\nObservation: the overlapped-tiling rewrite only pays off on some "
+          "devices — the rewrite-based exploration picks it exactly there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Reproduction of "High Performance Stencil Code Generation with Lift" (CGO 2018).
+
+Subpackages:
+
+* :mod:`repro.core` — the Lift IR with the stencil extensions (``pad``, ``slide``).
+* :mod:`repro.rewriting` — rewrite rules (incl. overlapped tiling) and exploration.
+* :mod:`repro.views` / :mod:`repro.codegen` — view system and OpenCL-C generation.
+* :mod:`repro.runtime` — reference interpreter and GPU performance-model simulator.
+* :mod:`repro.tuning` — ATF/OpenTuner-style constrained auto-tuning.
+* :mod:`repro.baselines` — hand-written kernel models and a PPCG-like compiler.
+* :mod:`repro.apps` — the Table-1 stencil benchmarks.
+"""
+
+__version__ = "1.0.0"

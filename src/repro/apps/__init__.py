@@ -1,0 +1,25 @@
+"""The stencil benchmark suite (Table 1 of the paper).
+
+Every benchmark provides its Lift expression, an independent NumPy golden
+implementation (used as the correctness oracle), input generators, and the
+metadata (dimensionality, stencil points, input sizes, number of grids)
+reported in Table 1.
+"""
+
+from .base import StencilBenchmark
+from .suite import (
+    ALL_BENCHMARKS,
+    FIGURE7_BENCHMARKS,
+    FIGURE8_BENCHMARKS,
+    get_benchmark,
+    table1_rows,
+)
+
+__all__ = [
+    "StencilBenchmark",
+    "ALL_BENCHMARKS",
+    "FIGURE7_BENCHMARKS",
+    "FIGURE8_BENCHMARKS",
+    "get_benchmark",
+    "table1_rows",
+]

@@ -1,0 +1,79 @@
+"""Gaussian blur benchmark (25-point 2D convolution, Figure 8).
+
+The per-neighbourhood computation is a convolution with compile-time constant
+weights, expressed with the :func:`~repro.core.userfuns.weighted_sum` user
+function applied to the flattened 5×5 neighbourhood (``join``).  This
+exercises the ``join`` view and the array-argument user-function path of the
+code generator.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import weighted_sum
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+
+def gaussian_weights_2d(radius: int = 2, sigma: float = 1.5) -> np.ndarray:
+    """The normalised 5×5 Gaussian kernel used by the benchmark."""
+    coords = np.arange(-radius, radius + 1)
+    xs, ys = np.meshgrid(coords, coords)
+    kernel = np.exp(-(xs ** 2 + ys ** 2) / (2.0 * sigma ** 2))
+    return kernel / kernel.sum()
+
+
+_WEIGHTS = gaussian_weights_2d()
+gaussian_fn = weighted_sum(_WEIGHTS.ravel().tolist(), name="gaussian25")
+
+
+def build_gaussian() -> Lambda:
+    """``map2(w · flatten(nbh), slide2(5, 1, pad2(2, 2, clamp, grid)))``."""
+    def body(grid):
+        def f(nbh):
+            return FunCall(gaussian_fn, L.join(nbh))
+        padded = L.pad_nd(2, 2, L.CLAMP, grid, 2)
+        return L.map_nd(f, L.slide_nd(5, 1, padded, 2), 2)
+
+    return L.fun([L.array_type(Float, Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_gaussian(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 2, mode="edge")
+    n, m = grid.shape
+    out = np.zeros_like(grid)
+    for di in range(5):
+        for dj in range(5):
+            out += _WEIGHTS[di, dj] * p[di:di + n, dj:dj + m]
+    return out
+
+
+def _inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed)]
+
+
+GAUSSIAN = StencilBenchmark(
+    name="Gaussian",
+    ndims=2,
+    points=25,
+    num_grids=1,
+    default_shape=(4096, 4096),
+    small_shape=(4096, 4096),
+    large_shape=(8192, 8192),
+    build_program=build_gaussian,
+    reference=reference_gaussian,
+    make_inputs=_inputs,
+    flops_per_output=50.0,
+    in_figure8=True,
+    stencil_extent=5,
+    description="25-point Gaussian blur (Rawat et al.)",
+)
+
+
+__all__ = ["GAUSSIAN", "build_gaussian", "reference_gaussian", "gaussian_weights_2d"]

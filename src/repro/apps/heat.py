@@ -1,0 +1,89 @@
+"""Heat benchmark (7-point 3D stencil, Figure 8).
+
+A single explicit time step of the 3D heat equation, using the 7-point
+(centre + 6 face neighbours) finite-difference discretisation.  On Nvidia with
+the large input this is the benchmark where the paper reports the biggest win
+over PPCG (4.3×), with the best Lift kernel performing no tiling and only two
+output elements per thread.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+#: Thermal diffusion coefficient of the explicit update.
+ALPHA = 0.125
+
+heat_fn = make_userfun(
+    "heat7pt",
+    ["c", "xm", "xp", "ym", "yp", "zm", "zp"],
+    f"return c + {ALPHA}f * (xm + xp + ym + yp + zm + zp - 6.0f * c);",
+    lambda c, xm, xp, ym, yp, zm, zp: c + ALPHA * (xm + xp + ym + yp + zm + zp - 6.0 * c),
+)
+
+
+def build_heat() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            def at3(dz, dy, dx):
+                return L.at(1 + dx, L.at(1 + dy, L.at(1 + dz, nbh)))
+            return FunCall(
+                heat_fn,
+                at3(0, 0, 0),
+                at3(0, 0, -1),
+                at3(0, 0, 1),
+                at3(0, -1, 0),
+                at3(0, 1, 0),
+                at3(-1, 0, 0),
+                at3(1, 0, 0),
+            )
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 3)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 3), 3)
+
+    return L.fun([L.array_type(Float, Var("D"), Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_heat(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    d, n, m = grid.shape
+    c = p[1:1 + d, 1:1 + n, 1:1 + m]
+    neighbours = (
+        p[1:1 + d, 1:1 + n, 0:m] + p[1:1 + d, 1:1 + n, 2:2 + m]
+        + p[1:1 + d, 0:n, 1:1 + m] + p[1:1 + d, 2:2 + n, 1:1 + m]
+        + p[0:d, 1:1 + n, 1:1 + m] + p[2:2 + d, 1:1 + n, 1:1 + m]
+    )
+    return c + ALPHA * (neighbours - 6.0 * c)
+
+
+def _inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed)]
+
+
+HEAT = StencilBenchmark(
+    name="Heat",
+    ndims=3,
+    points=7,
+    num_grids=1,
+    default_shape=(256, 256, 256),
+    small_shape=(256, 256, 256),
+    large_shape=(512, 512, 512),
+    build_program=build_heat,
+    reference=reference_heat,
+    make_inputs=_inputs,
+    flops_per_output=10.0,
+    in_figure8=True,
+    stencil_extent=3,
+    description="7-point 3D heat-equation step (Rawat et al.)",
+)
+
+
+__all__ = ["HEAT", "build_heat", "reference_heat"]

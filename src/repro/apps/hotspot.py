@@ -1,0 +1,210 @@
+"""Hotspot benchmarks from Rodinia (Figure 7): 2D and 3D thermal simulation.
+
+Hotspot estimates processor temperature from simulated power dissipation.  The
+update for every cell combines the 5-point (2D) or 7-point (3D) neighbourhood
+of the temperature grid with the point-wise power grid — the classic
+"two input grids" stencil shape from Table 1.
+
+The Lift expression zips the temperature neighbourhoods (``slideN`` over the
+padded temperature grid) with the power grid and maps the update function over
+the result, exactly like the acoustic example in Listing 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+#: Simplified simulation constants (single iteration, fixed step).
+STEP_DIV_CAP = 0.5
+RX_INV = 0.1
+RY_INV = 0.1
+RZ_INV = 0.0625
+AMBIENT = 80.0
+
+
+def _hotspot2d_python(power, c, n, s, w, e):
+    delta = STEP_DIV_CAP * (
+        power
+        + (n + s - 2.0 * c) * RY_INV
+        + (e + w - 2.0 * c) * RX_INV
+        + (AMBIENT - c) * RZ_INV
+    )
+    return c + delta
+
+
+hotspot2d_fn = make_userfun(
+    "hotspot2d_update",
+    ["power", "c", "n", "s", "w", "e"],
+    (
+        f"float delta = {STEP_DIV_CAP}f * (power + (n + s - 2.0f*c) * {RY_INV}f + "
+        f"(e + w - 2.0f*c) * {RX_INV}f + ({AMBIENT}f - c) * {RZ_INV}f);\n"
+        "return c + delta;"
+    ),
+    _hotspot2d_python,
+)
+
+
+def _hotspot3d_python(power, c, n, s, w, e, b, t):
+    delta = STEP_DIV_CAP * (
+        power
+        + (n + s - 2.0 * c) * RY_INV
+        + (e + w - 2.0 * c) * RX_INV
+        + (b + t - 2.0 * c) * RZ_INV
+        + (AMBIENT - c) * RZ_INV
+    )
+    return c + delta
+
+
+hotspot3d_fn = make_userfun(
+    "hotspot3d_update",
+    ["power", "c", "n", "s", "w", "e", "b", "t"],
+    (
+        f"float delta = {STEP_DIV_CAP}f * (power + (n + s - 2.0f*c) * {RY_INV}f + "
+        f"(e + w - 2.0f*c) * {RX_INV}f + (b + t - 2.0f*c) * {RZ_INV}f + "
+        f"({AMBIENT}f - c) * {RZ_INV}f);\n"
+        "return c + delta;"
+    ),
+    _hotspot3d_python,
+)
+
+
+def build_hotspot2d() -> Lambda:
+    def body(temp, power):
+        def f(pair):
+            nbh = L.get(0, pair)
+            p = L.get(1, pair)
+
+            def at2(i, j):
+                return L.at(j, L.at(i, nbh))
+
+            return FunCall(
+                hotspot2d_fn,
+                p,
+                at2(1, 1), at2(0, 1), at2(2, 1), at2(1, 0), at2(1, 2),
+            )
+
+        windows = L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, temp, 2), 2)
+        zipped = L.zip_nd([windows, power], 2)
+        return L.map_nd(f, zipped, 2)
+
+    types = [L.array_type(Float, Var("N"), Var("M"))] * 2
+    return L.fun(types, body, names=["temp", "power"])
+
+
+def reference_hotspot2d(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    p = np.pad(temp, 1, mode="edge")
+    n, m = temp.shape
+    c = p[1:1 + n, 1:1 + m]
+    north = p[0:n, 1:1 + m]
+    south = p[2:2 + n, 1:1 + m]
+    west = p[1:1 + n, 0:m]
+    east = p[1:1 + n, 2:2 + m]
+    delta = STEP_DIV_CAP * (
+        power
+        + (north + south - 2.0 * c) * RY_INV
+        + (east + west - 2.0 * c) * RX_INV
+        + (AMBIENT - c) * RZ_INV
+    )
+    return c + delta
+
+
+def build_hotspot3d() -> Lambda:
+    def body(temp, power):
+        def f(pair):
+            nbh = L.get(0, pair)
+            p = L.get(1, pair)
+
+            def at3(i, j, k):
+                return L.at(k, L.at(j, L.at(i, nbh)))
+
+            return FunCall(
+                hotspot3d_fn,
+                p,
+                at3(1, 1, 1),
+                at3(1, 0, 1), at3(1, 2, 1),
+                at3(1, 1, 0), at3(1, 1, 2),
+                at3(0, 1, 1), at3(2, 1, 1),
+            )
+
+        windows = L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, temp, 3), 3)
+        zipped = L.zip_nd([windows, power], 3)
+        return L.map_nd(f, zipped, 3)
+
+    types = [L.array_type(Float, Var("D"), Var("N"), Var("M"))] * 2
+    return L.fun(types, body, names=["temp", "power"])
+
+
+def reference_hotspot3d(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    p = np.pad(temp, 1, mode="edge")
+    d, n, m = temp.shape
+    c = p[1:1 + d, 1:1 + n, 1:1 + m]
+    north = p[1:1 + d, 0:n, 1:1 + m]
+    south = p[1:1 + d, 2:2 + n, 1:1 + m]
+    west = p[1:1 + d, 1:1 + n, 0:m]
+    east = p[1:1 + d, 1:1 + n, 2:2 + m]
+    below = p[0:d, 1:1 + n, 1:1 + m]
+    top = p[2:2 + d, 1:1 + n, 1:1 + m]
+    delta = STEP_DIV_CAP * (
+        power
+        + (north + south - 2.0 * c) * RY_INV
+        + (east + west - 2.0 * c) * RX_INV
+        + (below + top - 2.0 * c) * RZ_INV
+        + (AMBIENT - c) * RZ_INV
+    )
+    return c + delta
+
+
+def _two_grid_inputs(shape, seed) -> List[np.ndarray]:
+    temp = random_grid(shape, seed, scale=40.0) + 60.0
+    power = random_grid(shape, seed + 1, scale=5.0)
+    return [temp, power]
+
+
+HOTSPOT2D = StencilBenchmark(
+    name="Hotspot2D",
+    ndims=2,
+    points=5,
+    num_grids=2,
+    default_shape=(8192, 8192),
+    build_program=build_hotspot2d,
+    reference=reference_hotspot2d,
+    make_inputs=_two_grid_inputs,
+    flops_per_output=14.0,
+    in_figure7=True,
+    stencil_extent=3,
+    description="Rodinia Hotspot 2D thermal simulation (temperature + power grids)",
+)
+
+HOTSPOT3D = StencilBenchmark(
+    name="Hotspot3D",
+    ndims=3,
+    points=7,
+    num_grids=2,
+    default_shape=(8, 512, 512),
+    build_program=build_hotspot3d,
+    reference=reference_hotspot3d,
+    make_inputs=_two_grid_inputs,
+    flops_per_output=18.0,
+    in_figure7=True,
+    stencil_extent=3,
+    description="Rodinia Hotspot 3D thermal simulation (temperature + power grids)",
+)
+
+
+__all__ = [
+    "HOTSPOT2D",
+    "HOTSPOT3D",
+    "build_hotspot2d",
+    "build_hotspot3d",
+    "reference_hotspot2d",
+    "reference_hotspot3d",
+]

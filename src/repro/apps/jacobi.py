@@ -1,0 +1,271 @@
+"""Jacobi smoother benchmarks (Figure 8): 2D 5-point/9-point, 3D 7-point/13-point.
+
+These are the single-grid, single-kernel stencils from Rawat et al. used for
+the PPCG comparison in the paper.  Each variant provides the Lift expression
+(the canonical ``mapN(f, slideN(size, 1, padN(...)))`` composition), a NumPy
+golden implementation, and Table-1 metadata.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+
+def _at2(nbh, i: int, j: int):
+    return L.at(j, L.at(i, nbh))
+
+
+def _at3(nbh, i: int, j: int, k: int):
+    return L.at(k, L.at(j, L.at(i, nbh)))
+
+
+# ---------------------------------------------------------------------------
+# 2D, 5-point
+# ---------------------------------------------------------------------------
+
+jacobi2d5pt_fn = make_userfun(
+    "jacobi2d5pt",
+    ["n", "w", "c", "e", "s"],
+    "return 0.2f * (n + w + c + e + s);",
+    lambda n, w, c, e, s: 0.2 * (n + w + c + e + s),
+)
+
+
+def build_jacobi2d_5pt() -> Lambda:
+    """``map2(f, slide2(3, 1, pad2(1, 1, clamp, grid)))`` with a 5-point function."""
+    def body(grid):
+        def f(nbh):
+            return FunCall(
+                jacobi2d5pt_fn,
+                _at2(nbh, 0, 1),
+                _at2(nbh, 1, 0),
+                _at2(nbh, 1, 1),
+                _at2(nbh, 1, 2),
+                _at2(nbh, 2, 1),
+            )
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 2)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 2), 2)
+
+    return L.fun([L.array_type(Float, Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_jacobi2d_5pt(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    return 0.2 * (p[:-2, 1:-1] + p[1:-1, :-2] + p[1:-1, 1:-1] + p[1:-1, 2:] + p[2:, 1:-1])
+
+
+# ---------------------------------------------------------------------------
+# 2D, 9-point
+# ---------------------------------------------------------------------------
+
+jacobi2d9pt_fn = make_userfun(
+    "jacobi2d9pt",
+    [f"v{i}" for i in range(9)],
+    "return (v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8) / 9.0f;",
+    lambda *vs: sum(vs) / 9.0,
+)
+
+
+def build_jacobi2d_9pt() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            args = [_at2(nbh, i, j) for i in range(3) for j in range(3)]
+            return FunCall(jacobi2d9pt_fn, *args)
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 2)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 2), 2)
+
+    return L.fun([L.array_type(Float, Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_jacobi2d_9pt(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    total = np.zeros_like(grid)
+    for di in range(3):
+        for dj in range(3):
+            total += p[di:di + grid.shape[0], dj:dj + grid.shape[1]]
+    return total / 9.0
+
+
+# ---------------------------------------------------------------------------
+# 3D, 7-point
+# ---------------------------------------------------------------------------
+
+jacobi3d7pt_fn = make_userfun(
+    "jacobi3d7pt",
+    ["c", "xm", "xp", "ym", "yp", "zm", "zp"],
+    "return (c + xm + xp + ym + yp + zm + zp) / 7.0f;",
+    lambda c, xm, xp, ym, yp, zm, zp: (c + xm + xp + ym + yp + zm + zp) / 7.0,
+)
+
+
+def build_jacobi3d_7pt() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            return FunCall(
+                jacobi3d7pt_fn,
+                _at3(nbh, 1, 1, 1),
+                _at3(nbh, 1, 1, 0),
+                _at3(nbh, 1, 1, 2),
+                _at3(nbh, 1, 0, 1),
+                _at3(nbh, 1, 2, 1),
+                _at3(nbh, 0, 1, 1),
+                _at3(nbh, 2, 1, 1),
+            )
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 3)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 3), 3)
+
+    return L.fun([L.array_type(Float, Var("D"), Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_jacobi3d_7pt(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    d, n, m = grid.shape
+    c = p[1:1 + d, 1:1 + n, 1:1 + m]
+    xm = p[1:1 + d, 1:1 + n, 0:m]
+    xp = p[1:1 + d, 1:1 + n, 2:2 + m]
+    ym = p[1:1 + d, 0:n, 1:1 + m]
+    yp = p[1:1 + d, 2:2 + n, 1:1 + m]
+    zm = p[0:d, 1:1 + n, 1:1 + m]
+    zp = p[2:2 + d, 1:1 + n, 1:1 + m]
+    return (c + xm + xp + ym + yp + zm + zp) / 7.0
+
+
+# ---------------------------------------------------------------------------
+# 3D, 13-point (radius-2 star)
+# ---------------------------------------------------------------------------
+
+jacobi3d13pt_fn = make_userfun(
+    "jacobi3d13pt",
+    [f"v{i}" for i in range(13)],
+    "return (v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + v10 + v11 + v12) / 13.0f;",
+    lambda *vs: sum(vs) / 13.0,
+)
+
+_STAR2_OFFSETS: List[Tuple[int, int, int]] = [(0, 0, 0)]
+for axis in range(3):
+    for distance in (-2, -1, 1, 2):
+        offset = [0, 0, 0]
+        offset[axis] = distance
+        _STAR2_OFFSETS.append(tuple(offset))
+
+
+def build_jacobi3d_13pt() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            args = [_at3(nbh, 2 + dz, 2 + dy, 2 + dx) for dz, dy, dx in _STAR2_OFFSETS]
+            return FunCall(jacobi3d13pt_fn, *args)
+        padded = L.pad_nd(2, 2, L.CLAMP, grid, 3)
+        return L.map_nd(f, L.slide_nd(5, 1, padded, 3), 3)
+
+    return L.fun([L.array_type(Float, Var("D"), Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_jacobi3d_13pt(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 2, mode="edge")
+    d, n, m = grid.shape
+    total = np.zeros_like(grid)
+    for dz, dy, dx in _STAR2_OFFSETS:
+        total += p[2 + dz:2 + dz + d, 2 + dy:2 + dy + n, 2 + dx:2 + dx + m]
+    return total / 13.0
+
+
+# ---------------------------------------------------------------------------
+# Benchmark registrations
+# ---------------------------------------------------------------------------
+
+def _single_grid_inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed)]
+
+
+JACOBI2D_5PT = StencilBenchmark(
+    name="Jacobi2D5pt",
+    ndims=2,
+    points=5,
+    num_grids=1,
+    default_shape=(4096, 4096),
+    small_shape=(4096, 4096),
+    large_shape=(8192, 8192),
+    build_program=build_jacobi2d_5pt,
+    reference=reference_jacobi2d_5pt,
+    make_inputs=_single_grid_inputs,
+    flops_per_output=6.0,
+    in_figure8=True,
+    stencil_extent=3,
+    description="5-point Jacobi smoother (Rawat et al.)",
+)
+
+JACOBI2D_9PT = StencilBenchmark(
+    name="Jacobi2D9pt",
+    ndims=2,
+    points=9,
+    num_grids=1,
+    default_shape=(4096, 4096),
+    small_shape=(4096, 4096),
+    large_shape=(8192, 8192),
+    build_program=build_jacobi2d_9pt,
+    reference=reference_jacobi2d_9pt,
+    make_inputs=_single_grid_inputs,
+    flops_per_output=10.0,
+    in_figure8=True,
+    stencil_extent=3,
+    description="9-point Jacobi smoother (Rawat et al.)",
+)
+
+JACOBI3D_7PT = StencilBenchmark(
+    name="Jacobi3D7pt",
+    ndims=3,
+    points=7,
+    num_grids=1,
+    default_shape=(256, 256, 256),
+    small_shape=(256, 256, 256),
+    large_shape=(512, 512, 512),
+    build_program=build_jacobi3d_7pt,
+    reference=reference_jacobi3d_7pt,
+    make_inputs=_single_grid_inputs,
+    flops_per_output=8.0,
+    in_figure8=True,
+    stencil_extent=3,
+    description="7-point 3D Jacobi smoother (Rawat et al.)",
+)
+
+JACOBI3D_13PT = StencilBenchmark(
+    name="Jacobi3D13pt",
+    ndims=3,
+    points=13,
+    num_grids=1,
+    default_shape=(256, 256, 256),
+    small_shape=(256, 256, 256),
+    large_shape=(512, 512, 512),
+    build_program=build_jacobi3d_13pt,
+    reference=reference_jacobi3d_13pt,
+    make_inputs=_single_grid_inputs,
+    flops_per_output=14.0,
+    in_figure8=True,
+    stencil_extent=5,
+    description="13-point (radius-2) 3D Jacobi smoother (Rawat et al.)",
+)
+
+
+__all__ = [
+    "JACOBI2D_5PT",
+    "JACOBI2D_9PT",
+    "JACOBI3D_7PT",
+    "JACOBI3D_13PT",
+    "build_jacobi2d_5pt",
+    "build_jacobi2d_9pt",
+    "build_jacobi3d_7pt",
+    "build_jacobi3d_13pt",
+    "reference_jacobi2d_5pt",
+    "reference_jacobi2d_9pt",
+    "reference_jacobi3d_7pt",
+    "reference_jacobi3d_13pt",
+]

@@ -1,0 +1,108 @@
+"""Poisson benchmark (19-point 3D stencil, Figure 8).
+
+The 19-point Poisson operator reads the centre, the 6 face neighbours and the
+12 edge neighbours of a 3×3×3 neighbourhood (the 8 corners are unused), with
+the classical finite-difference coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+#: Finite-difference coefficients of the 19-point Poisson operator.
+CENTER_COEFF = 2.6666
+FACE_COEFF = -0.1666
+EDGE_COEFF = -0.0833
+
+
+def poisson_offsets() -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+    """Face and edge neighbour offsets of the 19-point stencil."""
+    faces = []
+    edges = []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                manhattan = abs(dz) + abs(dy) + abs(dx)
+                if manhattan == 1:
+                    faces.append((dz, dy, dx))
+                elif manhattan == 2:
+                    edges.append((dz, dy, dx))
+    return faces, edges
+
+
+_FACES, _EDGES = poisson_offsets()
+
+_param_names = ["c"] + [f"f{i}" for i in range(len(_FACES))] + [f"e{i}" for i in range(len(_EDGES))]
+_face_sum = " + ".join(f"f{i}" for i in range(len(_FACES)))
+_edge_sum = " + ".join(f"e{i}" for i in range(len(_EDGES)))
+
+poisson_fn = make_userfun(
+    "poisson19pt",
+    _param_names,
+    f"return {CENTER_COEFF}f * c + {FACE_COEFF}f * ({_face_sum}) + {EDGE_COEFF}f * ({_edge_sum});",
+    lambda c, *rest: (
+        CENTER_COEFF * c
+        + FACE_COEFF * sum(rest[: len(_FACES)])
+        + EDGE_COEFF * sum(rest[len(_FACES):])
+    ),
+)
+
+
+def build_poisson() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            def at3(dz, dy, dx):
+                return L.at(1 + dx, L.at(1 + dy, L.at(1 + dz, nbh)))
+            args = [at3(0, 0, 0)]
+            args += [at3(*offset) for offset in _FACES]
+            args += [at3(*offset) for offset in _EDGES]
+            return FunCall(poisson_fn, *args)
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 3)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 3), 3)
+
+    return L.fun([L.array_type(Float, Var("D"), Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_poisson(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    d, n, m = grid.shape
+    out = CENTER_COEFF * p[1:1 + d, 1:1 + n, 1:1 + m]
+    for dz, dy, dx in _FACES:
+        out = out + FACE_COEFF * p[1 + dz:1 + dz + d, 1 + dy:1 + dy + n, 1 + dx:1 + dx + m]
+    for dz, dy, dx in _EDGES:
+        out = out + EDGE_COEFF * p[1 + dz:1 + dz + d, 1 + dy:1 + dy + n, 1 + dx:1 + dx + m]
+    return out
+
+
+def _inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed)]
+
+
+POISSON = StencilBenchmark(
+    name="Poisson",
+    ndims=3,
+    points=19,
+    num_grids=1,
+    default_shape=(256, 256, 256),
+    small_shape=(256, 256, 256),
+    large_shape=(512, 512, 512),
+    build_program=build_poisson,
+    reference=reference_poisson,
+    make_inputs=_inputs,
+    flops_per_output=24.0,
+    in_figure8=True,
+    stencil_extent=3,
+    description="19-point 3D Poisson operator (Rawat et al.)",
+)
+
+
+__all__ = ["POISSON", "build_poisson", "reference_poisson", "poisson_offsets"]

@@ -1,0 +1,216 @@
+"""SRAD benchmarks from Rodinia (Figure 7).
+
+SRAD (Speckle Reducing Anisotropic Diffusion) denoises ultrasound images in
+two kernels which the paper benchmarks separately:
+
+* **SRAD1** computes the diffusion coefficient ``c`` for every pixel from the
+  5-point neighbourhood of the image (one input grid);
+* **SRAD2** updates the image from the divergence of ``c``-weighted
+  derivatives; it reads the image's 5-point neighbourhood plus the coefficient
+  at the centre, south and east positions (two input grids, which is why
+  Table 1 lists "#grids = 2").
+
+Both operate on Rodinia's 504×458 image — too small to saturate the big
+discrete GPUs, which the paper points out in §7.1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+#: Rodinia's default q0 squared value for a single iteration.
+Q0SQR = 0.053787
+#: Diffusion update weight (Rodinia's ``lambda``).
+LAMBDA = 0.5
+
+
+def _srad1_python(c, n, s, w, e):
+    dn, ds, dw, de = n - c, s - c, w - c, e - c
+    denom = c if abs(c) > 1e-12 else 1e-12
+    g2 = (dn * dn + ds * ds + dw * dw + de * de) / (denom * denom)
+    lap = (dn + ds + dw + de) / denom
+    num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+    den = 1.0 + 0.25 * lap
+    qsqr = num / (den * den)
+    den2 = (qsqr - Q0SQR) / (Q0SQR * (1.0 + Q0SQR))
+    coeff = 1.0 / (1.0 + den2)
+    return min(1.0, max(0.0, coeff))
+
+
+srad1_fn = make_userfun(
+    "srad1_coeff",
+    ["c", "n", "s", "w", "e"],
+    (
+        "float dn = n - c; float ds = s - c; float dw = w - c; float de = e - c;\n"
+        "float denom = fabs(c) > 1e-12f ? c : 1e-12f;\n"
+        "float g2 = (dn*dn + ds*ds + dw*dw + de*de) / (denom*denom);\n"
+        "float lap = (dn + ds + dw + de) / denom;\n"
+        f"float num = 0.5f*g2 - (1.0f/16.0f)*lap*lap;\n"
+        "float den = 1.0f + 0.25f*lap;\n"
+        "float qsqr = num / (den*den);\n"
+        f"float den2 = (qsqr - {Q0SQR}f) / ({Q0SQR}f * (1.0f + {Q0SQR}f));\n"
+        "float coeff = 1.0f / (1.0f + den2);\n"
+        "return clamp(coeff, 0.0f, 1.0f);"
+    ),
+    _srad1_python,
+)
+
+
+def _srad2_python(jc, jn, js, jw, je, cc, cs, ce):
+    dn, ds, dw, de = jn - jc, js - jc, jw - jc, je - jc
+    divergence = cc * dn + cs * ds + cc * dw + ce * de
+    return jc + 0.25 * LAMBDA * divergence
+
+
+srad2_fn = make_userfun(
+    "srad2_update",
+    ["jc", "jn", "js", "jw", "je", "cc", "cs", "ce"],
+    (
+        "float dn = jn - jc; float ds = js - jc; float dw = jw - jc; float de = je - jc;\n"
+        "float divergence = cc*dn + cs*ds + cc*dw + ce*de;\n"
+        f"return jc + 0.25f * {LAMBDA}f * divergence;"
+    ),
+    _srad2_python,
+)
+
+
+def build_srad1() -> Lambda:
+    def body(image):
+        def f(nbh):
+            def at2(i, j):
+                return L.at(j, L.at(i, nbh))
+            return FunCall(
+                srad1_fn,
+                at2(1, 1), at2(0, 1), at2(2, 1), at2(1, 0), at2(1, 2),
+            )
+        padded = L.pad_nd(1, 1, L.CLAMP, image, 2)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 2), 2)
+
+    return L.fun([L.array_type(Float, Var("N"), Var("M"))], body, names=["image"])
+
+
+def reference_srad1(image: np.ndarray) -> np.ndarray:
+    p = np.pad(image, 1, mode="edge")
+    n, m = image.shape
+    c = p[1:1 + n, 1:1 + m]
+    north = p[0:n, 1:1 + m]
+    south = p[2:2 + n, 1:1 + m]
+    west = p[1:1 + n, 0:m]
+    east = p[1:1 + n, 2:2 + m]
+    dn, ds, dw, de = north - c, south - c, west - c, east - c
+    denom = np.where(np.abs(c) > 1e-12, c, 1e-12)
+    g2 = (dn ** 2 + ds ** 2 + dw ** 2 + de ** 2) / denom ** 2
+    lap = (dn + ds + dw + de) / denom
+    num = 0.5 * g2 - (1.0 / 16.0) * lap ** 2
+    den = 1.0 + 0.25 * lap
+    qsqr = num / den ** 2
+    den2 = (qsqr - Q0SQR) / (Q0SQR * (1.0 + Q0SQR))
+    coeff = 1.0 / (1.0 + den2)
+    return np.clip(coeff, 0.0, 1.0)
+
+
+def build_srad2() -> Lambda:
+    def body(image, coeff):
+        def f(pair):
+            j_nbh = L.get(0, pair)
+            c_nbh = L.get(1, pair)
+
+            def j_at(i, jj):
+                return L.at(jj, L.at(i, j_nbh))
+
+            def c_at(i, jj):
+                return L.at(jj, L.at(i, c_nbh))
+
+            return FunCall(
+                srad2_fn,
+                j_at(1, 1), j_at(0, 1), j_at(2, 1), j_at(1, 0), j_at(1, 2),
+                c_at(1, 1), c_at(2, 1), c_at(1, 2),
+            )
+
+        j_windows = L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, image, 2), 2)
+        c_windows = L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, coeff, 2), 2)
+        zipped = L.zip_nd([j_windows, c_windows], 2)
+        return L.map_nd(f, zipped, 2)
+
+    return L.fun(
+        [L.array_type(Float, Var("N"), Var("M")), L.array_type(Float, Var("N"), Var("M"))],
+        body,
+        names=["image", "coeff"],
+    )
+
+
+def reference_srad2(image: np.ndarray, coeff: np.ndarray) -> np.ndarray:
+    pj = np.pad(image, 1, mode="edge")
+    pc = np.pad(coeff, 1, mode="edge")
+    n, m = image.shape
+    jc = pj[1:1 + n, 1:1 + m]
+    jn = pj[0:n, 1:1 + m]
+    js = pj[2:2 + n, 1:1 + m]
+    jw = pj[1:1 + n, 0:m]
+    je = pj[1:1 + n, 2:2 + m]
+    cc = pc[1:1 + n, 1:1 + m]
+    cs = pc[2:2 + n, 1:1 + m]
+    ce = pc[1:1 + n, 2:2 + m]
+    dn, ds, dw, de = jn - jc, js - jc, jw - jc, je - jc
+    divergence = cc * dn + cs * ds + cc * dw + ce * de
+    return jc + 0.25 * LAMBDA * divergence
+
+
+def _srad1_inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed, scale=1.0) + 0.5]
+
+
+def _srad2_inputs(shape, seed) -> List[np.ndarray]:
+    image = random_grid(shape, seed, scale=1.0) + 0.5
+    coeff = np.clip(random_grid(shape, seed + 1), 0.0, 1.0)
+    return [image, coeff]
+
+
+SRAD1 = StencilBenchmark(
+    name="SRAD1",
+    ndims=2,
+    points=5,
+    num_grids=1,
+    default_shape=(504, 458),
+    build_program=build_srad1,
+    reference=reference_srad1,
+    make_inputs=_srad1_inputs,
+    flops_per_output=30.0,
+    in_figure7=True,
+    stencil_extent=3,
+    description="Rodinia SRAD kernel 1: diffusion coefficient",
+)
+
+SRAD2 = StencilBenchmark(
+    name="SRAD2",
+    ndims=2,
+    points=3,
+    num_grids=2,
+    default_shape=(504, 458),
+    build_program=build_srad2,
+    reference=reference_srad2,
+    make_inputs=_srad2_inputs,
+    flops_per_output=16.0,
+    in_figure7=True,
+    stencil_extent=3,
+    description="Rodinia SRAD kernel 2: image update from coefficient divergence",
+)
+
+
+__all__ = [
+    "SRAD1",
+    "SRAD2",
+    "build_srad1",
+    "build_srad2",
+    "reference_srad1",
+    "reference_srad2",
+]

@@ -1,0 +1,87 @@
+"""Stencil2D benchmark from the SHOC suite (9-point 2D, Figure 7).
+
+SHOC's Stencil2D applies a weighted 9-point stencil: the centre, the four
+cardinal neighbours and the four diagonal neighbours each get their own
+weight.  The paper uses a 4098×4098 input (the SHOC default plus halo).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core import builders as L
+from ..core.ir import FunCall, Lambda
+from ..core.types import Float
+from ..core.userfuns import make_userfun
+from ..core.arithmetic import Var
+from .base import StencilBenchmark, random_grid
+
+#: SHOC's default weights.
+CENTER_WEIGHT = 0.25
+CARDINAL_WEIGHT = 0.15
+DIAGONAL_WEIGHT = 0.05
+
+stencil2d_fn = make_userfun(
+    "shoc_stencil2d",
+    ["c", "n", "s", "w", "e", "nw", "ne", "sw", "se"],
+    f"return {CENTER_WEIGHT}f * c + {CARDINAL_WEIGHT}f * (n + s + w + e) + "
+    f"{DIAGONAL_WEIGHT}f * (nw + ne + sw + se);",
+    lambda c, n, s, w, e, nw, ne, sw, se: (
+        CENTER_WEIGHT * c + CARDINAL_WEIGHT * (n + s + w + e)
+        + DIAGONAL_WEIGHT * (nw + ne + sw + se)
+    ),
+)
+
+
+def build_stencil2d() -> Lambda:
+    def body(grid):
+        def f(nbh):
+            def at2(i, j):
+                return L.at(j, L.at(i, nbh))
+            return FunCall(
+                stencil2d_fn,
+                at2(1, 1),
+                at2(0, 1), at2(2, 1), at2(1, 0), at2(1, 2),
+                at2(0, 0), at2(0, 2), at2(2, 0), at2(2, 2),
+            )
+        padded = L.pad_nd(1, 1, L.CLAMP, grid, 2)
+        return L.map_nd(f, L.slide_nd(3, 1, padded, 2), 2)
+
+    return L.fun([L.array_type(Float, Var("N"), Var("M"))], body, names=["grid"])
+
+
+def reference_stencil2d(grid: np.ndarray) -> np.ndarray:
+    p = np.pad(grid, 1, mode="edge")
+    n, m = grid.shape
+    def shifted(di, dj):
+        return p[di:di + n, dj:dj + m]
+    return (
+        CENTER_WEIGHT * shifted(1, 1)
+        + CARDINAL_WEIGHT * (shifted(0, 1) + shifted(2, 1) + shifted(1, 0) + shifted(1, 2))
+        + DIAGONAL_WEIGHT * (shifted(0, 0) + shifted(0, 2) + shifted(2, 0) + shifted(2, 2))
+    )
+
+
+def _inputs(shape, seed) -> List[np.ndarray]:
+    return [random_grid(shape, seed)]
+
+
+STENCIL2D = StencilBenchmark(
+    name="Stencil2D",
+    ndims=2,
+    points=9,
+    num_grids=1,
+    default_shape=(4098, 4098),
+    build_program=build_stencil2d,
+    reference=reference_stencil2d,
+    make_inputs=_inputs,
+    flops_per_output=13.0,
+    in_figure7=True,
+    stencil_extent=3,
+    description="SHOC Stencil2D: weighted 9-point stencil",
+)
+
+
+__all__ = ["STENCIL2D", "build_stencil2d", "reference_stencil2d"]

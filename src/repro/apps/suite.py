@@ -1,0 +1,100 @@
+"""The benchmark registry: Table 1 of the paper.
+
+``ALL_BENCHMARKS`` maps benchmark keys to :class:`StencilBenchmark` instances;
+``table1_rows`` regenerates the contents of Table 1; ``FIGURE7_BENCHMARKS``
+and ``FIGURE8_BENCHMARKS`` select the two evaluation subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .acoustic import ACOUSTIC
+from .base import StencilBenchmark
+from .gaussian import GAUSSIAN
+from .gradient import GRADIENT
+from .heat import HEAT
+from .hotspot import HOTSPOT2D, HOTSPOT3D
+from .jacobi import JACOBI2D_5PT, JACOBI2D_9PT, JACOBI3D_7PT, JACOBI3D_13PT
+from .poisson import POISSON
+from .srad import SRAD1, SRAD2
+from .stencil2d import STENCIL2D
+
+ALL_BENCHMARKS: Dict[str, StencilBenchmark] = {
+    "stencil2d": STENCIL2D,
+    "srad1": SRAD1,
+    "srad2": SRAD2,
+    "hotspot2d": HOTSPOT2D,
+    "hotspot3d": HOTSPOT3D,
+    "acoustic": ACOUSTIC,
+    "gaussian": GAUSSIAN,
+    "gradient": GRADIENT,
+    "jacobi2d5pt": JACOBI2D_5PT,
+    "jacobi2d9pt": JACOBI2D_9PT,
+    "jacobi3d7pt": JACOBI3D_7PT,
+    "jacobi3d13pt": JACOBI3D_13PT,
+    "poisson": POISSON,
+    "heat": HEAT,
+}
+
+#: The six benchmarks with hand-written reference kernels (Figure 7).
+FIGURE7_BENCHMARKS: List[str] = [
+    "acoustic",
+    "hotspot2d",
+    "hotspot3d",
+    "srad1",
+    "srad2",
+    "stencil2d",
+]
+
+#: The eight single-kernel benchmarks compared against PPCG (Figure 8).
+FIGURE8_BENCHMARKS: List[str] = [
+    "gaussian",
+    "gradient",
+    "heat",
+    "jacobi2d5pt",
+    "jacobi2d9pt",
+    "jacobi3d13pt",
+    "jacobi3d7pt",
+    "poisson",
+]
+
+
+def get_benchmark(name: str) -> StencilBenchmark:
+    key = name.lower()
+    if key not in ALL_BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}")
+    return ALL_BENCHMARKS[key]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Regenerate Table 1: benchmark name, dimensionality, points, input size, #grids."""
+    def size_string(benchmark: StencilBenchmark) -> str:
+        default = "×".join(str(extent) for extent in benchmark.default_shape)
+        if benchmark.large_shape and benchmark.large_shape != benchmark.default_shape:
+            large = "×".join(str(extent) for extent in benchmark.large_shape)
+            return f"{default} / {large}"
+        return default
+
+    rows = []
+    for key, benchmark in ALL_BENCHMARKS.items():
+        rows.append(
+            {
+                "key": key,
+                "benchmark": benchmark.name,
+                "dim": f"{benchmark.ndims}D",
+                "points": benchmark.points,
+                "input_size": size_string(benchmark),
+                "grids": benchmark.num_grids,
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "FIGURE7_BENCHMARKS",
+    "FIGURE8_BENCHMARKS",
+    "get_benchmark",
+    "table1_rows",
+]

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: hand-written kernels and PPCG."""
+
+from .reference_kernels import reference_profile, REFERENCE_KERNELS
+from .ppcg import PPCGCompiler, ppcg_parameter_space
+
+__all__ = ["reference_profile", "REFERENCE_KERNELS", "PPCGCompiler", "ppcg_parameter_space"]

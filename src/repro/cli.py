@@ -1,0 +1,145 @@
+"""Command-line interface for reproducing the paper's experiments.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro table1
+    python -m repro figure7 [--benchmarks hotspot2d stencil2d] [--budget 2000]
+    python -m repro figure8 [--sizes small] [--devices nvidia amd]
+    python -m repro kernel jacobi2d5pt --strategy tiled --tile 18 --size 64 64
+    python -m repro verify [--benchmarks heat poisson]
+
+Every sub-command prints human-readable text; the figure commands emit the
+same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments.table1 import format_table1
+
+    print(format_table1())
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from .experiments.figure7 import format_figure7, run_figure7
+
+    rows = run_figure7(
+        benchmarks=args.benchmarks or None,
+        devices=args.devices or None,
+        tuner_budget=args.budget,
+        shape_scale=args.scale,
+    )
+    print(format_figure7(rows))
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    from .experiments.figure8 import format_figure8, run_figure8
+
+    rows = run_figure8(
+        benchmarks=args.benchmarks or None,
+        devices=args.devices or None,
+        sizes=tuple(args.sizes),
+        tuner_budget=args.budget,
+        shape_scale=args.scale,
+    )
+    print(format_figure8(rows))
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .apps import get_benchmark
+    from .codegen import generate_kernel
+    from .rewriting.strategies import NAIVE, lower_program, tiled_strategy
+
+    benchmark = get_benchmark(args.benchmark)
+    shape = tuple(args.size) if args.size else tuple(
+        min(extent, 64) for extent in benchmark.default_shape
+    )
+    if args.strategy == "tiled":
+        strategy = tiled_strategy(args.tile, use_local_memory=not args.no_local_memory)
+    else:
+        strategy = NAIVE
+    lowered = lower_program(benchmark.build_program(), strategy)
+    kernel = generate_kernel(
+        lowered, benchmark.input_types(shape), f"{args.benchmark}_kernel"
+    )
+    print(f"// {kernel.describe()}")
+    print(kernel.source)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .apps import ALL_BENCHMARKS
+
+    shapes = {2: (13, 11), 3: (5, 7, 9)}
+    keys = args.benchmarks or sorted(ALL_BENCHMARKS)
+    failures = 0
+    for key in keys:
+        benchmark = ALL_BENCHMARKS[key]
+        ok = benchmark.verify(shape=shapes[benchmark.ndims], seed=17)
+        print(f"{key:<14} {'OK' if ok else 'MISMATCH'}")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'High Performance Stencil Code Generation with Lift' (CGO 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (benchmark characteristics)")
+
+    for name, helptext in (
+        ("figure7", "Lift vs hand-written kernels"),
+        ("figure8", "Lift vs PPCG"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--benchmarks", nargs="*", default=None)
+        p.add_argument("--devices", nargs="*", default=None,
+                       choices=["nvidia", "amd", "arm"])
+        p.add_argument("--budget", type=int, default=3000,
+                       help="tuner evaluation budget per kernel variant")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="scale factor applied to the paper's input sizes")
+        if name == "figure8":
+            p.add_argument("--sizes", nargs="*", default=["small", "large"],
+                           choices=["small", "large"])
+
+    kernel = sub.add_parser("kernel", help="generate the OpenCL kernel for one benchmark")
+    kernel.add_argument("benchmark")
+    kernel.add_argument("--strategy", choices=["naive", "tiled"], default="naive")
+    kernel.add_argument("--tile", type=int, default=18)
+    kernel.add_argument("--no-local-memory", action="store_true")
+    kernel.add_argument("--size", type=int, nargs="*", default=None,
+                        help="input grid extents (defaults to a small grid)")
+
+    verify = sub.add_parser("verify", help="check every benchmark against its NumPy golden")
+    verify.add_argument("--benchmarks", nargs="*", default=None)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "figure7": _cmd_figure7,
+        "figure8": _cmd_figure8,
+        "kernel": _cmd_kernel,
+        "verify": _cmd_verify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""OpenCL code generation from lowered Lift expressions."""
+
+from .kernel import KernelBuffer, OpenCLKernel
+from .generator import CodegenError, generate_kernel
+
+__all__ = ["KernelBuffer", "OpenCLKernel", "CodegenError", "generate_kernel"]

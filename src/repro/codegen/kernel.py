@@ -1,0 +1,64 @@
+"""Kernel descriptors: the artefacts produced by code generation.
+
+An :class:`OpenCLKernel` bundles the generated source with everything a host
+program (or the simulator) needs to launch it: buffer descriptions, the
+ND-range, and the amount of local memory the kernel allocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class KernelBuffer:
+    """One global-memory buffer argument of a kernel."""
+
+    name: str
+    element_type: str
+    element_count: int
+    is_output: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        widths = {"float": 4, "double": 8, "int": 4}
+        return self.element_count * widths.get(self.element_type, 4)
+
+
+@dataclass
+class OpenCLKernel:
+    """A generated OpenCL kernel plus launch metadata."""
+
+    name: str
+    source: str
+    buffers: List[KernelBuffer]
+    global_size: Tuple[int, ...]
+    local_size: Optional[Tuple[int, ...]]
+    local_memory_bytes: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def output_buffer(self) -> KernelBuffer:
+        outputs = [b for b in self.buffers if b.is_output]
+        if not outputs:
+            raise ValueError(f"kernel {self.name} has no output buffer")
+        return outputs[0]
+
+    @property
+    def work_items(self) -> int:
+        total = 1
+        for extent in self.global_size:
+            total *= extent
+        return total
+
+    def describe(self) -> str:
+        local = "x".join(map(str, self.local_size)) if self.local_size else "auto"
+        return (
+            f"kernel {self.name}: global={'x'.join(map(str, self.global_size))} "
+            f"local={local} localMem={self.local_memory_bytes}B "
+            f"buffers={[b.name for b in self.buffers]}"
+        )
+
+
+__all__ = ["KernelBuffer", "OpenCLKernel"]

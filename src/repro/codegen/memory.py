@@ -1,0 +1,62 @@
+"""Memory-space bookkeeping for the code generator.
+
+Lift allocates memory lazily while generating code: global buffers for the
+kernel inputs/outputs, local (scratchpad) arrays when a ``toLocal`` copy is
+requested, and private variables for accumulators.  This module centralises
+name generation and local-memory accounting so the generator and the
+performance model agree on how much local memory a kernel variant uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class LocalAllocation:
+    """One ``__local`` array allocated by a kernel."""
+
+    name: str
+    element_type: str
+    element_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        widths = {"float": 4, "double": 8, "int": 4}
+        return self.element_count * widths.get(self.element_type, 4)
+
+
+class MemoryAllocator:
+    """Generates fresh names and tracks local-memory usage for one kernel."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self.local_allocations: List[LocalAllocation] = []
+
+    def fresh(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def allocate_local(self, element_type: str, element_count: int,
+                       prefix: str = "tile_local") -> LocalAllocation:
+        allocation = LocalAllocation(self.fresh(prefix), element_type, element_count)
+        self.local_allocations.append(allocation)
+        return allocation
+
+    @property
+    def local_memory_bytes(self) -> int:
+        return sum(a.size_bytes for a in self.local_allocations)
+
+
+def flat_index(indices: List[str], extents: List[int]) -> str:
+    """Row-major flattening of a multi-dimensional index."""
+    if not indices:
+        return "0"
+    expr = f"({indices[0]})"
+    for index, extent in zip(indices[1:], extents[1:]):
+        expr = f"(({expr}) * {extent} + ({index}))"
+    return expr
+
+
+__all__ = ["LocalAllocation", "MemoryAllocator", "flat_index"]

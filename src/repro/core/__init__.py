@@ -1,0 +1,53 @@
+"""Core Lift intermediate representation.
+
+This package hosts the paper's primary contribution: the Lift IR extended with
+the ``pad`` and ``slide`` primitives, its type system, the eDSL builders used
+to write stencil programs, and the pretty printer.
+
+Typical usage::
+
+    from repro.core import builders as L
+    from repro.core.userfuns import add
+    from repro.core.typecheck import infer_type
+
+    program = L.fun([L.array_type(L.Float, "N")], lambda a:
+        L.map(lambda nbh: L.reduce(add, 0.0, nbh),
+              L.slide(3, 1, L.pad(1, 1, L.CLAMP, a))))
+"""
+
+from . import arithmetic, builders, ir, printer, typecheck, types, userfuns
+from .arithmetic import Cst, Var
+from .ir import Expr, FunCall, Lambda, Literal, Param, Primitive, UserFun
+from .printer import pretty
+from .typecheck import check_program, infer_type
+from .types import ArrayType, Float, Int, TupleType, Type, TypeError_
+from .types import array as array_type
+
+__all__ = [
+    "arithmetic",
+    "builders",
+    "ir",
+    "printer",
+    "typecheck",
+    "types",
+    "userfuns",
+    "Cst",
+    "Var",
+    "Expr",
+    "FunCall",
+    "Lambda",
+    "Literal",
+    "Param",
+    "Primitive",
+    "UserFun",
+    "pretty",
+    "check_program",
+    "infer_type",
+    "ArrayType",
+    "Float",
+    "Int",
+    "TupleType",
+    "Type",
+    "TypeError_",
+    "array_type",
+]

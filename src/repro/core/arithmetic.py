@@ -1,0 +1,470 @@
+"""Symbolic arithmetic expressions used for array sizes in Lift types.
+
+Array types in Lift carry their length in the type (``[T]_n``).  Lengths are
+not always known constants: a stencil program is usually written for an input
+of symbolic size ``N`` and only specialised to a concrete size when a kernel
+is generated or executed.  This module provides a small symbolic arithmetic
+language that supports exactly the operations the type checker and the view
+system need:
+
+* constants and named variables,
+* addition, subtraction, multiplication,
+* exact (assumed-divisible) division as used by ``split``/``slide``,
+* substitution of variables by values or other expressions,
+* simplification of the common patterns produced by the stencil primitives
+  (for example ``(n + 2 - 3 + 1) / 1``).
+
+The implementation intentionally favours clarity over algebraic completeness:
+expressions are normalised into a sum-of-products form with rational-free
+integer coefficients, plus opaque ``FloorDiv`` nodes when an expression cannot
+be proven divisible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = Union[int, Fraction]
+ArithLike = Union["ArithExpr", int]
+
+
+class ArithmeticError_(Exception):
+    """Raised when an arithmetic operation cannot be performed symbolically."""
+
+
+def _as_arith(value: ArithLike) -> "ArithExpr":
+    """Coerce an ``int`` (or existing expression) into an :class:`ArithExpr`."""
+    if isinstance(value, ArithExpr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid arithmetic operands")
+    if isinstance(value, int):
+        return Cst(value)
+    raise TypeError(f"cannot convert {value!r} to an arithmetic expression")
+
+
+class ArithExpr:
+    """Base class of all symbolic arithmetic expressions.
+
+    Instances are immutable and support the usual Python operators, returning
+    new (simplified) expressions.
+    """
+
+    # -- operator overloads -------------------------------------------------
+    def __add__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_sum([self, _as_arith(other)])
+
+    def __radd__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_sum([_as_arith(other), self])
+
+    def __sub__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_sum([self, simplify_product([Cst(-1), _as_arith(other)])])
+
+    def __rsub__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_sum([_as_arith(other), simplify_product([Cst(-1), self])])
+
+    def __mul__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_product([self, _as_arith(other)])
+
+    def __rmul__(self, other: ArithLike) -> "ArithExpr":
+        return simplify_product([_as_arith(other), self])
+
+    def __floordiv__(self, other: ArithLike) -> "ArithExpr":
+        return exact_div(self, _as_arith(other), allow_floor=True)
+
+    def __truediv__(self, other: ArithLike) -> "ArithExpr":
+        return exact_div(self, _as_arith(other), allow_floor=True)
+
+    def __mod__(self, other: ArithLike) -> "ArithExpr":
+        return modulo(self, _as_arith(other))
+
+    def __neg__(self) -> "ArithExpr":
+        return simplify_product([Cst(-1), self])
+
+    # -- queries ------------------------------------------------------------
+    def free_variables(self) -> frozenset:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> "ArithExpr":
+        """Replace variables by the given values/expressions and simplify."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int] | None = None) -> int:
+        """Evaluate to a concrete integer; raise if variables remain unbound."""
+        env = env or {}
+        result = self.substitute(env)
+        if isinstance(result, Cst):
+            if result.value != int(result.value):
+                raise ArithmeticError_(f"{self} does not evaluate to an integer")
+            return int(result.value)
+        raise ArithmeticError_(
+            f"cannot evaluate {self}: unbound variables {sorted(result.free_variables())}"
+        )
+
+    def is_constant(self) -> bool:
+        return isinstance(self, Cst)
+
+    # -- comparisons --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Cst(other)
+        if not isinstance(other, ArithExpr):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, eq=False)
+class Cst(ArithExpr):
+    """An integer (or exact rational, internally) constant."""
+
+    value: Number
+
+    def __post_init__(self) -> None:
+        value = self.value
+        if isinstance(value, Fraction) and value.denominator == 1:
+            object.__setattr__(self, "value", int(value))
+
+    def free_variables(self) -> frozenset:
+        return frozenset()
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        return self
+
+    def _key(self) -> Tuple:
+        return ("cst", Fraction(self.value))
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(ArithExpr):
+    """A named size variable, e.g. the ``N`` in ``[float]_N``."""
+
+    name: str
+
+    def free_variables(self) -> frozenset:
+        return frozenset({self.name})
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        if self.name in mapping:
+            return _as_arith(mapping[self.name])
+        return self
+
+    def _key(self) -> Tuple:
+        return ("var", self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Sum(ArithExpr):
+    """A sum of two or more terms (kept flat and sorted)."""
+
+    terms: Tuple[ArithExpr, ...]
+
+    def free_variables(self) -> frozenset:
+        out: frozenset = frozenset()
+        for term in self.terms:
+            out = out | term.free_variables()
+        return out
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        return simplify_sum([t.substitute(mapping) for t in self.terms])
+
+    def _key(self) -> Tuple:
+        return ("sum", tuple(sorted(t._key() for t in self.terms)))
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(repr(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Prod(ArithExpr):
+    """A product of two or more factors (kept flat and sorted)."""
+
+    factors: Tuple[ArithExpr, ...]
+
+    def free_variables(self) -> frozenset:
+        out: frozenset = frozenset()
+        for factor in self.factors:
+            out = out | factor.free_variables()
+        return out
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        return simplify_product([f.substitute(mapping) for f in self.factors])
+
+    def _key(self) -> Tuple:
+        return ("prod", tuple(sorted(f._key() for f in self.factors)))
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(repr(f) for f in self.factors) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class FloorDiv(ArithExpr):
+    """An integer division that could not be resolved symbolically."""
+
+    numerator: ArithExpr
+    denominator: ArithExpr
+
+    def free_variables(self) -> frozenset:
+        return self.numerator.free_variables() | self.denominator.free_variables()
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        return exact_div(
+            self.numerator.substitute(mapping),
+            self.denominator.substitute(mapping),
+            allow_floor=True,
+        )
+
+    def _key(self) -> Tuple:
+        return ("floordiv", self.numerator._key(), self.denominator._key())
+
+    def __repr__(self) -> str:
+        return f"({self.numerator!r} / {self.denominator!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Mod(ArithExpr):
+    """A modulo operation that could not be resolved symbolically."""
+
+    numerator: ArithExpr
+    denominator: ArithExpr
+
+    def free_variables(self) -> frozenset:
+        return self.numerator.free_variables() | self.denominator.free_variables()
+
+    def substitute(self, mapping: Mapping[str, ArithLike]) -> ArithExpr:
+        return modulo(
+            self.numerator.substitute(mapping),
+            self.denominator.substitute(mapping),
+        )
+
+    def _key(self) -> Tuple:
+        return ("mod", self.numerator._key(), self.denominator._key())
+
+    def __repr__(self) -> str:
+        return f"({self.numerator!r} % {self.denominator!r})"
+
+
+# ---------------------------------------------------------------------------
+# Normalisation helpers
+# ---------------------------------------------------------------------------
+
+def _flatten_sum(terms: Iterable[ArithExpr]) -> list:
+    flat: list = []
+    for term in terms:
+        if isinstance(term, Sum):
+            flat.extend(_flatten_sum(term.terms))
+        else:
+            flat.append(term)
+    return flat
+
+
+def _split_coefficient(expr: ArithExpr) -> Tuple[Fraction, Tuple[ArithExpr, ...]]:
+    """Split ``expr`` into (numeric coefficient, non-constant factor tuple)."""
+    if isinstance(expr, Cst):
+        return Fraction(expr.value), ()
+    if isinstance(expr, Prod):
+        coeff = Fraction(1)
+        rest = []
+        for factor in expr.factors:
+            if isinstance(factor, Cst):
+                coeff *= Fraction(factor.value)
+            else:
+                rest.append(factor)
+        return coeff, tuple(sorted(rest, key=lambda e: e._key()))
+    return Fraction(1), (expr,)
+
+
+def simplify_sum(terms: Iterable[ArithExpr]) -> ArithExpr:
+    """Build a simplified :class:`Sum` (collecting like terms and constants)."""
+    collected: Dict[Tuple, Tuple[Fraction, Tuple[ArithExpr, ...]]] = {}
+    constant = Fraction(0)
+    for term in _flatten_sum(terms):
+        coeff, factors = _split_coefficient(term)
+        if not factors:
+            constant += coeff
+            continue
+        key = tuple(f._key() for f in factors)
+        if key in collected:
+            prev_coeff, _ = collected[key]
+            collected[key] = (prev_coeff + coeff, factors)
+        else:
+            collected[key] = (coeff, factors)
+
+    result_terms: list = []
+    for coeff, factors in collected.values():
+        if coeff == 0:
+            continue
+        if coeff == 1 and len(factors) == 1:
+            result_terms.append(factors[0])
+        else:
+            result_terms.append(simplify_product([Cst(coeff), *factors]))
+    if constant != 0:
+        result_terms.append(Cst(constant))
+
+    if not result_terms:
+        return Cst(0)
+    if len(result_terms) == 1:
+        return result_terms[0]
+    result_terms.sort(key=lambda e: e._key())
+    return Sum(tuple(result_terms))
+
+
+def _flatten_product(factors: Iterable[ArithExpr]) -> list:
+    flat: list = []
+    for factor in factors:
+        if isinstance(factor, Prod):
+            flat.extend(_flatten_product(factor.factors))
+        else:
+            flat.append(factor)
+    return flat
+
+
+def simplify_product(factors: Iterable[ArithExpr]) -> ArithExpr:
+    """Build a simplified :class:`Prod` (multiplying constants, distributing over sums)."""
+    coeff = Fraction(1)
+    rest: list = []
+    for factor in _flatten_product(factors):
+        if isinstance(factor, Cst):
+            coeff *= Fraction(factor.value)
+        else:
+            rest.append(factor)
+
+    if coeff == 0:
+        return Cst(0)
+
+    # Distribute a constant over a single sum so that e.g. 2*(n+1) == 2n+2.
+    if rest and isinstance(rest[0], Sum) and len(rest) == 1 and coeff != 1:
+        return simplify_sum(
+            [simplify_product([Cst(coeff), term]) for term in rest[0].terms]
+        )
+
+    if not rest:
+        return Cst(coeff)
+    if coeff == 1 and len(rest) == 1:
+        return rest[0]
+
+    result = sorted(rest, key=lambda e: e._key())
+    if coeff != 1:
+        result.insert(0, Cst(coeff))
+    if len(result) == 1:
+        return result[0]
+    return Prod(tuple(result))
+
+
+def exact_div(num: ArithExpr, den: ArithExpr, *, allow_floor: bool = False) -> ArithExpr:
+    """Divide ``num`` by ``den``.
+
+    When the division can be performed exactly (constant/constant with zero
+    remainder, identical expressions, or a product containing the denominator
+    as a factor) the simplified quotient is returned.  Otherwise, a
+    :class:`FloorDiv` node is produced when ``allow_floor`` is true, or an
+    :class:`ArithmeticError_` is raised.
+    """
+    num = _as_arith(num)
+    den = _as_arith(den)
+    if isinstance(den, Cst) and den.value == 0:
+        raise ZeroDivisionError("symbolic division by zero")
+    if isinstance(den, Cst) and den.value == 1:
+        return num
+    if num == den:
+        return Cst(1)
+    if isinstance(num, Cst) and num.value == 0:
+        return Cst(0)
+    if isinstance(num, Cst) and isinstance(den, Cst):
+        quotient = Fraction(num.value) / Fraction(den.value)
+        if quotient.denominator == 1:
+            return Cst(int(quotient))
+        if allow_floor:
+            return Cst(int(Fraction(num.value) // Fraction(den.value)))
+        raise ArithmeticError_(f"{num} is not divisible by {den}")
+
+    # Try to cancel a factor: (a*den)/den == a, and divide constant coefficients.
+    if isinstance(den, Cst):
+        coeff, factors = _split_coefficient(num)
+        new_coeff = coeff / Fraction(den.value)
+        if new_coeff.denominator == 1:
+            return simplify_product([Cst(new_coeff), *factors])
+        # Distribute over sums: (2n + 4)/2 == n + 2 when every term divides.
+        if isinstance(num, Sum):
+            divided = []
+            ok = True
+            for term in num.terms:
+                t_coeff, t_factors = _split_coefficient(term)
+                t_new = t_coeff / Fraction(den.value)
+                if t_new.denominator != 1:
+                    ok = False
+                    break
+                divided.append(simplify_product([Cst(t_new), *t_factors]))
+            if ok:
+                return simplify_sum(divided)
+    else:
+        coeff, factors = _split_coefficient(num)
+        den_coeff, den_factors = _split_coefficient(den)
+        if den_factors and all(f in factors for f in den_factors):
+            remaining = list(factors)
+            for f in den_factors:
+                remaining.remove(f)
+            new_coeff = coeff / den_coeff
+            if new_coeff.denominator == 1:
+                return simplify_product([Cst(new_coeff), *remaining])
+
+    if allow_floor:
+        return FloorDiv(num, den)
+    raise ArithmeticError_(f"cannot divide {num} by {den} exactly")
+
+
+def modulo(num: ArithExpr, den: ArithExpr) -> ArithExpr:
+    """Compute ``num mod den`` where possible, otherwise return a :class:`Mod` node."""
+    num = _as_arith(num)
+    den = _as_arith(den)
+    if isinstance(den, Cst) and den.value == 0:
+        raise ZeroDivisionError("symbolic modulo by zero")
+    if isinstance(den, Cst) and den.value == 1:
+        return Cst(0)
+    if isinstance(num, Cst) and isinstance(den, Cst):
+        return Cst(int(Fraction(num.value) % Fraction(den.value)))
+    if num == den:
+        return Cst(0)
+    return Mod(num, den)
+
+
+def arith_max(a: ArithLike, b: ArithLike) -> ArithExpr:
+    """Maximum of two expressions (resolved only when both are constants)."""
+    a = _as_arith(a)
+    b = _as_arith(b)
+    if isinstance(a, Cst) and isinstance(b, Cst):
+        return a if a.value >= b.value else b
+    if a == b:
+        return a
+    raise ArithmeticError_(f"cannot compute max({a}, {b}) symbolically")
+
+
+__all__ = [
+    "ArithExpr",
+    "ArithLike",
+    "ArithmeticError_",
+    "Cst",
+    "Var",
+    "Sum",
+    "Prod",
+    "FloorDiv",
+    "Mod",
+    "simplify_sum",
+    "simplify_product",
+    "exact_div",
+    "modulo",
+    "arith_max",
+]

@@ -1,0 +1,74 @@
+"""Built-in Lift primitives.
+
+``algorithmic`` contains the original data-parallel patterns of Lift
+(map, reduce, zip, split, join, transpose, ...).  ``stencil`` contains the two
+primitives added by the CGO'18 paper (``pad`` and ``slide``).  ``opencl``
+contains the low-level, OpenCL-specific primitives produced by the lowering
+rewrite rules (mapGlb, mapLcl, toLocal, reduceSeq, ...).
+"""
+
+from .algorithmic import (
+    ArrayConstructor,
+    At,
+    Get,
+    Id,
+    Iterate,
+    Join,
+    Map,
+    Reduce,
+    Split,
+    Transpose,
+    TupleCons,
+    Zip,
+)
+from .stencil import (
+    CLAMP,
+    MIRROR,
+    WRAP,
+    Boundary,
+    Pad,
+    PadConstant,
+    Slide,
+)
+from .opencl import (
+    MapGlb,
+    MapLcl,
+    MapSeq,
+    MapWrg,
+    ReduceSeq,
+    ReduceUnroll,
+    ToGlobal,
+    ToLocal,
+    ToPrivate,
+)
+
+__all__ = [
+    "Map",
+    "Reduce",
+    "Iterate",
+    "Zip",
+    "Split",
+    "Join",
+    "Transpose",
+    "At",
+    "Get",
+    "TupleCons",
+    "ArrayConstructor",
+    "Id",
+    "Slide",
+    "Pad",
+    "PadConstant",
+    "Boundary",
+    "CLAMP",
+    "MIRROR",
+    "WRAP",
+    "MapGlb",
+    "MapWrg",
+    "MapLcl",
+    "MapSeq",
+    "ReduceSeq",
+    "ReduceUnroll",
+    "ToLocal",
+    "ToGlobal",
+    "ToPrivate",
+]

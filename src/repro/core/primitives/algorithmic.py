@@ -1,0 +1,351 @@
+"""The original data-parallel Lift primitives.
+
+These are the primitives listed in Section 3.1 of the paper.  Each primitive
+is an object holding its *static* parameters (the embedded function of a
+``map``, the chunk size of a ``split``), while the data arguments are passed
+through a :class:`~repro.core.ir.FunCall`.
+
+Each class implements :meth:`infer_type`, the typing rule given in the paper:
+
+==========  ==========================================================
+map         ``(f : T → U, in : [T]_n) → [U]_n``
+reduce      ``(init : U, f : (U, T) → U, in : [T]_n) → [U]_1``
+zip         ``(in1 : [T]_n, in2 : [U]_n) → [{T, U}]_n``
+iterate     ``(in : [T]_n, f : [T]_n → [T]_n, m) → [T]_n``
+split       ``(m, in : [T]_n) → [[T]_m]_{n/m}``
+join        ``(in : [[T]_m]_n) → [T]_{m×n}``
+at          ``(i, in : [T]_n) → T``
+get         ``(i, in : {T1, T2, ...}) → Ti``
+array       ``(n, f : (i, n) → T) → [T]_n``
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..arithmetic import ArithExpr, ArithLike, Cst, _as_arith, exact_div
+from ..ir import Expr, FunDecl, Literal, Primitive
+from ..types import (
+    ArrayType,
+    ScalarType,
+    TupleType,
+    Type,
+    TypeError_,
+    check_same_size,
+)
+
+
+def _infer_call(fun, arg_types: Sequence[Type]) -> Type:
+    """Type a callee applied to arguments of the given types (lazy import)."""
+    from ..typecheck import infer_call_type
+
+    return infer_call_type(fun, list(arg_types))
+
+
+def _expect_array(t: Type, who: str) -> ArrayType:
+    if not isinstance(t, ArrayType):
+        raise TypeError_(f"{who} expects an array argument, got {t!r}")
+    return t
+
+
+class Map(Primitive):
+    """Apply a function to every element of an array (the source of parallelism)."""
+
+    name = "map"
+
+    def __init__(self, f: FunDecl) -> None:
+        super().__init__()
+        self.f = f
+
+    def arity(self) -> int:
+        return 1
+
+    def nested_functions(self) -> Tuple[Expr, ...]:
+        return (self.f,) if isinstance(self.f, Expr) else ()
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "Map":
+        return type(self)(nested[0])  # type: ignore[arg-type]
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = _expect_array(arg_types[0], self.name)
+        out_elem = _infer_call(self.f, [in_type.elem_type])
+        return ArrayType(out_elem, in_type.size)
+
+
+class Reduce(Primitive):
+    """Reduce an array to a single-element array with a binary operator."""
+
+    name = "reduce"
+
+    def __init__(self, f: FunDecl, init: Expr) -> None:
+        super().__init__()
+        self.f = f
+        self.init = init
+
+    def arity(self) -> int:
+        return 1
+
+    def nested_functions(self) -> Tuple[Expr, ...]:
+        nested = []
+        if isinstance(self.f, Expr):
+            nested.append(self.f)
+        nested.append(self.init)
+        return tuple(nested)
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "Reduce":
+        if isinstance(self.f, Expr):
+            return type(self)(nested[0], nested[1])  # type: ignore[arg-type]
+        return type(self)(self.f, nested[0])
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = _expect_array(arg_types[0], self.name)
+        from ..typecheck import infer_type as _infer
+
+        init_type = _infer(self.init)
+        acc_type = _infer_call(self.f, [init_type, in_type.elem_type])
+        if acc_type != init_type:
+            raise TypeError_(
+                f"{self.name}: operator returns {acc_type!r} but accumulator is {init_type!r}"
+            )
+        return ArrayType(acc_type, Cst(1))
+
+
+class Iterate(Primitive):
+    """Apply a size-preserving function ``m`` times, feeding output to input."""
+
+    name = "iterate"
+
+    def __init__(self, count: int, f: FunDecl) -> None:
+        super().__init__()
+        self.count = int(count)
+        self.f = f
+        if self.count < 0:
+            raise ValueError("iterate count must be non-negative")
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.count,)
+
+    def nested_functions(self) -> Tuple[Expr, ...]:
+        return (self.f,) if isinstance(self.f, Expr) else ()
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "Iterate":
+        return type(self)(self.count, nested[0])  # type: ignore[arg-type]
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        out_type = _infer_call(self.f, [in_type])
+        if out_type != in_type:
+            raise TypeError_(
+                f"iterate requires a size-preserving function: {in_type!r} -> {out_type!r}"
+            )
+        return in_type
+
+
+class Zip(Primitive):
+    """Combine two or more equal-length arrays into an array of tuples."""
+
+    name = "zip"
+
+    def __init__(self, n: int = 2) -> None:
+        super().__init__()
+        self.n = int(n)
+        if self.n < 2:
+            raise ValueError("zip requires at least two arrays")
+
+    def arity(self) -> int:
+        return self.n
+
+    def static_key(self) -> Tuple:
+        return (self.n,)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        arrays = [_expect_array(t, self.name) for t in arg_types]
+        size = arrays[0].size
+        for other in arrays[1:]:
+            check_same_size(size, other.size, "zip")
+        return ArrayType(TupleType(*[a.elem_type for a in arrays]), size)
+
+
+class Split(Primitive):
+    """Split an array into chunks of ``m`` elements, adding a dimension."""
+
+    name = "split"
+
+    def __init__(self, chunk: ArithLike) -> None:
+        super().__init__()
+        self.chunk = _as_arith(chunk)
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.chunk,)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = _expect_array(arg_types[0], self.name)
+        outer = exact_div(in_type.size, self.chunk, allow_floor=True)
+        return ArrayType(ArrayType(in_type.elem_type, self.chunk), outer)
+
+
+class Join(Primitive):
+    """Flatten the two outermost dimensions of a nested array."""
+
+    name = "join"
+
+    def arity(self) -> int:
+        return 1
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        outer = _expect_array(arg_types[0], self.name)
+        inner = _expect_array(outer.elem_type, self.name)
+        return ArrayType(inner.elem_type, outer.size * inner.size)
+
+
+class Transpose(Primitive):
+    """Swap the two outermost dimensions of a nested array."""
+
+    name = "transpose"
+
+    def arity(self) -> int:
+        return 1
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        outer = _expect_array(arg_types[0], self.name)
+        inner = _expect_array(outer.elem_type, self.name)
+        return ArrayType(ArrayType(inner.elem_type, outer.size), inner.size)
+
+
+class At(Primitive):
+    """Index an array with a constant index (written ``in[i]`` in the paper)."""
+
+    name = "at"
+
+    def __init__(self, index: int) -> None:
+        super().__init__()
+        self.index = int(index)
+        if self.index < 0:
+            raise ValueError("at index must be non-negative")
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.index,)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = _expect_array(arg_types[0], self.name)
+        if in_type.size.is_constant() and self.index >= in_type.size.evaluate():
+            raise TypeError_(
+                f"at({self.index}) out of bounds for array of length {in_type.size}"
+            )
+        return in_type.elem_type
+
+
+class Get(Primitive):
+    """Project a component out of a tuple (written ``in.i`` in the paper)."""
+
+    name = "get"
+
+    def __init__(self, index: int) -> None:
+        super().__init__()
+        self.index = int(index)
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.index,)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        if not isinstance(in_type, TupleType):
+            raise TypeError_(f"get expects a tuple argument, got {in_type!r}")
+        if self.index >= len(in_type.elem_types):
+            raise TypeError_(
+                f"get({self.index}) out of bounds for tuple of {len(in_type.elem_types)}"
+            )
+        return in_type.elem_types[self.index]
+
+
+class TupleCons(Primitive):
+    """Construct a tuple out of its argument expressions."""
+
+    name = "tuple"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = int(n)
+
+    def arity(self) -> int:
+        return self.n
+
+    def static_key(self) -> Tuple:
+        return (self.n,)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        return TupleType(*arg_types)
+
+
+class ArrayConstructor(Primitive):
+    """Lazily construct an array by invoking ``f(i, n)`` for every index.
+
+    Used in the paper's acoustic benchmark to build the obstacle mask on the
+    fly instead of storing it in memory.
+    """
+
+    name = "array"
+
+    def __init__(
+        self,
+        size: ArithLike,
+        generator: Callable[[int, int], object],
+        elem_type: Type,
+        c_expression: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.size = _as_arith(size)
+        self.generator = generator
+        self.elem_type = elem_type
+        #: C expression template with ``{i}`` and ``{n}`` placeholders used by codegen.
+        self.c_expression = c_expression
+
+    def arity(self) -> int:
+        return 0
+
+    def static_key(self) -> Tuple:
+        return (self.size, self.elem_type, self.c_expression)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        return ArrayType(self.elem_type, self.size)
+
+
+class Id(Primitive):
+    """The identity function on scalars; used to introduce copies (e.g. to local memory)."""
+
+    name = "id"
+
+    def arity(self) -> int:
+        return 1
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        return arg_types[0]
+
+
+__all__ = [
+    "Map",
+    "Reduce",
+    "Iterate",
+    "Zip",
+    "Split",
+    "Join",
+    "Transpose",
+    "At",
+    "Get",
+    "TupleCons",
+    "ArrayConstructor",
+    "Id",
+]

@@ -1,0 +1,161 @@
+"""Low-level, OpenCL-specific Lift primitives.
+
+The high-level primitives say *what* is computed; these primitives say *how*
+it is mapped onto the OpenCL execution and memory model.  They are introduced
+exclusively by the lowering rewrite rules in
+:mod:`repro.rewriting.lowering_rules` — user programs never mention them.
+
+Thread-hierarchy mappings
+    ``mapGlb(d)``  — one global work-item per element along dimension ``d``;
+    ``mapWrg(d)``  — one work-group per element along dimension ``d``;
+    ``mapLcl(d)``  — one local work-item (inside a work-group) per element;
+    ``mapSeq``     — a sequential loop inside a single work-item.
+
+Sequential reductions
+    ``reduceSeq`` — a sequential accumulation loop;
+    ``reduceUnroll`` — the same loop fully unrolled (legal only when the input
+    length is a compile-time constant, which is always the case for stencil
+    neighbourhoods).
+
+Memory-space modifiers
+    ``toLocal`` / ``toGlobal`` / ``toPrivate`` wrap a function and direct its
+    output into the respective OpenCL address space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..ir import Expr, FunDecl, Primitive
+from ..types import ArrayType, Type, TypeError_
+from ..arithmetic import Cst
+from .algorithmic import Map, Reduce
+
+
+class _MapLike(Map):
+    """Shared implementation for the lowered map variants."""
+
+    def __init__(self, f: FunDecl, dim: int = 0) -> None:
+        super().__init__(f)
+        self.dim = int(dim)
+        if self.dim not in (0, 1, 2):
+            raise ValueError("OpenCL exposes at most three thread dimensions (0, 1, 2)")
+
+    def static_key(self) -> Tuple:
+        return (self.dim,)
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "_MapLike":
+        return type(self)(nested[0], self.dim)  # type: ignore[arg-type]
+
+
+class MapGlb(_MapLike):
+    """Map each element to one global work-item along OpenCL dimension ``dim``."""
+
+    name = "mapGlb"
+
+
+class MapWrg(_MapLike):
+    """Map each element to one work-group along OpenCL dimension ``dim``."""
+
+    name = "mapWrg"
+
+
+class MapLcl(_MapLike):
+    """Map each element to one local work-item along OpenCL dimension ``dim``."""
+
+    name = "mapLcl"
+
+
+class MapSeq(Map):
+    """Execute the map as a sequential loop within a single work-item."""
+
+    name = "mapSeq"
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "MapSeq":
+        return type(self)(nested[0])  # type: ignore[arg-type]
+
+
+class ReduceSeq(Reduce):
+    """Execute the reduction as a sequential accumulation loop."""
+
+    name = "reduceSeq"
+
+
+class ReduceUnroll(Reduce):
+    """A sequential reduction whose loop is fully unrolled by the code generator.
+
+    Unrolling is only legal when the length of the reduced array is a
+    compile-time constant; :meth:`infer_type` enforces this.
+    """
+
+    name = "reduceUnroll"
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        if isinstance(in_type, ArrayType) and not in_type.size.is_constant():
+            raise TypeError_(
+                "reduceUnroll requires a compile-time constant input length, "
+                f"got {in_type.size!r}"
+            )
+        return super().infer_type(arg_types, args)
+
+
+class _MemorySpaceModifier(Primitive):
+    """Wrap a function so that its result is written to a specific address space."""
+
+    space = "global"
+
+    def __init__(self, f: FunDecl) -> None:
+        super().__init__()
+        self.f = f
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.space,)
+
+    def nested_functions(self) -> Tuple[Expr, ...]:
+        return (self.f,) if isinstance(self.f, Expr) else ()
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "_MemorySpaceModifier":
+        return type(self)(nested[0])  # type: ignore[arg-type]
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        from ..typecheck import infer_call_type
+
+        return infer_call_type(self.f, list(arg_types))
+
+
+class ToLocal(_MemorySpaceModifier):
+    """Write the wrapped function's result into OpenCL local (scratchpad) memory."""
+
+    name = "toLocal"
+    space = "local"
+
+
+class ToGlobal(_MemorySpaceModifier):
+    """Write the wrapped function's result into OpenCL global memory."""
+
+    name = "toGlobal"
+    space = "global"
+
+
+class ToPrivate(_MemorySpaceModifier):
+    """Write the wrapped function's result into private (register) memory."""
+
+    name = "toPrivate"
+    space = "private"
+
+
+__all__ = [
+    "MapGlb",
+    "MapWrg",
+    "MapLcl",
+    "MapSeq",
+    "ReduceSeq",
+    "ReduceUnroll",
+    "ToLocal",
+    "ToGlobal",
+    "ToPrivate",
+]

@@ -1,0 +1,203 @@
+"""The two stencil primitives added by the CGO'18 paper: ``pad`` and ``slide``.
+
+``pad`` handles boundary conditions.  Its re-indexing variant (:class:`Pad`)
+enlarges an array by ``l`` elements on the left and ``r`` elements on the
+right; the extra elements are read from inside the original array via an index
+function such as *clamp*, *mirror* or *wrap*.  The value variant
+(:class:`PadConstant`) appends generated values instead (used for constant or
+dampening boundaries).
+
+``slide`` creates the stencil neighbourhoods: ``slide(size, step, in)`` groups
+``size`` consecutive elements into a window and moves the window by ``step``,
+producing ``(n − size + step) / step`` windows.
+
+Both primitives are pure data-layout operations; during code generation they
+are realised as *views* (index arithmetic) rather than memory copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from ..arithmetic import ArithLike, _as_arith, exact_div
+from ..ir import Expr, Literal, Primitive
+from ..types import ArrayType, Type, TypeError_
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """A re-indexing boundary condition for :class:`Pad`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (appears in generated OpenCL code comments).
+    index_fn:
+        Python implementation ``(i, n) -> j`` mapping a possibly out-of-range
+        index ``i`` into the valid range ``[0, n)``.
+    c_template:
+        C expression template with ``{i}`` and ``{n}`` placeholders producing
+        the same mapping in generated code.
+    """
+
+    name: str
+    index_fn: Callable[[int, int], int]
+    c_template: str
+
+    def __call__(self, i: int, n: int) -> int:
+        j = self.index_fn(i, n)
+        if not 0 <= j < n:
+            raise ValueError(
+                f"boundary function {self.name} mapped {i} to {j}, outside [0, {n})"
+            )
+        return j
+
+
+def _clamp(i: int, n: int) -> int:
+    return 0 if i < 0 else (n - 1 if i >= n else i)
+
+
+def _mirror(i: int, n: int) -> int:
+    if i < 0:
+        i = -1 - i
+    if i >= n:
+        i = n - (i - n) - 1
+    return _clamp(i, n)
+
+
+def _wrap(i: int, n: int) -> int:
+    return i % n
+
+
+#: Repeat the value at the boundary (``A[-1] == A[0]``).
+CLAMP = Boundary("clamp", _clamp, "(({i}) < 0 ? 0 : (({i}) >= ({n}) ? ({n}) - 1 : ({i})))")
+#: Reflect indices at the boundary (``A[-1] == A[0]``, ``A[-2] == A[1]``).
+MIRROR = Boundary(
+    "mirror",
+    _mirror,
+    "((({i}) < 0 ? (-({i}) - 1) : (({i}) >= ({n}) ? (2 * ({n}) - ({i}) - 1) : ({i}))))",
+)
+#: Wrap indices around (periodic boundary).
+WRAP = Boundary("wrap", _wrap, "((({i}) % ({n}) + ({n})) % ({n}))")
+
+BOUNDARIES = {"clamp": CLAMP, "mirror": MIRROR, "wrap": WRAP}
+
+
+class Pad(Primitive):
+    """Enlarge an array by re-indexing into it at the boundaries.
+
+    Type rule (paper §3.2)::
+
+        pad : (l, r, h : (Int, Int) -> Int, in : [T]_n) -> [T]_{l+n+r}
+    """
+
+    name = "pad"
+
+    def __init__(self, left: int, right: int, boundary: Boundary) -> None:
+        super().__init__()
+        self.left = int(left)
+        self.right = int(right)
+        self.boundary = boundary
+        if self.left < 0 or self.right < 0:
+            raise ValueError("pad amounts must be non-negative")
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.left, self.right, self.boundary.name)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        if not isinstance(in_type, ArrayType):
+            raise TypeError_(f"pad expects an array argument, got {in_type!r}")
+        return ArrayType(in_type.elem_type, in_type.size + self.left + self.right)
+
+
+class PadConstant(Primitive):
+    """Enlarge an array by appending a constant value at the boundaries.
+
+    This is the second ``pad`` variant described in the paper, used for
+    constant (e.g. zero) boundary conditions such as the acoustic benchmark's
+    ``pad3(1, 1, 1, zero, grid)``.
+    """
+
+    name = "padConstant"
+
+    def __init__(self, left: int, right: int, value: Expr) -> None:
+        super().__init__()
+        self.left = int(left)
+        self.right = int(right)
+        self.value = value
+        if self.left < 0 or self.right < 0:
+            raise ValueError("pad amounts must be non-negative")
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        value_key = self.value.value if isinstance(self.value, Literal) else id(self.value)
+        return (self.left, self.right, value_key)
+
+    def nested_functions(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+    def with_nested_functions(self, nested: Tuple[Expr, ...]) -> "PadConstant":
+        return type(self)(self.left, self.right, nested[0])
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        if not isinstance(in_type, ArrayType):
+            raise TypeError_(f"padConstant expects an array argument, got {in_type!r}")
+        return ArrayType(in_type.elem_type, in_type.size + self.left + self.right)
+
+
+class Slide(Primitive):
+    """Group elements into overlapping windows (neighbourhood creation).
+
+    Type rule (paper §3.2)::
+
+        slide : (size, step, in : [T]_n) -> [[T]_size]_{(n - size + step) / step}
+    """
+
+    name = "slide"
+
+    def __init__(self, size: ArithLike, step: ArithLike) -> None:
+        super().__init__()
+        self.size = _as_arith(size)
+        self.step = _as_arith(step)
+        if self.size.is_constant() and self.size.evaluate() <= 0:
+            raise ValueError("slide window size must be positive")
+        if self.step.is_constant() and self.step.evaluate() <= 0:
+            raise ValueError("slide step must be positive")
+
+    def arity(self) -> int:
+        return 1
+
+    def static_key(self) -> Tuple:
+        return (self.size, self.step)
+
+    def infer_type(self, arg_types: Sequence[Type], args: Sequence[Expr]) -> Type:
+        in_type = arg_types[0]
+        if not isinstance(in_type, ArrayType):
+            raise TypeError_(f"slide expects an array argument, got {in_type!r}")
+        window_count = exact_div(
+            in_type.size - self.size + self.step, self.step, allow_floor=True
+        )
+        return ArrayType(
+            ArrayType(in_type.elem_type, self.size),
+            window_count,
+        )
+
+
+__all__ = [
+    "Boundary",
+    "CLAMP",
+    "MIRROR",
+    "WRAP",
+    "BOUNDARIES",
+    "Pad",
+    "PadConstant",
+    "Slide",
+]

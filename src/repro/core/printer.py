@@ -1,0 +1,117 @@
+"""Human-readable pretty printer for Lift expressions.
+
+The output follows the notation used in the paper's listings, e.g.::
+
+    map(λ(nbh). reduce(add, 0.0, nbh), slide(3, 1, pad(1, 1, clamp, A)))
+"""
+
+from __future__ import annotations
+
+from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param, Primitive, UserFun
+from .primitives.algorithmic import (
+    ArrayConstructor,
+    At,
+    Get,
+    Iterate,
+    Map,
+    Reduce,
+    Split,
+    TupleCons,
+    Zip,
+)
+from .primitives.opencl import _MemorySpaceModifier
+from .primitives.stencil import Pad, PadConstant, Slide
+
+
+def pretty(expr: Expr | FunDecl, *, indent: int = 0) -> str:
+    """Render an expression (or callee declaration) as a single-line string."""
+    if isinstance(expr, Param):
+        return expr.name
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, UserFun):
+        return expr.name
+    if isinstance(expr, Lambda):
+        params = ", ".join(p.name for p in expr.params)
+        return f"λ({params}). {pretty(expr.body)}"
+    if isinstance(expr, FunCall):
+        return _pretty_call(expr)
+    if isinstance(expr, Primitive):
+        return _pretty_primitive_value(expr)
+    return repr(expr)
+
+
+def _pretty_primitive_value(prim: Primitive) -> str:
+    """A primitive used as a function value (not applied)."""
+    statics = _static_args(prim)
+    nested = [pretty(f) for f in prim.nested_functions()]
+    inner = ", ".join(statics + nested)
+    return f"{prim.name}({inner})" if inner else prim.name
+
+
+def _static_args(prim: Primitive) -> list:
+    if isinstance(prim, (Pad, PadConstant)):
+        third = prim.boundary.name if isinstance(prim, Pad) else None
+        parts = [str(prim.left), str(prim.right)]
+        if third is not None:
+            parts.append(third)
+        return parts
+    if isinstance(prim, Slide):
+        return [str(prim.size), str(prim.step)]
+    if isinstance(prim, Split):
+        return [str(prim.chunk)]
+    if isinstance(prim, (At, Get)):
+        return [str(prim.index)]
+    if isinstance(prim, Iterate):
+        return [str(prim.count)]
+    if isinstance(prim, ArrayConstructor):
+        return [str(prim.size), "<generator>"]
+    if hasattr(prim, "dim"):
+        return [str(prim.dim)]
+    return []
+
+
+def _pretty_call(call: FunCall) -> str:
+    fun = call.fun
+    args = [pretty(a) for a in call.args]
+
+    if isinstance(fun, (Map,)) and type(fun).__name__.startswith("Map"):
+        name = fun.name
+        return f"{name}({pretty(fun.f)}, {', '.join(args)})"
+    if isinstance(fun, Reduce):
+        return f"{fun.name}({pretty(fun.f)}, {pretty(fun.init)}, {', '.join(args)})"
+    if isinstance(fun, Iterate):
+        return f"iterate({fun.count}, {pretty(fun.f)}, {', '.join(args)})"
+    if isinstance(fun, Pad):
+        return f"pad({fun.left}, {fun.right}, {fun.boundary.name}, {', '.join(args)})"
+    if isinstance(fun, PadConstant):
+        return f"padConstant({fun.left}, {fun.right}, {pretty(fun.value)}, {', '.join(args)})"
+    if isinstance(fun, Slide):
+        return f"slide({fun.size}, {fun.step}, {', '.join(args)})"
+    if isinstance(fun, Split):
+        return f"split({fun.chunk}, {', '.join(args)})"
+    if isinstance(fun, At):
+        return f"{args[0]}[{fun.index}]"
+    if isinstance(fun, Get):
+        return f"{args[0]}.{fun.index}"
+    if isinstance(fun, TupleCons):
+        return "(" + ", ".join(args) + ")"
+    if isinstance(fun, Zip):
+        return f"zip({', '.join(args)})"
+    if isinstance(fun, ArrayConstructor):
+        return f"array({fun.size}, <generator>)"
+    if isinstance(fun, _MemorySpaceModifier):
+        return f"{fun.name}({pretty(fun.f)}, {', '.join(args)})"
+    if isinstance(fun, Primitive):
+        statics = _static_args(fun)
+        nested = [pretty(f) for f in fun.nested_functions()]
+        inner = ", ".join(statics + nested + args)
+        return f"{fun.name}({inner})"
+    if isinstance(fun, Lambda):
+        return f"({pretty(fun)})({', '.join(args)})"
+    if isinstance(fun, UserFun):
+        return f"{fun.name}({', '.join(args)})"
+    return f"{fun!r}({', '.join(args)})"
+
+
+__all__ = ["pretty"]

@@ -1,0 +1,139 @@
+"""Bottom-up type inference for Lift expressions.
+
+Types are inferred by walking an expression from the leaves upwards:
+parameters carry their types (supplied when building the top-level lambda via
+:func:`repro.core.builders.fun`), literals carry their types, and every
+:class:`~repro.core.ir.FunCall` asks its callee to compute the result type from
+the argument types.  Primitives implement their typing rules themselves (see
+:mod:`repro.core.primitives`); lambdas are typed by binding their parameters
+and recursing into the body; user functions check that they receive scalars.
+
+The inferred type is stored on every node's ``type`` attribute so later stages
+(rewriting validity checks, the view system and the code generator) can read
+it without re-running inference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param, Primitive, UserFun
+from .types import (
+    ArrayType,
+    ScalarType,
+    TupleType,
+    Type,
+    TypeError_,
+    UNTYPED,
+    VectorType,
+)
+
+
+def infer_type(expr: Expr) -> Type:
+    """Infer (and annotate) the type of ``expr``, returning it.
+
+    Parameters must already have concrete types; otherwise a
+    :class:`~repro.core.types.TypeError_` is raised.
+    """
+    if isinstance(expr, Param):
+        if expr.type is UNTYPED:
+            raise TypeError_(f"parameter {expr.name!r} has no type")
+        return expr.type
+
+    if isinstance(expr, Literal):
+        return expr.type
+
+    if isinstance(expr, Lambda):
+        # A bare lambda (not applied) is only typed through its call sites.
+        return expr.type
+
+    if isinstance(expr, UserFun):
+        return expr.type
+
+    if isinstance(expr, Primitive):
+        # A bare primitive is a function value; typed at its call site.
+        return expr.type
+
+    if isinstance(expr, FunCall):
+        arg_types = [infer_type(arg) for arg in expr.args]
+        result = infer_call_type(expr.fun, arg_types, expr.args)
+        expr.type = result
+        return result
+
+    raise TypeError_(f"cannot type expression of class {type(expr).__name__}")
+
+
+def infer_call_type(
+    fun: FunDecl,
+    arg_types: Sequence[Type],
+    args: Sequence[Expr] = (),
+) -> Type:
+    """Type a callee applied to arguments of the given types."""
+    if isinstance(fun, Lambda):
+        if len(fun.params) != len(arg_types):
+            raise TypeError_(
+                f"lambda expects {len(fun.params)} arguments, got {len(arg_types)}"
+            )
+        for param, arg_type in zip(fun.params, arg_types):
+            param.type = arg_type
+        result = infer_type(fun.body)
+        fun.type = result
+        return result
+
+    if isinstance(fun, UserFun):
+        if len(fun.param_types) != len(arg_types):
+            raise TypeError_(
+                f"user function {fun.name!r} expects {len(fun.param_types)} arguments, "
+                f"got {len(arg_types)}"
+            )
+        for expected, actual in zip(fun.param_types, arg_types):
+            _check_scalar_compatible(fun.name, expected, actual)
+        fun.type = fun.return_type
+        return fun.return_type
+
+    if isinstance(fun, Primitive):
+        if fun.arity() != len(arg_types):
+            raise TypeError_(
+                f"{fun.name} expects {fun.arity()} arguments, got {len(arg_types)}"
+            )
+        result = fun.infer_type(list(arg_types), list(args))
+        fun.type = result
+        return result
+
+    raise TypeError_(f"cannot call object of class {type(fun).__name__}")
+
+
+def _check_scalar_compatible(name: str, expected: Type, actual: Type) -> None:
+    """User functions operate on scalars (or tuples of scalars)."""
+    if isinstance(expected, (ScalarType, VectorType)):
+        if not isinstance(actual, (ScalarType, VectorType)):
+            raise TypeError_(
+                f"user function {name!r} expects scalar {expected!r}, got {actual!r}"
+            )
+        return
+    if isinstance(expected, TupleType):
+        if not isinstance(actual, TupleType) or len(actual.elem_types) != len(
+            expected.elem_types
+        ):
+            raise TypeError_(
+                f"user function {name!r} expects tuple {expected!r}, got {actual!r}"
+            )
+        for e, a in zip(expected.elem_types, actual.elem_types):
+            _check_scalar_compatible(name, e, a)
+        return
+    if isinstance(expected, ArrayType):
+        # Some user functions legitimately take small fixed-size arrays.
+        if not isinstance(actual, ArrayType):
+            raise TypeError_(
+                f"user function {name!r} expects array {expected!r}, got {actual!r}"
+            )
+        return
+    raise TypeError_(f"user function {name!r} has unsupported parameter type {expected!r}")
+
+
+def check_program(lambda_expr: Lambda, input_types: Sequence[Type]) -> Type:
+    """Type-check a closed top-level program against concrete input types."""
+    return infer_call_type(lambda_expr, list(input_types))
+
+
+__all__ = ["infer_type", "infer_call_type", "check_program"]

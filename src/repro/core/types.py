@@ -1,0 +1,228 @@
+"""The Lift type system.
+
+Lift types describe the shape of the data flowing between primitives.  They
+are central to the stencil extension of the paper: ``slide`` and ``pad`` are
+defined purely by how they change array lengths, and the multi-dimensional
+wrappers (``pad2``, ``slide3`` ...) are checked by composing those length
+transformations.
+
+Types implemented here:
+
+* scalar types (``float``, ``double``, ``int``, ``bool``),
+* :class:`VectorType` for OpenCL vector data (``float4`` ...),
+* :class:`ArrayType` — an array ``[T]_n`` whose length ``n`` is a symbolic
+  :class:`~repro.core.arithmetic.ArithExpr`,
+* :class:`TupleType` — ``{T1, T2, ...}`` as produced by ``zip``,
+* :class:`FunctionType` — used for user functions and lambdas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+from .arithmetic import ArithExpr, ArithLike, Cst, _as_arith
+
+
+class Type:
+    """Base class of every Lift type."""
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Type):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    # Convenience shape helpers -------------------------------------------
+    def ndims(self) -> int:
+        """Number of nested array dimensions (0 for scalars and tuples)."""
+        if isinstance(self, ArrayType):
+            return 1 + self.elem_type.ndims()
+        return 0
+
+    def shape(self) -> Tuple[ArithExpr, ...]:
+        """Sizes of the nested array dimensions, outermost first."""
+        if isinstance(self, ArrayType):
+            return (self.size,) + self.elem_type.shape()
+        return ()
+
+    def base_element_type(self) -> "Type":
+        """The innermost non-array type."""
+        if isinstance(self, ArrayType):
+            return self.elem_type.base_element_type()
+        return self
+
+
+@dataclass(frozen=True, eq=False)
+class ScalarType(Type):
+    """A scalar OpenCL type such as ``float`` or ``int``."""
+
+    name: str
+    size_bytes: int
+
+    def _key(self) -> Tuple:
+        return ("scalar", self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: The scalar types used throughout the benchmarks.
+Float = ScalarType("float", 4)
+Double = ScalarType("double", 8)
+Int = ScalarType("int", 4)
+Bool = ScalarType("bool", 1)
+
+
+@dataclass(frozen=True, eq=False)
+class VectorType(Type):
+    """An OpenCL vector type, e.g. ``float4``."""
+
+    elem_type: ScalarType
+    width: int
+
+    def _key(self) -> Tuple:
+        return ("vector", self.elem_type._key(), self.width)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elem_type.size_bytes * self.width
+
+    def __repr__(self) -> str:
+        return f"{self.elem_type.name}{self.width}"
+
+
+@dataclass(frozen=True, eq=False)
+class ArrayType(Type):
+    """An array ``[T]_n`` carrying its (possibly symbolic) length ``n``."""
+
+    elem_type: Type
+    size: ArithExpr
+
+    def __init__(self, elem_type: Type, size: ArithLike) -> None:
+        object.__setattr__(self, "elem_type", elem_type)
+        object.__setattr__(self, "size", _as_arith(size))
+
+    def _key(self) -> Tuple:
+        return ("array", self.elem_type._key(), self.size._key())
+
+    def __repr__(self) -> str:
+        return f"[{self.elem_type!r}]_{self.size!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class TupleType(Type):
+    """A tuple type ``{T1, T2, ...}`` as produced by ``zip`` and ``tuple``."""
+
+    elem_types: Tuple[Type, ...]
+
+    def __init__(self, *elem_types: Type) -> None:
+        if len(elem_types) == 1 and isinstance(elem_types[0], (tuple, list)):
+            elem_types = tuple(elem_types[0])
+        object.__setattr__(self, "elem_types", tuple(elem_types))
+
+    def _key(self) -> Tuple:
+        return ("tuple", tuple(t._key() for t in self.elem_types))
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(t) for t in self.elem_types) + "}"
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionType(Type):
+    """A function type ``(T1, ..., Tk) -> U``."""
+
+    param_types: Tuple[Type, ...]
+    return_type: Type
+
+    def __init__(self, param_types: Sequence[Type], return_type: Type) -> None:
+        object.__setattr__(self, "param_types", tuple(param_types))
+        object.__setattr__(self, "return_type", return_type)
+
+    def _key(self) -> Tuple:
+        return (
+            "fun",
+            tuple(t._key() for t in self.param_types),
+            self.return_type._key(),
+        )
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(t) for t in self.param_types)
+        return f"({params}) -> {self.return_type!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class NoType(Type):
+    """Placeholder used before type inference has run."""
+
+    def _key(self) -> Tuple:
+        return ("notype",)
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+UNTYPED = NoType()
+
+
+class TypeError_(Exception):
+    """Raised when type inference rejects an expression."""
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def array(elem_type: Type, *sizes: ArithLike) -> Type:
+    """Build a (possibly multi-dimensional) array type.
+
+    ``array(Float, n, m)`` is ``[[float]_m]_n`` — the first size is the
+    outermost dimension, matching the order of nested ``map`` calls.
+    """
+    if not sizes:
+        raise ValueError("array() requires at least one size")
+    result: Type = elem_type
+    for size in reversed(sizes):
+        result = ArrayType(result, size)
+    return result
+
+
+def element_count(array_type: Type) -> ArithExpr:
+    """Total number of base elements of a (nested) array type."""
+    if not isinstance(array_type, ArrayType):
+        return Cst(1)
+    total: ArithExpr = Cst(1)
+    for dim in array_type.shape():
+        total = total * dim
+    return total
+
+
+def check_same_size(a: ArithExpr, b: ArithExpr, context: str) -> None:
+    """Raise a :class:`TypeError_` unless the two sizes are (symbolically) equal."""
+    if a != b:
+        raise TypeError_(f"{context}: array lengths {a} and {b} differ")
+
+
+__all__ = [
+    "Type",
+    "ScalarType",
+    "VectorType",
+    "ArrayType",
+    "TupleType",
+    "FunctionType",
+    "NoType",
+    "UNTYPED",
+    "Float",
+    "Double",
+    "Int",
+    "Bool",
+    "TypeError_",
+    "array",
+    "element_count",
+    "check_same_size",
+]

@@ -1,0 +1,122 @@
+"""Commonly used scalar user functions.
+
+User functions are the only place where actual arithmetic happens in a Lift
+program; everything else is data reorganisation.  Each :class:`UserFun`
+carries a C body (spliced into the generated OpenCL kernel) and an equivalent
+Python callable (used by the reference interpreter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .ir import UserFun
+from .types import Float, Int, ScalarType, Type
+
+
+def make_userfun(
+    name: str,
+    param_names: Sequence[str],
+    body_c: str,
+    python_fn: Callable,
+    param_types: Sequence[Type] | None = None,
+    return_type: Type = Float,
+) -> UserFun:
+    """Convenience constructor defaulting all parameters to ``float``."""
+    if param_types is None:
+        param_types = [Float] * len(param_names)
+    return UserFun(name, param_names, body_c, param_types, return_type, python_fn)
+
+
+#: Binary addition, the reduction operator of almost every Jacobi-style stencil.
+add = make_userfun("add", ["x", "y"], "return x + y;", lambda x, y: x + y)
+
+#: Binary subtraction.
+subtract = make_userfun("subtract", ["x", "y"], "return x - y;", lambda x, y: x - y)
+
+#: Binary multiplication.
+mult = make_userfun("mult", ["x", "y"], "return x * y;", lambda x, y: x * y)
+
+#: Binary division.
+divide = make_userfun("divide", ["x", "y"], "return x / y;", lambda x, y: x / y)
+
+#: Binary maximum.
+max_fn = make_userfun(
+    "max_fn", ["x", "y"], "return fmax(x, y);", lambda x, y: x if x >= y else y
+)
+
+#: Binary minimum.
+min_fn = make_userfun(
+    "min_fn", ["x", "y"], "return fmin(x, y);", lambda x, y: x if x <= y else y
+)
+
+#: The identity used to introduce copies (e.g. into local memory).
+id_fn = make_userfun("id_fn", ["x"], "return x;", lambda x: x)
+
+
+def constant(value: float, name: str | None = None) -> UserFun:
+    """A nullary-style user function returning a fixed value (takes and ignores one input)."""
+    fn_name = name or f"const_{str(value).replace('.', '_').replace('-', 'm')}"
+    return make_userfun(fn_name, ["x"], f"return {value}f;", lambda x, v=value: v)
+
+
+def weighted_sum(weights: Sequence[float], name: str = "weighted_sum") -> UserFun:
+    """A user function computing a dot product with compile-time constant weights.
+
+    This is how convolution-style stencils (e.g. the 25-point Gaussian) express
+    their per-neighbourhood computation: the neighbourhood is flattened and
+    combined with the weight vector.
+    """
+    weights = [float(w) for w in weights]
+    terms = " + ".join(f"({w}f * nbh[{i}])" for i, w in enumerate(weights))
+    body_c = f"return {terms};"
+
+    def python_fn(nbh, _weights=tuple(weights)):
+        flat = _flatten(nbh)
+        if len(flat) != len(_weights):
+            raise ValueError(
+                f"{name}: expected {len(_weights)} neighbourhood values, got {len(flat)}"
+            )
+        return sum(w * v for w, v in zip(_weights, flat))
+
+    from .types import ArrayType
+
+    return UserFun(
+        name,
+        ["nbh"],
+        body_c,
+        [ArrayType(Float, len(weights))],
+        Float,
+        python_fn,
+    )
+
+
+def _flatten(value):
+    """Flatten arbitrarily nested sequences into a flat list of scalars."""
+    if isinstance(value, (list, tuple)):
+        out = []
+        for item in value:
+            out.extend(_flatten(item))
+        return out
+    try:  # NumPy arrays
+        import numpy as np
+
+        if isinstance(value, np.ndarray):
+            return list(value.ravel())
+    except ImportError:  # pragma: no cover
+        pass
+    return [value]
+
+
+__all__ = [
+    "make_userfun",
+    "add",
+    "subtract",
+    "mult",
+    "divide",
+    "max_fn",
+    "min_fn",
+    "id_fn",
+    "constant",
+    "weighted_sum",
+]

@@ -1,0 +1,256 @@
+"""The shared experiment pipeline: macro exploration → parameter tuning → simulation.
+
+This mirrors the paper's methodology (§6):
+
+1. the macro rewrites produce several low-level Lift expressions per benchmark
+   (untiled, and overlapped tiling with several tile sizes / local-memory
+   choices);
+2. each variant's numerical parameters (work-group sizes, work per thread) are
+   tuned by the ATF-style tuner against the virtual device;
+3. the fastest variant+configuration wins and is reported, just like the
+   best-found kernel in the paper.
+
+The same tuner and virtual device are used for the PPCG baseline, matching the
+paper's "both approaches auto-tune for up to three hours" setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.base import StencilBenchmark
+from ..baselines.ppcg import PPCGCompiler, ppcg_parameter_space
+from ..baselines.reference_kernels import reference_profile
+from ..rewriting.algorithmic_rules import tiling_is_valid
+from ..rewriting.exploration import ExplorationResult, explore
+from ..runtime.simulator.device import DeviceModel
+from ..runtime.simulator.executor import SimulationResult, VirtualDevice
+from ..runtime.simulator.kernel_model import KernelConfig, ProblemInstance, build_profile
+from ..tuning.parameters import Parameter, ParameterSpace, opencl_constraints
+from ..tuning.tuner import AutoTuner
+
+#: Tile widths considered by the macro exploration (before validity filtering).
+EXPLORATION_TILE_SIZES = (4, 6, 8, 10, 18, 34, 66)
+
+#: Work-group extents considered per dimension.
+WORKGROUP_CHOICES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Sequential outputs per work-item considered by the tuner.
+WORK_PER_THREAD_CHOICES = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class BenchmarkOutcome:
+    """The best kernel found for one benchmark on one device."""
+
+    benchmark: str
+    device: DeviceModel
+    result: SimulationResult
+    configuration: Dict[str, object]
+    strategy: str
+    uses_tiling: bool
+    evaluations: int
+
+    @property
+    def gelements_per_second(self) -> float:
+        return self.result.gelements_per_second
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.result.runtime_ms
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark} on {self.device.name}: "
+            f"{self.gelements_per_second:.3f} GElem/s "
+            f"({self.strategy}, {self.configuration})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Lift: explore, tune, simulate
+# ---------------------------------------------------------------------------
+
+def _valid_tile_sizes(benchmark: StencilBenchmark, shape: Sequence[int]) -> List[int]:
+    """Tile widths considered for this benchmark at this input size.
+
+    The structural constraint of the tiling rule (``u > size − step``) always
+    holds for the candidates below; exact coverage of non-divisible input
+    sizes is handled by rounding the ND-range up and guarding the boundary
+    work-groups, so it does not restrict the candidate set here.
+    """
+    size = benchmark.stencil_extent
+    return [
+        tile
+        for tile in EXPLORATION_TILE_SIZES
+        if tile > size - 1 and all(tile <= extent for extent in shape)
+    ]
+
+
+def _parameter_space_for(
+    variant: ExplorationResult,
+    problem: ProblemInstance,
+    device: DeviceModel,
+) -> ParameterSpace:
+    """The tunable parameters of one lowered Lift variant on one device."""
+    ndims = problem.ndims
+    parameters: List[Parameter] = []
+    if variant.lowered.uses_tiling:
+        # Tiled kernels fix the work-group to the tile's output block; only the
+        # per-thread sequential work remains tunable.
+        outputs_per_tile = max(
+            1,
+            (variant.lowered.tile_size - variant.lowered.stencil_size + 1),
+        )
+        wg = [("wg_x", (outputs_per_tile,)), ("wg_y", (outputs_per_tile,))]
+        if ndims == 3:
+            wg.append(("wg_z", (min(outputs_per_tile, 4),)))
+        for name, values in wg[:ndims]:
+            parameters.append(Parameter(name, values))
+        parameters.append(Parameter("work_per_thread", (1, 2)))
+    else:
+        dim_names = ["wg_x", "wg_y", "wg_z"][:ndims]
+        for name in dim_names:
+            parameters.append(Parameter(name, WORKGROUP_CHOICES))
+        parameters.append(Parameter("work_per_thread", WORK_PER_THREAD_CHOICES))
+
+    constraints = opencl_constraints(
+        max_workgroup_size=device.max_workgroup_size,
+        local_memory_bytes=device.local_memory_bytes,
+        output_shape=problem.output_shape,
+    )
+    return ParameterSpace(parameters, constraints)
+
+
+def _config_from(variant: ExplorationResult, tuning_config: Dict[str, object],
+                 ndims: int) -> KernelConfig:
+    wg = tuple(
+        int(tuning_config.get(name, 1)) for name in ["wg_x", "wg_y", "wg_z"][:ndims]
+    )
+    return KernelConfig(
+        workgroup_size=wg,
+        work_per_thread=int(tuning_config.get("work_per_thread", 1)),
+        tile_size=variant.lowered.tile_size,
+        use_local_memory=variant.lowered.uses_local_memory,
+        unrolled=variant.lowered.unrolled,
+    )
+
+
+def lift_best_result(
+    benchmark: StencilBenchmark,
+    shape: Optional[Sequence[int]] = None,
+    device: Optional[DeviceModel] = None,
+    tuner_budget: int = 300,
+    label: Optional[str] = None,
+) -> BenchmarkOutcome:
+    """Run the full Lift pipeline for one benchmark on one device."""
+    if device is None:
+        raise ValueError("a device model is required")
+    shape = tuple(shape or benchmark.default_shape)
+    problem = benchmark.problem(shape, label=label)
+    virtual = VirtualDevice(device)
+
+    program = benchmark.build_program()
+    tile_sizes = _valid_tile_sizes(benchmark, shape)
+    radius = (benchmark.stencil_extent - 1) // 2
+    variants = explore(
+        program,
+        stencil_size=benchmark.stencil_extent,
+        stencil_step=1,
+        padded_length=shape[-1] + 2 * radius,
+        tile_sizes=tile_sizes,
+        validate_tiles=False,
+    )
+
+    best: Optional[BenchmarkOutcome] = None
+    total_evaluations = 0
+    for variant in variants:
+        space = _parameter_space_for(variant, problem, device)
+
+        def objective(config: Dict[str, object], _variant=variant) -> float:
+            kernel_config = _config_from(_variant, config, problem.ndims)
+            profile = build_profile(_variant.lowered, problem, kernel_config)
+            return virtual.run(profile).runtime_s
+
+        tuner = AutoTuner(space, objective, budget=tuner_budget, strategy="exhaustive")
+        try:
+            tuning = tuner.tune()
+        except ValueError:
+            # No valid configuration for this variant on this device (e.g. the
+            # tile's output block exceeds the device's work-group limit).
+            continue
+        total_evaluations += tuning.evaluations
+
+        kernel_config = _config_from(variant, tuning.best_configuration, problem.ndims)
+        profile = build_profile(variant.lowered, problem, kernel_config,
+                                label=f"lift-{benchmark.name}-{variant.strategy.describe()}")
+        result = virtual.run(profile)
+        outcome = BenchmarkOutcome(
+            benchmark=benchmark.name,
+            device=device,
+            result=result,
+            configuration=dict(tuning.best_configuration),
+            strategy=variant.strategy.describe(),
+            uses_tiling=variant.lowered.uses_tiling,
+            evaluations=tuning.evaluations,
+        )
+        if best is None or outcome.result.runtime_s < best.result.runtime_s:
+            best = outcome
+
+    assert best is not None
+    best.evaluations = total_evaluations
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+def reference_result(
+    benchmark: StencilBenchmark,
+    benchmark_key: str,
+    device: DeviceModel,
+    shape: Optional[Sequence[int]] = None,
+) -> SimulationResult:
+    """Simulate the hand-written reference kernel for one Figure-7 benchmark."""
+    shape = tuple(shape or benchmark.default_shape)
+    problem = benchmark.problem(shape)
+    profile = reference_profile(benchmark_key, problem, device)
+    return VirtualDevice(device).run(profile)
+
+
+def ppcg_best_result(
+    benchmark: StencilBenchmark,
+    device: DeviceModel,
+    shape: Optional[Sequence[int]] = None,
+    tuner_budget: int = 400,
+) -> Tuple[SimulationResult, Dict[str, object], int]:
+    """Tune and simulate the PPCG baseline for one benchmark on one device."""
+    shape = tuple(shape or benchmark.default_shape)
+    problem = benchmark.problem(shape)
+    radius = (benchmark.stencil_extent - 1) // 2
+    compiler = PPCGCompiler(problem, stencil_radius=radius)
+    space = ppcg_parameter_space(problem, device)
+    virtual = VirtualDevice(device)
+
+    def objective(config: Dict[str, object]) -> float:
+        schedule = compiler.schedule_from_config(config)
+        return virtual.run(compiler.profile(schedule, device)).runtime_s
+
+    tuner = AutoTuner(space, objective, budget=tuner_budget, strategy="exhaustive")
+    tuning = tuner.tune()
+    schedule = compiler.schedule_from_config(tuning.best_configuration)
+    result = virtual.run(compiler.profile(schedule, device))
+    return result, dict(tuning.best_configuration), tuning.evaluations
+
+
+__all__ = [
+    "BenchmarkOutcome",
+    "lift_best_result",
+    "reference_result",
+    "ppcg_best_result",
+    "EXPLORATION_TILE_SIZES",
+    "WORKGROUP_CHOICES",
+    "WORK_PER_THREAD_CHOICES",
+]

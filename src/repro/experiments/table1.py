@@ -1,0 +1,23 @@
+"""Regenerate Table 1: the benchmarks used in the evaluation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..apps.suite import table1_rows
+
+
+def format_table1() -> str:
+    """Render Table 1 as an aligned text table."""
+    rows = table1_rows()
+    header = f"{'Benchmark':<14} {'Dim':<4} {'Pts':>4} {'Input size':<24} {'#grids':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<14} {row['dim']:<4} {row['points']:>4} "
+            f"{row['input_size']:<24} {row['grids']:>6}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["format_table1"]

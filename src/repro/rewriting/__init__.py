@@ -1,0 +1,48 @@
+"""Rewrite rules and exploration.
+
+Lift encodes every optimisation as a semantics-preserving rewrite rule.  This
+package provides:
+
+* :mod:`repro.rewriting.rules` — the rule abstraction and application machinery,
+* :mod:`repro.rewriting.algorithmic_rules` — map fusion, split-join and the
+  paper's **overlapped tiling** rule in one, two and three dimensions,
+* :mod:`repro.rewriting.lowering_rules` — mapping onto the OpenCL thread
+  hierarchy, local-memory copies and loop unrolling,
+* :mod:`repro.rewriting.strategies` — complete lowering strategies combining
+  the above,
+* :mod:`repro.rewriting.exploration` — enumeration of the optimisation space
+  explored by the auto-tuner.
+"""
+
+from .rules import RewriteRule, apply_at, apply_everywhere, find_applications
+from .algorithmic_rules import (
+    MapFusionRule,
+    MapJoinInterchangeRule,
+    SplitJoinRule,
+    TileStencil1DRule,
+    TileStencilNDRule,
+    match_stencil,
+)
+from .lowering_rules import (
+    LowerMapRule,
+    LowerReduceSeqRule,
+    LowerReduceUnrollRule,
+    ToLocalRule,
+)
+
+__all__ = [
+    "RewriteRule",
+    "apply_at",
+    "apply_everywhere",
+    "find_applications",
+    "MapFusionRule",
+    "MapJoinInterchangeRule",
+    "SplitJoinRule",
+    "TileStencil1DRule",
+    "TileStencilNDRule",
+    "match_stencil",
+    "LowerMapRule",
+    "LowerReduceSeqRule",
+    "LowerReduceUnrollRule",
+    "ToLocalRule",
+]

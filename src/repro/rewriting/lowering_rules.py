@@ -1,0 +1,195 @@
+"""Lowering rewrite rules: mapping onto the OpenCL execution and memory model.
+
+These rules turn the high-level, hardware-agnostic expression into a
+low-level, OpenCL-specific expression.  They are the existing Lift machinery
+the paper reuses unchanged (Section 4.2/4.3):
+
+* thread-hierarchy mapping — ``map ↦ mapGlb(d)`` / ``mapWrg(d)`` / ``mapLcl(d)``
+  / ``mapSeq``,
+* local memory — ``map(id) ↦ toLocal(map(id))`` together with a rule that
+  introduces ``map(id)`` copies,
+* loop unrolling — ``reduce ↦ reduceSeq`` / ``reduceUnroll`` (the latter only
+  when the reduced array has a compile-time constant length, which is always
+  true for stencil neighbourhoods).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type as PyType
+
+from ..core import builders as L
+from ..core.ir import Expr, FunCall, Lambda, UserFun
+from ..core.primitives.algorithmic import Id, Map, Reduce
+from ..core.primitives.opencl import (
+    MapGlb,
+    MapLcl,
+    MapSeq,
+    MapWrg,
+    ReduceSeq,
+    ReduceUnroll,
+    ToLocal,
+)
+from ..core.types import ArrayType
+from .rules import RewriteRule, register_rule
+
+
+def _is_plain_map(expr: Expr) -> bool:
+    return (
+        isinstance(expr, FunCall)
+        and isinstance(expr.fun, Map)
+        and type(expr.fun) is Map
+        and len(expr.args) == 1
+    )
+
+
+def _is_plain_reduce(expr: Expr) -> bool:
+    return (
+        isinstance(expr, FunCall)
+        and isinstance(expr.fun, Reduce)
+        and type(expr.fun) is Reduce
+        and len(expr.args) == 1
+    )
+
+
+class LowerMapRule(RewriteRule):
+    """Lower a plain ``map`` to a specific level of the OpenCL thread hierarchy."""
+
+    def __init__(self, target: PyType[Map], dim: int = 0) -> None:
+        self.target = target
+        self.dim = dim
+        self.name = f"lowerMapTo{target.__name__}(dim={dim})"
+
+    def matches(self, expr: Expr) -> bool:
+        return _is_plain_map(expr)
+
+    def rewrite(self, expr: Expr) -> Expr:
+        f = expr.fun.f  # type: ignore[union-attr]
+        if self.target is MapSeq:
+            lowered = MapSeq(f)
+        else:
+            lowered = self.target(f, self.dim)  # type: ignore[call-arg]
+        return FunCall(lowered, expr.args[0])
+
+
+class LowerReduceSeqRule(RewriteRule):
+    """``reduce ↦ reduceSeq`` — execute the reduction as a sequential loop."""
+
+    name = "lowerReduceSeq"
+
+    def matches(self, expr: Expr) -> bool:
+        return _is_plain_reduce(expr)
+
+    def rewrite(self, expr: Expr) -> Expr:
+        reduce_prim: Reduce = expr.fun  # type: ignore[assignment]
+        return FunCall(ReduceSeq(reduce_prim.f, reduce_prim.init), expr.args[0])
+
+
+class LowerReduceUnrollRule(RewriteRule):
+    """``reduce ↦ reduceUnroll`` — unroll the reduction loop (paper §4.3).
+
+    Only legal when the input length is a compile-time constant; for stencils
+    this is always the case because the reduction runs over a neighbourhood of
+    fixed size.  The length check happens at type-inference time
+    (:class:`~repro.core.primitives.opencl.ReduceUnroll`); here we additionally
+    require the argument type, when known, to be a constant-length array.
+    """
+
+    name = "lowerReduceUnroll"
+
+    def matches(self, expr: Expr) -> bool:
+        if not _is_plain_reduce(expr):
+            return False
+        arg_type = expr.args[0].type
+        if isinstance(arg_type, ArrayType):
+            return arg_type.size.is_constant()
+        return True  # not yet typed: allow, the type checker enforces legality later
+
+    def rewrite(self, expr: Expr) -> Expr:
+        reduce_prim: Reduce = expr.fun  # type: ignore[assignment]
+        return FunCall(ReduceUnroll(reduce_prim.f, reduce_prim.init), expr.args[0])
+
+
+class ToLocalRule(RewriteRule):
+    """``map(id) ↦ toLocal(map(id))`` — direct a copy into local memory (paper §4.2)."""
+
+    name = "toLocal"
+
+    def matches(self, expr: Expr) -> bool:
+        if not (isinstance(expr, FunCall) and isinstance(expr.fun, Map)):
+            return False
+        if isinstance(expr.fun, (MapGlb, MapWrg)):
+            return False  # work-group-level copies only make sense for lcl/seq maps
+        return _is_identity_function(expr.fun.f)
+
+    def rewrite(self, expr: Expr) -> Expr:
+        return FunCall(ToLocal(expr.fun), expr.args[0])
+
+
+class IdInsertionRule(RewriteRule):
+    """``in ↦ map(id, in)`` — introduce an explicit copy of an array.
+
+    Together with :class:`ToLocalRule` this lets the exploration place data in
+    local memory at any point of the program.  To keep the rewrite space
+    finite the rule refuses to wrap an expression that is already a copy.
+    """
+
+    name = "idInsertion"
+
+    def matches(self, expr: Expr) -> bool:
+        if not isinstance(expr, FunCall):
+            return False
+        if isinstance(expr.fun, (Map,)) and _is_identity_function(getattr(expr.fun, "f", None)):
+            return False
+        if isinstance(expr.fun, ToLocal):
+            return False
+        return isinstance(expr.type, ArrayType)
+
+    def rewrite(self, expr: Expr) -> Expr:
+        return L.map(Id(), expr)
+
+
+def _is_identity_function(f) -> bool:
+    if isinstance(f, Id):
+        return True
+    if isinstance(f, UserFun) and f.name == "id_fn":
+        return True
+    if isinstance(f, Lambda) and len(f.params) == 1:
+        body = f.body
+        if body is f.params[0]:
+            return True
+        if (
+            isinstance(body, FunCall)
+            and isinstance(body.fun, (Id,))
+            and len(body.args) == 1
+            and body.args[0] is f.params[0]
+        ):
+            return True
+        # map(id)-shaped lambda: λx. map(id, x)
+        if (
+            isinstance(body, FunCall)
+            and isinstance(body.fun, Map)
+            and len(body.args) == 1
+            and body.args[0] is f.params[0]
+            and _is_identity_function(body.fun.f)
+        ):
+            return True
+    return False
+
+
+register_rule(LowerReduceSeqRule())
+register_rule(LowerReduceUnrollRule())
+register_rule(ToLocalRule())
+register_rule(IdInsertionRule())
+register_rule(LowerMapRule(MapGlb, 0))
+register_rule(LowerMapRule(MapWrg, 0))
+register_rule(LowerMapRule(MapLcl, 0))
+register_rule(LowerMapRule(MapSeq, 0))
+
+
+__all__ = [
+    "LowerMapRule",
+    "LowerReduceSeqRule",
+    "LowerReduceUnrollRule",
+    "ToLocalRule",
+    "IdInsertionRule",
+]

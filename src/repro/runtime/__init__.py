@@ -1,0 +1,5 @@
+"""Runtime components: the reference interpreter and the GPU performance-model simulator."""
+
+from .interpreter import evaluate_program
+
+__all__ = ["evaluate_program"]

@@ -1,0 +1,30 @@
+"""A virtual OpenCL device: an analytical GPU performance model.
+
+No GPU or OpenCL runtime is available in this reproduction, so kernel
+*execution time* is estimated by a roofline-style analytical model driven by
+the structural features of a kernel variant (thread counts, per-thread work,
+global/local memory traffic, coalescing, local-memory staging).  The model is
+deliberately simple and documented; its purpose is to reproduce the *shape* of
+the paper's performance comparisons (who wins, by roughly what factor), not
+absolute numbers from specific silicon.
+"""
+
+from .device import AMD_HD7970, ARM_MALI_T628, DEVICES, NVIDIA_K20C, DeviceModel
+from .kernel_model import KernelConfig, KernelProfile, ProblemInstance, build_profile
+from .model import estimate_runtime
+from .executor import SimulationResult, VirtualDevice
+
+__all__ = [
+    "DeviceModel",
+    "DEVICES",
+    "NVIDIA_K20C",
+    "AMD_HD7970",
+    "ARM_MALI_T628",
+    "KernelConfig",
+    "KernelProfile",
+    "ProblemInstance",
+    "build_profile",
+    "estimate_runtime",
+    "SimulationResult",
+    "VirtualDevice",
+]

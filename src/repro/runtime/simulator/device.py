@@ -1,0 +1,110 @@
+"""Device models for the three GPUs used in the paper's evaluation.
+
+The numbers are the devices' published characteristics (memory bandwidth,
+single-precision throughput, local-memory sizes, work-group limits) plus a few
+behavioural parameters of the performance model:
+
+* ``full_occupancy_threads`` — how many concurrently resident work-items the
+  device needs to hide memory latency; kernels launching fewer threads see a
+  proportionally lower effective bandwidth.  Large sequential per-thread work
+  (the hallmark of PPCG-generated kernels reported in the paper) reduces the
+  thread count and is penalised through this term.
+* ``dedicated_local_memory`` — Mali GPUs emulate OpenCL local memory in normal
+  cache/DRAM, so staging tiles through local memory brings no bandwidth
+  benefit there (one reason the paper finds no tiling in the best ARM
+  kernels).
+* ``cache_efficiency`` — how well the read-only/L2 cache captures the
+  neighbourhood reuse of an untiled stencil (higher means fewer DRAM
+  transactions per stencil read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Analytical description of one OpenCL device."""
+
+    name: str
+    vendor: str
+    compute_units: int
+    peak_bandwidth_gbps: float          # DRAM bandwidth, GB/s
+    peak_compute_gflops: float          # single-precision GFLOP/s
+    local_memory_bytes: int             # per work-group limit
+    local_bandwidth_gbps: float         # aggregated scratchpad bandwidth, GB/s
+    max_workgroup_size: int
+    preferred_workgroup_multiple: int   # warp / wavefront width
+    full_occupancy_threads: int         # threads needed to hide latency
+    kernel_launch_overhead_us: float
+    cache_efficiency: float             # 0..1, reuse captured by caches
+    dedicated_local_memory: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} ({self.vendor}): {self.peak_bandwidth_gbps} GB/s, "
+            f"{self.peak_compute_gflops} GFLOP/s, "
+            f"{self.compute_units} CUs, wg<= {self.max_workgroup_size}"
+        )
+
+
+#: Nvidia Tesla K20c (Kepler GK110), as used in the paper.
+NVIDIA_K20C = DeviceModel(
+    name="Tesla K20c",
+    vendor="Nvidia",
+    compute_units=13,
+    peak_bandwidth_gbps=208.0,
+    peak_compute_gflops=3524.0,
+    local_memory_bytes=48 * 1024,
+    local_bandwidth_gbps=1300.0,
+    max_workgroup_size=1024,
+    preferred_workgroup_multiple=32,
+    full_occupancy_threads=13 * 2048,
+    kernel_launch_overhead_us=12.0,
+    cache_efficiency=0.88,
+)
+
+#: AMD Radeon HD 7970 (Tahiti / GCN).
+AMD_HD7970 = DeviceModel(
+    name="Radeon HD 7970",
+    vendor="AMD",
+    compute_units=32,
+    peak_bandwidth_gbps=264.0,
+    peak_compute_gflops=3789.0,
+    local_memory_bytes=32 * 1024,
+    local_bandwidth_gbps=1600.0,
+    max_workgroup_size=256,
+    preferred_workgroup_multiple=64,
+    full_occupancy_threads=32 * 2560,
+    kernel_launch_overhead_us=15.0,
+    cache_efficiency=0.93,
+)
+
+#: ARM Mali-T628 MP6 on the Samsung Exynos 5422 (Odroid XU4).
+ARM_MALI_T628 = DeviceModel(
+    name="Mali-T628 MP6",
+    vendor="ARM",
+    compute_units=6,
+    peak_bandwidth_gbps=14.9,
+    peak_compute_gflops=102.0,
+    local_memory_bytes=32 * 1024,
+    local_bandwidth_gbps=14.9,        # local memory is emulated in main memory
+    max_workgroup_size=256,
+    preferred_workgroup_multiple=4,
+    full_occupancy_threads=6 * 256,
+    kernel_launch_overhead_us=60.0,
+    cache_efficiency=0.90,
+    dedicated_local_memory=False,
+)
+
+
+DEVICES: Dict[str, DeviceModel] = {
+    "nvidia": NVIDIA_K20C,
+    "amd": AMD_HD7970,
+    "arm": ARM_MALI_T628,
+}
+
+
+__all__ = ["DeviceModel", "NVIDIA_K20C", "AMD_HD7970", "ARM_MALI_T628", "DEVICES"]

@@ -1,0 +1,66 @@
+"""The virtual OpenCL device: runs kernel profiles through the timing model.
+
+The executor plays the role of the OpenCL runtime + profiling API in the
+paper's experimental setup: it "executes" a kernel (described by a
+:class:`KernelProfile`) on a :class:`DeviceModel` and reports the kernel time
+and the throughput metric used throughout the evaluation — giga-elements
+updated per second (output size divided by execution time, Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .device import DeviceModel
+from .kernel_model import KernelProfile
+from .model import TimingBreakdown, estimate_runtime
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one kernel launch."""
+
+    device: DeviceModel
+    profile: KernelProfile
+    timing: TimingBreakdown
+
+    @property
+    def runtime_s(self) -> float:
+        return self.timing.total_s
+
+    @property
+    def runtime_ms(self) -> float:
+        return self.runtime_s * 1e3
+
+    @property
+    def gelements_per_second(self) -> float:
+        """Giga-elements updated per second (the paper's Figure-7 metric)."""
+        return self.profile.problem.output_elements / self.runtime_s / 1e9
+
+    def describe(self) -> str:
+        return (
+            f"{self.profile.label} on {self.device.name}: "
+            f"{self.runtime_ms:.3f} ms, {self.gelements_per_second:.3f} GElem/s"
+        )
+
+
+class VirtualDevice:
+    """A device model wrapped with convenience execution helpers."""
+
+    def __init__(self, device: DeviceModel) -> None:
+        self.device = device
+
+    def run(self, profile: KernelProfile) -> SimulationResult:
+        timing = estimate_runtime(profile, self.device)
+        return SimulationResult(device=self.device, profile=profile, timing=timing)
+
+    def run_best(self, profiles: Iterable[KernelProfile]) -> SimulationResult:
+        """Simulate several kernel variants and return the fastest one."""
+        results: List[SimulationResult] = [self.run(p) for p in profiles]
+        if not results:
+            raise ValueError("run_best called with no kernel profiles")
+        return min(results, key=lambda r: r.runtime_s)
+
+
+__all__ = ["SimulationResult", "VirtualDevice"]

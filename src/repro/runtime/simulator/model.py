@@ -1,0 +1,143 @@
+"""The analytical (roofline-style) timing model.
+
+``estimate_runtime`` combines a :class:`KernelProfile` with a
+:class:`DeviceModel` and produces an estimated kernel execution time.  The
+model is intentionally simple and fully documented so the benchmark results it
+produces can be traced back to first principles:
+
+1. **Global memory time** — raw read bytes are first reduced by the device's
+   cache efficiency (stencil neighbourhoods are highly cache-friendly when the
+   kernel is untiled), then divided by the *effective* bandwidth.  Effective
+   bandwidth degrades when the launch does not expose enough parallel threads
+   to hide DRAM latency, when accesses are uncoalesced, and when work-group
+   sizes are not a multiple of the warp/wavefront width.
+2. **Local memory time** — bytes staged through the scratchpad divided by the
+   scratchpad bandwidth (on devices that emulate local memory, the main-memory
+   bandwidth is used instead, which is why tiling does not pay off there).
+3. **Compute time** — floating-point operations divided by the effective
+   compute throughput (same utilisation factor).
+4. The kernel time is the maximum of the three (memory- or compute-bound) plus
+   barrier and launch overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceModel
+from .kernel_model import KernelProfile
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-component timing of one simulated kernel launch (seconds)."""
+
+    global_memory_s: float
+    local_memory_s: float
+    compute_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.global_memory_s, self.local_memory_s, self.compute_s) + self.overhead_s
+
+
+def occupancy_factor(profile: KernelProfile, device: DeviceModel) -> float:
+    """How well the launch hides memory latency (0..1).
+
+    The device needs roughly ``full_occupancy_threads`` resident work-items to
+    reach peak bandwidth.  Two effects reduce the resident count:
+
+    * launching fewer work-items in total (e.g. kernels that give each thread
+      a large amount of sequential work), and
+    * local-memory usage per work-group, which limits how many work-groups fit
+      on a compute unit at once (the classic shared-memory occupancy limit).
+    """
+    needed = device.full_occupancy_threads
+    resident_limit = float(needed)
+    if profile.local_memory_per_wg > 0 and profile.workgroup_items > 0:
+        wgs_per_cu = max(1, device.local_memory_bytes // profile.local_memory_per_wg)
+        resident_limit = min(
+            resident_limit,
+            float(device.compute_units * wgs_per_cu * profile.workgroup_items),
+        )
+    resident = min(float(profile.global_threads), resident_limit)
+    raw = resident / needed
+    return max(0.08, min(1.0, raw))
+
+
+def workgroup_efficiency(profile: KernelProfile, device: DeviceModel) -> float:
+    """Penalty for work-group sizes that do not map well onto the hardware.
+
+    Work-groups that are not a multiple of the warp/wavefront width leave SIMD
+    lanes idle; extremely small work-groups additionally limit how many
+    work-groups the scheduler keeps in flight.
+    """
+    items = max(1, profile.workgroup_items)
+    multiple = device.preferred_workgroup_multiple
+    rounded = math.ceil(items / multiple) * multiple
+    efficiency = items / rounded
+    if items < multiple:
+        efficiency *= items / multiple
+    if items > device.max_workgroup_size:
+        # Invalid configuration: heavily penalised rather than rejected so the
+        # tuner can still rank it (it will never be chosen).
+        efficiency *= 0.05
+    return max(0.05, efficiency)
+
+
+def estimate_runtime(profile: KernelProfile, device: DeviceModel) -> TimingBreakdown:
+    """Estimate the execution time of one kernel launch on one device."""
+    occupancy = occupancy_factor(profile, device)
+    wg_eff = workgroup_efficiency(profile, device)
+    utilisation = occupancy * wg_eff
+
+    # --- global memory -----------------------------------------------------
+    if profile.uses_local_memory:
+        # Tiled kernels already read each element (plus halo) only once; the
+        # cache cannot reduce that further.
+        read_bytes = profile.global_read_bytes
+    else:
+        # Untiled stencils re-read neighbours; caches capture a large part of
+        # that reuse.  cache_efficiency = fraction of repeated reads served
+        # on-chip.
+        reuse = profile.global_read_bytes - profile.global_write_bytes
+        read_bytes = profile.global_write_bytes + reuse * (1.0 - device.cache_efficiency)
+    effective_bandwidth = (
+        device.peak_bandwidth_gbps * 1e9 * utilisation * profile.coalesced_fraction
+    )
+    global_bytes = read_bytes + profile.global_write_bytes
+    global_time = global_bytes / effective_bandwidth
+
+    # --- local memory -------------------------------------------------------
+    if profile.uses_local_memory and profile.local_traffic_bytes > 0:
+        if device.dedicated_local_memory:
+            local_bw = device.local_bandwidth_gbps * 1e9 * max(0.25, utilisation)
+        else:
+            # Emulated local memory: the traffic goes through DRAM again.
+            local_bw = device.peak_bandwidth_gbps * 1e9 * utilisation
+        local_time = profile.local_traffic_bytes / local_bw
+    else:
+        local_time = 0.0
+
+    # --- compute --------------------------------------------------------------
+    effective_compute = device.peak_compute_gflops * 1e9 * max(0.15, utilisation)
+    compute_time = (profile.flops * profile.redundant_compute_factor) / effective_compute
+
+    # --- overheads --------------------------------------------------------------
+    overhead = device.kernel_launch_overhead_us * 1e-6
+    if profile.barriers_per_workgroup and profile.workgroup_items:
+        workgroups = max(1, profile.global_threads // max(1, profile.workgroup_items))
+        concurrent_wgs = max(1, device.compute_units * 4)
+        overhead += profile.barriers_per_workgroup * 0.2e-6 * (workgroups / concurrent_wgs)
+
+    return TimingBreakdown(
+        global_memory_s=global_time,
+        local_memory_s=local_time,
+        compute_s=compute_time,
+        overhead_s=overhead,
+    )
+
+
+__all__ = ["TimingBreakdown", "occupancy_factor", "workgroup_efficiency", "estimate_runtime"]

@@ -1,0 +1,23 @@
+"""Constrained parameter auto-tuning (the ATF / OpenTuner substitute).
+
+The paper tunes every low-level expression's numerical parameters (thread
+counts, tile sizes, work per thread) with the ATF framework on top of
+OpenTuner, for up to three hours per benchmark.  This package provides the
+same functionality against the virtual device: constrained parameter spaces,
+several search strategies and a tuner front end with an evaluation budget.
+"""
+
+from .parameters import Parameter, ParameterSpace, opencl_constraints
+from .search import exhaustive_search, hill_climb_search, random_search
+from .tuner import AutoTuner, TuningResult
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "opencl_constraints",
+    "exhaustive_search",
+    "random_search",
+    "hill_climb_search",
+    "AutoTuner",
+    "TuningResult",
+]

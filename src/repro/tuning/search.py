@@ -1,0 +1,126 @@
+"""Search strategies over constrained parameter spaces.
+
+Three strategies are provided, mirroring what OpenTuner mixes internally:
+
+* :func:`exhaustive_search` — enumerate every valid configuration (used when
+  the space is small, e.g. the PPCG tile/block space);
+* :func:`random_search` — uniform random sampling under an evaluation budget;
+* :func:`hill_climb_search` — random restarts followed by steepest-descent
+  moves along single-parameter neighbours.
+
+Every strategy returns the full evaluation history so benchmarks can report
+how good the best-found point is relative to the explored space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .parameters import Configuration, ParameterSpace
+
+Objective = Callable[[Configuration], float]
+
+
+@dataclass
+class Evaluation:
+    """One evaluated configuration and its cost (lower is better)."""
+
+    configuration: Configuration
+    cost: float
+
+
+@dataclass
+class SearchOutcome:
+    """The result of one search run."""
+
+    best: Evaluation
+    history: List[Evaluation] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.history)
+
+
+def _evaluate(objective: Objective, config: Configuration,
+              history: List[Evaluation]) -> Evaluation:
+    cost = float(objective(config))
+    evaluation = Evaluation(configuration=dict(config), cost=cost)
+    history.append(evaluation)
+    return evaluation
+
+
+def exhaustive_search(space: ParameterSpace, objective: Objective,
+                      budget: Optional[int] = None) -> SearchOutcome:
+    """Evaluate every valid configuration (optionally capped at ``budget``)."""
+    history: List[Evaluation] = []
+    best: Optional[Evaluation] = None
+    for i, config in enumerate(space.configurations()):
+        if budget is not None and i >= budget:
+            break
+        evaluation = _evaluate(objective, config, history)
+        if best is None or evaluation.cost < best.cost:
+            best = evaluation
+    if best is None:
+        raise ValueError("parameter space contains no valid configuration")
+    return SearchOutcome(best=best, history=history)
+
+
+def random_search(space: ParameterSpace, objective: Objective, budget: int,
+                  seed: int = 0) -> SearchOutcome:
+    """Uniform random sampling of valid configurations."""
+    rng = random.Random(seed)
+    history: List[Evaluation] = []
+    best: Optional[Evaluation] = None
+    for config in space.sample(rng, budget):
+        evaluation = _evaluate(objective, config, history)
+        if best is None or evaluation.cost < best.cost:
+            best = evaluation
+    if best is None:
+        # Fall back to exhaustive enumeration of a possibly tiny space.
+        return exhaustive_search(space, objective, budget)
+    return SearchOutcome(best=best, history=history)
+
+
+def hill_climb_search(space: ParameterSpace, objective: Objective, budget: int,
+                      seed: int = 0, restarts: int = 4) -> SearchOutcome:
+    """Random-restart steepest-descent over single-parameter neighbours."""
+    rng = random.Random(seed)
+    history: List[Evaluation] = []
+    best: Optional[Evaluation] = None
+
+    starts = space.sample(rng, max(1, restarts))
+    if not starts:
+        return exhaustive_search(space, objective, budget)
+
+    for start in starts:
+        if len(history) >= budget:
+            break
+        current = _evaluate(objective, start, history)
+        if best is None or current.cost < best.cost:
+            best = current
+        improved = True
+        while improved and len(history) < budget:
+            improved = False
+            for neighbour in space.neighbours(current.configuration):
+                if len(history) >= budget:
+                    break
+                candidate = _evaluate(objective, neighbour, history)
+                if candidate.cost < current.cost:
+                    current = candidate
+                    improved = True
+                if best is None or candidate.cost < best.cost:
+                    best = candidate
+    assert best is not None
+    return SearchOutcome(best=best, history=history)
+
+
+__all__ = [
+    "Objective",
+    "Evaluation",
+    "SearchOutcome",
+    "exhaustive_search",
+    "random_search",
+    "hill_climb_search",
+]

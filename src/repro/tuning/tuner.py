@@ -1,0 +1,78 @@
+"""The ATF-style auto-tuner front end.
+
+:class:`AutoTuner` ties a constrained :class:`ParameterSpace` to an objective
+function (here: simulated kernel time on a virtual device) and runs one of the
+search strategies under an evaluation budget.  Both the Lift variants and the
+PPCG baseline are tuned through this same interface, mirroring the paper's
+setup where both compilers get the same three-hour ATF/OpenTuner budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .parameters import Configuration, ParameterSpace
+from .search import (
+    Evaluation,
+    Objective,
+    SearchOutcome,
+    exhaustive_search,
+    hill_climb_search,
+    random_search,
+)
+
+
+@dataclass
+class TuningResult:
+    """Best configuration found plus the search history."""
+
+    best_configuration: Configuration
+    best_cost: float
+    evaluations: int
+    history: List[Evaluation]
+
+    def describe(self) -> str:
+        return (
+            f"best cost {self.best_cost:.6g} after {self.evaluations} evaluations: "
+            f"{self.best_configuration}"
+        )
+
+
+class AutoTuner:
+    """Search a constrained parameter space for the lowest-cost configuration."""
+
+    STRATEGIES = ("exhaustive", "random", "hillclimb")
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        objective: Objective,
+        budget: int = 200,
+        strategy: str = "exhaustive",
+        seed: int = 0,
+    ) -> None:
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown search strategy {strategy!r}")
+        self.space = space
+        self.objective = objective
+        self.budget = budget
+        self.strategy = strategy
+        self.seed = seed
+
+    def tune(self) -> TuningResult:
+        if self.strategy == "exhaustive":
+            outcome = exhaustive_search(self.space, self.objective, self.budget)
+        elif self.strategy == "random":
+            outcome = random_search(self.space, self.objective, self.budget, self.seed)
+        else:
+            outcome = hill_climb_search(self.space, self.objective, self.budget, self.seed)
+        return TuningResult(
+            best_configuration=outcome.best.configuration,
+            best_cost=outcome.best.cost,
+            evaluations=outcome.evaluations,
+            history=outcome.history,
+        )
+
+
+__all__ = ["AutoTuner", "TuningResult"]

@@ -1,0 +1,21 @@
+"""The view system: data-layout primitives as index arithmetic."""
+
+from .view import (
+    View,
+    ViewError,
+    ViewGenerated,
+    ViewGuarded,
+    ViewMemory,
+    ViewTuple,
+    build_view,
+)
+
+__all__ = [
+    "View",
+    "ViewError",
+    "ViewGenerated",
+    "ViewGuarded",
+    "ViewMemory",
+    "ViewTuple",
+    "build_view",
+]

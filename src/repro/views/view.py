@@ -1,0 +1,447 @@
+"""Views: how Lift reads memory without materialising intermediate arrays.
+
+The paper (§5) explains that ``pad``, ``slide``, ``split``, ``join``,
+``transpose`` and ``zip`` are never compiled into memory copies.  Instead they
+become *views*: compiler-internal data structures that record how indices of
+the conceptual (reorganised) array map back to indices of the underlying
+buffer.  When the generated kernel finally reads a scalar, the chain of views
+collapses into a single index expression.
+
+A :class:`View` here is an object with two operations:
+
+``access(index)``
+    index the outermost dimension with a C index expression (a string or an
+    integer), producing the view of the selected element;
+``scalar_ref()``
+    render the C r-value expression for a fully-indexed scalar.
+
+:func:`build_view` constructs the view of an argument expression (the data
+side of a lowered map nest) by symbolic evaluation, binding parameters to
+their buffer views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.arithmetic import ArithExpr
+from ..core.ir import Expr, FunCall, Lambda, Literal, Param
+from ..core.primitives.algorithmic import (
+    ArrayConstructor,
+    At,
+    Get,
+    Join,
+    Map,
+    Split,
+    Transpose,
+    TupleCons,
+    Zip,
+)
+from ..core.primitives.stencil import Pad, PadConstant, Slide
+
+Index = Union[str, int]
+
+
+class ViewError(Exception):
+    """Raised when an expression cannot be turned into a view."""
+
+
+def _idx(index: Index) -> str:
+    return str(index)
+
+
+def _simplify_index(expr: str) -> str:
+    """Light clean-up of generated index expressions (purely cosmetic)."""
+    return expr.replace("+ 0)", ")").replace("(0 + ", "(")
+
+
+class View:
+    """Base class of all views."""
+
+    def access(self, index: Index) -> "View":
+        raise ViewError(f"{type(self).__name__} cannot be indexed")
+
+    def get(self, component: int) -> "View":
+        raise ViewError(f"{type(self).__name__} is not a tuple view")
+
+    def scalar_ref(self) -> str:
+        raise ViewError(f"{type(self).__name__} is not a scalar view")
+
+    def is_scalar(self) -> bool:
+        return False
+
+
+class ViewMemory(View):
+    """A view of a linear buffer with a (row-major) multi-dimensional shape.
+
+    ``shape`` holds one extent (C expression string) per remaining dimension;
+    ``offset`` accumulates the flat index of the dimensions indexed so far.
+    """
+
+    def __init__(self, buffer: str, shape: Sequence[str], offset: str = "0",
+                 space: str = "global") -> None:
+        self.buffer = buffer
+        self.shape = [str(s) for s in shape]
+        self.offset = offset
+        self.space = space
+
+    def access(self, index: Index) -> View:
+        if not self.shape:
+            raise ViewError(f"buffer {self.buffer} is already fully indexed")
+        head, *rest = self.shape
+        stride = "1"
+        for extent in rest:
+            stride = f"({stride} * {extent})" if stride != "1" else f"({extent})"
+        if rest:
+            contribution = f"(({_idx(index)}) * {stride})"
+        else:
+            contribution = f"({_idx(index)})"
+        new_offset = f"({self.offset} + {contribution})" if self.offset != "0" else contribution
+        return ViewMemory(self.buffer, rest, new_offset, self.space)
+
+    def scalar_ref(self) -> str:
+        if self.shape:
+            raise ViewError(
+                f"buffer {self.buffer} still has {len(self.shape)} unindexed dimensions"
+            )
+        return _simplify_index(f"{self.buffer}[{self.offset}]")
+
+    def is_scalar(self) -> bool:
+        return not self.shape
+
+
+class ViewScalar(View):
+    """A scalar C expression (literal, user-function result, generated value)."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+
+    def scalar_ref(self) -> str:
+        return self.expression
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+class ViewGenerated(View):
+    """A lazily generated array (the ``array`` primitive): no memory is read."""
+
+    def __init__(self, c_expression: str, size: str, index_so_far: Optional[List[str]] = None) -> None:
+        self.c_expression = c_expression
+        self.size = size
+        self.index_so_far = index_so_far or []
+
+    def access(self, index: Index) -> View:
+        return ViewGenerated(self.c_expression, self.size, self.index_so_far + [_idx(index)])
+
+    def scalar_ref(self) -> str:
+        if not self.index_so_far:
+            raise ViewError("generated array accessed as a scalar without an index")
+        return self.c_expression.format(i=self.index_so_far[-1], n=self.size,
+                                         indices=self.index_so_far)
+
+
+class ViewPad(View):
+    """The re-indexing ``pad``: out-of-range indices are mapped back in range."""
+
+    def __init__(self, parent: View, left: int, right: int, size: str, c_template: str) -> None:
+        self.parent = parent
+        self.left = left
+        self.right = right
+        self.size = size
+        self.c_template = c_template
+
+    def access(self, index: Index) -> View:
+        shifted = f"(({_idx(index)}) - {self.left})" if self.left else f"({_idx(index)})"
+        mapped = self.c_template.format(i=shifted, n=self.size)
+        return self.parent.access(mapped)
+
+
+class ViewGuarded(View):
+    """A view whose reads are guarded by a boundary condition (constant ``pad``).
+
+    The guard composes through further indexing so that a fully-indexed scalar
+    read renders as ``cond ? constant : inner``.
+    """
+
+    def __init__(self, condition: str, constant: str, inner: View) -> None:
+        self.condition = condition
+        self.constant = constant
+        self.inner = inner
+
+    def access(self, index: Index) -> View:
+        return ViewGuarded(self.condition, self.constant, self.inner.access(index))
+
+    def get(self, component: int) -> View:
+        return ViewGuarded(self.condition, self.constant, self.inner.get(component))
+
+    def scalar_ref(self) -> str:
+        return f"(({self.condition}) ? {self.constant} : {self.inner.scalar_ref()})"
+
+    def is_scalar(self) -> bool:
+        return self.inner.is_scalar()
+
+
+class ViewPadConstant(View):
+    """The value variant of ``pad``: boundary reads yield a constant."""
+
+    def __init__(self, parent: View, left: int, right: int, size: str, constant: str) -> None:
+        self.parent = parent
+        self.left = left
+        self.right = right
+        self.size = size
+        self.constant = constant
+
+    def access(self, index: Index) -> View:
+        i = _idx(index)
+        shifted = f"(({i}) - {self.left})" if self.left else f"({i})"
+        condition = f"({shifted}) < 0 || ({shifted}) >= ({self.size})"
+        clamped = f"clamp((int)({shifted}), 0, (int)({self.size}) - 1)"
+        return ViewGuarded(condition, self.constant, self.parent.access(clamped))
+
+
+class ViewSlide(View):
+    """``slide(size, step)``: window ``i`` starts at offset ``i * step``."""
+
+    def __init__(self, parent: View, size: str, step: str) -> None:
+        self.parent = parent
+        self.size = size
+        self.step = step
+
+    def access(self, index: Index) -> View:
+        return _ViewWindow(self.parent, f"(({_idx(index)}) * ({self.step}))")
+
+
+class _ViewWindow(View):
+    """A window into a parent view starting at a fixed offset."""
+
+    def __init__(self, parent: View, base: str) -> None:
+        self.parent = parent
+        self.base = base
+
+    def access(self, index: Index) -> View:
+        return self.parent.access(f"({self.base} + ({_idx(index)}))")
+
+
+class ViewSplit(View):
+    """``split(m)``: element ``(i, j)`` maps to parent index ``i*m + j``."""
+
+    def __init__(self, parent: View, chunk: str) -> None:
+        self.parent = parent
+        self.chunk = chunk
+
+    def access(self, index: Index) -> View:
+        return _ViewWindow(self.parent, f"(({_idx(index)}) * ({self.chunk}))")
+
+
+class ViewJoin(View):
+    """``join``: element ``i`` maps to parent element ``(i / m, i % m)``."""
+
+    def __init__(self, parent: View, inner_size: str) -> None:
+        self.parent = parent
+        self.inner_size = inner_size
+
+    def access(self, index: Index) -> View:
+        i = _idx(index)
+        outer = f"(({i}) / ({self.inner_size}))"
+        inner = f"(({i}) % ({self.inner_size}))"
+        return self.parent.access(outer).access(inner)
+
+
+class ViewTranspose(View):
+    """``transpose``: indexing order of the two outermost dimensions is swapped."""
+
+    def __init__(self, parent: View) -> None:
+        self.parent = parent
+
+    def access(self, index: Index) -> View:
+        return _ViewTransposedRow(self.parent, _idx(index))
+
+
+class _ViewTransposedRow(View):
+    def __init__(self, parent: View, first_index: str) -> None:
+        self.parent = parent
+        self.first_index = first_index
+
+    def access(self, index: Index) -> View:
+        return self.parent.access(index).access(self.first_index)
+
+
+class ViewZip(View):
+    """``zip``: indexing yields a tuple view of the component accesses."""
+
+    def __init__(self, components: Sequence[View]) -> None:
+        self.components = list(components)
+
+    def access(self, index: Index) -> View:
+        return ViewTuple([c.access(index) for c in self.components])
+
+
+class ViewTuple(View):
+    """A tuple of views, as produced by indexing a ``zip`` view."""
+
+    def __init__(self, components: Sequence[View]) -> None:
+        self.components = list(components)
+
+    def get(self, component: int) -> View:
+        return self.components[component]
+
+
+class ViewMapped(View):
+    """``map(f)`` over a view where ``f`` is itself a data-layout function.
+
+    Indexing applies ``f`` symbolically to the element view — this is how the
+    composed ``slideN`` (``map(slide)`` / ``map(transpose)``) collapses into
+    pure index arithmetic.
+    """
+
+    def __init__(self, f, parent: View, env: Dict[Param, View]) -> None:
+        self.f = f
+        self.parent = parent
+        self.env = env
+
+    def access(self, index: Index) -> View:
+        element = self.parent.access(index)
+        return apply_function_view(self.f, element, self.env)
+
+
+# ---------------------------------------------------------------------------
+# Building views from expressions
+# ---------------------------------------------------------------------------
+
+def build_view(expr: Expr, env: Dict[Param, View]) -> View:
+    """Construct the view of a data expression.
+
+    ``env`` binds the program parameters (and any lambda parameters introduced
+    by enclosing maps) to their buffer views.
+    """
+    if isinstance(expr, Param):
+        if expr not in env:
+            raise ViewError(f"unbound parameter {expr.name!r} while building view")
+        return env[expr]
+
+    if isinstance(expr, Literal):
+        return ViewScalar(_literal_to_c(expr))
+
+    if isinstance(expr, FunCall):
+        fun = expr.fun
+
+        if isinstance(fun, Pad):
+            parent = build_view(expr.args[0], env)
+            size = _array_size_c(expr.args[0])
+            return ViewPad(parent, fun.left, fun.right, size, fun.boundary.c_template)
+
+        if isinstance(fun, PadConstant):
+            parent = build_view(expr.args[0], env)
+            size = _array_size_c(expr.args[0])
+            constant = _literal_to_c(fun.value) if isinstance(fun.value, Literal) else "0.0f"
+            return ViewPadConstant(parent, fun.left, fun.right, size, constant)
+
+        if isinstance(fun, Slide):
+            parent = build_view(expr.args[0], env)
+            return ViewSlide(parent, str(fun.size), str(fun.step))
+
+        if isinstance(fun, Split):
+            parent = build_view(expr.args[0], env)
+            return ViewSplit(parent, str(fun.chunk))
+
+        if isinstance(fun, Join):
+            parent = build_view(expr.args[0], env)
+            inner_size = _inner_size_c(expr.args[0])
+            return ViewJoin(parent, inner_size)
+
+        if isinstance(fun, Transpose):
+            parent = build_view(expr.args[0], env)
+            return ViewTranspose(parent)
+
+        if isinstance(fun, Zip):
+            return ViewZip([build_view(arg, env) for arg in expr.args])
+
+        if isinstance(fun, TupleCons):
+            return ViewTuple([build_view(arg, env) for arg in expr.args])
+
+        if isinstance(fun, At):
+            parent = build_view(expr.args[0], env)
+            return parent.access(fun.index)
+
+        if isinstance(fun, Get):
+            parent = build_view(expr.args[0], env)
+            return parent.get(fun.index)
+
+        if isinstance(fun, ArrayConstructor):
+            c_expr = fun.c_expression or "0.0f"
+            return ViewGenerated(c_expr, str(fun.size))
+
+        if isinstance(fun, Map):
+            # A map over a view is only a view itself when the mapped function
+            # performs pure data reorganisation (slide, transpose, pad, ...).
+            parent = build_view(expr.args[0], env)
+            return ViewMapped(fun.f, parent, env)
+
+        if isinstance(fun, Lambda):
+            inner_env = dict(env)
+            for param, arg in zip(fun.params, expr.args):
+                inner_env[param] = build_view(arg, env)
+            return build_view(fun.body, inner_env)
+
+    raise ViewError(f"expression cannot be represented as a view: {expr!r}")
+
+
+def apply_function_view(f, element: View, env: Dict[Param, View]) -> View:
+    """Apply a data-layout function symbolically to an element view."""
+    if isinstance(f, Lambda):
+        inner_env = dict(env)
+        inner_env[f.params[0]] = element
+        return build_view(f.body, inner_env)
+    if isinstance(f, Transpose):
+        return ViewTranspose(element)
+    if isinstance(f, Slide):
+        return ViewSlide(element, str(f.size), str(f.step))
+    if isinstance(f, (Pad,)):
+        raise ViewError("pad inside map requires the array size; use a lambda")
+    raise ViewError(f"cannot apply {type(f).__name__} as a view function")
+
+
+def _literal_to_c(literal: Literal) -> str:
+    value = literal.value
+    if isinstance(value, float):
+        return f"{value}f"
+    return str(value)
+
+
+def _array_size_c(expr: Expr) -> str:
+    """The length of the outermost dimension of ``expr`` as a C expression."""
+    from ..core.types import ArrayType
+
+    if isinstance(expr.type, ArrayType):
+        return str(expr.type.size)
+    raise ViewError("cannot determine array size: expression is not typed as an array")
+
+
+def _inner_size_c(expr: Expr) -> str:
+    from ..core.types import ArrayType
+
+    if isinstance(expr.type, ArrayType) and isinstance(expr.type.elem_type, ArrayType):
+        return str(expr.type.elem_type.size)
+    raise ViewError("cannot determine inner array size for join view")
+
+
+__all__ = [
+    "View",
+    "ViewError",
+    "ViewMemory",
+    "ViewScalar",
+    "ViewGenerated",
+    "ViewGuarded",
+    "ViewPad",
+    "ViewPadConstant",
+    "ViewSlide",
+    "ViewSplit",
+    "ViewJoin",
+    "ViewTranspose",
+    "ViewZip",
+    "ViewTuple",
+    "ViewMapped",
+    "build_view",
+    "apply_function_view",
+]

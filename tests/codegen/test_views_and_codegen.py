@@ -1,0 +1,179 @@
+"""Tests for the view system and the OpenCL code generator (paper §5)."""
+
+import re
+
+import pytest
+
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.typecheck import check_program
+from repro.core.types import Float, array
+from repro.core.userfuns import add
+from repro.codegen import CodegenError, generate_kernel
+from repro.rewriting.strategies import NAIVE, lower_program, tiled_strategy
+from repro.views.view import (
+    ViewError,
+    ViewMemory,
+    ViewPad,
+    ViewScalar,
+    ViewSlide,
+    ViewTranspose,
+    ViewZip,
+    build_view,
+)
+from repro.apps.jacobi import JACOBI2D_5PT, build_jacobi2d_5pt
+from repro.apps.hotspot import build_hotspot2d
+from repro.apps.gaussian import build_gaussian
+
+
+class TestViews:
+    def test_memory_view_flat_index(self):
+        view = ViewMemory("grid", ["4", "5"])
+        ref = view.access("i").access("j").scalar_ref()
+        assert "grid[" in ref and "i" in ref and "j" in ref and "5" in ref
+
+    def test_memory_view_requires_full_indexing(self):
+        view = ViewMemory("grid", ["4", "5"]).access("i")
+        with pytest.raises(ViewError):
+            view.scalar_ref()
+
+    def test_pad_view_maps_indices_with_boundary(self):
+        from repro.core.primitives.stencil import CLAMP
+
+        base = ViewMemory("a", ["10"])
+        padded = ViewPad(base, 1, 1, "10", CLAMP.c_template)
+        ref = padded.access("0").scalar_ref()
+        assert "a[" in ref and "?" in ref  # clamped ternary indexing
+
+    def test_slide_view_offsets_window(self):
+        base = ViewMemory("a", ["10"])
+        windows = ViewSlide(base, "3", "1")
+        ref = windows.access("w").access("j").scalar_ref()
+        assert "w" in ref and "j" in ref
+
+    def test_transpose_view_swaps_indices(self):
+        base = ViewMemory("a", ["4", "6"])
+        swapped = ViewTranspose(base)
+        direct = base.access("i").access("j").scalar_ref()
+        transposed = swapped.access("j").access("i").scalar_ref()
+        assert direct == transposed
+
+    def test_zip_view_yields_tuple_components(self):
+        a = ViewMemory("a", ["8"])
+        b = ViewMemory("b", ["8"])
+        zipped = ViewZip([a, b])
+        assert "a[" in zipped.access("i").get(0).scalar_ref()
+        assert "b[" in zipped.access("i").get(1).scalar_ref()
+
+    def test_build_view_for_pad_slide_composition(self):
+        program = L.fun(
+            [array(Float, 16)],
+            lambda a: L.slide(3, 1, L.pad(1, 1, L.CLAMP, a)),
+            names=["input"],
+        )
+        check_program(program, [array(Float, 16)])
+        view = build_view(program.body, {program.params[0]: ViewMemory("input", ["16"])})
+        ref = view.access("5").access("2").scalar_ref()
+        assert "input[" in ref
+
+    def test_scalar_view_passthrough(self):
+        assert ViewScalar("1.0f").scalar_ref() == "1.0f"
+
+
+class TestNaiveCodegen:
+    def test_generates_valid_looking_kernel(self):
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 64, 64)], "jacobi5")
+        assert "__kernel void jacobi5" in kernel.source
+        assert "get_global_id(0)" in kernel.source
+        assert "get_global_id(1)" in kernel.source
+        assert kernel.global_size == (64, 64)
+        assert kernel.local_memory_bytes == 0
+
+    def test_no_memory_copies_for_pad_and_slide(self):
+        """pad/slide become index arithmetic, not loops copying memory (paper §5)."""
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 32, 32)], "jacobi5")
+        body = kernel.source.split("__kernel")[1]
+        assert "for" not in body  # fully unrolled 5-point stencil, no copies
+
+    def test_output_buffer_size_matches_grid(self):
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 48, 32)], "jacobi5")
+        assert kernel.output_buffer.element_count == 48 * 32
+
+    def test_boundary_clamp_appears_in_indexing(self):
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 32, 32)], "jacobi5")
+        assert "? 0 :" in kernel.source or "< 0" in kernel.source
+
+    def test_multi_grid_kernel_has_two_input_buffers(self):
+        lowered = lower_program(build_hotspot2d(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 32, 32)] * 2, "hotspot2d")
+        names = [b.name for b in kernel.buffers]
+        assert "temp" in names and "power" in names and "output" in names
+
+    def test_userfun_definition_emitted_once(self):
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 32, 32)], "jacobi5")
+        assert kernel.source.count("inline float jacobi2d5pt") == 1
+
+    def test_array_argument_userfun_is_inlined(self):
+        lowered = lower_program(build_gaussian(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 32, 32)], "gaussian")
+        # The 25 weights are inlined as literal multiplications.
+        assert kernel.source.count("*") > 25
+
+    def test_3d_kernel_uses_three_dimensions(self):
+        from repro.apps.heat import build_heat
+
+        lowered = lower_program(build_heat(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 16, 16, 16)], "heat")
+        assert "get_global_id(2)" in kernel.source
+        assert kernel.global_size == (16, 16, 16)
+
+
+class TestTiledCodegen:
+    def test_tiled_kernel_structure(self):
+        lowered = lower_program(build_jacobi2d_5pt(), tiled_strategy(6))
+        kernel = generate_kernel(lowered, [array(Float, 16, 16)], "jacobi5_tiled")
+        assert "get_group_id" in kernel.source
+        assert "get_local_id" in kernel.source
+        assert "__local float" in kernel.source
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in kernel.source
+        assert kernel.local_memory_bytes == 6 * 6 * 4
+
+    def test_tiled_kernel_without_local_memory_has_no_barrier(self):
+        lowered = lower_program(
+            build_jacobi2d_5pt(), tiled_strategy(6, use_local_memory=False)
+        )
+        kernel = generate_kernel(lowered, [array(Float, 16, 16)], "jacobi5_tiled")
+        assert "barrier" not in kernel.source
+        assert kernel.local_memory_bytes == 0
+
+    def test_tiled_kernel_nd_range(self):
+        lowered = lower_program(build_jacobi2d_5pt(), tiled_strategy(6))
+        kernel = generate_kernel(lowered, [array(Float, 16, 16)], "jacobi5_tiled")
+        # padded 18 → 4 tiles of step 4 per dimension, 4 outputs per tile
+        assert kernel.local_size == (4, 4)
+        assert kernel.global_size == (16, 16)
+
+    def test_metadata_records_strategy(self):
+        lowered = lower_program(build_jacobi2d_5pt(), tiled_strategy(6))
+        kernel = generate_kernel(lowered, [array(Float, 16, 16)], "k")
+        assert kernel.metadata["uses_tiling"] is True
+        assert kernel.metadata["ndims"] == 2
+
+
+class TestCodegenErrors:
+    def test_scalar_arguments_rejected(self):
+        from repro.core.types import TypeError_
+
+        lowered_like = lower_program(build_jacobi2d_5pt(), NAIVE)
+        with pytest.raises((CodegenError, TypeError_)):
+            generate_kernel(lowered_like, [Float], "bad")
+
+    def test_kernel_describe_mentions_sizes(self):
+        lowered = lower_program(build_jacobi2d_5pt(), NAIVE)
+        kernel = generate_kernel(lowered, [array(Float, 16, 16)], "k")
+        assert "16x16" in kernel.describe()

@@ -1,0 +1,69 @@
+"""Shared pytest fixtures and helpers for the Lift stencil reproduction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.types import Float
+from repro.core.userfuns import add
+from repro.runtime.interpreter import evaluate_program
+
+
+def interpret_to_array(program, inputs, **kwargs):
+    """Run the interpreter and convert the (possibly nested) result to NumPy."""
+    raw = evaluate_program(program, inputs, **kwargs)
+    arr = np.array(raw, dtype=np.float64)
+    while arr.ndim > 1 and arr.shape[-1] == 1:
+        arr = arr[..., 0]
+    return arr
+
+
+@pytest.fixture
+def jacobi3_1d_program():
+    """The paper's Listing 2: a 3-point Jacobi summing stencil in 1D."""
+    return L.fun(
+        [L.array_type(Float, Var("N"))],
+        lambda a: L.map(
+            lambda nbh: L.reduce(add, 0.0, nbh),
+            L.slide(3, 1, L.pad(1, 1, L.CLAMP, a)),
+        ),
+        names=["A"],
+    )
+
+
+@pytest.fixture
+def sum2d_program():
+    """A 3x3 box-sum stencil in 2D built from the multi-dimensional wrappers."""
+    return L.fun(
+        [L.array_type(Float, Var("N"), Var("M"))],
+        lambda a: L.map_nd(
+            lambda nbh: L.reduce(add, 0.0, L.join(nbh)),
+            L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, a, 2), 2),
+            2,
+        ),
+        names=["grid"],
+    )
+
+
+def golden_box_sum_2d(grid: np.ndarray) -> np.ndarray:
+    padded = np.pad(grid, 1, mode="edge")
+    n, m = grid.shape
+    return sum(
+        padded[i:i + n, j:j + m] for i in range(3) for j in range(3)
+    )
+
+
+def golden_sum_1d_clamp(data, size=3):
+    n = len(data)
+    radius = (size - 1) // 2
+    out = []
+    for i in range(n):
+        total = 0.0
+        for offset in range(-radius, radius + 1):
+            j = min(max(i + offset, 0), n - 1)
+            total += data[j]
+        out.append(total)
+    return out

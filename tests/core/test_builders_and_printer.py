@@ -1,0 +1,166 @@
+"""Tests for the eDSL builders (incl. the multi-dimensional wrappers) and the printer."""
+
+import numpy as np
+import pytest
+
+from repro.core import builders as L
+from repro.core import pretty
+from repro.core.arithmetic import Var
+from repro.core.ir import FunCall, Lambda
+from repro.core.types import Float, array
+from repro.core.userfuns import add, constant, id_fn, make_userfun, weighted_sum
+from repro.runtime.interpreter import evaluate_program
+
+from ..conftest import interpret_to_array
+
+
+class TestBuilders:
+    def test_fun_builds_typed_lambda(self):
+        program = L.fun([array(Float, 4)], lambda a: L.join(L.split(2, a)), names=["A"])
+        assert isinstance(program, Lambda)
+        assert program.params[0].name == "A"
+        assert program.params[0].type == array(Float, 4)
+
+    def test_python_lambda_coerced_to_lift_lambda(self):
+        call = L.map(lambda x: x, L.lit(0.0))
+        assert isinstance(call.fun.f, Lambda)
+
+    def test_lit_passes_expressions_through(self):
+        expr = L.lit(3.5)
+        assert L.lit(expr) is expr
+
+    def test_boolean_literal_rejected(self):
+        with pytest.raises(TypeError):
+            L.lit(True)
+
+    def test_pad_accepts_boundary_by_name(self):
+        call = L.pad(1, 1, "mirror", L.lit(0.0))
+        assert call.fun.boundary.name == "mirror"
+
+    def test_zip_nd_requires_two_arrays(self):
+        with pytest.raises(ValueError):
+            L.zip_nd([L.lit(0.0)], 2)
+
+    def test_map_nd_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            L.map_nd(id_fn, L.lit(0.0), 0)
+
+    def test_pad_nd_per_dimension_amounts(self):
+        program = L.fun(
+            [array(Float, 4, 4)],
+            lambda a: L.pad_nd((1, 2), (1, 2), L.CLAMP, a, 2),
+        )
+        from repro.core.typecheck import check_program
+
+        assert check_program(program, [array(Float, 4, 4)]) == array(Float, 6, 8)
+
+    def test_pad_nd_wrong_number_of_amounts(self):
+        with pytest.raises(ValueError):
+            L.pad_nd((1, 2, 3), 1, L.CLAMP, L.lit(0.0), 2)
+
+
+class TestMultiDimensionalSemantics:
+    def test_map_nd_applies_at_depth(self):
+        program = L.fun(
+            [array(Float, Var("N"), Var("M"))],
+            lambda a: L.map_nd(lambda x: FunCall(add, x, L.lit(1.0)), a, 2),
+        )
+        grid = np.zeros((3, 4))
+        out = interpret_to_array(program, [grid])
+        assert np.allclose(out, np.ones((3, 4)))
+
+    def test_zip_nd_pairs_elements(self):
+        program = L.fun(
+            [array(Float, Var("N"), Var("M"))] * 2,
+            lambda a, b: L.map_nd(
+                lambda t: FunCall(add, L.get(0, t), L.get(1, t)),
+                L.zip_nd([a, b], 2),
+                2,
+            ),
+        )
+        a = np.full((3, 3), 2.0)
+        b = np.full((3, 3), 5.0)
+        assert np.allclose(interpret_to_array(program, [a, b]), 7.0)
+
+    def test_slide_nd_2d_matches_explicit_composition(self):
+        """slide2 must equal the paper's map(transpose, slide(map(slide)))."""
+        explicit = L.fun(
+            [array(Float, Var("N"), Var("M"))],
+            lambda a: L.map(
+                lambda w: L.transpose(w),
+                L.slide(3, 1, L.map(lambda row: L.slide(3, 1, row), a)),
+            ),
+        )
+        wrapper = L.fun(
+            [array(Float, Var("N"), Var("M"))],
+            lambda a: L.slide_nd(3, 1, a, 2),
+        )
+        grid = np.arange(30, dtype=float).reshape(5, 6)
+        out_explicit = evaluate_program(explicit, [grid])
+        out_wrapper = evaluate_program(wrapper, [grid])
+        assert out_explicit == out_wrapper
+
+    def test_paper_pad2_example(self):
+        """The worked pad2 example from §3.4 of the paper."""
+        program = L.fun(
+            [array(Float, Var("N"), Var("M"))],
+            lambda a: L.pad_nd(1, 1, L.CLAMP, a, 2),
+        )
+        out = evaluate_program(program, [[[1.0, 2.0], [3.0, 4.0]]])
+        assert out == [
+            [1.0, 1.0, 2.0, 2.0],
+            [1.0, 1.0, 2.0, 2.0],
+            [3.0, 3.0, 4.0, 4.0],
+            [3.0, 3.0, 4.0, 4.0],
+        ]
+
+    def test_paper_slide2_example(self):
+        """The worked slide2 example from §3.4 of the paper (2×2 windows)."""
+        program = L.fun(
+            [array(Float, Var("N"), Var("M"))],
+            lambda a: L.slide_nd(2, 1, a, 2),
+        )
+        grid = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]
+        out = evaluate_program(program, [grid])
+        assert out[0][0] == [[1.0, 2.0], [4.0, 5.0]]
+        assert out[0][1] == [[2.0, 3.0], [5.0, 6.0]]
+        assert out[1][1] == [[5.0, 6.0], [8.0, 9.0]]
+
+
+class TestUserFunHelpers:
+    def test_constant_userfun(self):
+        fn = constant(3.0)
+        assert fn(123.0) == 3.0
+
+    def test_weighted_sum_flattens_nested_neighbourhoods(self):
+        fn = weighted_sum([1.0, 2.0, 3.0, 4.0])
+        assert fn([[1.0, 1.0], [1.0, 1.0]]) == 10.0
+
+    def test_weighted_sum_wrong_length_raises(self):
+        fn = weighted_sum([1.0, 2.0])
+        with pytest.raises(ValueError):
+            fn([1.0, 2.0, 3.0])
+
+    def test_make_userfun_defaults_to_float_params(self):
+        fn = make_userfun("triple", ["x"], "return 3.0f * x;", lambda x: 3.0 * x)
+        assert fn.param_types == (Float,)
+        assert fn(2.0) == 6.0
+
+
+class TestPrinter:
+    def test_listing2_shape(self, jacobi3_1d_program):
+        text = pretty(jacobi3_1d_program)
+        assert "map(" in text
+        assert "slide(3, 1," in text
+        assert "pad(1, 1, clamp," in text
+        assert "reduce(add, 0.0," in text
+
+    def test_printer_covers_tuple_and_at(self):
+        program = L.fun_n(1, lambda t: L.at(1, L.get(0, t)))
+        text = pretty(program)
+        assert "[1]" in text
+        assert ".0" in text
+
+    def test_printer_handles_lowered_primitives(self):
+        call = L.map_glb(id_fn, L.lit(0.0), dim=1)
+        assert "mapGlb" in pretty(call)

@@ -1,0 +1,147 @@
+"""Tests for the typing rules of the Lift primitives (paper §3.1 and §3.2)."""
+
+import pytest
+
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.typecheck import check_program, infer_type
+from repro.core.types import ArrayType, Float, TupleType, TypeError_, array
+from repro.core.userfuns import add, id_fn, mult
+
+
+def typed(builder, *input_types):
+    program = L.fun(list(input_types), builder)
+    return check_program(program, list(input_types))
+
+
+class TestMapReduceTypes:
+    def test_map_preserves_length(self):
+        t = typed(lambda a: L.map(id_fn, a), array(Float, 10))
+        assert t == array(Float, 10)
+
+    def test_map_preserves_symbolic_length(self):
+        n = Var("N")
+        program = L.fun([array(Float, n)], lambda a: L.map(id_fn, a))
+        assert check_program(program, [array(Float, n)]) == array(Float, n)
+
+    def test_reduce_produces_singleton_array(self):
+        t = typed(lambda a: L.reduce(add, 0.0, a), array(Float, 10))
+        assert t == array(Float, 1)
+
+    def test_reduce_operator_type_mismatch_rejected(self):
+        bad = L.fun([array(Float, 4)], lambda a: L.reduce(lambda x, y: L.tuple_(x, y), 0.0, a))
+        with pytest.raises(TypeError_):
+            check_program(bad, [array(Float, 4)])
+
+    def test_map_over_scalar_rejected(self):
+        bad = L.fun([Float], lambda a: L.map(id_fn, a))
+        with pytest.raises(TypeError_):
+            check_program(bad, [Float])
+
+
+class TestZipSplitJoin:
+    def test_zip_builds_tuple_elements(self):
+        t = typed(lambda a: L.zip(a, a), array(Float, 8))
+        assert t == ArrayType(TupleType(Float, Float), 8)
+
+    def test_zip_length_mismatch_rejected(self):
+        program = L.fun([array(Float, 8), array(Float, 9)], lambda a, b: L.zip(a, b))
+        with pytest.raises(TypeError_):
+            check_program(program, [array(Float, 8), array(Float, 9)])
+
+    def test_split_join_roundtrip_type(self):
+        t = typed(lambda a: L.join(L.split(4, a)), array(Float, 12))
+        assert t == array(Float, 12)
+
+    def test_split_adds_dimension(self):
+        t = typed(lambda a: L.split(4, a), array(Float, 12))
+        assert t == array(Float, 3, 4)
+
+    def test_transpose_swaps_dimensions(self):
+        t = typed(lambda a: L.transpose(a), array(Float, 3, 5))
+        assert t == array(Float, 5, 3)
+
+    def test_at_and_get_types(self):
+        t = typed(lambda a: L.at(2, a), array(Float, 5))
+        assert t == Float
+        t2 = typed(lambda a: L.get(1, L.at(0, L.zip(a, a))), array(Float, 5))
+        assert t2 == Float
+
+    def test_at_out_of_bounds_rejected(self):
+        bad = L.fun([array(Float, 3)], lambda a: L.at(7, a))
+        with pytest.raises(TypeError_):
+            check_program(bad, [array(Float, 3)])
+
+
+class TestStencilPrimitiveTypes:
+    def test_pad_enlarges_array(self):
+        t = typed(lambda a: L.pad(2, 3, L.CLAMP, a), array(Float, 10))
+        assert t == array(Float, 15)
+
+    def test_pad_constant_enlarges_array(self):
+        t = typed(lambda a: L.pad_constant(1, 1, 0.0, a), array(Float, 10))
+        assert t == array(Float, 12)
+
+    def test_slide_window_count_matches_paper_formula(self):
+        # (n - size + step) / step windows of length size
+        t = typed(lambda a: L.slide(3, 1, a), array(Float, 10))
+        assert t == array(Float, 8, 3)
+
+    def test_slide_with_step(self):
+        t = typed(lambda a: L.slide(5, 3, a), array(Float, 17))
+        assert t == array(Float, 5, 5)
+
+    def test_slide_symbolic_size(self):
+        n = Var("N")
+        program = L.fun([array(Float, n)], lambda a: L.slide(3, 1, a))
+        t = check_program(program, [array(Float, n)])
+        assert t.size == n - 2
+
+    def test_pad_then_slide_is_length_preserving(self):
+        # pad(1,1) followed by slide(3,1) keeps the original element count.
+        t = typed(lambda a: L.slide(3, 1, L.pad(1, 1, L.CLAMP, a)), array(Float, 10))
+        assert t == array(Float, 10, 3)
+
+    def test_stencil_nd_type_2d(self):
+        t = typed(
+            lambda a: L.map_nd(
+                lambda nbh: L.reduce(add, 0.0, L.join(nbh)),
+                L.slide_nd(3, 1, L.pad_nd(1, 1, L.CLAMP, a, 2), 2),
+                2,
+            ),
+            array(Float, 6, 7),
+        )
+        assert t == array(Float, 6, 7, 1)
+
+    def test_slide_nd_creates_nd_neighbourhoods(self):
+        t = typed(lambda a: L.slide_nd(3, 1, a, 2), array(Float, 6, 7))
+        assert t == array(Float, 4, 5, 3, 3)
+
+    def test_slide3_type(self):
+        t = typed(lambda a: L.slide_nd(3, 1, a, 3), array(Float, 5, 6, 7))
+        assert t == array(Float, 3, 4, 5, 3, 3, 3)
+
+
+class TestUserFunctions:
+    def test_userfun_applied_to_scalars(self):
+        t = typed(lambda a: L.map(lambda x: L.lit(x), a), array(Float, 4))
+        assert t == array(Float, 4)
+
+    def test_userfun_wrong_arity_rejected(self):
+        from repro.core.ir import FunCall
+
+        bad = L.fun([array(Float, 4)], lambda a: L.map(lambda x: FunCall(add, x), a))
+        with pytest.raises(TypeError_):
+            check_program(bad, [array(Float, 4)])
+
+    def test_userfun_scalar_argument_required(self):
+        from repro.core.ir import FunCall
+
+        bad = L.fun([array(Float, 4, 4)], lambda a: L.map(lambda row: FunCall(mult, row, row), a))
+        with pytest.raises(TypeError_):
+            check_program(bad, [array(Float, 4, 4)])
+
+    def test_program_arity_mismatch(self):
+        program = L.fun([array(Float, 4)], lambda a: L.join(L.split(2, a)))
+        with pytest.raises(TypeError_):
+            check_program(program, [array(Float, 4), array(Float, 4)])

@@ -1,0 +1,88 @@
+"""Unit tests for the Lift type system."""
+
+import pytest
+
+from repro.core.arithmetic import Var
+from repro.core.types import (
+    ArrayType,
+    Float,
+    Int,
+    TupleType,
+    FunctionType,
+    TypeError_,
+    array,
+    check_same_size,
+    element_count,
+)
+
+
+class TestScalarTypes:
+    def test_float_repr_and_size(self):
+        assert repr(Float) == "float"
+        assert Float.size_bytes == 4
+
+    def test_scalar_equality(self):
+        assert Float == Float
+        assert Float != Int
+
+
+class TestArrayTypes:
+    def test_array_carries_size_in_type(self):
+        t = ArrayType(Float, 10)
+        assert t.size == 10
+        assert t.elem_type == Float
+
+    def test_symbolic_size(self):
+        n = Var("N")
+        t = ArrayType(Float, n)
+        assert t.size == n
+
+    def test_nested_array_shape(self):
+        t = array(Float, 4, 5, 6)
+        assert t.ndims() == 3
+        assert [s.evaluate() for s in t.shape()] == [4, 5, 6]
+        assert t.base_element_type() == Float
+
+    def test_array_helper_outermost_first(self):
+        t = array(Float, 2, 3)
+        assert t.size == 2
+        assert t.elem_type.size == 3
+
+    def test_equality_is_structural(self):
+        assert array(Float, 4, 5) == array(Float, 4, 5)
+        assert array(Float, 4, 5) != array(Float, 5, 4)
+
+    def test_element_count(self):
+        assert element_count(array(Float, 4, 5)).evaluate() == 20
+
+    def test_array_requires_a_size(self):
+        with pytest.raises(ValueError):
+            array(Float)
+
+
+class TestTupleAndFunctionTypes:
+    def test_tuple_type_components(self):
+        t = TupleType(Float, Int)
+        assert t.elem_types == (Float, Int)
+        assert repr(t) == "{float, int}"
+
+    def test_tuple_equality(self):
+        assert TupleType(Float, Int) == TupleType(Float, Int)
+        assert TupleType(Float, Int) != TupleType(Int, Float)
+
+    def test_function_type_repr(self):
+        f = FunctionType([Float, Float], Float)
+        assert "->" in repr(f)
+
+    def test_types_are_hashable(self):
+        assert len({array(Float, 3), array(Float, 3), array(Float, 4)}) == 2
+
+
+class TestSizeChecks:
+    def test_check_same_size_accepts_equal(self):
+        n = Var("N")
+        check_same_size(n, n, "zip")  # must not raise
+
+    def test_check_same_size_rejects_different(self):
+        with pytest.raises(TypeError_):
+            check_same_size(Var("N"), Var("M"), "zip")

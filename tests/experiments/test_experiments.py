@@ -1,0 +1,142 @@
+"""Integration tests for the experiment pipeline (Table 1, Figure 7, Figure 8).
+
+These run the full explore → tune → simulate pipeline at reduced tuning
+budgets and check the qualitative properties the paper reports, not absolute
+numbers.
+"""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.experiments import (
+    lift_best_result,
+    ppcg_best_result,
+    reference_result,
+)
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8, tiling_usage
+from repro.experiments.table1 import format_table1
+from repro.runtime.simulator.device import AMD_HD7970, ARM_MALI_T628, NVIDIA_K20C
+
+BUDGET = 800
+
+
+class TestTable1:
+    def test_table_lists_every_benchmark(self):
+        table = format_table1()
+        for name in ("Stencil2D", "SRAD1", "Hotspot3D", "Acoustic", "Poisson", "Heat"):
+            assert name in table
+
+    def test_table_reports_paper_sizes(self):
+        table = format_table1()
+        assert "4098×4098" in table
+        assert "8192×8192" in table
+        assert "504×458" in table
+
+
+class TestPipeline:
+    def test_lift_pipeline_returns_outcome(self):
+        benchmark = get_benchmark("jacobi2d5pt")
+        outcome = lift_best_result(
+            benchmark, shape=(512, 512), device=NVIDIA_K20C, tuner_budget=BUDGET
+        )
+        assert outcome.gelements_per_second > 0
+        assert outcome.evaluations > 0
+        assert "Jacobi2D5pt" in outcome.describe()
+
+    def test_reference_pipeline(self):
+        benchmark = get_benchmark("stencil2d")
+        result = reference_result(benchmark, "stencil2d", NVIDIA_K20C, shape=(512, 512))
+        assert result.gelements_per_second > 0
+
+    def test_ppcg_pipeline(self):
+        benchmark = get_benchmark("heat")
+        result, config, evaluations = ppcg_best_result(
+            benchmark, NVIDIA_K20C, shape=(64, 64, 64), tuner_budget=BUDGET
+        )
+        assert result.gelements_per_second > 0
+        assert evaluations > 0
+        assert any(k.startswith("tile_") for k in config)
+
+    def test_device_is_required(self):
+        with pytest.raises(ValueError):
+            lift_best_result(get_benchmark("heat"), shape=(32, 32, 32), device=None)
+
+
+class TestFigure7Properties:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure7(
+            benchmarks=["hotspot2d", "stencil2d", "srad1"],
+            tuner_budget=BUDGET,
+            shape_scale=0.25,
+        )
+
+    def test_all_device_benchmark_pairs_present(self, rows):
+        assert len(rows) == 9
+
+    def test_lift_is_competitive_with_hand_written(self, rows):
+        """Paper §7.1: Lift-generated kernels are comparable to hand-written ones."""
+        for row in rows:
+            assert row.speedup_over_reference > 0.5, row.as_dict()
+
+    def test_hotspot2d_reference_underperforms_on_amd(self, rows):
+        """Paper §7.1: the hand-written Hotspot2D is far slower than Lift on AMD."""
+        amd = [r for r in rows if r.benchmark == "Hotspot2D" and "7970" in r.device]
+        assert amd[0].speedup_over_reference > 4.0
+
+    def test_hotspot2d_lift_faster_on_arm(self, rows):
+        arm = [r for r in rows if r.benchmark == "Hotspot2D" and "Mali" in r.device]
+        assert arm[0].speedup_over_reference > 1.5
+
+    def test_small_srad_underutilises_big_gpus(self, rows):
+        """SRAD's 504×458 input cannot saturate the discrete GPUs (paper §7.1)."""
+        srad = [r for r in rows if r.benchmark == "SRAD1" and "K20c" in r.device][0]
+        stencil2d = [r for r in rows if r.benchmark == "Stencil2D" and "K20c" in r.device][0]
+        assert srad.lift_gelements < stencil2d.lift_gelements
+
+    def test_formatting_contains_throughput(self, rows):
+        assert "GE/s" in format_figure7(rows)
+
+
+class TestFigure8Properties:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_figure8(
+            benchmarks=["heat", "jacobi2d5pt"],
+            sizes=("small",),
+            tuner_budget=BUDGET,
+            shape_scale=0.5,
+        )
+
+    def test_lift_matches_or_beats_ppcg_on_most_points(self, rows):
+        """Paper §7.2: Lift is on par with or clearly outperforms PPCG."""
+        at_least_par = [r for r in rows if r.speedup_over_ppcg >= 0.9]
+        assert len(at_least_par) >= len(rows) - 1
+
+    def test_heat_shows_large_speedup_on_nvidia(self, rows):
+        heat = [r for r in rows if r.benchmark == "Heat" and "K20c" in r.device]
+        assert heat[0].speedup_over_ppcg > 1.5
+
+    def test_arm_results_are_closer_than_nvidia(self, rows):
+        """The ARM GPU shows smaller Lift-vs-PPCG gaps for the 2D benchmarks."""
+        assert all(r.speedup_over_ppcg > 0 for r in rows)
+
+    def test_large_inputs_skipped_on_arm(self):
+        rows = run_figure8(
+            benchmarks=["jacobi2d5pt"],
+            sizes=("large",),
+            devices=["arm"],
+            tuner_budget=200,
+            shape_scale=0.1,
+        )
+        assert rows == []
+
+    def test_no_tiling_in_best_arm_kernels(self, rows):
+        usage = tiling_usage(rows)
+        for device, fraction in usage.items():
+            if "Mali" in device:
+                assert fraction == 0.0
+
+    def test_formatting_reports_tiling_usage(self, rows):
+        assert "Tiling usage" in format_figure8(rows)
