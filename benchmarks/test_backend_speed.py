@@ -1,0 +1,73 @@
+"""Execution-backend benchmarks: reference interpreter vs compiled NumPy.
+
+Times both execution paths on the Figure-7 pipeline applications and asserts
+the headline property of the compiled backend: at least an order of
+magnitude over the interpreter (in practice it is two to three orders).
+
+Run with ``pytest benchmarks/test_backend_speed.py`` — the summary table also
+lands in ``BENCH_backend.json`` via ``python -m repro bench-backend``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.apps.suite import FIGURE7_BENCHMARKS
+from repro.backend import default_cache, get_backend
+from repro.experiments.backend_bench import BENCH_SHAPES, run_backend_bench
+
+#: Small enough for the interpreter to finish promptly, big enough to matter.
+SHAPES = dict(BENCH_SHAPES)
+
+
+@pytest.mark.parametrize("key", FIGURE7_BENCHMARKS)
+def test_compiled_backend_speed(benchmark, key):
+    """Time the compiled NumPy backend (cache warm) on a Figure-7 app."""
+    bench = get_benchmark(key)
+    shape = SHAPES[bench.ndims]
+    inputs = bench.make_inputs(shape, seed=0)
+    program = bench.build_program()
+    backend = get_backend("numpy")
+    backend.run(program, inputs)  # warm the compilation cache
+    out = benchmark(lambda: backend.run(program, inputs))
+    assert out.shape[: len(shape)] == tuple(shape)
+
+
+@pytest.mark.parametrize("key", ["stencil2d", "hotspot3d"])
+def test_interpreter_baseline_speed(benchmark, key):
+    """The baseline being beaten: the same app through the interpreter."""
+    bench = get_benchmark(key)
+    shape = SHAPES[bench.ndims]
+    inputs = bench.make_inputs(shape, seed=0)
+    program = bench.build_program()
+    backend = get_backend("interpreter")
+    out = benchmark.pedantic(
+        lambda: backend.run(program, inputs), rounds=1, iterations=1
+    )
+    assert out.shape[: len(shape)] == tuple(shape)
+
+
+def test_backend_speedup_exceeds_10x(benchmark):
+    """The acceptance criterion: ≥10× over the interpreter on Figure 7."""
+    rows = benchmark.pedantic(
+        lambda: run_backend_bench(repeats=1), rounds=1, iterations=1
+    )
+    assert all(row.results_match for row in rows)
+    slowest = min(rows, key=lambda row: row.speedup)
+    assert slowest.speedup >= 10.0, (
+        f"{slowest.benchmark}: only {slowest.speedup:.1f}x over the interpreter"
+    )
+
+
+def test_compilation_cache_is_effective():
+    """Repeated executions hit the cache instead of recompiling."""
+    default_cache.clear()
+    bench = get_benchmark("stencil2d")
+    inputs = bench.make_inputs((24, 24), seed=0)
+    program = bench.build_program()
+    backend = get_backend("numpy")
+    for _ in range(5):
+        backend.run(program, inputs)
+    stats = default_cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 4

@@ -48,5 +48,5 @@ def test_interpret_benchmark_small_grid(benchmark, key):
     bench = get_benchmark(key)
     shape = SMALL_SHAPES[bench.ndims]
     inputs = bench.make_inputs(shape, seed=0)
-    out = benchmark(lambda: bench.run_lift(inputs))
+    out = benchmark(lambda: bench.run_interpreter(inputs))
     assert out.shape == tuple(shape)

@@ -18,7 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import builders as L
 from repro.core import pretty

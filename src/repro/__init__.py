@@ -6,6 +6,8 @@ Subpackages:
 * :mod:`repro.rewriting` — rewrite rules (incl. overlapped tiling) and exploration.
 * :mod:`repro.views` / :mod:`repro.codegen` — view system and OpenCL-C generation.
 * :mod:`repro.runtime` — reference interpreter and GPU performance-model simulator.
+* :mod:`repro.backend` — execution backends: the compiled vectorized NumPy
+  kernel compiler (with compilation cache) and the interpreter cross-check.
 * :mod:`repro.tuning` — ATF/OpenTuner-style constrained auto-tuning.
 * :mod:`repro.baselines` — hand-written kernel models and a PPCG-like compiler.
 * :mod:`repro.apps` — the Table-1 stencil benchmarks.

@@ -41,6 +41,14 @@ def _acoustic_python(prev, c, n, s, w, e, b, t, num_neighbours):
     return cf1 * ((2.0 - L2 * num_neighbours) * c + L2 * sum_nbh - cf2 * prev)
 
 
+def _acoustic_numpy(prev, c, n, s, w, e, b, t, num_neighbours):
+    sum_nbh = n + s + w + e + b + t
+    at_wall = num_neighbours < 6.0
+    cf1 = np.where(at_wall, LOSS1, 1.0)
+    cf2 = np.where(at_wall, LOSS2, 1.0)
+    return cf1 * ((2.0 - L2 * num_neighbours) * c + L2 * sum_nbh - cf2 * prev)
+
+
 acoustic_fn = make_userfun(
     "acoustic_update",
     ["prev", "c", "n", "s", "w", "e", "b", "t", "num_neighbours"],
@@ -51,6 +59,7 @@ acoustic_fn = make_userfun(
         f"return cf1 * ((2.0f - {L2}f * num_neighbours) * c + {L2}f * sum_nbh - cf2 * prev);"
     ),
     _acoustic_python,
+    numpy_fn=_acoustic_numpy,
 )
 
 

@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..core.ir import Lambda
-from ..core.types import ArrayType, Float, Type
+from ..core.types import Float, Type
 from ..core.types import array as array_type
-from ..runtime.interpreter import evaluate_program
 from ..runtime.simulator.kernel_model import ProblemInstance
 
 
@@ -90,21 +90,31 @@ class StencilBenchmark:
         return self.default_shape
 
     # ------------------------------------------------------------------ checking
-    def run_lift(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
-        """Execute the Lift expression with the reference interpreter."""
+    def run_lift(self, inputs: Sequence[np.ndarray], backend=None) -> np.ndarray:
+        """Execute the Lift expression.
+
+        ``backend`` selects the execution backend ("numpy", "interpreter",
+        "crosscheck", or a :class:`~repro.backend.Backend` instance); the
+        process default — normally the compiled NumPy backend — applies when
+        it is omitted.
+        """
         program = self.build_program()
-        raw = evaluate_program(program, list(inputs))
-        return squeeze_result(np.array(raw, dtype=np.float64))
+        result = get_backend(backend).run(program, list(inputs))
+        return squeeze_result(np.asarray(result, dtype=np.float64))
+
+    def run_interpreter(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Execute the Lift expression with the reference interpreter (oracle)."""
+        return self.run_lift(inputs, backend="interpreter")
 
     def run_reference(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         return np.asarray(self.reference(*inputs), dtype=np.float64)
 
     def verify(self, shape: Optional[Sequence[int]] = None, seed: int = 0,
-               rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+               rtol: float = 1e-5, atol: float = 1e-6, backend=None) -> bool:
         """Check the Lift expression against the NumPy golden implementation."""
         shape = tuple(shape or self.default_shape)
         inputs = self.make_inputs(shape, seed)
-        lift_out = self.run_lift(inputs)
+        lift_out = self.run_lift(inputs, backend=backend)
         golden = self.run_reference(inputs)
         return np.allclose(lift_out, golden, rtol=rtol, atol=atol)
 

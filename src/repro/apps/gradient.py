@@ -25,6 +25,9 @@ gradient_fn = make_userfun(
     "return sqrt((c - n) * (c - n) + (c - s) * (c - s) + "
     "(c - w) * (c - w) + (c - e) * (c - e));",
     lambda c, n, s, w, e: math.sqrt((c - n) ** 2 + (c - s) ** 2 + (c - w) ** 2 + (c - e) ** 2),
+    numpy_fn=lambda c, n, s, w, e: np.sqrt(
+        (c - n) ** 2 + (c - s) ** 2 + (c - w) ** 2 + (c - e) ** 2
+    ),
 )
 
 

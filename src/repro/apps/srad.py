@@ -46,6 +46,19 @@ def _srad1_python(c, n, s, w, e):
     return min(1.0, max(0.0, coeff))
 
 
+def _srad1_numpy(c, n, s, w, e):
+    dn, ds, dw, de = n - c, s - c, w - c, e - c
+    denom = np.where(np.abs(c) > 1e-12, c, 1e-12)
+    g2 = (dn * dn + ds * ds + dw * dw + de * de) / (denom * denom)
+    lap = (dn + ds + dw + de) / denom
+    num = 0.5 * g2 - (1.0 / 16.0) * lap * lap
+    den = 1.0 + 0.25 * lap
+    qsqr = num / (den * den)
+    den2 = (qsqr - Q0SQR) / (Q0SQR * (1.0 + Q0SQR))
+    coeff = 1.0 / (1.0 + den2)
+    return np.clip(coeff, 0.0, 1.0)
+
+
 srad1_fn = make_userfun(
     "srad1_coeff",
     ["c", "n", "s", "w", "e"],
@@ -62,6 +75,7 @@ srad1_fn = make_userfun(
         "return clamp(coeff, 0.0f, 1.0f);"
     ),
     _srad1_python,
+    numpy_fn=_srad1_numpy,
 )
 
 

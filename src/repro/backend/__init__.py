@@ -1,0 +1,47 @@
+"""Execution backends for Lift programs.
+
+* :mod:`repro.backend.numpy_backend` — compiles lowered Lift expressions
+  into vectorized NumPy kernels (views, strided windows, batched maps);
+* :mod:`repro.backend.cache` — the compilation cache (expression hash +
+  input signature → compiled kernel);
+* :mod:`repro.backend.base` — the :class:`Backend` protocol, the backend
+  registry and the interpreter cross-check mode.
+"""
+
+from .base import (
+    BACKEND_ENV_VAR,
+    Backend,
+    BackendMismatch,
+    CrossCheckBackend,
+    InterpreterBackend,
+    NumpyBackend,
+    default_backend_name,
+    get_backend,
+    run_program,
+)
+from .cache import CompilationCache, default_cache, input_signature
+from .numpy_backend import (
+    CompiledKernel,
+    CompileError,
+    ExecutionError,
+    compile_program,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "BackendMismatch",
+    "CompilationCache",
+    "CompileError",
+    "CompiledKernel",
+    "CrossCheckBackend",
+    "ExecutionError",
+    "InterpreterBackend",
+    "NumpyBackend",
+    "compile_program",
+    "default_backend_name",
+    "default_cache",
+    "get_backend",
+    "input_signature",
+    "run_program",
+]

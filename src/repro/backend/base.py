@@ -1,0 +1,201 @@
+"""Execution backends: a common protocol, the registry, and cross-checking.
+
+The reference interpreter remains the semantic oracle of the system; the
+compiled NumPy backend is the fast path used by experiments, exploration,
+tuning and benchmarks.  Both are exposed behind one small protocol so call
+sites select a backend by name (or honour the ``REPRO_BACKEND`` environment
+variable) instead of hard-coding an execution strategy:
+
+* ``interpreter`` — :class:`InterpreterBackend`, per-element evaluation over
+  nested lists (slow, simple, trusted);
+* ``numpy`` — :class:`NumpyBackend`, compiled vectorized kernels with the
+  compilation cache (the default);
+* ``crosscheck`` — :class:`CrossCheckBackend`, runs *both* and verifies the
+  compiled result against the interpreter before returning it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional, Protocol, Sequence, Union, runtime_checkable
+
+import numpy as np
+
+from ..core.ir import Lambda
+from .cache import CompilationCache, default_cache
+from .numpy_backend import CompileError, compile_program
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a closed Lift program on concrete data."""
+
+    name: str
+
+    def run(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        """Execute ``program`` on ``inputs`` and return the result as ndarray."""
+        ...  # pragma: no cover - protocol stub
+
+
+class InterpreterBackend:
+    """The reference interpreter wrapped in the backend protocol."""
+
+    name = "interpreter"
+
+    def run(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        from ..runtime.interpreter import evaluate_program
+
+        raw = evaluate_program(program, list(inputs), size_env)
+        return np.asarray(raw, dtype=np.float64)
+
+
+_DEFAULT_CACHE = object()  # sentinel: "use the process-wide default cache"
+
+
+class NumpyBackend:
+    """The compiled vectorized backend (with compilation caching).
+
+    ``cache`` defaults to the process-wide cache; pass ``None`` to compile
+    on every run.  When ``fallback`` is set (the default), programs the
+    compiler cannot handle — e.g. ones containing first-class function
+    values — are executed by the interpreter instead of failing, so
+    exploratory code paths never lose coverage by switching backends.
+    """
+
+    name = "numpy"
+
+    def __init__(
+        self,
+        cache=_DEFAULT_CACHE,
+        fallback: bool = True,
+    ) -> None:
+        self.cache: Optional[CompilationCache] = (
+            default_cache if cache is _DEFAULT_CACHE else cache
+        )
+        self.fallback = fallback
+
+    def run(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        try:
+            if self.cache is not None:
+                kernel = self.cache.get_or_compile(program, inputs, size_env)
+            else:
+                kernel = compile_program(program, size_env)
+        except CompileError:
+            if not self.fallback:
+                raise
+            return InterpreterBackend().run(program, inputs, size_env)
+        result = kernel(inputs)
+        return np.asarray(result, dtype=np.float64)
+
+
+class BackendMismatch(AssertionError):
+    """The compiled backend disagreed with the interpreter oracle."""
+
+
+class CrossCheckBackend:
+    """Runs the primary backend and verifies it against an oracle.
+
+    This is the belt-and-braces mode for experiments: results come from the
+    fast compiled path but every execution is validated against the
+    reference interpreter (within ``rtol``/``atol``).
+    """
+
+    name = "crosscheck"
+
+    def __init__(
+        self,
+        primary: Optional[Backend] = None,
+        oracle: Optional[Backend] = None,
+        rtol: float = 1e-6,
+        atol: float = 0.0,
+    ) -> None:
+        self.primary = primary if primary is not None else NumpyBackend()
+        self.oracle = oracle if oracle is not None else InterpreterBackend()
+        self.rtol = rtol
+        self.atol = atol
+
+    def run(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        result = self.primary.run(program, inputs, size_env)
+        expected = self.oracle.run(program, inputs, size_env)
+        if result.shape != expected.shape or not np.allclose(
+            result, expected, rtol=self.rtol, atol=self.atol
+        ):
+            raise BackendMismatch(
+                f"backend {self.primary.name!r} disagrees with "
+                f"{self.oracle.name!r}: max abs error "
+                f"{np.max(np.abs(np.asarray(result) - expected)) if result.shape == expected.shape else 'shape mismatch'}"
+            )
+        return result
+
+
+#: Environment variable selecting the default backend for the process.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_BACKENDS = {
+    "interpreter": InterpreterBackend,
+    "numpy": NumpyBackend,
+    "crosscheck": CrossCheckBackend,
+}
+
+
+def default_backend_name() -> str:
+    return os.environ.get(BACKEND_ENV_VAR, "numpy")
+
+
+def get_backend(which: Union[str, Backend, None] = None) -> Backend:
+    """Resolve a backend instance from a name, an instance, or the default."""
+    if which is None:
+        which = default_backend_name()
+    if isinstance(which, str):
+        try:
+            return _BACKENDS[which]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {which!r}; known: {sorted(_BACKENDS)}"
+            ) from None
+    if isinstance(which, Backend):
+        return which
+    raise TypeError(f"cannot interpret {which!r} as a backend")
+
+
+def run_program(
+    program: Lambda,
+    inputs: Sequence,
+    size_env: Optional[Mapping[str, int]] = None,
+    backend: Union[str, Backend, None] = None,
+) -> np.ndarray:
+    """Execute a program with the selected (or default) backend."""
+    return get_backend(backend).run(program, inputs, size_env)
+
+
+__all__ = [
+    "Backend",
+    "BackendMismatch",
+    "BACKEND_ENV_VAR",
+    "CrossCheckBackend",
+    "InterpreterBackend",
+    "NumpyBackend",
+    "default_backend_name",
+    "get_backend",
+    "run_program",
+]

@@ -1,0 +1,98 @@
+"""The compilation cache: expression hash + input signature → compiled kernel.
+
+Exploration, tuning and the benchmark harness execute the *same* handful of
+Lift expressions thousands of times on identically-shaped inputs.  Compiling
+(staging the closure tree, concretising sizes, building pad index tables) is
+cheap but not free, so compiled kernels are memoised here.
+
+The key combines
+
+* the :func:`~repro.core.ir.structural_key` of the program (alpha-equivalent
+  programs share one entry),
+* the input signature — per input, its shape and dtype,
+* the concrete size environment the kernel was compiled against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ir import Lambda, structural_key
+from .numpy_backend import CompiledKernel, compile_program
+
+
+def input_signature(inputs: Sequence) -> Tuple:
+    """A hashable (shape, dtype) signature of concrete input data."""
+    signature = []
+    for value in inputs:
+        array = value if isinstance(value, np.ndarray) else np.asarray(value)
+        signature.append((array.shape, str(array.dtype)))
+    return tuple(signature)
+
+
+class CompilationCache:
+    """A thread-safe memo table of compiled kernels with hit/miss statistics."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Tuple, CompiledKernel] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self,
+        program: Lambda,
+        signature: Tuple,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> Tuple:
+        sizes = tuple(sorted((size_env or {}).items()))
+        return (structural_key(program), signature, sizes)
+
+    def get_or_compile(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> CompiledKernel:
+        key = self.key_for(program, input_signature(inputs), size_env)
+        with self._lock:
+            kernel = self._entries.get(key)
+            if kernel is not None:
+                self.hits += 1
+                return kernel
+            self.misses += 1
+        kernel = compile_program(program, size_env)
+        with self._lock:
+            if len(self._entries) >= self.max_entries:
+                # Drop the oldest entry (dict preserves insertion order).
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = kernel
+        return kernel
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: The process-wide cache used by the default NumPy backend.
+default_cache = CompilationCache()
+
+
+__all__ = ["CompilationCache", "default_cache", "input_signature"]

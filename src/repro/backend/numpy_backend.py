@@ -1,0 +1,616 @@
+"""The compiled, vectorized NumPy execution backend.
+
+The reference interpreter (:mod:`repro.runtime.interpreter`) executes one
+scalar operation per Python bytecode step over nested lists; it is the
+correctness oracle but far too slow to drive experiments.  This module
+*compiles* a (high-level or lowered) Lift expression into a kernel of
+whole-array NumPy operations:
+
+* ``pad``/``slide``/``transpose``/``split``/``join`` become index tables,
+  strided window views and axis permutations — the same role the Section-5
+  *view* mechanism (:mod:`repro.views.view`) plays during OpenCL code
+  generation, but realised with NumPy's stride machinery;
+* every ``map`` nest (``map``/``mapGlb``/``mapWrg``/``mapLcl``/``mapSeq``)
+  is vectorised away: instead of looping, the mapped axis is re-interpreted
+  as a *batch axis* and the function body is evaluated once on whole arrays;
+* ``zip`` produces struct-of-array tuples, so tuple access (``get``) is a
+  constant-time component selection;
+* user functions are applied element-wise over full arrays via their
+  ``numpy_fn`` (or their ``python_fn`` when it broadcasts).
+
+Values
+------
+A runtime value is one of
+
+* a Python scalar (literals, scalar user-function results on scalar inputs),
+* a :class:`Batched` leaf — an ``ndarray`` whose first ``bd`` axes are batch
+  axes introduced by enclosing maps, followed by the value's real axes,
+* a tuple of values (array-of-tuples is represented as tuple-of-arrays).
+
+The invariant maintained throughout is that a leaf's batch axes correspond
+to the *outermost* ``bd`` enclosing map axes; values captured from enclosing
+scopes are re-aligned on use by inserting broadcastable singleton axes
+(:func:`_align`).  Reductions loop only over the (small, constant) stencil
+neighbourhood axis and stay vectorised over all batch axes.
+
+Compilation is *staged*: the expression tree is traversed once and turned
+into a tree of closures, so repeated executions (exploration, tuning,
+benchmarks) pay no dispatch cost.  Compiled kernels are cached by
+structural expression hash plus input signature in
+:mod:`repro.backend.cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.arithmetic import ArithExpr
+from ..core.ir import (
+    Expr,
+    FunCall,
+    FunDecl,
+    Lambda,
+    Literal,
+    Param,
+    Primitive,
+    UserFun,
+)
+from ..core.primitives.algorithmic import (
+    ArrayConstructor,
+    At,
+    Get,
+    Id,
+    Iterate,
+    Join,
+    Map,
+    Reduce,
+    Split,
+    Transpose,
+    TupleCons,
+    Zip,
+)
+from ..core.primitives.opencl import _MemorySpaceModifier
+from ..core.primitives.stencil import Pad, PadConstant, Slide
+
+
+class CompileError(Exception):
+    """Raised when an expression cannot be compiled to a NumPy kernel."""
+
+
+class ExecutionError(Exception):
+    """Raised when a compiled kernel is run on incompatible data."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime values
+# ---------------------------------------------------------------------------
+
+class Batched:
+    """An ndarray whose first ``bd`` axes are (broadcastable) batch axes."""
+
+    __slots__ = ("data", "bd")
+
+    def __init__(self, data: np.ndarray, bd: int) -> None:
+        self.data = data
+        self.bd = bd
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batched(shape={self.data.shape}, bd={self.bd})"
+
+
+def _leafmap(value, fn: Callable[[Batched], "Batched"]):
+    """Apply ``fn`` to every :class:`Batched` leaf of a value tree."""
+    if isinstance(value, tuple):
+        return tuple(_leafmap(component, fn) for component in value)
+    if isinstance(value, Batched):
+        return fn(value)
+    return value  # scalars pass through
+
+
+def _first_leaf(value) -> Optional[Batched]:
+    if isinstance(value, Batched):
+        return value
+    if isinstance(value, tuple):
+        for component in value:
+            leaf = _first_leaf(component)
+            if leaf is not None:
+                return leaf
+    return None
+
+
+def _align_leaf(leaf: Batched, depth: int) -> Batched:
+    """Materialise missing inner batch axes as broadcastable singletons."""
+    if leaf.bd == depth:
+        return leaf
+    if leaf.bd > depth:
+        raise ExecutionError(
+            f"value with {leaf.bd} batch axes used at depth {depth}"
+        )
+    shape = leaf.data.shape
+    new_shape = shape[: leaf.bd] + (1,) * (depth - leaf.bd) + shape[leaf.bd:]
+    return Batched(leaf.data.reshape(new_shape), depth)
+
+
+def _align(value, depth: int):
+    if isinstance(value, (int, float, np.generic)):
+        return value
+    return _leafmap(value, lambda leaf: _align_leaf(leaf, depth))
+
+
+def _as_leaf(value, depth: int) -> Batched:
+    """Coerce a scalar to a 0-real-rank leaf; align leaves; reject tuples."""
+    if isinstance(value, Batched):
+        return _align_leaf(value, depth)
+    if isinstance(value, (int, float, np.generic)):
+        scalar = np.asarray(value, dtype=np.float64).reshape((1,) * depth)
+        return Batched(scalar, depth)
+    raise ExecutionError(f"expected an array or scalar, got {type(value).__name__}")
+
+
+def _array_length(value, depth: int, who: str) -> int:
+    """The length of an array value's first real axis (its axis ``depth``)."""
+    leaf = _first_leaf(value)
+    if leaf is None:
+        raise ExecutionError(f"{who} expects an array, got a scalar")
+    leaf = _align_leaf(leaf, depth)
+    if leaf.data.ndim <= depth:
+        raise ExecutionError(f"{who} expects an array, got a scalar value")
+    return leaf.data.shape[depth]
+
+def _index(value, depth: int, i: int):
+    """Select index ``i`` along axis ``depth`` of an array value."""
+    selector = (slice(None),) * depth + (i,)
+
+    def pick(leaf: Batched) -> Batched:
+        leaf = _align_leaf(leaf, depth)
+        if leaf.data.ndim <= depth:
+            raise ExecutionError("indexing into a scalar value")
+        return Batched(leaf.data[selector], depth)
+
+    return _leafmap(value, pick)
+
+
+def _to_output(value):
+    """Convert a runtime value into the backend's output representation.
+
+    Arrays become ``float64`` ndarrays.  Arrays *of tuples* (``zip`` results)
+    become an ndarray with the tuple components stacked along the last axis,
+    matching ``np.array`` applied to the interpreter's list-of-tuples output.
+    """
+    if isinstance(value, tuple):
+        return np.stack([np.asarray(_to_output(v)) for v in value], axis=-1)
+    if isinstance(value, Batched):
+        if value.bd != 0:
+            raise ExecutionError("result value still carries batch axes")
+        return value.data
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The staged compiler
+# ---------------------------------------------------------------------------
+
+Env = Dict[Param, object]
+Step = Callable[[Env, int], object]
+Applier = Callable[[List, Env, int], object]
+
+
+class _Compiler:
+    """Compiles one expression tree into a tree of closures."""
+
+    def __init__(self, size_env: Mapping[str, int]) -> None:
+        self.size_env = dict(size_env)
+        # (id(boundary), left, right, n) -> precomputed index table
+        self._pad_indices: Dict[Tuple, np.ndarray] = {}
+
+    # -- expressions --------------------------------------------------------
+    def compile_expr(self, expr: Expr) -> Step:
+        if isinstance(expr, Param):
+            def step_param(env: Env, depth: int, _p=expr):
+                try:
+                    return env[_p]
+                except KeyError:
+                    raise ExecutionError(f"unbound parameter {_p.name!r}") from None
+            return step_param
+
+        if isinstance(expr, Literal):
+            value = expr.value
+            return lambda env, depth: value
+
+        if isinstance(expr, FunCall):
+            arg_steps = [self.compile_expr(arg) for arg in expr.args]
+            applier = self.compile_apply(expr.fun)
+            def step_call(env: Env, depth: int):
+                return applier([s(env, depth) for s in arg_steps], env, depth)
+            return step_call
+
+        if isinstance(expr, (Lambda, UserFun, Primitive)):
+            raise CompileError(
+                f"first-class function values ({type(expr).__name__}) are not "
+                "supported by the compiled backend; use the interpreter"
+            )
+        raise CompileError(f"cannot compile expression {type(expr).__name__}")
+
+    # -- application --------------------------------------------------------
+    def compile_apply(self, fun: FunDecl) -> Applier:
+        if isinstance(fun, Lambda):
+            body_step = self.compile_expr(fun.body)
+            params = fun.params
+            def apply_lambda(args: List, env: Env, depth: int):
+                if len(args) != len(params):
+                    raise ExecutionError(
+                        f"lambda expects {len(params)} arguments, got {len(args)}"
+                    )
+                inner = dict(env)
+                inner.update(dict(zip(params, args)))
+                return body_step(inner, depth)
+            return apply_lambda
+
+        if isinstance(fun, UserFun):
+            return self._compile_userfun(fun)
+
+        if isinstance(fun, Primitive):
+            return self._compile_primitive(fun)
+
+        raise CompileError(f"cannot compile application of {type(fun).__name__}")
+
+    # -- user functions -----------------------------------------------------
+    def _compile_userfun(self, fun: UserFun) -> Applier:
+        fn = fun.numpy_fn if fun.numpy_fn is not None else fun.python_fn
+
+        def raw(value, depth: int):
+            if isinstance(value, Batched):
+                return _align_leaf(value, depth).data
+            if isinstance(value, tuple):
+                return tuple(raw(component, depth) for component in value)
+            return value
+
+        def wrap(result, depth: int):
+            if isinstance(result, np.ndarray):
+                if result.ndim < depth:
+                    raise ExecutionError(
+                        f"user function {fun.name!r} dropped batch axes"
+                    )
+                return Batched(result, depth)
+            if isinstance(result, tuple):
+                return tuple(wrap(component, depth) for component in result)
+            return result
+
+        def apply_userfun(args: List, env: Env, depth: int, _fn=fn):
+            return wrap(_fn(*[raw(a, depth) for a in args]), depth)
+
+        return apply_userfun
+
+    # -- primitives ---------------------------------------------------------
+    def _compile_primitive(self, prim: Primitive) -> Applier:
+        if isinstance(prim, Map):  # covers mapGlb/mapWrg/mapLcl/mapSeq
+            return self._compile_map(prim)
+        if isinstance(prim, Reduce):  # covers reduceSeq/reduceUnroll
+            return self._compile_reduce(prim)
+        if isinstance(prim, Iterate):
+            return self._compile_iterate(prim)
+        if isinstance(prim, Zip):
+            return self._compile_zip(prim)
+        if isinstance(prim, Split):
+            return self._compile_split(prim)
+        if isinstance(prim, Join):
+            return self._compile_join(prim)
+        if isinstance(prim, Transpose):
+            return self._compile_transpose(prim)
+        if isinstance(prim, At):
+            index = prim.index
+            return lambda args, env, depth: _index(args[0], depth, index)
+        if isinstance(prim, Get):
+            return self._compile_get(prim)
+        if isinstance(prim, TupleCons):
+            return lambda args, env, depth: tuple(args)
+        if isinstance(prim, ArrayConstructor):
+            return self._compile_array_constructor(prim)
+        if isinstance(prim, Id):
+            return lambda args, env, depth: args[0]
+        if isinstance(prim, Pad):
+            return self._compile_pad(prim)
+        if isinstance(prim, PadConstant):
+            return self._compile_pad_constant(prim)
+        if isinstance(prim, Slide):
+            return self._compile_slide(prim)
+        if isinstance(prim, _MemorySpaceModifier):
+            return self.compile_apply(prim.f)
+        raise CompileError(f"no compilation rule for primitive {prim.name!r}")
+
+    def _compile_map(self, prim: Map) -> Applier:
+        f_apply = self.compile_apply(prim.f)
+        name = prim.name
+
+        def apply_map(args: List, env: Env, depth: int):
+            (data,) = args
+            length = _array_length(data, depth, name)
+            # The mapped axis becomes one more batch axis; the body is then
+            # evaluated ONCE on whole arrays instead of `length` times.
+            batched = _leafmap(
+                _align(data, depth),
+                lambda leaf: Batched(leaf.data, depth + 1),
+            )
+            result = f_apply([batched], env, depth + 1)
+            return _leafmap(
+                _align(_scalar_to_leaf(result, depth + 1), depth + 1),
+                lambda leaf: _debatch_leaf(leaf, depth, length),
+            )
+
+        return apply_map
+
+    def _compile_reduce(self, prim: Reduce) -> Applier:
+        f_apply = self.compile_apply(prim.f)
+        init_step = self.compile_expr(prim.init)
+        name = prim.name
+
+        def apply_reduce(args: List, env: Env, depth: int):
+            (data,) = args
+            length = _array_length(data, depth, name)
+            acc = init_step(env, depth)
+            aligned = _align(data, depth)
+            # Sequential fold over the (small) reduced axis, in the same
+            # order as the interpreter; vectorised over every batch axis.
+            for i in range(length):
+                acc = f_apply([acc, _index(aligned, depth, i)], env, depth)
+            expander = lambda leaf: Batched(
+                np.expand_dims(leaf.data, axis=depth), depth
+            )
+            return _leafmap(_align(_scalar_to_leaf(acc, depth), depth), expander)
+
+        return apply_reduce
+
+    def _compile_iterate(self, prim: Iterate) -> Applier:
+        f_apply = self.compile_apply(prim.f)
+        count = prim.count
+
+        def apply_iterate(args: List, env: Env, depth: int):
+            (data,) = args
+            for _ in range(count):
+                data = f_apply([data], env, depth)
+            return data
+
+        return apply_iterate
+
+    def _compile_zip(self, prim: Zip) -> Applier:
+        name = prim.name
+
+        def apply_zip(args: List, env: Env, depth: int):
+            lengths = [_array_length(a, depth, name) for a in args]
+            if len(set(lengths)) != 1:
+                raise ExecutionError("zip: arrays have different lengths")
+            # Array-of-tuples is represented struct-of-arrays: the zipped
+            # axis stays at position `depth` inside every component.
+            return tuple(_align(a, depth) for a in args)
+
+        return apply_zip
+
+    def _compile_split(self, prim: Split) -> Applier:
+        chunk = self._concrete(prim.chunk, "split chunk size")
+
+        def apply_split(args: List, env: Env, depth: int):
+            def split_leaf(leaf: Batched) -> Batched:
+                shape = leaf.data.shape
+                n = shape[depth]
+                if n % chunk != 0:
+                    raise ExecutionError(
+                        f"split({chunk}): input length {n} is not divisible"
+                    )
+                new_shape = shape[:depth] + (n // chunk, chunk) + shape[depth + 1:]
+                return Batched(leaf.data.reshape(new_shape), depth)
+
+            return _leafmap(_align(args[0], depth), split_leaf)
+
+        return apply_split
+
+    def _compile_join(self, prim: Join) -> Applier:
+        def apply_join(args: List, env: Env, depth: int):
+            def join_leaf(leaf: Batched) -> Batched:
+                shape = leaf.data.shape
+                if leaf.data.ndim < depth + 2:
+                    raise ExecutionError("join expects a nested array")
+                new_shape = (
+                    shape[:depth] + (shape[depth] * shape[depth + 1],)
+                    + shape[depth + 2:]
+                )
+                return Batched(leaf.data.reshape(new_shape), depth)
+
+            return _leafmap(_align(args[0], depth), join_leaf)
+
+        return apply_join
+
+    def _compile_transpose(self, prim: Transpose) -> Applier:
+        def apply_transpose(args: List, env: Env, depth: int):
+            def swap_leaf(leaf: Batched) -> Batched:
+                if leaf.data.ndim < depth + 2:
+                    raise ExecutionError("transpose expects a nested array")
+                return Batched(np.swapaxes(leaf.data, depth, depth + 1), depth)
+
+            return _leafmap(_align(args[0], depth), swap_leaf)
+
+        return apply_transpose
+
+    def _compile_get(self, prim: Get) -> Applier:
+        index = prim.index
+
+        def apply_get(args: List, env: Env, depth: int):
+            value = args[0]
+            if not isinstance(value, tuple):
+                raise ExecutionError(
+                    f"get expects a tuple, got {type(value).__name__}"
+                )
+            return value[index]
+
+        return apply_get
+
+    def _compile_array_constructor(self, prim: ArrayConstructor) -> Applier:
+        size = self._concrete(prim.size, "array size")
+        generator = prim.generator
+        values = np.asarray(
+            [generator(i, size) for i in range(size)], dtype=np.float64
+        )
+
+        def apply_array(args: List, env: Env, depth: int):
+            return Batched(values, 0)
+
+        return apply_array
+
+    def _compile_pad(self, prim: Pad) -> Applier:
+        left, right, boundary = prim.left, prim.right, prim.boundary
+
+        def indices_for(n: int) -> np.ndarray:
+            key = (id(boundary), left, right, n)
+            table = self._pad_indices.get(key)
+            if table is None:
+                table = np.asarray(
+                    [boundary(i - left, n) for i in range(n + left + right)],
+                    dtype=np.intp,
+                )
+                self._pad_indices[key] = table
+            return table
+
+        def apply_pad(args: List, env: Env, depth: int):
+            def pad_leaf(leaf: Batched) -> Batched:
+                n = leaf.data.shape[depth]
+                return Batched(
+                    np.take(leaf.data, indices_for(n), axis=depth), depth
+                )
+
+            return _leafmap(_align(args[0], depth), pad_leaf)
+
+        return apply_pad
+
+    def _compile_pad_constant(self, prim: PadConstant) -> Applier:
+        left, right = prim.left, prim.right
+        value_step = self.compile_expr(prim.value)
+
+        def apply_pad_constant(args: List, env: Env, depth: int):
+            value = value_step(env, depth)
+            if isinstance(value, Batched):
+                if value.data.size != 1:
+                    raise ExecutionError(
+                        "padConstant requires a scalar boundary value"
+                    )
+                value = float(value.data.reshape(()))
+
+            def pad_leaf(leaf: Batched) -> Batched:
+                widths = [(0, 0)] * leaf.data.ndim
+                widths[depth] = (left, right)
+                return Batched(
+                    np.pad(leaf.data, widths, mode="constant", constant_values=value),
+                    depth,
+                )
+
+            return _leafmap(_align(args[0], depth), pad_leaf)
+
+        return apply_pad_constant
+
+    def _compile_slide(self, prim: Slide) -> Applier:
+        size = self._concrete(prim.size, "slide window size")
+        step = self._concrete(prim.step, "slide step")
+
+        def apply_slide(args: List, env: Env, depth: int):
+            def slide_leaf(leaf: Batched) -> Batched:
+                data = leaf.data
+                n = data.shape[depth]
+                count = (n - size + step) // step
+                if count < 0:
+                    raise ExecutionError(
+                        f"slide({size}, {step}): input of length {n} is too short"
+                    )
+                if n < size:  # zero windows, but a well-shaped empty result
+                    shape = (
+                        data.shape[:depth] + (0, size) + data.shape[depth + 1:]
+                    )
+                    return Batched(np.empty(shape, dtype=data.dtype), depth)
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    data, size, axis=depth
+                )
+                # window axis is appended last; move it next to the slide axis
+                windows = np.moveaxis(windows, -1, depth + 1)
+                if step != 1:
+                    selector = (slice(None),) * depth + (slice(None, None, step),)
+                    windows = windows[selector]
+                return Batched(windows, depth)
+
+            return _leafmap(_align(args[0], depth), slide_leaf)
+
+        return apply_slide
+
+    # -- helpers ------------------------------------------------------------
+    def _concrete(self, size: ArithExpr, what: str) -> int:
+        try:
+            return int(size.evaluate(self.size_env))
+        except Exception as exc:
+            raise CompileError(f"cannot concretise {what} {size!r}: {exc}") from exc
+
+
+def _scalar_to_leaf(value, depth: int):
+    """Promote bare scalars to leaves so axis bookkeeping works uniformly."""
+    if isinstance(value, (int, float, np.generic)):
+        return _as_leaf(value, 0)
+    if isinstance(value, tuple):
+        return tuple(_scalar_to_leaf(component, depth) for component in value)
+    return value
+
+
+def _debatch_leaf(leaf: Batched, depth: int, length: int) -> Batched:
+    """Turn batch axis ``depth`` back into a real axis of size ``length``."""
+    data = leaf.data
+    if data.shape[depth] != length:
+        if data.shape[depth] != 1:
+            raise ExecutionError(
+                f"map result has extent {data.shape[depth]} on its mapped "
+                f"axis, expected {length}"
+            )
+        shape = list(data.shape)
+        shape[depth] = length
+        data = np.broadcast_to(data, tuple(shape))
+    return Batched(data, depth)
+
+
+# ---------------------------------------------------------------------------
+# Compiled kernels
+# ---------------------------------------------------------------------------
+
+class CompiledKernel:
+    """A Lift program compiled to a vectorized NumPy callable."""
+
+    def __init__(self, program: Lambda, size_env: Mapping[str, int]) -> None:
+        if not isinstance(program, Lambda):
+            raise CompileError("only closed top-level lambdas can be compiled")
+        self.program = program
+        self.size_env = dict(size_env)
+        compiler = _Compiler(self.size_env)
+        self._params = program.params
+        self._body_step = compiler.compile_expr(program.body)
+
+    def __call__(self, inputs: Sequence) -> np.ndarray:
+        if len(inputs) != len(self._params):
+            raise ExecutionError(
+                f"program expects {len(self._params)} inputs, got {len(inputs)}"
+            )
+        env: Env = {
+            param: Batched(np.asarray(value, dtype=np.float64), 0)
+            for param, value in zip(self._params, inputs)
+        }
+        return _to_output(self._body_step(env, 0))
+
+
+def compile_program(
+    program: Lambda,
+    size_env: Optional[Mapping[str, int]] = None,
+) -> CompiledKernel:
+    """Compile a closed Lift program into a NumPy kernel (no caching)."""
+    return CompiledKernel(program, size_env or {})
+
+
+__all__ = [
+    "Batched",
+    "CompileError",
+    "CompiledKernel",
+    "ExecutionError",
+    "compile_program",
+]

@@ -20,7 +20,7 @@ kernel plans are evaluated on the same virtual device as the Lift variants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..runtime.simulator.device import DeviceModel
 from ..runtime.simulator.kernel_model import KernelProfile, ProblemInstance

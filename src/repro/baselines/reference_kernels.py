@@ -28,10 +28,10 @@ Key structural facts encoded below (and the paper observations they produce):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Dict
 
 from ..runtime.simulator.device import DeviceModel
-from ..runtime.simulator.kernel_model import KernelProfile, ProblemInstance, halo_factor
+from ..runtime.simulator.kernel_model import KernelProfile, ProblemInstance
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,13 @@
 """Command-line interface for reproducing the paper's experiments.
 
-Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
 
     python -m repro table1
     python -m repro figure7 [--benchmarks hotspot2d stencil2d] [--budget 2000]
     python -m repro figure8 [--sizes small] [--devices nvidia amd]
     python -m repro kernel jacobi2d5pt --strategy tiled --tile 18 --size 64 64
-    python -m repro verify [--benchmarks heat poisson]
+    python -m repro verify [--benchmarks heat poisson] [--backend crosscheck]
+    python -m repro bench-backend [--out BENCH_backend.json]
 
 Every sub-command prints human-readable text; the figure commands emit the
 same rows the paper plots.
@@ -16,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -83,10 +84,29 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     failures = 0
     for key in keys:
         benchmark = ALL_BENCHMARKS[key]
-        ok = benchmark.verify(shape=shapes[benchmark.ndims], seed=17)
+        ok = benchmark.verify(
+            shape=shapes[benchmark.ndims], seed=17, backend=args.backend
+        )
         print(f"{key:<14} {'OK' if ok else 'MISMATCH'}")
         failures += 0 if ok else 1
     return 1 if failures else 0
+
+
+def _cmd_bench_backend(args: argparse.Namespace) -> int:
+    from .experiments.backend_bench import (
+        format_backend_bench,
+        run_backend_bench,
+        write_backend_bench,
+    )
+
+    rows = run_backend_bench(
+        benchmarks=args.benchmarks or None, repeats=args.repeats
+    )
+    print(format_backend_bench(rows))
+    if args.out:
+        write_backend_bench(rows, args.out)
+        print(f"\nwrote {args.out}")
+    return 0 if all(row.results_match for row in rows) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="check every benchmark against its NumPy golden")
     verify.add_argument("--benchmarks", nargs="*", default=None)
+    verify.add_argument("--backend", default=None,
+                        choices=["numpy", "interpreter", "crosscheck"],
+                        help="execution backend (default: the process default)")
+
+    bench_backend = sub.add_parser(
+        "bench-backend",
+        help="time the reference interpreter vs the compiled NumPy backend",
+    )
+    bench_backend.add_argument("--benchmarks", nargs="*", default=None)
+    bench_backend.add_argument("--repeats", type=int, default=3,
+                               help="timing repetitions for the compiled path")
+    bench_backend.add_argument("--out", default=None,
+                               help="write the rows as JSON to this path")
 
     return parser
 
@@ -137,6 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure8": _cmd_figure8,
         "kernel": _cmd_kernel,
         "verify": _cmd_verify,
+        "bench-backend": _cmd_bench_backend,
     }
     return handlers[args.command](args)
 

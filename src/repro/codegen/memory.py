@@ -10,8 +10,8 @@ performance model agree on how much local memory a kernel variant uses.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 
 @dataclass

@@ -22,7 +22,7 @@ import builtins
 from typing import Callable, List, Optional, Sequence, Union
 
 from .arithmetic import ArithLike, Var
-from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param, UserFun
+from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param
 from .primitives.algorithmic import (
     ArrayConstructor,
     At,
@@ -49,7 +49,7 @@ from .primitives.opencl import (
     ToPrivate,
 )
 from .primitives.stencil import BOUNDARIES, Boundary, CLAMP, MIRROR, WRAP, Pad, PadConstant, Slide
-from .types import ArrayType, Float, Int, Type
+from .types import Float, Int, Type
 from .types import array as array_type
 
 FunLike = Union[FunDecl, Callable[..., Expr]]

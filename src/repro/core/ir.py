@@ -135,6 +135,13 @@ class UserFun(Expr, FunDecl):
     python_fn:
         A Python callable with the same semantics, used by the reference
         interpreter and by the simulator's functional check.
+    numpy_fn:
+        Optional whole-array implementation used by the compiled NumPy
+        backend.  It receives NumPy arrays (with arbitrary leading batch
+        axes) instead of scalars and must vectorise over them.  When absent
+        the backend applies ``python_fn`` to full arrays, which is correct
+        for purely arithmetic bodies (they broadcast) but not for bodies
+        with data-dependent branches.
     """
 
     def __init__(
@@ -145,6 +152,7 @@ class UserFun(Expr, FunDecl):
         param_types: Sequence[Type],
         return_type: Type,
         python_fn: Callable,
+        numpy_fn: Optional[Callable] = None,
     ) -> None:
         Expr.__init__(self)
         self.name = name
@@ -153,6 +161,7 @@ class UserFun(Expr, FunDecl):
         self.param_types = tuple(param_types)
         self.return_type = return_type
         self.python_fn = python_fn
+        self.numpy_fn = numpy_fn
         if len(self.param_names) != len(self.param_types):
             raise ValueError("UserFun parameter names and types differ in length")
 
@@ -325,6 +334,69 @@ def structurally_equal(a: Expr, b: Expr) -> bool:
     return False
 
 
+def structural_key(expr: Expr) -> Tuple:
+    """A hashable key identifying an expression up to structural equality.
+
+    Parameters are numbered by binding order (de Bruijn style), so
+    alpha-equivalent programs produce the same key.  The key is the basis of
+    the compiled backend's compilation cache: two expressions with equal keys
+    compile to the same kernel.
+
+    Caveat: embedded Python callables (an ``ArrayConstructor``'s generator)
+    have no structural identity, so they are keyed by object identity.  Keys
+    are therefore only valid while the expressions they were derived from
+    are alive — holding a key without the expression (as a dedup table
+    might) can conflate two programs whose generator ids were reused after
+    garbage collection.  The compilation cache is safe: its cached kernels
+    keep their expressions (and thus the generators) alive.
+    """
+    return _structural_key(expr, {})
+
+
+def _structural_key(expr: Expr, param_ids: Dict[Param, int]) -> Tuple:
+    if isinstance(expr, Param):
+        if expr in param_ids:
+            return ("param", param_ids[expr])
+        return ("free", expr.name)
+    if isinstance(expr, Literal):
+        return ("lit", expr.value, repr(expr.type))
+    if isinstance(expr, Lambda):
+        inner = dict(param_ids)
+        for param in expr.params:
+            inner[param] = len(inner)
+        return ("lambda", len(expr.params), _structural_key(expr.body, inner))
+    if isinstance(expr, UserFun):
+        return ("userfun", expr.name, expr.body_c)
+    if isinstance(expr, FunCall):
+        fun = expr.fun
+        if isinstance(fun, Expr):
+            fun_key = _structural_key(fun, param_ids)
+        else:  # pragma: no cover - FunDecl that is not an Expr
+            fun_key = ("decl", type(fun).__name__, id(fun))
+        return ("call", fun_key) + tuple(
+            _structural_key(arg, param_ids) for arg in expr.args
+        )
+    if isinstance(expr, Primitive):
+        static = tuple(
+            repr(item) if not isinstance(item, (int, float, str, bool, type(None))) else item
+            for item in expr.static_key()
+        )
+        extra: Tuple = ()
+        generator = getattr(expr, "generator", None)
+        if generator is not None:  # ArrayConstructor: the closure is part of identity
+            extra = (id(generator),)
+        nested = tuple(
+            _structural_key(f, param_ids) for f in expr.nested_functions()
+        )
+        return ("prim", type(expr).__name__, static, extra) + nested
+    raise TypeError(f"cannot key expression {type(expr).__name__}")
+
+
+def structural_hash(expr: Expr) -> int:
+    """A stable (within one process) hash of :func:`structural_key`."""
+    return hash(structural_key(expr))
+
+
 def _decl_equal(a: FunDecl, b: FunDecl) -> bool:
     if isinstance(a, (Lambda, UserFun)) and isinstance(b, (Lambda, UserFun)):
         return structurally_equal(a, b)  # type: ignore[arg-type]
@@ -353,4 +425,6 @@ __all__ = [
     "substitute_params",
     "collect",
     "structurally_equal",
+    "structural_key",
+    "structural_hash",
 ]

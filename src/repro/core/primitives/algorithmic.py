@@ -24,16 +24,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence, Tuple
 
-from ..arithmetic import ArithExpr, ArithLike, Cst, _as_arith, exact_div
-from ..ir import Expr, FunDecl, Literal, Primitive
-from ..types import (
-    ArrayType,
-    ScalarType,
-    TupleType,
-    Type,
-    TypeError_,
-    check_same_size,
-)
+from ..arithmetic import ArithLike, Cst, _as_arith, exact_div
+from ..ir import Expr, FunDecl, Primitive
+from ..types import ArrayType, TupleType, Type, TypeError_, check_same_size
 
 
 def _infer_call(fun, arg_types: Sequence[Type]) -> Type:

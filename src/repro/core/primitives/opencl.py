@@ -28,7 +28,6 @@ from typing import Sequence, Tuple
 
 from ..ir import Expr, FunDecl, Primitive
 from ..types import ArrayType, Type, TypeError_
-from ..arithmetic import Cst
 from .algorithmic import Map, Reduce
 
 

@@ -15,7 +15,7 @@ it without re-running inference.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param, Primitive, UserFun
 from .types import (

@@ -19,7 +19,7 @@ Types implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Tuple
 
 from .arithmetic import ArithExpr, ArithLike, Cst, _as_arith
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+import numpy as np
+
 from .ir import UserFun
-from .types import Float, Int, ScalarType, Type
+from .types import Float, Type
 
 
 def make_userfun(
@@ -21,11 +23,19 @@ def make_userfun(
     python_fn: Callable,
     param_types: Sequence[Type] | None = None,
     return_type: Type = Float,
+    numpy_fn: Callable | None = None,
 ) -> UserFun:
-    """Convenience constructor defaulting all parameters to ``float``."""
+    """Convenience constructor defaulting all parameters to ``float``.
+
+    ``numpy_fn`` supplies a whole-array implementation for the compiled NumPy
+    backend; it is only needed when ``python_fn`` does not broadcast (i.e. it
+    branches on its scalar arguments).
+    """
     if param_types is None:
         param_types = [Float] * len(param_names)
-    return UserFun(name, param_names, body_c, param_types, return_type, python_fn)
+    return UserFun(
+        name, param_names, body_c, param_types, return_type, python_fn, numpy_fn
+    )
 
 
 #: Binary addition, the reduction operator of almost every Jacobi-style stencil.
@@ -42,12 +52,16 @@ divide = make_userfun("divide", ["x", "y"], "return x / y;", lambda x, y: x / y)
 
 #: Binary maximum.
 max_fn = make_userfun(
-    "max_fn", ["x", "y"], "return fmax(x, y);", lambda x, y: x if x >= y else y
+    "max_fn", ["x", "y"], "return fmax(x, y);",
+    lambda x, y: x if x >= y else y,
+    numpy_fn=np.maximum,
 )
 
 #: Binary minimum.
 min_fn = make_userfun(
-    "min_fn", ["x", "y"], "return fmin(x, y);", lambda x, y: x if x <= y else y
+    "min_fn", ["x", "y"], "return fmin(x, y);",
+    lambda x, y: x if x <= y else y,
+    numpy_fn=np.minimum,
 )
 
 #: The identity used to introduce copies (e.g. into local memory).
@@ -79,6 +93,20 @@ def weighted_sum(weights: Sequence[float], name: str = "weighted_sum") -> UserFu
             )
         return sum(w * v for w, v in zip(_weights, flat))
 
+    def numpy_fn(nbh, _weights=tuple(weights)):
+        # ``nbh`` arrives as an array whose *last* axis is the flattened
+        # neighbourhood; leading axes are batch axes.  Accumulate in the same
+        # left-to-right order as ``python_fn`` so results match bit-for-bit.
+        if nbh.shape[-1] != len(_weights):
+            raise ValueError(
+                f"{name}: expected {len(_weights)} neighbourhood values, "
+                f"got {nbh.shape[-1]}"
+            )
+        acc = _weights[0] * nbh[..., 0]
+        for i in range(1, len(_weights)):
+            acc = acc + _weights[i] * nbh[..., i]
+        return acc
+
     from .types import ArrayType
 
     return UserFun(
@@ -88,6 +116,7 @@ def weighted_sum(weights: Sequence[float], name: str = "weighted_sum") -> UserFu
         [ArrayType(Float, len(weights))],
         Float,
         python_fn,
+        numpy_fn,
     )
 
 

@@ -1,0 +1,140 @@
+"""Interpreter-vs-compiled execution timing for the Figure-7 pipeline apps.
+
+This experiment quantifies what the compiled NumPy backend buys: it runs
+every requested benchmark's Lift expression through both execution backends
+on the same inputs, verifies the results agree (``rtol=1e-6``), and reports
+wall-clock times plus speedups.  ``python -m repro bench-backend`` writes the
+rows to ``BENCH_backend.json``.
+
+The grids are deliberately modest — the interpreter is the baseline being
+measured, and at the paper's input sizes it would take hours per run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.suite import FIGURE7_BENCHMARKS, get_benchmark
+from ..backend import get_backend
+
+#: Grid sizes used for the timing comparison (per dimensionality).
+BENCH_SHAPES: Dict[int, Tuple[int, ...]] = {2: (128, 128), 3: (16, 24, 24)}
+
+
+@dataclass
+class BackendTiming:
+    """One benchmark's interpreter-vs-compiled timing comparison."""
+
+    benchmark: str
+    shape: Tuple[int, ...]
+    interpreter_s: float
+    compile_s: float
+    compiled_s: float
+    speedup: float
+    max_abs_error: float
+    results_match: bool
+
+
+def _best_of(fn, repeats: int) -> float:
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_backend_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    shapes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[BackendTiming]:
+    """Time every requested benchmark on both backends and cross-check them."""
+    keys = list(benchmarks or FIGURE7_BENCHMARKS)
+    shapes = dict(shapes or BENCH_SHAPES)
+    repeats = max(1, repeats)
+    interpreter = get_backend("interpreter")
+    compiled = get_backend("numpy")
+
+    rows: List[BackendTiming] = []
+    for key in keys:
+        bench = get_benchmark(key)
+        shape = shapes[bench.ndims]
+        inputs = bench.make_inputs(shape, seed)
+        program = bench.build_program()
+
+        interp_result: List[np.ndarray] = []
+        interpreter_s = _timed(
+            lambda: interp_result.append(interpreter.run(program, inputs))
+        )
+
+        # First compiled run pays compilation; afterwards the cache serves it.
+        compiled_result: List[np.ndarray] = []
+        first_s = _timed(
+            lambda: compiled_result.append(compiled.run(program, inputs))
+        )
+        compiled_s = _best_of(lambda: compiled.run(program, inputs), repeats)
+
+        expected = np.asarray(interp_result[0])
+        produced = np.asarray(compiled_result[0])
+        max_abs_error = float(np.max(np.abs(produced - expected)))
+        rows.append(
+            BackendTiming(
+                benchmark=bench.name,
+                shape=tuple(shape),
+                interpreter_s=interpreter_s,
+                compile_s=max(first_s - compiled_s, 0.0),
+                compiled_s=compiled_s,
+                speedup=interpreter_s / compiled_s,
+                max_abs_error=max_abs_error,
+                results_match=bool(
+                    np.allclose(produced, expected, rtol=1e-6, atol=0.0)
+                ),
+            )
+        )
+    return rows
+
+
+def format_backend_bench(rows: Sequence[BackendTiming]) -> str:
+    header = (
+        f"{'benchmark':<12} {'shape':<14} {'interp [s]':>11} "
+        f"{'compiled [s]':>13} {'speedup':>9} {'match':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        shape = "×".join(str(extent) for extent in row.shape)
+        lines.append(
+            f"{row.benchmark:<12} {shape:<14} {row.interpreter_s:>11.4f} "
+            f"{row.compiled_s:>13.6f} {row.speedup:>8.0f}x "
+            f"{'yes' if row.results_match else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+def write_backend_bench(rows: Sequence[BackendTiming], path: str) -> None:
+    payload = {
+        "description": (
+            "Wall-clock comparison of the reference interpreter vs the "
+            "compiled NumPy backend on the Figure-7 pipeline applications"
+        ),
+        "rows": [asdict(row) for row in rows],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+__all__ = [
+    "BENCH_SHAPES",
+    "BackendTiming",
+    "format_backend_bench",
+    "run_backend_bench",
+    "write_backend_bench",
+]

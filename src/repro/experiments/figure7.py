@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..apps.suite import FIGURE7_BENCHMARKS, get_benchmark
-from ..runtime.simulator.device import DEVICES, DeviceModel
-from .pipeline import BenchmarkOutcome, lift_best_result, reference_result
+from ..runtime.simulator.device import DEVICES
+from .pipeline import lift_best_result, reference_result
 
 
 @dataclass

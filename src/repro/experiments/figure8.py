@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..apps.suite import FIGURE8_BENCHMARKS, get_benchmark
-from ..runtime.simulator.device import DEVICES, DeviceModel
+from ..runtime.simulator.device import DEVICES
 from .pipeline import lift_best_result, ppcg_best_result
 
 

@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..apps.base import StencilBenchmark
 from ..baselines.ppcg import PPCGCompiler, ppcg_parameter_space
 from ..baselines.reference_kernels import reference_profile
-from ..rewriting.algorithmic_rules import tiling_is_valid
 from ..rewriting.exploration import ExplorationResult, explore
 from ..runtime.simulator.device import DeviceModel
 from ..runtime.simulator.executor import SimulationResult, VirtualDevice
@@ -137,14 +136,71 @@ def _config_from(variant: ExplorationResult, tuning_config: Dict[str, object],
     )
 
 
+#: Small grids used for the functional cross-check of tuned kernel variants.
+VALIDATION_SHAPES = {2: (13, 11), 3: (5, 7, 9)}
+
+
+def _validation_shape(benchmark: StencilBenchmark,
+                      variant: ExplorationResult) -> Tuple[int, ...]:
+    """A small input shape on which the variant computes the full output.
+
+    Untiled variants work on any shape.  A tiled variant only reproduces the
+    whole output when its tiles exactly cover the padded input
+    (``(padded − u) % v == 0``); at the benchmark's own sizes Lift instead
+    rounds the ND-range up, which the interpreter does not model, so the
+    validation grid is chosen to satisfy exact coverage.
+    """
+    if not variant.lowered.uses_tiling:
+        return VALIDATION_SHAPES[benchmark.ndims]
+    u = variant.lowered.tile_size
+    v = u - (variant.lowered.stencil_size - variant.lowered.stencil_step)
+    radius = (benchmark.stencil_extent - 1) // 2
+    padded = u
+    while padded - 2 * radius < max(8, variant.lowered.stencil_size):
+        padded += v
+    return (padded - 2 * radius,) * benchmark.ndims
+
+
+def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResult):
+    """A tuner hook executing the lowered variant and checking it functionally.
+
+    Both the high-level program and the lowered variant run through the
+    cross-check backend (compiled NumPy verified against the reference
+    interpreter) and their results are compared by
+    :func:`~repro.rewriting.exploration.verify_variants`.  Any divergence
+    means a rewrite or the compiler miscompiled the kernel the tuner is
+    about to report as the winner, so the hook raises.
+    """
+    from ..backend import BackendMismatch
+    from ..rewriting.exploration import verify_variants
+
+    def validate(_config: Dict[str, object]) -> None:
+        shape = _validation_shape(benchmark, variant)
+        inputs = benchmark.make_inputs(shape, 23)
+        program = benchmark.build_program()
+        if not verify_variants(program, [variant], list(inputs), backend="crosscheck"):
+            raise BackendMismatch(
+                f"{benchmark.name}: tuned variant {variant.strategy.describe()!r} "
+                "diverges from the high-level program"
+            )
+
+    return validate
+
+
 def lift_best_result(
     benchmark: StencilBenchmark,
     shape: Optional[Sequence[int]] = None,
     device: Optional[DeviceModel] = None,
     tuner_budget: int = 300,
     label: Optional[str] = None,
+    validate_functional: bool = False,
 ) -> BenchmarkOutcome:
-    """Run the full Lift pipeline for one benchmark on one device."""
+    """Run the full Lift pipeline for one benchmark on one device.
+
+    With ``validate_functional`` set, every tuned kernel variant is also
+    executed on a small grid through the compiled NumPy backend and checked
+    against the reference interpreter before it may be reported.
+    """
     if device is None:
         raise ValueError("a device model is required")
     shape = tuple(shape or benchmark.default_shape)
@@ -173,7 +229,17 @@ def lift_best_result(
             profile = build_profile(_variant.lowered, problem, kernel_config)
             return virtual.run(profile).runtime_s
 
-        tuner = AutoTuner(space, objective, budget=tuner_budget, strategy="exhaustive")
+        tuner = AutoTuner(
+            space,
+            objective,
+            budget=tuner_budget,
+            strategy="exhaustive",
+            validate_best=(
+                _functional_validator(benchmark, variant)
+                if validate_functional
+                else None
+            ),
+        )
         try:
             tuning = tuner.tune()
         except ValueError:
@@ -247,6 +313,7 @@ def ppcg_best_result(
 
 __all__ = [
     "BenchmarkOutcome",
+    "VALIDATION_SHAPES",
     "lift_best_result",
     "reference_result",
     "ppcg_best_result",

@@ -25,7 +25,7 @@ from typing import Optional, Tuple
 from ..core import builders as L
 from ..core.arithmetic import ArithExpr, Cst
 from ..core.ir import Expr, FunCall, FunDecl, Lambda, Param
-from ..core.primitives.algorithmic import Join, Map, Split, Transpose
+from ..core.primitives.algorithmic import Join, Map, Transpose
 from ..core.primitives.opencl import MapGlb, MapLcl, MapSeq, MapWrg
 from ..core.primitives.stencil import Slide
 from .rules import RewriteRule, register_rule

@@ -18,7 +18,9 @@ input).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from ..core.ir import Lambda
 from .algorithmic_rules import tiling_is_valid
@@ -119,9 +121,43 @@ def explore(
     return results
 
 
+def verify_variants(
+    program: Lambda,
+    variants: Sequence[ExplorationResult],
+    inputs: Sequence,
+    backend=None,
+    rtol: float = 1e-6,
+    atol: float = 0.0,
+) -> List[ExplorationResult]:
+    """Execute each lowered variant and check it against the source program.
+
+    Every rewrite is supposed to be semantics-preserving; this runs the
+    high-level program and every exploration variant on concrete data with
+    the selected backend (the fast compiled path by default, which makes the
+    check affordable even inside experiment sweeps) and returns the variants
+    whose results match.  A non-empty ``variants`` producing an empty result
+    indicates a broken rewrite rule.
+    """
+    from ..backend import get_backend
+
+    executor = get_backend(backend)
+    expected = np.asarray(executor.run(program, list(inputs)), dtype=np.float64)
+    verified: List[ExplorationResult] = []
+    for variant in variants:
+        result = np.asarray(
+            executor.run(variant.lowered.program, list(inputs)), dtype=np.float64
+        )
+        if result.shape == expected.shape and np.allclose(
+            result, expected, rtol=rtol, atol=atol
+        ):
+            verified.append(variant)
+    return verified
+
+
 __all__ = [
     "DEFAULT_TILE_SIZES",
     "ExplorationResult",
     "candidate_strategies",
     "explore",
+    "verify_variants",
 ]

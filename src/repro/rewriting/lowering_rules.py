@@ -15,7 +15,7 @@ the paper reuses unchanged (Section 4.2/4.3):
 
 from __future__ import annotations
 
-from typing import Optional, Type as PyType
+from typing import Type as PyType
 
 from ..core import builders as L
 from ..core.ir import Expr, FunCall, Lambda, UserFun

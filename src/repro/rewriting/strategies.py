@@ -17,15 +17,14 @@ metadata consumed by the code generator and the GPU performance model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..core import builders as L
 from ..core.arithmetic import Cst
 from ..core.ir import Expr, FunCall, Lambda, replace
-from ..core.primitives.algorithmic import Id, Map, Reduce, Zip
-from ..core.primitives.opencl import MapGlb, MapLcl, MapSeq, MapWrg, ToLocal
-from ..core.primitives.stencil import Pad, PadConstant
+from ..core.primitives.algorithmic import Id, Zip
+from ..core.primitives.opencl import MapGlb, MapLcl, MapWrg, ToLocal
 from .algorithmic_rules import StencilMatch, match_stencil, tile_overlap
 from .rules import apply_everywhere
 from .lowering_rules import LowerReduceSeqRule, LowerReduceUnrollRule

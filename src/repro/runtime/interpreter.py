@@ -42,14 +42,7 @@ from ..core.primitives.algorithmic import (
     TupleCons,
     Zip,
 )
-from ..core.primitives.opencl import (
-    ReduceSeq,
-    ReduceUnroll,
-    ToGlobal,
-    ToLocal,
-    ToPrivate,
-    _MemorySpaceModifier,
-)
+from ..core.primitives.opencl import _MemorySpaceModifier
 from ..core.primitives.stencil import Pad, PadConstant, Slide
 
 

@@ -10,7 +10,7 @@ updated per second (output size divided by execution time, Section 7.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from .device import DeviceModel
 from .kernel_model import KernelProfile

@@ -20,8 +20,8 @@ baseline kernel plans in :mod:`repro.baselines`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ...rewriting.strategies import LoweredProgram
 

@@ -11,8 +11,8 @@ OpenTuner.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 Configuration = Dict[str, object]
 Constraint = Callable[[Configuration], bool]

@@ -10,17 +10,10 @@ setup where both compilers get the same three-hour ATF/OpenTuner budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from .parameters import Configuration, ParameterSpace
-from .search import (
-    Evaluation,
-    Objective,
-    SearchOutcome,
-    exhaustive_search,
-    hill_climb_search,
-    random_search,
-)
+from .search import Evaluation, Objective, exhaustive_search, hill_climb_search, random_search
 
 
 @dataclass
@@ -40,7 +33,15 @@ class TuningResult:
 
 
 class AutoTuner:
-    """Search a constrained parameter space for the lowest-cost configuration."""
+    """Search a constrained parameter space for the lowest-cost configuration.
+
+    ``validate_best`` is an optional callback invoked with the winning
+    configuration before the result is returned.  The experiment pipeline
+    uses it to *functionally* validate the tuned kernel variant — executing
+    the lowered expression through the compiled NumPy backend and comparing
+    against the reference interpreter — so a miscompiled variant can never
+    silently win the search.  The callback should raise on mismatch.
+    """
 
     STRATEGIES = ("exhaustive", "random", "hillclimb")
 
@@ -51,6 +52,7 @@ class AutoTuner:
         budget: int = 200,
         strategy: str = "exhaustive",
         seed: int = 0,
+        validate_best: Optional[Callable[[Configuration], None]] = None,
     ) -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown search strategy {strategy!r}")
@@ -59,6 +61,7 @@ class AutoTuner:
         self.budget = budget
         self.strategy = strategy
         self.seed = seed
+        self.validate_best = validate_best
 
     def tune(self) -> TuningResult:
         if self.strategy == "exhaustive":
@@ -67,6 +70,8 @@ class AutoTuner:
             outcome = random_search(self.space, self.objective, self.budget, self.seed)
         else:
             outcome = hill_climb_search(self.space, self.objective, self.budget, self.seed)
+        if self.validate_best is not None:
+            self.validate_best(outcome.best.configuration)
         return TuningResult(
             best_configuration=outcome.best.configuration,
             best_cost=outcome.best.cost,

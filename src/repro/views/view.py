@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.arithmetic import ArithExpr
 from ..core.ir import Expr, FunCall, Lambda, Literal, Param
 from ..core.primitives.algorithmic import (
     ArrayConstructor,

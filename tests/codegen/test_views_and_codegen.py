@@ -1,14 +1,11 @@
 """Tests for the view system and the OpenCL code generator (paper §5)."""
 
-import re
 
 import pytest
 
 from repro.core import builders as L
-from repro.core.arithmetic import Var
 from repro.core.typecheck import check_program
 from repro.core.types import Float, array
-from repro.core.userfuns import add
 from repro.codegen import CodegenError, generate_kernel
 from repro.rewriting.strategies import NAIVE, lower_program, tiled_strategy
 from repro.views.view import (
@@ -21,7 +18,7 @@ from repro.views.view import (
     ViewZip,
     build_view,
 )
-from repro.apps.jacobi import JACOBI2D_5PT, build_jacobi2d_5pt
+from repro.apps.jacobi import build_jacobi2d_5pt
 from repro.apps.hotspot import build_hotspot2d
 from repro.apps.gaussian import build_gaussian
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import builders as L
-from repro.core.arithmetic import Var
 from repro.core.ir import (
     FunCall,
     Lambda,

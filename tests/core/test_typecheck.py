@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import builders as L
 from repro.core.arithmetic import Var
-from repro.core.typecheck import check_program, infer_type
+from repro.core.typecheck import check_program
 from repro.core.types import ArrayType, Float, TupleType, TypeError_, array
 from repro.core.userfuns import add, id_fn, mult
 

@@ -16,7 +16,7 @@ from repro.experiments import (
 from repro.experiments.figure7 import format_figure7, run_figure7
 from repro.experiments.figure8 import format_figure8, run_figure8, tiling_usage
 from repro.experiments.table1 import format_table1
-from repro.runtime.simulator.device import AMD_HD7970, ARM_MALI_T628, NVIDIA_K20C
+from repro.runtime.simulator.device import NVIDIA_K20C
 
 BUDGET = 800
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import builders as L
 from repro.core.arithmetic import Var
-from repro.core.ir import FunCall, Lambda
+from repro.core.ir import FunCall
 from repro.core.primitives.opencl import (
     MapGlb,
     MapLcl,
@@ -32,7 +32,6 @@ from repro.rewriting.strategies import (
     lower_program,
     tiled_strategy,
 )
-from repro.runtime.interpreter import evaluate_program
 
 from ..conftest import golden_box_sum_2d, interpret_to_array
 
