@@ -11,6 +11,26 @@ The key combines
   programs share one entry),
 * the input signature — per input, its shape and dtype,
 * the concrete size environment the kernel was compiled against.
+
+Multiprocessing contract
+------------------------
+
+Compiled kernels close over Python functions (the staged NumPy closures and
+the user-function callables embedded in the IR), so they are **not
+picklable** and are never shipped across process boundaries.  The parallel
+search engine (:mod:`repro.engine`) instead sends *job specs* (benchmark
+key + strategy + configuration) to its workers, and each worker process
+**re-compiles** the kernels it needs into its own process-local cache — the
+fork start method makes the first compile cheap and every subsequent
+evaluation of the same variant a cache hit inside that worker.
+
+To keep objects that *hold* a cache (e.g. a configured
+:class:`~repro.backend.base.NumpyBackend`) picklable, pickling a
+:class:`CompilationCache` intentionally drops its contents and lock: the
+unpickled copy is an *empty* cache with zeroed statistics that re-compiles
+on first use.  This is the "re-compile per worker" side of the
+picklable-vs-recompile trade-off, chosen because kernels re-compile in
+milliseconds while pickling closure trees is impossible in general.
 """
 
 from __future__ import annotations
@@ -89,6 +109,15 @@ class CompilationCache:
                 "hits": self.hits,
                 "misses": self.misses,
             }
+
+    # -- pickling (see the module docstring's multiprocessing contract) -----
+    def __getstate__(self) -> Dict[str, int]:
+        # Compiled kernels hold unpicklable closures and the lock is
+        # process-local: a pickled cache deliberately carries neither.
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.__init__(max_entries=state.get("max_entries", 256))
 
 
 #: The process-wide cache used by the default NumPy backend.

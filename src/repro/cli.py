@@ -8,9 +8,14 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro kernel jacobi2d5pt --strategy tiled --tile 18 --size 64 64
     python -m repro verify [--benchmarks heat poisson] [--backend crosscheck]
     python -m repro bench-backend [--out BENCH_backend.json]
+    python -m repro explore stencil2d --workers 4 [--budget 200]
+    python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
 
 Every sub-command prints human-readable text; the figure commands emit the
-same rows the paper plots.
+same rows the paper plots.  ``explore`` and ``tune`` run on the parallel
+search engine: evaluations fan out over worker processes and are memoised
+in a SQLite results store, so re-running (or ``--resume``-ing) a session
+skips every already-evaluated point.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
         devices=args.devices or None,
         tuner_budget=args.budget,
         shape_scale=args.scale,
+        workers=args.workers,
     )
     print(format_figure7(rows))
     return 0
@@ -49,6 +55,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         sizes=tuple(args.sizes),
         tuner_budget=args.budget,
         shape_scale=args.scale,
+        workers=args.workers,
     )
     print(format_figure8(rows))
     return 0
@@ -109,6 +116,107 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
     return 0 if all(row.results_match for row in rows) else 1
 
 
+def _run_engine_command(args: argparse.Namespace, command: str) -> int:
+    from .apps.suite import get_benchmark
+    from .engine import CostModelPruner, ResultsStore, SearchEngine
+    from .experiments.pipeline import scaled_shape
+
+    store = ResultsStore(args.store)
+    resumed_spec = None
+    if args.resume:
+        resumed_spec = store.session_spec(args.resume)
+        if resumed_spec is None:
+            known = ", ".join(sid for sid, _ in store.sessions()) or "<none>"
+            print(f"error: unknown session {args.resume!r} in {args.store} "
+                  f"(known sessions: {known})", file=sys.stderr)
+            return 2
+
+    if resumed_spec is not None:
+        # The recorded spec defines the job set; CLI flags only control
+        # execution (worker count, store path).
+        benchmark = get_benchmark(str(resumed_spec["benchmark"]).lower().replace(" ", ""))
+        shape = tuple(int(extent) for extent in resumed_spec["shape"])
+        device = str(resumed_spec["device"])
+        budget = int(resumed_spec["budget"])
+        strategy = str(resumed_spec.get("strategy", "exhaustive"))
+        restarts = int(resumed_spec.get("restarts", 4))
+        seed = int(resumed_spec.get("seed", 0))
+        validate = resumed_spec.get("validate_backend", "numpy") \
+            if resumed_spec.get("validate", False) else False
+        validate_size = int(resumed_spec.get("validate_size", 0))
+        scorer = str(resumed_spec.get("scorer", "simulator"))
+        measure_runs = int(resumed_spec.get("measure_runs", 3))
+        measure_size = int(resumed_spec.get("measure_size", 256))
+        prune_margin = resumed_spec.get("prune_margin")
+        session = args.resume
+    else:
+        benchmark = get_benchmark(args.benchmark)
+        shape = scaled_shape(benchmark.default_shape, args.scale)
+        device = args.device
+        budget = args.budget
+        strategy = getattr(args, "strategy", "exhaustive")
+        restarts = getattr(args, "restarts", 4)
+        seed = args.seed
+        validate = args.validate
+        validate_size = 0
+        scorer = getattr(args, "scorer", "simulator")
+        measure_runs = getattr(args, "measure_runs", 3)
+        measure_size = getattr(args, "measure_size", 256)
+        prune_margin = None if args.no_prune else args.prune_margin
+        session = args.session
+
+    pruner = None if prune_margin is None else CostModelPruner(margin=float(prune_margin))
+    with SearchEngine(store=store, workers=args.workers, pruner=pruner,
+                      validate=validate, validate_size=validate_size,
+                      seed=seed, scorer=scorer,
+                      measure_runs=measure_runs,
+                      measure_size=measure_size) as engine:
+        outcome = engine.run(
+            benchmark,
+            shape=shape,
+            device=device,
+            budget=budget,
+            strategy=strategy,
+            restarts=restarts,
+            session=session,
+        )
+
+    shape_text = "×".join(str(extent) for extent in outcome.shape)
+    print(f"session {outcome.session} (store {args.store})")
+    scorer_text = "" if scorer == "simulator" else f", scorer {scorer}"
+    print(f"{outcome.benchmark} on {outcome.device}, shape {shape_text}, "
+          f"strategy {strategy}, budget {budget}, workers {args.workers}{scorer_text}")
+    pruned = [decision for decision in outcome.pruned if not decision.kept]
+    print(f"variants: {len(outcome.per_variant)} tuned, "
+          f"{len(pruned)} pruned by the cost model")
+    if command == "explore":
+        for ranked in sorted(outcome.per_variant, key=lambda v: v.best_cost):
+            print(f"  {ranked.variant.describe():<32} {ranked.best_cost * 1e3:>10.4f} ms  "
+                  f"{ranked.best_config}  [{ranked.evaluations} evals]")
+        for decision in pruned:
+            print(f"  {decision.variant.describe():<32} {'pruned':>13}  "
+                  f"(estimate {decision.estimate * 1e3:.4f} ms)")
+    best = outcome.best
+    print(f"best: {best.variant.describe()} {best.best_config} — "
+          f"{best.best_cost * 1e3:.4f} ms, {outcome.gelements_per_second:.3f} GElem/s")
+    recalled = outcome.store_hits
+    fresh = outcome.fresh_evaluations
+    suffix = " — zero re-evaluations" if fresh == 0 and recalled else ""
+    print(f"evaluations: {outcome.evaluations} tuner lookups; "
+          f"{fresh} fresh (incl. validation jobs), "
+          f"{recalled} recalled from store{suffix}")
+    print(f"wall clock: {outcome.wall_s:.2f}s")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    return _run_engine_command(args, "explore")
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    return _run_engine_command(args, "tune")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -130,6 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tuner evaluation budget per kernel variant")
         p.add_argument("--scale", type=float, default=1.0,
                        help="scale factor applied to the paper's input sizes")
+        p.add_argument("--workers", type=int, default=1,
+                       help="fan Lift searches out over this many worker processes")
         if name == "figure8":
             p.add_argument("--sizes", nargs="*", default=["small", "large"],
                            choices=["small", "large"])
@@ -158,6 +268,51 @@ def build_parser() -> argparse.ArgumentParser:
     bench_backend.add_argument("--out", default=None,
                                help="write the rows as JSON to this path")
 
+    from .engine.store import DEFAULT_STORE_PATH
+
+    for name, helptext in (
+        ("explore", "rank a benchmark's rewrite variants on the parallel engine"),
+        ("tune", "explore + tune a benchmark on the parallel engine"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("benchmark", nargs="?", default="stencil2d",
+                       help="benchmark key (default: stencil2d)")
+        p.add_argument("--device", default="nvidia",
+                       choices=["nvidia", "amd", "arm"])
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial, inline evaluation)")
+        p.add_argument("--budget", type=int, default=200,
+                       help="evaluation budget per kernel variant")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="scale factor applied to the paper's input size")
+        p.add_argument("--store", default=DEFAULT_STORE_PATH,
+                       help="SQLite results store (memoises across runs)")
+        p.add_argument("--session", default=None,
+                       help="name this search session (default: generated)")
+        p.add_argument("--resume", default=None, metavar="SESSION_ID",
+                       help="re-run a recorded session, skipping every "
+                            "already-evaluated point")
+        p.add_argument("--validate", action="store_true",
+                       help="compile + functionally cross-check every variant "
+                            "in the workers")
+        p.add_argument("--no-prune", action="store_true",
+                       help="disable cost-model pruning of dominated variants")
+        p.add_argument("--prune-margin", type=float, default=4.0,
+                       help="prune variants estimated worse than MARGIN × the best")
+        p.add_argument("--seed", type=int, default=0)
+        if name == "tune":
+            p.add_argument("--strategy", default="exhaustive",
+                           choices=["exhaustive", "random", "hillclimb"])
+            p.add_argument("--restarts", type=int, default=4,
+                           help="hill-climbing basin walks")
+            p.add_argument("--scorer", default="simulator",
+                           choices=["simulator", "measured"],
+                           help="simulator = deterministic device model; "
+                                "measured = time the compiled kernel in the workers")
+            p.add_argument("--measure-runs", type=int, default=3)
+            p.add_argument("--measure-size", type=int, default=256,
+                           help="target grid extent per dimension for measured scoring")
+
     return parser
 
 
@@ -171,6 +326,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "kernel": _cmd_kernel,
         "verify": _cmd_verify,
         "bench-backend": _cmd_bench_backend,
+        "explore": _cmd_explore,
+        "tune": _cmd_tune,
     }
     return handlers[args.command](args)
 

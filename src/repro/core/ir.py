@@ -353,7 +353,8 @@ def structural_key(expr: Expr) -> Tuple:
     return _structural_key(expr, {})
 
 
-def _structural_key(expr: Expr, param_ids: Dict[Param, int]) -> Tuple:
+def _structural_key(expr: Expr, param_ids: Dict[Param, int],
+                    stable: bool = False) -> Tuple:
     if isinstance(expr, Param):
         if expr in param_ids:
             return ("param", param_ids[expr])
@@ -364,17 +365,18 @@ def _structural_key(expr: Expr, param_ids: Dict[Param, int]) -> Tuple:
         inner = dict(param_ids)
         for param in expr.params:
             inner[param] = len(inner)
-        return ("lambda", len(expr.params), _structural_key(expr.body, inner))
+        return ("lambda", len(expr.params),
+                _structural_key(expr.body, inner, stable))
     if isinstance(expr, UserFun):
         return ("userfun", expr.name, expr.body_c)
     if isinstance(expr, FunCall):
         fun = expr.fun
         if isinstance(fun, Expr):
-            fun_key = _structural_key(fun, param_ids)
+            fun_key = _structural_key(fun, param_ids, stable)
         else:  # pragma: no cover - FunDecl that is not an Expr
             fun_key = ("decl", type(fun).__name__, id(fun))
         return ("call", fun_key) + tuple(
-            _structural_key(arg, param_ids) for arg in expr.args
+            _structural_key(arg, param_ids, stable) for arg in expr.args
         )
     if isinstance(expr, Primitive):
         static = tuple(
@@ -384,9 +386,17 @@ def _structural_key(expr: Expr, param_ids: Dict[Param, int]) -> Tuple:
         extra: Tuple = ()
         generator = getattr(expr, "generator", None)
         if generator is not None:  # ArrayConstructor: the closure is part of identity
-            extra = (id(generator),)
+            if stable:
+                # Key the generator by its code location, which survives
+                # process boundaries, instead of the process-local ``id``.
+                extra = (
+                    getattr(generator, "__module__", ""),
+                    getattr(generator, "__qualname__", repr(type(generator))),
+                )
+            else:
+                extra = (id(generator),)
         nested = tuple(
-            _structural_key(f, param_ids) for f in expr.nested_functions()
+            _structural_key(f, param_ids, stable) for f in expr.nested_functions()
         )
         return ("prim", type(expr).__name__, static, extra) + nested
     raise TypeError(f"cannot key expression {type(expr).__name__}")
@@ -395,6 +405,28 @@ def _structural_key(expr: Expr, param_ids: Dict[Param, int]) -> Tuple:
 def structural_hash(expr: Expr) -> int:
     """A stable (within one process) hash of :func:`structural_key`."""
     return hash(structural_key(expr))
+
+
+def structural_digest(expr: Expr) -> str:
+    """A hex digest of the structure of ``expr``, stable across processes.
+
+    Unlike :func:`structural_hash` (which relies on Python's salted ``hash``
+    and on object ids for embedded generator callables), the digest keys
+    generators by their code location (module + qualname), so the same
+    program built in different processes — or in different runs — produces
+    the same digest.  It is the identity used by the persistent
+    :class:`~repro.engine.store.ResultsStore`.
+
+    Caveat: two *distinct* closures created at the same code location (e.g.
+    the same factory called with different captured constants) share a
+    digest; callers keying persisted results additionally include the
+    benchmark / strategy / configuration that produced the expression, which
+    disambiguates every case arising in practice.
+    """
+    import hashlib
+
+    key = _structural_key(expr, {}, stable=True)
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
 
 
 def _decl_equal(a: FunDecl, b: FunDecl) -> bool:

@@ -1,0 +1,40 @@
+"""The parallel, persistent exploration & auto-tuning engine.
+
+One job graph for "pick a rewrite variant" and "pick a tuning
+configuration": the :class:`SearchEngine` fans candidate evaluations out
+over a process pool (workers compile through the PR-1 NumPy backend and
+score with the simulator cost model), memoises every cost in a SQLite
+:class:`ResultsStore` keyed by stable structural digest + configuration
+(cross-run memoisation, resumable sessions), and prunes dominated variants
+with the :class:`CostModelPruner` before any budget is spent on them.
+
+Entry points:
+
+* :meth:`SearchEngine.run` — explore + tune one benchmark;
+* :meth:`SearchEngine.run_suite` — enqueue a whole app suite as one batch;
+* :meth:`SearchEngine.submit` — the raw async-friendly batch API;
+* the CLI verbs ``repro explore`` and ``repro tune [--resume <session-id>]``.
+"""
+
+from .engine import Batch, EngineError, EngineOutcome, SearchEngine, new_session_id
+from .jobs import EvaluationJob, JobResult, VariantOutcome, VariantSpec, make_jobs
+from .pruner import CostModelPruner, PruneDecision
+from .store import DEFAULT_STORE_PATH, ResultsStore, StoredResult
+
+__all__ = [
+    "Batch",
+    "CostModelPruner",
+    "DEFAULT_STORE_PATH",
+    "EngineError",
+    "EngineOutcome",
+    "EvaluationJob",
+    "JobResult",
+    "PruneDecision",
+    "ResultsStore",
+    "SearchEngine",
+    "StoredResult",
+    "VariantOutcome",
+    "VariantSpec",
+    "make_jobs",
+    "new_session_id",
+]

@@ -1,0 +1,733 @@
+"""The parallel, persistent search engine.
+
+:class:`SearchEngine` unifies macro-rewrite exploration and parameter
+tuning into one job graph:
+
+* candidate evaluations fan out over a ``concurrent.futures``
+  ``ProcessPoolExecutor`` (``workers=1`` degenerates to inline, serial
+  evaluation — the exact behaviour of the old pipeline);
+* every cost is memoised in a SQLite :class:`~repro.engine.store.ResultsStore`
+  keyed by the stable structural digest + configuration, so repeated and
+  resumed sessions skip already-evaluated points;
+* a :class:`~repro.engine.pruner.CostModelPruner` (optional) cuts dominated
+  variants before any evaluation budget is spent on them;
+* :meth:`SearchEngine.submit` is the async-friendly batch API: it returns a
+  :class:`Batch` whose results can be harvested in submission order, as
+  they complete, or awaited from asyncio code — experiment drivers use it
+  to enqueue whole app suites at once (:meth:`SearchEngine.run_suite`).
+
+Determinism: batches preserve submission order, searches consume costs in
+that order, and ties are broken by first occurrence — so a fixed seed
+produces the same best point at any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..apps.base import StencilBenchmark
+from ..apps.suite import get_benchmark
+from ..core.ir import structural_digest
+from ..runtime.simulator.device import DEVICES, DeviceModel
+from ..tuning.tuner import AutoTuner, TuningResult
+from .jobs import EvaluationJob, JobResult, VariantOutcome, VariantSpec, make_jobs
+from .pruner import CostModelPruner, PruneDecision
+from .store import ResultsStore
+from .worker import evaluate_job
+
+
+class EngineError(RuntimeError):
+    """A job failed inside the engine (the in-band error, re-raised)."""
+
+
+def _device_key(device: Union[str, DeviceModel]) -> str:
+    if isinstance(device, DeviceModel):
+        for key, model in DEVICES.items():
+            if model is device or model == device:
+                return key
+        raise ValueError(f"device model {device.name!r} is not registered in DEVICES")
+    if device not in DEVICES:
+        raise ValueError(f"unknown device {device!r}; known: {sorted(DEVICES)}")
+    return device
+
+
+class Batch:
+    """A submitted batch of jobs; results arrive per job, in any order.
+
+    ``results()`` blocks until every job is done and returns costs in
+    submission order; ``as_completed()`` yields ``(index, JobResult)``
+    pairs as they finish; ``gather()`` is an awaitable for asyncio
+    callers.  Fresh results are persisted to the engine's store exactly
+    once, on first harvest.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[EvaluationJob],
+        resolved: Dict[int, JobResult],
+        futures: Dict[int, "Future[JobResult]"],
+        aliases: Dict[int, int],
+        engine: "SearchEngine",
+        session: Optional[str],
+    ) -> None:
+        self.jobs = list(jobs)
+        self._resolved = dict(resolved)
+        self._futures = futures
+        self._aliases = aliases          # duplicate-fingerprint index → canonical index
+        self._engine = engine
+        self._session = session
+        self._persisted_indices: set = set()
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for future in self._futures.values() if not future.done())
+
+    def _finish(self, index: int, result: JobResult) -> None:
+        self._resolved[index] = result
+
+    def _persist_fresh(self) -> None:
+        """Store fresh results resolved so far (incremental, idempotent)."""
+        store = self._engine.store
+        if store is None:
+            return
+        fresh = [
+            (index, result)
+            for index, result in self._resolved.items()
+            if index not in self._persisted_indices
+            and not result.from_store and result.ok
+            and index not in self._aliases
+        ]
+        if fresh:
+            store.put_many(
+                [(self.jobs[index], result.cost, result.fingerprint)
+                 for index, result in fresh],
+                session=self._session,
+            )
+        self._persisted_indices.update(index for index, _ in fresh)
+
+    def results(self, raise_on_error: bool = True) -> List[JobResult]:
+        """Every job's result, in submission order (blocks until done)."""
+        for index, future in self._futures.items():
+            self._finish(index, future.result())
+        for index, canonical in self._aliases.items():
+            self._resolved[index] = self._resolved[canonical]
+        self._persist_fresh()
+        ordered = [self._resolved[index] for index in range(len(self.jobs))]
+        if raise_on_error:
+            for job, result in zip(self.jobs, ordered):
+                if not result.ok:
+                    raise EngineError(f"{job.describe()}: {result.error}")
+        return ordered
+
+    def as_completed(self) -> Iterator[Tuple[int, JobResult]]:
+        """Yield ``(submission index, result)`` pairs as jobs finish.
+
+        Breaking out early is safe: results completed so far are persisted
+        when the generator is closed (the remaining in-flight futures keep
+        running on the pool but are not stored).
+        """
+        try:
+            for index in list(self._resolved):
+                yield index, self._resolved[index]
+            remaining = {future: index for index, future in self._futures.items()}
+            while remaining:
+                done, _ = wait(list(remaining), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = remaining.pop(future)
+                    result = future.result()
+                    self._finish(index, result)
+                    yield index, result
+            for index, canonical in self._aliases.items():
+                self._resolved[index] = self._resolved[canonical]
+                yield index, self._resolved[index]
+        finally:
+            self._persist_fresh()
+
+    async def gather(self, raise_on_error: bool = True) -> List[JobResult]:
+        """Awaitable form of :meth:`results` for asyncio callers."""
+        import asyncio
+
+        if self._futures:
+            await asyncio.gather(
+                *[asyncio.wrap_future(future) for future in self._futures.values()]
+            )
+        return self.results(raise_on_error=raise_on_error)
+
+
+@dataclass
+class EngineOutcome:
+    """The result of one engine search over a benchmark's variants."""
+
+    benchmark: str
+    device: str
+    shape: Tuple[int, ...]
+    session: str
+    best: VariantOutcome
+    per_variant: List[VariantOutcome] = field(default_factory=list)
+    pruned: List[PruneDecision] = field(default_factory=list)
+    evaluations: int = 0             # cost lookups, including store recalls
+    fresh_evaluations: int = 0       # points actually evaluated this run
+    store_hits: int = 0              # points recalled from the results store
+    output_elements: int = 0         # elements of the grid best_cost refers to
+    scorer: str = "simulator"
+    wall_s: float = 0.0
+
+    @property
+    def best_runtime_s(self) -> float:
+        return self.best.best_cost
+
+    @property
+    def gelements_per_second(self) -> float:
+        """Throughput over the grid the winning cost was computed on.
+
+        In simulator mode that is the benchmark's input shape; in measured
+        mode it is the (smaller) measurement grid the workers actually
+        timed, so the ratio stays honest.
+        """
+        return self.output_elements / self.best.best_cost / 1e9
+
+    def describe(self) -> str:
+        pruned = sum(1 for decision in self.pruned if not decision.kept)
+        return (
+            f"{self.benchmark} on {self.device}: best {self.best.describe()}; "
+            f"{self.evaluations} evaluations ({self.store_hits} from store, "
+            f"{self.fresh_evaluations} fresh), {pruned} variants pruned, "
+            f"{self.wall_s:.2f}s wall"
+        )
+
+
+class SearchEngine:
+    """Fan candidate evaluations out over processes, memoised in a store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultsStore` (or a path for one).  ``None`` disables
+        persistence — every point is evaluated fresh.
+    workers:
+        Worker process count.  ``1`` evaluates inline in the driver
+        process — the old serial pipeline as a degenerate case.
+    pruner:
+        An optional :class:`CostModelPruner` applied before tuning.
+    validate:
+        Compile every variant in the workers and functionally cross-check
+        it against the high-level program (once per variant per process).
+        ``True`` (or ``"numpy"``) compares both through the compiled NumPy
+        backend; ``"crosscheck"`` additionally verifies every execution
+        against the reference interpreter oracle.  ``validate_size`` grows
+        the validation grid (per-dimension extent) beyond the default tiny
+        one, making validation a real workload worth parallelising.
+    scorer:
+        ``"simulator"`` (default) scores configurations with the analytical
+        device model — deterministic, so any worker count yields the same
+        best point.  ``"measured"`` has the workers *execute* the compiled
+        kernel (best of ``measure_runs`` timings on a grid of roughly
+        ``measure_size`` per dimension) — the empirical mode, where
+        fan-out parallelism pays off on real wall-clock.
+    """
+
+    SCORERS = ("simulator", "measured")
+
+    def __init__(
+        self,
+        store: Union[ResultsStore, str, None] = None,
+        workers: int = 1,
+        pruner: Optional[CostModelPruner] = None,
+        validate: Union[bool, str] = False,
+        validate_size: int = 0,
+        seed: int = 0,
+        scorer: str = "simulator",
+        measure_runs: int = 3,
+        measure_size: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if scorer not in self.SCORERS:
+            raise ValueError(f"unknown scorer {scorer!r}; known: {self.SCORERS}")
+        self._owns_store = isinstance(store, str)
+        self.store = ResultsStore(store) if isinstance(store, str) else store
+        self.workers = workers
+        self.pruner = pruner
+        if isinstance(validate, str):
+            self.validate = True
+            self.validate_backend = validate
+        else:
+            self.validate = bool(validate)
+            self.validate_backend = "numpy"
+        self.validate_size = validate_size
+        self.seed = seed
+        self.scorer = scorer
+        self.measure_runs = measure_runs
+        self.measure_size = measure_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def _measure_args(self) -> Dict[str, int]:
+        if self.scorer != "measured":
+            return {"measure_runs": 0, "measure_size": 0}
+        return {"measure_runs": self.measure_runs, "measure_size": self.measure_size}
+
+    # -- lifecycle -----------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the batch submission API ---------------------------------------------
+    def submit(self, jobs: Sequence[EvaluationJob],
+               session: Optional[str] = None) -> Batch:
+        """Submit a batch of evaluation jobs; returns immediately.
+
+        Store lookups happen up front: already-known points resolve without
+        touching the pool, duplicate fingerprints within the batch are
+        evaluated once, and only genuinely new points are dispatched to
+        worker processes (or evaluated inline when ``workers=1``).
+        """
+        jobs = list(jobs)
+        fingerprints = [job.fingerprint() for job in jobs]
+        stored = (
+            self.store.get_many(fingerprints) if self.store is not None else {}
+        )
+        resolved: Dict[int, JobResult] = {}
+        futures: Dict[int, Future] = {}
+        aliases: Dict[int, int] = {}
+        canonical: Dict[str, int] = {}
+        pending: List[Tuple[int, EvaluationJob]] = []
+        for index, (job, fingerprint) in enumerate(zip(jobs, fingerprints)):
+            if fingerprint in stored:
+                resolved[index] = JobResult(
+                    fingerprint=fingerprint,
+                    cost=stored[fingerprint].cost,
+                    from_store=True,
+                )
+                continue
+            if fingerprint in canonical:
+                aliases[index] = canonical[fingerprint]
+                continue
+            canonical[fingerprint] = index
+            pending.append((index, job))
+
+        if pending:
+            if self.workers == 1:
+                for index, job in pending:
+                    resolved[index] = evaluate_job(job)
+            else:
+                pool = self._ensure_pool()
+                for index, job in pending:
+                    futures[index] = pool.submit(evaluate_job, job)
+        return Batch(jobs, resolved, futures, aliases, self, session)
+
+    def evaluate(self, jobs: Sequence[EvaluationJob],
+                 session: Optional[str] = None) -> List[JobResult]:
+        """Submit and harvest a batch, in submission order."""
+        return self.submit(jobs, session=session).results()
+
+    # -- tuning glue -----------------------------------------------------------
+    def batch_objective(
+        self,
+        benchmark: str,
+        shape: Sequence[int],
+        device: str,
+        variant: VariantSpec,
+        expr_digest: str,
+        session: Optional[str] = None,
+        validate: Optional[bool] = None,
+    ):
+        """A ``batch_evaluate`` callable for :class:`~repro.tuning.AutoTuner`."""
+        validate = self.validate if validate is None else validate
+
+        def evaluate_configs(configs: Sequence[Dict[str, object]]) -> List[float]:
+            jobs = make_jobs(
+                benchmark, shape, device, variant, configs,
+                expr_digest=expr_digest, validate=validate,
+                validate_backend=self.validate_backend,
+                validate_size=self.validate_size,
+                **self._measure_args,
+            )
+            return [result.cost for result in self.evaluate(jobs, session=session)]
+
+        return evaluate_configs
+
+    def _validation_jobs(
+        self,
+        benchmark_name: str,
+        shape: Sequence[int],
+        device_key: str,
+        prepared: Sequence[Tuple[VariantSpec, object, str]],
+    ) -> List[EvaluationJob]:
+        """One validation job per variant, to be fanned across the pool.
+
+        Validation (compile + functional cross-check) is per-variant work;
+        leaving it on the per-configuration jobs would repeat it in *every*
+        worker process that touches the variant.  Submitting one dedicated
+        job per variant as a single up-front batch spreads the variants
+        across the pool, so the heavy part parallelises with the worker
+        count instead of being duplicated by it; the subsequent
+        configuration jobs then run with validation off.  A variant whose
+        validation job is answered from the results store is not
+        re-validated: it was validated when the stored cost was produced.
+        """
+        from itertools import islice
+
+        jobs: List[EvaluationJob] = []
+        for spec, space, digest in prepared:
+            first = next(islice(space.configurations(), 1), None)
+            if first is None:
+                continue
+            jobs.extend(
+                make_jobs(
+                    benchmark_name, shape, device_key, spec, [first],
+                    expr_digest=digest, validate=True,
+                    validate_backend=self.validate_backend,
+                    validate_size=self.validate_size,
+                    **self._measure_args,
+                )
+            )
+        return jobs
+
+    # -- searches --------------------------------------------------------------
+    def run(
+        self,
+        benchmark: Union[str, StencilBenchmark],
+        shape: Optional[Sequence[int]] = None,
+        device: Union[str, DeviceModel] = "nvidia",
+        budget: int = 200,
+        strategy: str = "exhaustive",
+        restarts: int = 4,
+        session: Optional[str] = None,
+        prune: Optional[bool] = None,
+    ) -> EngineOutcome:
+        """Explore a benchmark's variants and tune each one — one job graph.
+
+        Pruning defaults to on when the engine has a pruner.  The best
+        point is selected by (cost, submission order), which makes the
+        outcome independent of the worker count.
+        """
+        from ..experiments.pipeline import explore_variants_for, parameter_space_for
+
+        started = time.monotonic()
+        if isinstance(benchmark, str):
+            benchmark = get_benchmark(benchmark)
+        device_key = _device_key(device)
+        device_model = DEVICES[device_key]
+        shape = tuple(shape or benchmark.default_shape)
+        session = session or new_session_id()
+        hits_before, misses_before = self._store_counters()
+
+        if self.store is not None:
+            self.store.save_session(
+                session,
+                {
+                    "benchmark": benchmark.name,
+                    "device": device_key,
+                    "shape": list(shape),
+                    "budget": budget,
+                    "strategy": strategy,
+                    "restarts": restarts,
+                    "seed": self.seed,
+                    "validate": self.validate,
+                    "validate_backend": self.validate_backend,
+                    "validate_size": self.validate_size,
+                    "scorer": self.scorer,
+                    "measure_runs": self.measure_runs,
+                    "measure_size": self.measure_size,
+                    # None = no pruning; a number = CostModelPruner margin.
+                    # Resume must re-derive the same job set, so the pruner
+                    # configuration is part of the session's identity.
+                    "prune_margin": (
+                        self.pruner.margin
+                        if (self.pruner is not None and prune is not False)
+                        else None
+                    ),
+                },
+            )
+
+        variants = [
+            (VariantSpec.from_strategy(result.strategy), result.lowered)
+            for result in explore_variants_for(benchmark, shape)
+        ]
+        decisions: List[PruneDecision] = []
+        if self.pruner is not None and prune is not False:
+            variants, decisions = self.pruner.prune(
+                benchmark, shape, device_model, variants
+            )
+
+        problem = benchmark.problem(shape)
+        lowered_by_spec = dict(variants)
+        prepared = [
+            (
+                spec,
+                parameter_space_for(lowered, problem, device_model),
+                structural_digest(lowered.program),
+            )
+            for spec, lowered in variants
+        ]
+        if self.validate:
+            self.evaluate(
+                self._validation_jobs(benchmark.name, shape, device_key, prepared),
+                session=session,
+            )
+
+        from itertools import islice
+
+        per_variant: List[VariantOutcome] = []
+        evaluations = 0
+        for spec, space, digest in prepared:
+            if next(iter(islice(space.configurations(), 1)), None) is None:
+                # No valid configuration for this variant on this device
+                # (e.g. the tile's output block exceeds the work-group
+                # limit).  Checked explicitly so genuine ValueErrors from
+                # the search machinery are not silently swallowed.
+                continue
+            batch = self.batch_objective(
+                benchmark.name, shape, device_key, spec, digest,
+                session=session, validate=False,
+            )
+
+            def objective(config: Dict[str, object], _batch=batch) -> float:
+                return _batch([config])[0]
+
+            tuner = AutoTuner(
+                space,
+                objective,
+                budget=budget,
+                strategy=strategy,
+                seed=self.seed,
+                restarts=restarts,
+                batch_objective=batch,
+            )
+            tuning: TuningResult = tuner.tune()
+            evaluations += tuning.evaluations
+            per_variant.append(
+                VariantOutcome(
+                    variant=spec,
+                    best_config=dict(tuning.best_configuration),
+                    best_cost=tuning.best_cost,
+                    evaluations=tuning.evaluations,
+                )
+            )
+
+        if not per_variant:
+            raise EngineError(
+                f"{benchmark.name}: no variant admits a valid configuration on {device_key}"
+            )
+        best = min(per_variant, key=lambda outcome: outcome.best_cost)
+        hits_after, misses_after = self._store_counters()
+        if self.store is not None:
+            self.store.finish_session(session)
+        return EngineOutcome(
+            benchmark=benchmark.name,
+            device=device_key,
+            shape=shape,
+            session=session,
+            best=best,
+            per_variant=per_variant,
+            pruned=decisions,
+            evaluations=evaluations,
+            fresh_evaluations=misses_after - misses_before,
+            store_hits=hits_after - hits_before,
+            output_elements=self._scored_elements(
+                benchmark, problem, lowered_by_spec[best.variant]
+            ),
+            scorer=self.scorer,
+            wall_s=time.monotonic() - started,
+        )
+
+    def _scored_elements(self, benchmark: StencilBenchmark, problem,
+                         best_lowered) -> int:
+        """Element count of the grid the winning cost was computed on."""
+        if self.scorer != "measured":
+            return problem.output_elements
+        from .worker import measurement_shape
+
+        shape = measurement_shape(benchmark.stencil_extent, benchmark.ndims,
+                                  best_lowered, self.measure_size)
+        elements = 1
+        for extent in shape:
+            elements *= extent
+        return elements
+
+    def run_suite(
+        self,
+        benchmarks: Sequence[Union[str, StencilBenchmark]],
+        device: Union[str, DeviceModel] = "nvidia",
+        budget: int = 200,
+        session: Optional[str] = None,
+        shapes: Optional[Dict[str, Sequence[int]]] = None,
+        prune: Optional[bool] = None,
+    ) -> Dict[str, EngineOutcome]:
+        """Enqueue a whole app suite as one batch and reduce per benchmark.
+
+        Unlike :meth:`run`, which interleaves search strategy and
+        evaluation, the suite path enumerates each variant's parameter
+        space up front (exhaustively, capped at ``budget`` per variant —
+        the experiment pipeline's configuration) and submits every job of
+        every benchmark in a single batch, so all worker processes stay
+        busy across benchmark boundaries.
+        """
+        from itertools import islice
+
+        from ..experiments.pipeline import explore_variants_for, parameter_space_for
+
+        started = time.monotonic()
+        device_key = _device_key(device)
+        device_model = DEVICES[device_key]
+        session = session or new_session_id()
+        hits_before, misses_before = self._store_counters()
+
+        plans = []  # (benchmark, shape, spec, configs, jobs-slice bounds)
+        all_jobs: List[EvaluationJob] = []
+        validation_plans: Dict[str, List[Tuple[VariantSpec, object, str]]] = {}
+        decisions_by_bench: Dict[str, List[PruneDecision]] = {}
+        lowered_by_variant: Dict[Tuple[str, VariantSpec], object] = {}
+        for entry in benchmarks:
+            benchmark = get_benchmark(entry) if isinstance(entry, str) else entry
+            shape = tuple(
+                (shapes or {}).get(benchmark.name) or benchmark.default_shape
+            )
+            problem = benchmark.problem(shape)
+            variants = [
+                (VariantSpec.from_strategy(result.strategy), result.lowered)
+                for result in explore_variants_for(benchmark, shape)
+            ]
+            decisions: List[PruneDecision] = []
+            if self.pruner is not None and prune is not False:
+                variants, decisions = self.pruner.prune(
+                    benchmark, shape, device_model, variants
+                )
+            decisions_by_bench[benchmark.name] = decisions
+            for spec, lowered in variants:
+                space = parameter_space_for(lowered, problem, device_model)
+                configs = list(islice(space.configurations(), budget))
+                if not configs:
+                    continue
+                digest = structural_digest(lowered.program)
+                validation_plans.setdefault(benchmark.name, []).append(
+                    (spec, space, digest)
+                )
+                lowered_by_variant[(benchmark.name, spec)] = lowered
+                jobs = make_jobs(
+                    benchmark.name, shape, device_key, spec, configs,
+                    expr_digest=digest, validate=False,
+                    validate_backend=self.validate_backend,
+                    validate_size=self.validate_size,
+                    **self._measure_args,
+                )
+                start = len(all_jobs)
+                all_jobs.extend(jobs)
+                plans.append((benchmark, shape, spec, configs, start, len(all_jobs)))
+
+        validation_counts: Dict[str, Tuple[int, int]] = {}  # name → (fresh, hits)
+        if self.validate:
+            # One combined validation batch across every benchmark (see
+            # _validation_jobs): per-variant validation fans across the
+            # pool instead of being duplicated per configuration job.
+            validation_jobs: List[EvaluationJob] = []
+            bounds: List[Tuple[str, int, int]] = []
+            for name, prepared in validation_plans.items():
+                bench_shape = next(
+                    shape for benchmark, shape, *_rest in plans
+                    if benchmark.name == name
+                )
+                start = len(validation_jobs)
+                validation_jobs.extend(
+                    self._validation_jobs(name, bench_shape, device_key, prepared)
+                )
+                bounds.append((name, start, len(validation_jobs)))
+            if validation_jobs:
+                vresults = self.evaluate(validation_jobs, session=session)
+                for name, start, stop in bounds:
+                    hits = sum(1 for result in vresults[start:stop] if result.from_store)
+                    validation_counts[name] = (stop - start - hits, hits)
+
+        results = self.evaluate(all_jobs, session=session)
+
+        outcomes: Dict[str, EngineOutcome] = {}
+        grouped: Dict[str, List[VariantOutcome]] = {}
+        bench_info: Dict[str, Tuple[StencilBenchmark, Tuple[int, ...]]] = {}
+        counters: Dict[str, List[int]] = {}  # name → [fresh, hits]
+        for benchmark, shape, spec, configs, start, stop in plans:
+            slice_results = results[start:stop]
+            best_index = min(
+                range(len(slice_results)), key=lambda i: slice_results[i].cost
+            )
+            grouped.setdefault(benchmark.name, []).append(
+                VariantOutcome(
+                    variant=spec,
+                    best_config=dict(configs[best_index]),
+                    best_cost=slice_results[best_index].cost,
+                    evaluations=len(slice_results),
+                )
+            )
+            hits = sum(1 for result in slice_results if result.from_store)
+            tally = counters.setdefault(benchmark.name, [0, 0])
+            tally[0] += len(slice_results) - hits
+            tally[1] += hits
+            bench_info[benchmark.name] = (benchmark, shape)
+        wall = time.monotonic() - started
+        for name, variant_outcomes in grouped.items():
+            benchmark, shape = bench_info[name]
+            best = min(variant_outcomes, key=lambda outcome: outcome.best_cost)
+            fresh, hits = counters[name]
+            validation_fresh, validation_hits = validation_counts.get(name, (0, 0))
+            outcomes[name] = EngineOutcome(
+                benchmark=name,
+                device=device_key,
+                shape=shape,
+                session=session,
+                best=best,
+                per_variant=variant_outcomes,
+                pruned=decisions_by_bench.get(name, []),
+                evaluations=sum(o.evaluations for o in variant_outcomes),
+                fresh_evaluations=fresh + validation_fresh,
+                store_hits=hits + validation_hits,
+                output_elements=self._scored_elements(
+                    benchmark, benchmark.problem(shape),
+                    lowered_by_variant[(name, best.variant)],
+                ),
+                scorer=self.scorer,
+                wall_s=wall,  # suite-wide wall clock: the batch is shared
+            )
+        if self.store is not None:
+            self.store.finish_session(session)
+        return outcomes
+
+    # -- helpers ---------------------------------------------------------------
+    def _store_counters(self) -> Tuple[int, int]:
+        if self.store is None:
+            return (0, 0)
+        return (self.store.hits, self.store.misses)
+
+
+def new_session_id() -> str:
+    """A fresh, user-visible session identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+__all__ = [
+    "Batch",
+    "EngineError",
+    "EngineOutcome",
+    "SearchEngine",
+    "new_session_id",
+]

@@ -1,0 +1,220 @@
+"""The worker-side evaluator: rebuild, lower, compile, score.
+
+This module is the ``ProcessPoolExecutor`` entry point of the search engine.
+A worker receives a picklable :class:`~repro.engine.jobs.EvaluationJob`,
+*reconstructs* the Lift program from the benchmark registry, lowers it with
+the job's strategy, optionally compiles and functionally checks it through
+the PR-1 NumPy backend, and scores the configuration with the simulator
+cost model.  Nothing compiled ever crosses the process boundary (see
+:mod:`repro.backend.cache` for the rationale); instead each worker keeps
+
+* a lowered-program memo per (benchmark, variant) — lowering runs once per
+  variant per process, and
+* the process-wide compilation cache — each variant compiles once per
+  process, and
+* a validated-variant memo — the functional cross-check (compiled lowered
+  program vs. compiled high-level program on a small grid) runs once per
+  variant per process, not once per configuration.
+
+The same function doubles as the engine's inline evaluator when
+``workers=1``, which makes the serial path a true degenerate case of the
+parallel one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..rewriting.strategies import LoweredProgram, lower_program
+from ..runtime.simulator.device import DEVICES
+from ..runtime.simulator.executor import VirtualDevice
+from ..runtime.simulator.kernel_model import KernelConfig, build_profile
+from .jobs import EvaluationJob, JobResult, VariantSpec
+
+# Per-process memo tables (re-populated lazily in every worker process).
+_LOWERED: Dict[Tuple[str, VariantSpec], LoweredProgram] = {}
+_VALIDATED: Dict[Tuple[str, VariantSpec, str, int], bool] = {}
+_MEASURED: Dict[Tuple[str, VariantSpec, int, int], float] = {}
+
+#: Default tiny grids for the functional cross-check (per dimensionality).
+VALIDATION_SHAPES: Dict[int, Tuple[int, ...]] = {2: (13, 11), 3: (5, 7, 9)}
+
+
+def kernel_config_from(lowered: LoweredProgram, config: Dict[str, object],
+                       ndims: int) -> KernelConfig:
+    """Translate a tuning configuration into the simulator's kernel config."""
+    wg = tuple(
+        int(config.get(name, 1)) for name in ["wg_x", "wg_y", "wg_z"][:ndims]
+    )
+    return KernelConfig(
+        workgroup_size=wg,
+        work_per_thread=int(config.get("work_per_thread", 1)),
+        tile_size=lowered.tile_size,
+        use_local_memory=lowered.uses_local_memory,
+        unrolled=lowered.unrolled,
+    )
+
+
+def validation_shape(stencil_extent: int, ndims: int,
+                     lowered: LoweredProgram,
+                     min_size: int = 0) -> Tuple[int, ...]:
+    """An input shape on which the variant computes the full output.
+
+    Untiled variants work on any shape.  A tiled variant only reproduces the
+    whole output when its tiles exactly cover the padded input
+    (``(padded − u) % v == 0``); at the benchmark's own sizes Lift instead
+    rounds the ND-range up, which the executors do not model, so the grid is
+    chosen to satisfy exact coverage.  ``min_size`` grows the grid to at
+    least that extent per dimension (while preserving exact coverage) —
+    measured scoring uses it to time kernels on non-trivial inputs.
+    """
+    if not lowered.uses_tiling:
+        if min_size > 0:
+            return (min_size,) * ndims
+        return VALIDATION_SHAPES[ndims]
+    u = lowered.tile_size
+    v = u - (lowered.stencil_size - lowered.stencil_step)
+    radius = (stencil_extent - 1) // 2
+    padded = u
+    while padded - 2 * radius < max(8, lowered.stencil_size, min_size):
+        padded += v
+    return (padded - 2 * radius,) * ndims
+
+
+def measurement_shape(stencil_extent: int, ndims: int, lowered: LoweredProgram,
+                      measure_size: int) -> Tuple[int, ...]:
+    """The grid measured scoring times a variant on.
+
+    The per-dimension target holds the element count roughly constant
+    across dimensionalities so 3D jobs stay affordable; tiled variants are
+    then grown to the nearest exact-coverage shape.  Exposed so the driver
+    can report measured throughput over the *same* grid the workers timed.
+    """
+    target = measure_size if ndims == 2 else max(16, round(measure_size ** (2 / 3)))
+    return validation_shape(stencil_extent, ndims, lowered, min_size=target)
+
+
+def _lowered_for(job: EvaluationJob) -> LoweredProgram:
+    from ..apps.suite import get_benchmark
+
+    memo_key = (job.benchmark, job.variant)
+    lowered = _LOWERED.get(memo_key)
+    if lowered is None:
+        benchmark = get_benchmark(job.benchmark)
+        lowered = lower_program(benchmark.build_program(), job.variant.to_strategy())
+        _LOWERED[memo_key] = lowered
+    return lowered
+
+
+def _validate_variant(job: EvaluationJob, lowered: LoweredProgram) -> None:
+    """Compile the variant with the NumPy backend and cross-check it.
+
+    Both the high-level program and the lowered variant are compiled and
+    executed on a small grid; divergence means a rewrite (or the compiler)
+    broke the kernel this configuration belongs to, so the job fails loudly
+    rather than reporting a cost for a miscompiled variant.  With
+    ``validate_backend="crosscheck"``, each execution is additionally
+    verified against the reference interpreter — the slow, trusted oracle.
+    """
+    from ..apps.suite import get_benchmark
+    from ..backend import BackendMismatch, get_backend
+
+    memo_key = (job.benchmark, job.variant, job.validate_backend, job.validate_size)
+    if _VALIDATED.get(memo_key):
+        return
+    benchmark = get_benchmark(job.benchmark)
+    shape = validation_shape(benchmark.stencil_extent, benchmark.ndims, lowered,
+                             min_size=job.validate_size)
+    inputs = [np.asarray(grid) for grid in benchmark.make_inputs(shape, 23)]
+    backend = get_backend(job.validate_backend)
+    expected = np.asarray(backend.run(benchmark.build_program(), inputs))
+    actual = np.asarray(backend.run(lowered.program, inputs))
+    if expected.shape != actual.shape or not np.allclose(
+        actual, expected, rtol=1e-6, atol=0.0
+    ):
+        raise BackendMismatch(
+            f"{job.benchmark}: variant {job.variant.describe()!r} diverges "
+            "from the high-level program under the compiled backend"
+        )
+    _VALIDATED[memo_key] = True
+
+
+def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
+    """Time the compiled kernel on a real grid (the empirical scoring mode).
+
+    The simulator scores a *device model*; measured scoring instead executes
+    the variant through the compiled NumPy backend on this machine and takes
+    the best of ``measure_runs`` timings — the closest analogue of the
+    paper's on-device auto-tuning runs.  Measured costs are wall-clock and
+    therefore not bit-reproducible across machines; the engine keeps them in
+    a separate memo keyspace (see :meth:`EvaluationJob.fingerprint`).
+
+    The compiled NumPy execution is configuration-independent (work-group
+    geometry only exists in the device model), so measured mode ranks
+    *variants*: the timing is memoised per variant per process, and every
+    configuration of a variant reports that variant's measured cost.
+    """
+    import time
+
+    from ..apps.suite import get_benchmark
+    from ..backend import get_backend
+
+    memo_key = (job.benchmark, job.variant, job.measure_runs, job.measure_size)
+    cached = _MEASURED.get(memo_key)
+    if cached is not None:
+        return cached
+
+    benchmark = get_benchmark(job.benchmark)
+    shape = measurement_shape(benchmark.stencil_extent, benchmark.ndims,
+                              lowered, job.measure_size)
+    inputs = [np.asarray(grid) for grid in benchmark.make_inputs(shape, 29)]
+    backend = get_backend("numpy")
+    backend.run(lowered.program, inputs)  # warm-up: compile + populate caches
+    best = float("inf")
+    for _ in range(max(1, job.measure_runs)):
+        started = time.perf_counter()
+        backend.run(lowered.program, inputs)
+        best = min(best, time.perf_counter() - started)
+    _MEASURED[memo_key] = best
+    return best
+
+
+def evaluate_job(job: EvaluationJob) -> JobResult:
+    """Score one (variant, configuration) point; never raises.
+
+    Errors are reported in-band through :attr:`JobResult.error` so one bad
+    point cannot take down a whole batch (a raising job would poison the
+    executor's result iterator).
+    """
+    try:
+        from ..apps.suite import get_benchmark
+
+        benchmark = get_benchmark(job.benchmark)
+        lowered = _lowered_for(job)
+        if job.validate:
+            _validate_variant(job, lowered)
+        if job.measure_runs > 0:
+            cost = _measured_cost(job, lowered)
+        else:
+            problem = benchmark.problem(job.shape)
+            config = kernel_config_from(lowered, job.config_dict, problem.ndims)
+            profile = build_profile(lowered, problem, config)
+            cost = VirtualDevice(DEVICES[job.device]).run(profile).runtime_s
+        return JobResult(fingerprint=job.fingerprint(), cost=float(cost))
+    except Exception as error:  # noqa: BLE001 - reported in-band, see docstring
+        return JobResult(
+            fingerprint=job.fingerprint(),
+            cost=float("inf"),
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+__all__ = [
+    "VALIDATION_SHAPES",
+    "evaluate_job",
+    "kernel_config_from",
+    "measurement_shape",
+    "validation_shape",
+]

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.suite import FIGURE7_BENCHMARKS, get_benchmark
 from ..runtime.simulator.device import DEVICES
-from .pipeline import lift_best_result, reference_result
+from .pipeline import (
+    lift_best_result,
+    reference_result,
+    scaled_shape as _scaled_shape,
+    sweep_engine as _sweep_engine,
+)
 
 
 @dataclass
@@ -48,34 +53,44 @@ def run_figure7(
     devices: Optional[Sequence[str]] = None,
     tuner_budget: int = 2000,
     shape_scale: float = 1.0,
+    workers: int = 1,
+    store=None,
 ) -> List[Figure7Row]:
     """Run the Figure-7 comparison.
 
     ``shape_scale`` can shrink the problem sizes (used by the fast test-suite
-    configuration); the default reproduces the paper's sizes.
+    configuration); the default reproduces the paper's sizes.  ``workers`` /
+    ``store`` route the per-benchmark searches through the parallel engine
+    (see :func:`~repro.experiments.pipeline.lift_best_result`).
     """
     benchmarks = list(benchmarks or FIGURE7_BENCHMARKS)
     device_keys = list(devices or DEVICES.keys())
     rows: List[Figure7Row] = []
-    for key in benchmarks:
-        benchmark = get_benchmark(key)
-        shape = _scaled_shape(benchmark.default_shape, shape_scale)
-        for device_key in device_keys:
-            device = DEVICES[device_key]
-            lift = lift_best_result(
-                benchmark, shape=shape, device=device, tuner_budget=tuner_budget
-            )
-            reference = reference_result(benchmark, key, device, shape=shape)
-            rows.append(
-                Figure7Row(
-                    benchmark=benchmark.name,
-                    device=device.name,
-                    lift_gelements=lift.gelements_per_second,
-                    reference_gelements=reference.gelements_per_second,
-                    lift_strategy=lift.strategy,
-                    lift_uses_tiling=lift.uses_tiling,
+    engine = _sweep_engine(workers, store)
+    try:
+        for key in benchmarks:
+            benchmark = get_benchmark(key)
+            shape = _scaled_shape(benchmark.default_shape, shape_scale)
+            for device_key in device_keys:
+                device = DEVICES[device_key]
+                lift = lift_best_result(
+                    benchmark, shape=shape, device=device, tuner_budget=tuner_budget,
+                    workers=workers, store=store, engine=engine,
                 )
-            )
+                reference = reference_result(benchmark, key, device, shape=shape)
+                rows.append(
+                    Figure7Row(
+                        benchmark=benchmark.name,
+                        device=device.name,
+                        lift_gelements=lift.gelements_per_second,
+                        reference_gelements=reference.gelements_per_second,
+                        lift_strategy=lift.strategy,
+                        lift_uses_tiling=lift.uses_tiling,
+                    )
+                )
+    finally:
+        if engine is not None:
+            engine.close()
     return rows
 
 
@@ -92,12 +107,6 @@ def format_figure7(rows: Sequence[Figure7Row]) -> str:
             f"{row.lift_strategy}"
         )
     return "\n".join(lines)
-
-
-def _scaled_shape(shape: Sequence[int], scale: float) -> tuple:
-    if scale >= 1.0:
-        return tuple(shape)
-    return tuple(max(16, int(extent * scale)) for extent in shape)
 
 
 __all__ = ["Figure7Row", "run_figure7", "format_figure7"]

@@ -18,7 +18,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..apps.suite import FIGURE8_BENCHMARKS, get_benchmark
 from ..runtime.simulator.device import DEVICES
-from .pipeline import lift_best_result, ppcg_best_result
+from .pipeline import (
+    lift_best_result,
+    ppcg_best_result,
+    scaled_shape as _scaled_shape,
+    sweep_engine as _sweep_engine,
+)
 
 
 @dataclass
@@ -53,40 +58,52 @@ def run_figure8(
     sizes: Sequence[str] = ("small", "large"),
     tuner_budget: int = 2000,
     shape_scale: float = 1.0,
+    workers: int = 1,
+    store=None,
 ) -> List[Figure8Row]:
-    """Run the Figure-8 comparison (Lift vs PPCG)."""
+    """Run the Figure-8 comparison (Lift vs PPCG).
+
+    ``workers`` / ``store`` route the Lift searches through the parallel
+    engine (see :func:`~repro.experiments.pipeline.lift_best_result`).
+    """
     benchmarks = list(benchmarks or FIGURE8_BENCHMARKS)
     device_keys = list(devices or DEVICES.keys())
     rows: List[Figure8Row] = []
-    for key in benchmarks:
-        benchmark = get_benchmark(key)
-        for size in sizes:
-            for device_key in device_keys:
-                device = DEVICES[device_key]
-                if device.vendor == "ARM" and size == "large":
-                    continue  # paper: large inputs did not fit on the ARM board
-                shape = _scaled_shape(benchmark.shape_for(size), shape_scale)
-                lift = lift_best_result(
-                    benchmark, shape=shape, device=device, tuner_budget=tuner_budget
-                )
-                ppcg, ppcg_config, _ = ppcg_best_result(
-                    benchmark, device, shape=shape, tuner_budget=tuner_budget
-                )
-                rows.append(
-                    Figure8Row(
-                        benchmark=benchmark.name,
-                        device=device.name,
-                        size=size,
-                        lift_gelements=lift.gelements_per_second,
-                        ppcg_gelements=ppcg.gelements_per_second,
-                        speedup_over_ppcg=(
-                            lift.gelements_per_second / ppcg.gelements_per_second
-                        ),
-                        lift_strategy=lift.strategy,
-                        lift_uses_tiling=lift.uses_tiling,
-                        ppcg_configuration=ppcg_config,
+    engine = _sweep_engine(workers, store)
+    try:
+        for key in benchmarks:
+            benchmark = get_benchmark(key)
+            for size in sizes:
+                for device_key in device_keys:
+                    device = DEVICES[device_key]
+                    if device.vendor == "ARM" and size == "large":
+                        continue  # paper: large inputs did not fit on the ARM board
+                    shape = _scaled_shape(benchmark.shape_for(size), shape_scale)
+                    lift = lift_best_result(
+                        benchmark, shape=shape, device=device, tuner_budget=tuner_budget,
+                        workers=workers, store=store, engine=engine,
                     )
-                )
+                    ppcg, ppcg_config, _ = ppcg_best_result(
+                        benchmark, device, shape=shape, tuner_budget=tuner_budget
+                    )
+                    rows.append(
+                        Figure8Row(
+                            benchmark=benchmark.name,
+                            device=device.name,
+                            size=size,
+                            lift_gelements=lift.gelements_per_second,
+                            ppcg_gelements=ppcg.gelements_per_second,
+                            speedup_over_ppcg=(
+                                lift.gelements_per_second / ppcg.gelements_per_second
+                            ),
+                            lift_strategy=lift.strategy,
+                            lift_uses_tiling=lift.uses_tiling,
+                            ppcg_configuration=ppcg_config,
+                        )
+                    )
+    finally:
+        if engine is not None:
+            engine.close()
     return rows
 
 
@@ -123,11 +140,6 @@ def format_figure8(rows: Sequence[Figure8Row]) -> str:
         lines.append(f"  {device:<16} {fraction * 100:.0f}%")
     return "\n".join(lines)
 
-
-def _scaled_shape(shape: Sequence[int], scale: float) -> tuple:
-    if scale >= 1.0:
-        return tuple(shape)
-    return tuple(max(16, int(extent * scale)) for extent in shape)
 
 
 __all__ = ["Figure8Row", "run_figure8", "tiling_usage", "format_figure8"]

@@ -22,10 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..apps.base import StencilBenchmark
 from ..baselines.ppcg import PPCGCompiler, ppcg_parameter_space
 from ..baselines.reference_kernels import reference_profile
+from ..engine.worker import VALIDATION_SHAPES, kernel_config_from, validation_shape
 from ..rewriting.exploration import ExplorationResult, explore
+from ..rewriting.strategies import LoweredProgram
 from ..runtime.simulator.device import DeviceModel
 from ..runtime.simulator.executor import SimulationResult, VirtualDevice
-from ..runtime.simulator.kernel_model import KernelConfig, ProblemInstance, build_profile
+from ..runtime.simulator.kernel_model import ProblemInstance, build_profile
 from ..tuning.parameters import Parameter, ParameterSpace, opencl_constraints
 from ..tuning.tuner import AutoTuner
 
@@ -87,20 +89,20 @@ def _valid_tile_sizes(benchmark: StencilBenchmark, shape: Sequence[int]) -> List
     ]
 
 
-def _parameter_space_for(
-    variant: ExplorationResult,
+def parameter_space_for(
+    lowered: LoweredProgram,
     problem: ProblemInstance,
     device: DeviceModel,
 ) -> ParameterSpace:
     """The tunable parameters of one lowered Lift variant on one device."""
     ndims = problem.ndims
     parameters: List[Parameter] = []
-    if variant.lowered.uses_tiling:
+    if lowered.uses_tiling:
         # Tiled kernels fix the work-group to the tile's output block; only the
         # per-thread sequential work remains tunable.
         outputs_per_tile = max(
             1,
-            (variant.lowered.tile_size - variant.lowered.stencil_size + 1),
+            (lowered.tile_size - lowered.stencil_size + 1),
         )
         wg = [("wg_x", (outputs_per_tile,)), ("wg_y", (outputs_per_tile,))]
         if ndims == 3:
@@ -122,43 +124,15 @@ def _parameter_space_for(
     return ParameterSpace(parameters, constraints)
 
 
-def _config_from(variant: ExplorationResult, tuning_config: Dict[str, object],
-                 ndims: int) -> KernelConfig:
-    wg = tuple(
-        int(tuning_config.get(name, 1)) for name in ["wg_x", "wg_y", "wg_z"][:ndims]
-    )
-    return KernelConfig(
-        workgroup_size=wg,
-        work_per_thread=int(tuning_config.get("work_per_thread", 1)),
-        tile_size=variant.lowered.tile_size,
-        use_local_memory=variant.lowered.uses_local_memory,
-        unrolled=variant.lowered.unrolled,
-    )
-
-
-#: Small grids used for the functional cross-check of tuned kernel variants.
-VALIDATION_SHAPES = {2: (13, 11), 3: (5, 7, 9)}
-
-
 def _validation_shape(benchmark: StencilBenchmark,
                       variant: ExplorationResult) -> Tuple[int, ...]:
     """A small input shape on which the variant computes the full output.
 
-    Untiled variants work on any shape.  A tiled variant only reproduces the
-    whole output when its tiles exactly cover the padded input
-    (``(padded − u) % v == 0``); at the benchmark's own sizes Lift instead
-    rounds the ND-range up, which the interpreter does not model, so the
-    validation grid is chosen to satisfy exact coverage.
+    See :func:`repro.engine.worker.validation_shape`, which holds the
+    shared tiling exact-coverage logic.
     """
-    if not variant.lowered.uses_tiling:
-        return VALIDATION_SHAPES[benchmark.ndims]
-    u = variant.lowered.tile_size
-    v = u - (variant.lowered.stencil_size - variant.lowered.stencil_step)
-    radius = (benchmark.stencil_extent - 1) // 2
-    padded = u
-    while padded - 2 * radius < max(8, variant.lowered.stencil_size):
-        padded += v
-    return (padded - 2 * radius,) * benchmark.ndims
+    return validation_shape(benchmark.stencil_extent, benchmark.ndims,
+                            variant.lowered)
 
 
 def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResult):
@@ -187,31 +161,45 @@ def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResul
     return validate
 
 
-def lift_best_result(
-    benchmark: StencilBenchmark,
-    shape: Optional[Sequence[int]] = None,
-    device: Optional[DeviceModel] = None,
-    tuner_budget: int = 300,
-    label: Optional[str] = None,
-    validate_functional: bool = False,
-) -> BenchmarkOutcome:
-    """Run the full Lift pipeline for one benchmark on one device.
+def scaled_shape(shape: Sequence[int], scale: float) -> Tuple[int, ...]:
+    """Shrink an input shape by ``scale`` (>= 1 leaves it untouched).
 
-    With ``validate_functional`` set, every tuned kernel variant is also
-    executed on a small grid through the compiled NumPy backend and checked
-    against the reference interpreter before it may be reported.
+    Shared by the figure drivers and the engine CLI so every entry point
+    scales the paper's input sizes the same way.
     """
-    if device is None:
-        raise ValueError("a device model is required")
-    shape = tuple(shape or benchmark.default_shape)
-    problem = benchmark.problem(shape, label=label)
-    virtual = VirtualDevice(device)
+    if scale >= 1.0:
+        return tuple(shape)
+    return tuple(max(16, int(extent * scale)) for extent in shape)
 
-    program = benchmark.build_program()
+
+def sweep_engine(workers: int = 1, store=None):
+    """A shared :class:`~repro.engine.SearchEngine` for multi-benchmark sweeps.
+
+    Returns ``None`` for the plain serial configuration (callers then stay
+    on the serial path); otherwise one engine whose worker pool and store
+    are reused across every ``lift_best_result`` call of the sweep.  The
+    caller owns the engine and must ``close()`` it.
+    """
+    if workers == 1 and store is None:
+        return None
+    from ..engine import SearchEngine
+
+    return SearchEngine(store=store, workers=workers)
+
+
+def explore_variants_for(benchmark: StencilBenchmark,
+                         shape: Sequence[int]) -> List[ExplorationResult]:
+    """The macro-exploration variant set the pipeline tunes for one benchmark.
+
+    This is the single source of candidate variants for both the serial
+    pipeline below and the parallel search engine (:mod:`repro.engine`), so
+    the two paths always search the same space.
+    """
+    shape = tuple(shape)
     tile_sizes = _valid_tile_sizes(benchmark, shape)
     radius = (benchmark.stencil_extent - 1) // 2
-    variants = explore(
-        program,
+    return explore(
+        benchmark.build_program(),
         stencil_size=benchmark.stencil_extent,
         stencil_step=1,
         padded_length=shape[-1] + 2 * radius,
@@ -219,13 +207,56 @@ def lift_best_result(
         validate_tiles=False,
     )
 
+
+def lift_best_result(
+    benchmark: StencilBenchmark,
+    shape: Optional[Sequence[int]] = None,
+    device: Optional[DeviceModel] = None,
+    tuner_budget: int = 300,
+    label: Optional[str] = None,
+    validate_functional: bool = False,
+    workers: int = 1,
+    store=None,
+    session: Optional[str] = None,
+    engine=None,
+) -> BenchmarkOutcome:
+    """Run the full Lift pipeline for one benchmark on one device.
+
+    With ``validate_functional`` set, every tuned kernel variant is also
+    executed on a small grid through the compiled NumPy backend and checked
+    against the reference interpreter before it may be reported.
+
+    ``workers`` > 1 (or a ``store`` — a :class:`~repro.engine.ResultsStore`
+    or a path for one) routes the search through the parallel engine:
+    evaluations fan out over worker processes and are memoised in the
+    store.  The default ``workers=1`` without a store is the original
+    serial path; both paths search the same space in the same order and
+    report the same best kernel.  Callers sweeping many benchmarks should
+    build one :class:`~repro.engine.SearchEngine` and pass it as
+    ``engine`` so the worker pool and store are shared across calls
+    (the figure drivers do this).
+    """
+    if device is None:
+        raise ValueError("a device model is required")
+    shape = tuple(shape or benchmark.default_shape)
+    problem = benchmark.problem(shape, label=label)
+    virtual = VirtualDevice(device)
+
+    if engine is not None or workers != 1 or store is not None:
+        return _lift_best_result_engine(
+            benchmark, shape, device, tuner_budget, problem, virtual,
+            validate_functional, workers, store, session, engine,
+        )
+
+    variants = explore_variants_for(benchmark, shape)
+
     best: Optional[BenchmarkOutcome] = None
     total_evaluations = 0
     for variant in variants:
-        space = _parameter_space_for(variant, problem, device)
+        space = parameter_space_for(variant.lowered, problem, device)
 
         def objective(config: Dict[str, object], _variant=variant) -> float:
-            kernel_config = _config_from(_variant, config, problem.ndims)
+            kernel_config = kernel_config_from(_variant.lowered, config, problem.ndims)
             profile = build_profile(_variant.lowered, problem, kernel_config)
             return virtual.run(profile).runtime_s
 
@@ -248,7 +279,9 @@ def lift_best_result(
             continue
         total_evaluations += tuning.evaluations
 
-        kernel_config = _config_from(variant, tuning.best_configuration, problem.ndims)
+        kernel_config = kernel_config_from(
+            variant.lowered, tuning.best_configuration, problem.ndims
+        )
         profile = build_profile(variant.lowered, problem, kernel_config,
                                 label=f"lift-{benchmark.name}-{variant.strategy.describe()}")
         result = virtual.run(profile)
@@ -267,6 +300,58 @@ def lift_best_result(
     assert best is not None
     best.evaluations = total_evaluations
     return best
+
+
+def _lift_best_result_engine(
+    benchmark: StencilBenchmark,
+    shape: Tuple[int, ...],
+    device: DeviceModel,
+    tuner_budget: int,
+    problem: ProblemInstance,
+    virtual: VirtualDevice,
+    validate_functional: bool,
+    workers: int,
+    store,
+    session: Optional[str],
+    engine=None,
+) -> BenchmarkOutcome:
+    """The engine-backed twin of the serial loop in :func:`lift_best_result`."""
+    from contextlib import nullcontext
+
+    from ..engine import SearchEngine
+    from ..rewriting.strategies import lower_program
+
+    if engine is None:
+        context = SearchEngine(store=store, workers=workers,
+                               validate=validate_functional)
+    else:
+        context = nullcontext(engine)  # caller owns the pool and store
+    with context as engine:
+        outcome = engine.run(
+            benchmark,
+            shape=shape,
+            device=device,
+            budget=tuner_budget,
+            strategy="exhaustive",
+            session=session,
+        )
+
+    best = outcome.best
+    lowered = lower_program(benchmark.build_program(), best.variant.to_strategy())
+    kernel_config = kernel_config_from(lowered, best.best_config, problem.ndims)
+    strategy_text = best.variant.describe()
+    profile = build_profile(lowered, problem, kernel_config,
+                            label=f"lift-{benchmark.name}-{strategy_text}")
+    result = virtual.run(profile)
+    return BenchmarkOutcome(
+        benchmark=benchmark.name,
+        device=device,
+        result=result,
+        configuration=dict(best.best_config),
+        strategy=strategy_text,
+        uses_tiling=lowered.uses_tiling,
+        evaluations=outcome.evaluations,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -314,7 +399,11 @@ def ppcg_best_result(
 __all__ = [
     "BenchmarkOutcome",
     "VALIDATION_SHAPES",
+    "explore_variants_for",
+    "kernel_config_from",
     "lift_best_result",
+    "parameter_space_for",
+    "scaled_shape",
     "reference_result",
     "ppcg_best_result",
     "EXPLORATION_TILE_SIZES",

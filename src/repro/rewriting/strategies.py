@@ -50,6 +50,30 @@ class Strategy:
             parts.append("unroll")
         return " ".join(parts)
 
+    def to_spec(self) -> dict:
+        """A plain-dict form of the strategy (picklable, JSON-serialisable).
+
+        The engine ships strategies to worker processes and persists them in
+        the results store as specs; :meth:`from_spec` round-trips exactly.
+        """
+        return {
+            "name": self.name,
+            "use_tiling": self.use_tiling,
+            "tile_size": self.tile_size,
+            "use_local_memory": self.use_local_memory,
+            "unroll_reduce": self.unroll_reduce,
+        }
+
+    @staticmethod
+    def from_spec(spec: dict) -> "Strategy":
+        return Strategy(
+            name=str(spec["name"]),
+            use_tiling=bool(spec.get("use_tiling", False)),
+            tile_size=int(spec.get("tile_size", 0)),
+            use_local_memory=bool(spec.get("use_local_memory", False)),
+            unroll_reduce=bool(spec.get("unroll_reduce", True)),
+        )
+
 
 #: The baseline strategy: one global thread per output element, no tiling.
 NAIVE = Strategy(name="naive", use_tiling=False)

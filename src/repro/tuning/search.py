@@ -5,22 +5,40 @@ Three strategies are provided, mirroring what OpenTuner mixes internally:
 * :func:`exhaustive_search` — enumerate every valid configuration (used when
   the space is small, e.g. the PPCG tile/block space);
 * :func:`random_search` — uniform random sampling under an evaluation budget;
-* :func:`hill_climb_search` — random restarts followed by steepest-descent
-  moves along single-parameter neighbours.
+* :func:`hill_climb_search` — random-restart steepest-descent moves along
+  single-parameter neighbours, with fresh restarts drawn while budget
+  remains so a walk that stalls on its first plateau does not end the
+  search.
 
 Every strategy returns the full evaluation history so benchmarks can report
 how good the best-found point is relative to the explored space.
+
+Batch evaluation
+----------------
+
+Each strategy accepts an optional ``batch_evaluate`` callable mapping a list
+of configurations to a list of costs.  When provided, configurations are
+costed in chunks through it instead of one ``objective`` call at a time —
+this is the hook the parallel search engine (:mod:`repro.engine`) uses to
+fan evaluations out over worker processes and its persistent results store.
+Results are consumed in submission order, so a search produces the *same*
+history and the same best point whether it is run serially or batched.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from .parameters import Configuration, ParameterSpace
 
 Objective = Callable[[Configuration], float]
+BatchEvaluate = Callable[[Sequence[Configuration]], Sequence[float]]
+
+#: Configurations submitted per ``batch_evaluate`` call.
+DEFAULT_BATCH_SIZE = 64
 
 
 @dataclass
@@ -51,73 +69,158 @@ def _evaluate(objective: Objective, config: Configuration,
     return evaluation
 
 
-def exhaustive_search(space: ParameterSpace, objective: Objective,
-                      budget: Optional[int] = None) -> SearchOutcome:
+def _evaluate_many(
+    configs: Sequence[Configuration],
+    objective: Objective,
+    batch_evaluate: Optional[BatchEvaluate],
+    history: List[Evaluation],
+) -> List[Evaluation]:
+    """Cost several configurations, batched when a batch evaluator exists.
+
+    The returned evaluations are in submission order and are appended to
+    ``history`` in the same order, which keeps batched and serial runs
+    byte-for-byte identical.
+    """
+    if not configs:
+        return []
+    if batch_evaluate is None:
+        return [_evaluate(objective, config, history) for config in configs]
+    costs = list(batch_evaluate(list(configs)))
+    if len(costs) != len(configs):
+        raise ValueError(
+            f"batch evaluator returned {len(costs)} costs for {len(configs)} configurations"
+        )
+    evaluations = [
+        Evaluation(configuration=dict(config), cost=float(cost))
+        for config, cost in zip(configs, costs)
+    ]
+    history.extend(evaluations)
+    return evaluations
+
+
+def _chunked(iterable: Iterable[Configuration],
+             size: int) -> Iterable[List[Configuration]]:
+    iterator = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def exhaustive_search(
+    space: ParameterSpace,
+    objective: Objective,
+    budget: Optional[int] = None,
+    batch_evaluate: Optional[BatchEvaluate] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> SearchOutcome:
     """Evaluate every valid configuration (optionally capped at ``budget``)."""
     history: List[Evaluation] = []
     best: Optional[Evaluation] = None
-    for i, config in enumerate(space.configurations()):
-        if budget is not None and i >= budget:
-            break
-        evaluation = _evaluate(objective, config, history)
-        if best is None or evaluation.cost < best.cost:
-            best = evaluation
+    configs = space.configurations()
+    if budget is not None:
+        configs = itertools.islice(configs, budget)
+    for chunk in _chunked(configs, max(1, batch_size)):
+        for evaluation in _evaluate_many(chunk, objective, batch_evaluate, history):
+            if best is None or evaluation.cost < best.cost:
+                best = evaluation
     if best is None:
         raise ValueError("parameter space contains no valid configuration")
     return SearchOutcome(best=best, history=history)
 
 
-def random_search(space: ParameterSpace, objective: Objective, budget: int,
-                  seed: int = 0) -> SearchOutcome:
+def random_search(
+    space: ParameterSpace,
+    objective: Objective,
+    budget: int,
+    seed: int = 0,
+    batch_evaluate: Optional[BatchEvaluate] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> SearchOutcome:
     """Uniform random sampling of valid configurations."""
     rng = random.Random(seed)
     history: List[Evaluation] = []
     best: Optional[Evaluation] = None
-    for config in space.sample(rng, budget):
-        evaluation = _evaluate(objective, config, history)
-        if best is None or evaluation.cost < best.cost:
-            best = evaluation
+    sample = space.sample(rng, budget)
+    for chunk in _chunked(sample, max(1, batch_size)):
+        for evaluation in _evaluate_many(chunk, objective, batch_evaluate, history):
+            if best is None or evaluation.cost < best.cost:
+                best = evaluation
     if best is None:
         # Fall back to exhaustive enumeration of a possibly tiny space.
-        return exhaustive_search(space, objective, budget)
+        return exhaustive_search(space, objective, budget,
+                                 batch_evaluate=batch_evaluate,
+                                 batch_size=batch_size)
     return SearchOutcome(best=best, history=history)
 
 
-def hill_climb_search(space: ParameterSpace, objective: Objective, budget: int,
-                      seed: int = 0, restarts: int = 4) -> SearchOutcome:
-    """Random-restart steepest-descent over single-parameter neighbours."""
+def hill_climb_search(
+    space: ParameterSpace,
+    objective: Objective,
+    budget: int,
+    seed: int = 0,
+    restarts: int = 4,
+    batch_evaluate: Optional[BatchEvaluate] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> SearchOutcome:
+    """Random-restart steepest-descent over single-parameter neighbours.
+
+    ``restarts`` bounds the number of independent basin walks.  Start points
+    are drawn lazily: after each walk converges (or stalls on a plateau), a
+    *fresh* point not yet used as a start is sampled, so a search whose
+    first walk dies early still spends its remaining budget exploring other
+    basins instead of returning the first local optimum.  All neighbours of
+    the current point are costed together per step, which lets the batch
+    evaluator fan a whole neighbourhood out at once.
+    """
     rng = random.Random(seed)
     history: List[Evaluation] = []
     best: Optional[Evaluation] = None
+    seen_starts = set()
 
-    starts = space.sample(rng, max(1, restarts))
-    if not starts:
-        return exhaustive_search(space, objective, budget)
+    def next_start() -> Optional[Configuration]:
+        for candidate in space.sample(rng, max(1, restarts) * 4):
+            key = tuple(sorted(candidate.items()))
+            if key not in seen_starts:
+                seen_starts.add(key)
+                return candidate
+        return None
 
-    for start in starts:
-        if len(history) >= budget:
+    walks = 0
+    while walks < max(1, restarts) and len(history) < budget:
+        start = next_start()
+        if start is None:
             break
-        current = _evaluate(objective, start, history)
+        walks += 1
+        current = _evaluate_many([start], objective, batch_evaluate, history)[0]
         if best is None or current.cost < best.cost:
             best = current
         improved = True
         while improved and len(history) < budget:
             improved = False
-            for neighbour in space.neighbours(current.configuration):
-                if len(history) >= budget:
-                    break
-                candidate = _evaluate(objective, neighbour, history)
-                if candidate.cost < current.cost:
-                    current = candidate
-                    improved = True
-                if best is None or candidate.cost < best.cost:
-                    best = candidate
-    assert best is not None
+            neighbours = list(space.neighbours(current.configuration))
+            neighbours = neighbours[: budget - len(history)]
+            for chunk in _chunked(neighbours, max(1, batch_size)):
+                for candidate in _evaluate_many(chunk, objective,
+                                                batch_evaluate, history):
+                    if candidate.cost < current.cost:
+                        current = candidate
+                        improved = True
+                    if best is None or candidate.cost < best.cost:
+                        best = candidate
+
+    if best is None:
+        return exhaustive_search(space, objective, budget,
+                                 batch_evaluate=batch_evaluate,
+                                 batch_size=batch_size)
     return SearchOutcome(best=best, history=history)
 
 
 __all__ = [
     "Objective",
+    "BatchEvaluate",
+    "DEFAULT_BATCH_SIZE",
     "Evaluation",
     "SearchOutcome",
     "exhaustive_search",

@@ -13,7 +13,14 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from .parameters import Configuration, ParameterSpace
-from .search import Evaluation, Objective, exhaustive_search, hill_climb_search, random_search
+from .search import (
+    BatchEvaluate,
+    Evaluation,
+    Objective,
+    exhaustive_search,
+    hill_climb_search,
+    random_search,
+)
 
 
 @dataclass
@@ -41,6 +48,13 @@ class AutoTuner:
     the lowered expression through the compiled NumPy backend and comparing
     against the reference interpreter — so a miscompiled variant can never
     silently win the search.  The callback should raise on mismatch.
+
+    ``batch_objective``, when provided, costs whole lists of configurations
+    at once and takes precedence over per-point ``objective`` calls inside
+    the search strategies.  The parallel search engine passes its fan-out
+    evaluator here, which is how an unchanged :class:`AutoTuner` runs on a
+    process pool with a persistent results store underneath.  ``restarts``
+    bounds the number of hill-climbing basin walks.
     """
 
     STRATEGIES = ("exhaustive", "random", "hillclimb")
@@ -53,6 +67,8 @@ class AutoTuner:
         strategy: str = "exhaustive",
         seed: int = 0,
         validate_best: Optional[Callable[[Configuration], None]] = None,
+        restarts: int = 4,
+        batch_objective: Optional[BatchEvaluate] = None,
     ) -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown search strategy {strategy!r}")
@@ -62,14 +78,26 @@ class AutoTuner:
         self.strategy = strategy
         self.seed = seed
         self.validate_best = validate_best
+        self.restarts = restarts
+        self.batch_objective = batch_objective
 
     def tune(self) -> TuningResult:
         if self.strategy == "exhaustive":
-            outcome = exhaustive_search(self.space, self.objective, self.budget)
+            outcome = exhaustive_search(
+                self.space, self.objective, self.budget,
+                batch_evaluate=self.batch_objective,
+            )
         elif self.strategy == "random":
-            outcome = random_search(self.space, self.objective, self.budget, self.seed)
+            outcome = random_search(
+                self.space, self.objective, self.budget, self.seed,
+                batch_evaluate=self.batch_objective,
+            )
         else:
-            outcome = hill_climb_search(self.space, self.objective, self.budget, self.seed)
+            outcome = hill_climb_search(
+                self.space, self.objective, self.budget, self.seed,
+                restarts=self.restarts,
+                batch_evaluate=self.batch_objective,
+            )
         if self.validate_best is not None:
             self.validate_best(outcome.best.configuration)
         return TuningResult(

@@ -1,0 +1,123 @@
+"""ResultsStore: schema round-trip, memo counters, sessions."""
+
+import math
+
+import pytest
+
+from repro.engine import ResultsStore
+from repro.engine.jobs import EvaluationJob, VariantSpec, config_items
+
+
+def make_job(benchmark="stencil2d", tile=18, wg=16, device="nvidia"):
+    return EvaluationJob(
+        benchmark=benchmark,
+        shape=(64, 64),
+        device=device,
+        variant=VariantSpec(name="tiled", use_tiling=True, tile_size=tile,
+                            use_local_memory=True, unroll_reduce=True),
+        config=config_items({"wg_x": wg, "wg_y": wg, "work_per_thread": 1}),
+        expr_digest="d" * 64,
+    )
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable_and_sensitive(self):
+        job = make_job()
+        assert job.fingerprint() == make_job().fingerprint()
+        assert job.fingerprint() != make_job(tile=34).fingerprint()
+        assert job.fingerprint() != make_job(wg=8).fingerprint()
+        assert job.fingerprint() != make_job(device="amd").fingerprint()
+
+    def test_config_items_canonicalises_order(self):
+        a = config_items({"wg_x": 1, "wg_y": 2})
+        b = config_items({"wg_y": 2, "wg_x": 1})
+        assert a == b
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        job = make_job()
+        cost = 1.2345e-5
+        with ResultsStore(path) as store:
+            fingerprint = store.put(job, cost, session="sess-1")
+        with ResultsStore(path) as store:
+            stored = store.get(fingerprint)
+        assert stored is not None
+        assert stored.benchmark == "stencil2d"
+        assert stored.device == "nvidia"
+        assert stored.shape == (64, 64)
+        assert stored.expr_digest == "d" * 64
+        assert stored.variant == job.variant
+        assert stored.config == job.config_dict
+        assert stored.cost == cost  # REAL is an IEEE double: exact round-trip
+        assert stored.session == "sess-1"
+
+    def test_put_many_and_get_many(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        jobs = [make_job(wg=wg) for wg in (2, 4, 8, 16)]
+        with ResultsStore(path) as store:
+            store.put_many(
+                [(job, float(index), job.fingerprint())
+                 for index, job in enumerate(jobs)],
+                session="bulk",
+            )
+        with ResultsStore(path) as store:
+            found = store.get_many([job.fingerprint() for job in jobs] + ["missing"])
+            assert len(found) == 4
+            assert store.hits == 4 and store.misses == 1
+
+    def test_best_for_orders_by_cost(self, tmp_path):
+        with ResultsStore(str(tmp_path / "store.sqlite")) as store:
+            store.put(make_job(wg=8), 3.0)
+            store.put(make_job(wg=16), 1.0)
+            store.put(make_job(wg=4), 2.0)
+            store.put(make_job(benchmark="heat"), 0.1)
+            best = store.best_for("stencil2d", "nvidia")
+            assert best is not None and best.cost == 1.0
+            assert store.best_for("stencil2d", "arm") is None
+
+
+class TestCounters:
+    def test_hit_and_miss_counting(self):
+        store = ResultsStore(":memory:")
+        job = make_job()
+        assert store.get(job.fingerprint()) is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put(job, 1.0)
+        assert store.get(job.fingerprint()) is not None
+        assert (store.hits, store.misses) == (1, 1)
+        store.reset_counters()
+        assert store.stats() == {"entries": 1, "hits": 0, "misses": 0}
+
+    def test_put_is_idempotent_by_fingerprint(self):
+        store = ResultsStore(":memory:")
+        job = make_job()
+        store.put(job, 1.0)
+        store.put(job, 2.0)  # re-evaluation overwrites, no duplicate rows
+        assert store.count() == 1
+        assert store.get(job.fingerprint()).cost == 2.0
+
+
+class TestSessions:
+    def test_session_spec_round_trip(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        spec = {"benchmark": "heat", "budget": 20, "shape": [64, 64, 64]}
+        with ResultsStore(path) as store:
+            store.save_session("abc", spec)
+        with ResultsStore(path) as store:
+            assert store.session_spec("abc") == spec
+            assert store.session_spec("nope") is None
+            assert ("abc", "running") in store.sessions()
+            store.finish_session("abc")
+            assert ("abc", "done") in store.sessions()
+
+    def test_infinite_cost_round_trips(self):
+        store = ResultsStore(":memory:")
+        job = make_job()
+        store.put(job, float("inf"))
+        assert math.isinf(store.get(job.fingerprint()).cost)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -200,6 +200,55 @@ class TestTuning:
         with pytest.raises(ValueError):
             Parameter("a", ())
 
+    def test_hillclimb_restarts_escape_plateau(self):
+        # A flat plateau with a single needle: a walk starting on the
+        # plateau sees no improving neighbour and stalls immediately, so
+        # finding the needle requires fresh restart points.
+        space = ParameterSpace([Parameter("x", tuple(range(40)))])
+        objective = lambda c: 0.0 if c["x"] == 37 else 1.0
+
+        def best_with(restarts):
+            costs = []
+            for seed in range(8):
+                outcome = hill_climb_search(space, objective, budget=40,
+                                            seed=seed, restarts=restarts)
+                costs.append(outcome.best.cost)
+            return costs
+
+        single = best_with(restarts=1)
+        many = best_with(restarts=30)
+        assert sum(many) <= sum(single)
+        assert 0.0 in many  # enough fresh basins to hit the needle
+
+    def test_hillclimb_restarts_plumbed_through_autotuner(self):
+        space = self._space()
+        tuner = AutoTuner(space, lambda c: c["wg_x"] + c["wg_y"], budget=50,
+                          strategy="hillclimb", restarts=6)
+        assert tuner.restarts == 6
+        result = tuner.tune()
+        assert result.best_configuration == {"wg_x": 8, "wg_y": 8}
+
+    def test_batch_evaluation_matches_serial(self):
+        space = self._space()
+        objective = lambda c: abs(c["wg_x"] * c["wg_y"] - 256)
+        calls = []
+
+        def batch(configs):
+            calls.append(len(configs))
+            return [objective(c) for c in configs]
+
+        serial = exhaustive_search(space, objective)
+        batched = exhaustive_search(space, objective, batch_evaluate=batch)
+        assert [e.cost for e in serial.history] == [e.cost for e in batched.history]
+        assert batched.best.configuration == serial.best.configuration
+        assert calls and any(size > 1 for size in calls)
+
+    def test_batch_evaluator_length_mismatch_rejected(self):
+        space = self._space()
+        with pytest.raises(ValueError):
+            exhaustive_search(space, lambda c: 0.0,
+                              batch_evaluate=lambda configs: [0.0])
+
 
 class TestBaselines:
     def test_reference_kernels_cover_figure7(self):
