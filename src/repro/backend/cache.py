@@ -54,12 +54,19 @@ def input_signature(inputs: Sequence) -> Tuple:
 
 
 class CompilationCache:
-    """A thread-safe memo table of compiled kernels with hit/miss statistics."""
+    """A thread-safe LRU memo table of compiled kernels with statistics.
+
+    Eviction is *recency* based: a hit moves the entry to the back of the
+    queue, so under pressure the least-recently-used kernel is dropped and a
+    hot kernel survives arbitrarily many insertions of cold ones.  Evictions
+    are counted and reported by :meth:`stats` alongside hits and misses.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: Dict[Tuple, CompiledKernel] = {}
         self._lock = threading.Lock()
 
@@ -81,19 +88,45 @@ class CompilationCache:
         inputs: Sequence,
         size_env: Optional[Mapping[str, int]] = None,
     ) -> CompiledKernel:
-        key = self.key_for(program, input_signature(inputs), size_env)
+        return self.get_or_compile_keyed(
+            program, input_signature(inputs), size_env
+        )
+
+    def get_or_compile_keyed(
+        self,
+        program: Lambda,
+        signature: Tuple,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> CompiledKernel:
+        """Like :meth:`get_or_compile` with a caller-supplied signature.
+
+        The execution service batches requests by stacking their inputs
+        along a new leading axis; the kernel it needs is the *same* one a
+        single request compiles (kernels are not shape-specialised), so the
+        service keys the lookup by the per-item signature and any batch size
+        shares the one cached kernel — one compilation for a hot program no
+        matter how traffic is batched.
+        """
+        key = self.key_for(program, signature, size_env)
         with self._lock:
             kernel = self._entries.get(key)
             if kernel is not None:
                 self.hits += 1
+                # LRU: refresh recency by re-inserting at the back.
+                self._entries.pop(key)
+                self._entries[key] = kernel
                 return kernel
             self.misses += 1
         kernel = compile_program(program, size_env)
         with self._lock:
-            if len(self._entries) >= self.max_entries:
-                # Drop the oldest entry (dict preserves insertion order).
-                self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = kernel
+            if key not in self._entries:
+                while len(self._entries) >= self.max_entries:
+                    # Drop the least-recently-used entry (front of the dict).
+                    self._entries.pop(next(iter(self._entries)))
+                    self.evictions += 1
+                self._entries[key] = kernel
+            else:
+                kernel = self._entries[key]
         return kernel
 
     def clear(self) -> None:
@@ -101,13 +134,16 @@ class CompilationCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }
 
     # -- pickling (see the module docstring's multiprocessing contract) -----

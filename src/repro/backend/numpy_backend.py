@@ -188,6 +188,37 @@ def _to_output(value):
     return value
 
 
+def _to_output_batched(value, batch: int):
+    """Like :func:`_to_output` but keeping one leading request-batch axis.
+
+    The result of a batched execution carries exactly one batch axis (the
+    stacked-requests axis the service introduced); a leaf whose batch axis
+    stayed a broadcastable singleton (an input-independent result) is
+    materialised to the full batch extent so every request gets its slice.
+    """
+    if isinstance(value, tuple):
+        return np.stack(
+            [np.asarray(_to_output_batched(v, batch)) for v in value], axis=-1
+        )
+    if isinstance(value, (int, float, np.generic)):
+        scalar = np.asarray(value, dtype=np.float64)
+        return np.broadcast_to(scalar, (batch,) + scalar.shape).copy()
+    if isinstance(value, Batched):
+        leaf = _align_leaf(value, 1)
+        data = leaf.data
+        if data.shape[0] != batch:
+            if data.shape[0] != 1:
+                raise ExecutionError(
+                    f"batched result has extent {data.shape[0]} on the batch "
+                    f"axis, expected {batch}"
+                )
+            data = np.broadcast_to(data, (batch,) + data.shape[1:]).copy()
+        return data
+    raise ExecutionError(
+        f"cannot convert {type(value).__name__} to a batched output"
+    )
+
+
 # ---------------------------------------------------------------------------
 # The staged compiler
 # ---------------------------------------------------------------------------
@@ -597,6 +628,40 @@ class CompiledKernel:
             for param, value in zip(self._params, inputs)
         }
         return _to_output(self._body_step(env, 0))
+
+    def run_batched(self, stacked_inputs: Sequence) -> np.ndarray:
+        """Execute many independent requests in one vectorized sweep.
+
+        Each input carries a *leading batch axis* of a common extent ``B``:
+        ``stacked_inputs[i]`` has shape ``(B,) + single_shape_i`` where
+        ``single_shape_i`` is what :meth:`__call__` would receive for one
+        request.  The batch axis is threaded through the whole kernel as one
+        more broadcastable batch dimension — the same mechanism enclosing
+        ``map``s use — so the staged closure tree is traversed **once** and
+        every NumPy operation sweeps all ``B`` requests together.  The result
+        has the batch axis first; slice ``result[k]`` is bit-identical to
+        ``kernel(inputs_k)`` because batching only adds an outer axis to
+        elementwise operations and never reorders a reduction.
+        """
+        if len(stacked_inputs) != len(self._params):
+            raise ExecutionError(
+                f"program expects {len(self._params)} inputs, "
+                f"got {len(stacked_inputs)}"
+            )
+        arrays = [np.asarray(value, dtype=np.float64) for value in stacked_inputs]
+        if not arrays:
+            raise ExecutionError("batched execution needs at least one input")
+        extents = {array.shape[0] for array in arrays if array.ndim > 0}
+        if len(extents) != 1:
+            raise ExecutionError(
+                f"inconsistent batch extents across inputs: {sorted(extents)}"
+            )
+        (batch,) = extents
+        env: Env = {
+            param: Batched(array, 1)
+            for param, array in zip(self._params, arrays)
+        }
+        return _to_output_batched(self._body_step(env, 1), batch)
 
 
 def compile_program(

@@ -10,12 +10,20 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro bench-backend [--out BENCH_backend.json]
     python -m repro explore stencil2d --workers 4 [--budget 200]
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
+    python -m repro serve --port 7457 [--store .repro/engine.sqlite]
+    python -m repro submit stencil2d --port 7457 --shape 64 64
+    python -m repro loadgen [stencil2d] --requests 64 [--out BENCH_service.json]
+    python -m repro stats [--store .repro/engine.sqlite]
 
 Every sub-command prints human-readable text; the figure commands emit the
 same rows the paper plots.  ``explore`` and ``tune`` run on the parallel
 search engine: evaluations fan out over worker processes and are memoised
 in a SQLite results store, so re-running (or ``--resume``-ing) a session
-skips every already-evaluated point.
+skips every already-evaluated point.  ``serve`` exposes the asyncio
+micro-batching execution service over TCP (JSON lines); ``submit`` sends it
+requests; ``loadgen`` benchmarks batched serving against the per-request
+serial baseline; ``stats`` dumps the compilation-cache and results-store
+counters as one JSON blob.
 """
 
 from __future__ import annotations
@@ -217,6 +225,116 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return _run_engine_command(args, "tune")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import run_server
+
+    store = None if args.no_store else args.store
+    print(f"serving on {args.host}:{args.port} "
+          f"(device {args.device}, store {store or '<none>'}, "
+          f"window {args.window_ms} ms, max batch {args.max_batch})",
+          flush=True)
+    stats = run_server(
+        host=args.host,
+        port=args.port,
+        max_requests=args.max_requests,
+        device=args.device,
+        store=store,
+        batch_window=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        crosscheck=args.crosscheck,
+        auto_tune=args.auto_tune,
+    )
+    if stats:
+        import json as _json
+
+        print(_json.dumps(stats.get("service", {}), indent=2))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    async def submit_all() -> int:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        for index in range(args.count):
+            wire = {
+                "id": index,
+                "benchmark": args.benchmark,
+                "seed": args.seed + index,
+                "return_result": args.show_result,
+            }
+            if args.shape:
+                wire["shape"] = list(args.shape)
+            writer.write((_json.dumps(wire) + "\n").encode("utf-8"))
+        await writer.drain()
+        failures = 0
+        for _ in range(args.count):
+            reply = _json.loads(await reader.readline())
+            if not reply.get("ok"):
+                failures += 1
+                print(f"request {reply.get('id')}: ERROR {reply.get('error')}")
+                continue
+            print(
+                f"request {reply.get('id')}: {reply.get('benchmark')} "
+                f"variant [{reply.get('variant')}] ({reply.get('plan_source')}) "
+                f"batch {reply.get('batch_size')} "
+                f"latency {reply.get('latency_ms'):.2f} ms"
+            )
+            if args.show_result:
+                print(reply.get("result"))
+        writer.close()
+        return 1 if failures else 0
+
+    return asyncio.run(submit_all())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.loadgen import check_batching, format_loadgen, run_loadgen
+
+    connect = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        connect = (host or "127.0.0.1", int(port))
+    report = run_loadgen(
+        benchmark=args.benchmark,
+        requests=args.requests,
+        shape=tuple(args.shape) if args.shape else None,
+        identical=not args.distinct,
+        seed=args.seed,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        store=args.store,
+        device=args.device,
+        connect=connect,
+        repeats=args.repeats,
+    )
+    print(format_loadgen(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.out}")
+    if args.assert_batched:
+        problems = check_batching(report)
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .service.metrics import stats_report
+
+    store = args.store if os.path.exists(args.store) else None
+    print(_json.dumps(stats_report(store=store), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -313,6 +431,77 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--measure-size", type=int, default=256,
                            help="target grid extent per dimension for measured scoring")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the micro-batching execution service as a TCP endpoint",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7457)
+    serve.add_argument("--device", default="nvidia",
+                       choices=["nvidia", "amd", "arm"])
+    serve.add_argument("--store", default=DEFAULT_STORE_PATH,
+                       help="results store supplying tuned kernel variants")
+    serve.add_argument("--no-store", action="store_true",
+                       help="serve without consulting a results store")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching window in milliseconds")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--crosscheck", action="store_true",
+                       help="verify every batched result against "
+                            "single-request execution (bit-identical)")
+    serve.add_argument("--auto-tune", action="store_true",
+                       help="background-tune cold benchmark digests")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="exit after serving this many requests "
+                            "(smoke tests); default: serve forever")
+
+    submit = sub.add_parser("submit", help="send requests to a running service")
+    submit.add_argument("benchmark", nargs="?", default="stencil2d")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7457)
+    submit.add_argument("--shape", type=int, nargs="*", default=None,
+                        help="input grid extents (generated server-side)")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--count", type=int, default=1,
+                        help="pipeline this many requests on one connection")
+    submit.add_argument("--show-result", action="store_true",
+                        help="fetch and print the result grid")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="benchmark batched serving against the per-request serial baseline",
+    )
+    loadgen.add_argument("benchmark", nargs="?", default="stencil2d")
+    loadgen.add_argument("--requests", type=int, default=64,
+                         help="concurrent requests per timed stream")
+    loadgen.add_argument("--shape", type=int, nargs="*", default=None,
+                         help="input grid extents (default: small grids)")
+    loadgen.add_argument("--distinct", action="store_true",
+                         help="distinct-seed traffic instead of identical requests")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--window-ms", type=float, default=5.0)
+    loadgen.add_argument("--max-batch", type=int, default=64)
+    loadgen.add_argument("--repeats", type=int, default=3,
+                         help="timed stream repetitions (best wall kept)")
+    loadgen.add_argument("--store", default=None,
+                         help="results store supplying tuned kernel variants")
+    loadgen.add_argument("--device", default="nvidia",
+                         choices=["nvidia", "amd", "arm"])
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive a running `repro serve` endpoint "
+                              "instead of an in-process service")
+    loadgen.add_argument("--out", default=None,
+                         help="write the report as JSON to this path")
+    loadgen.add_argument("--assert-batched", action="store_true",
+                         help="exit non-zero unless batching occurred with "
+                              "exactly one compilation (CI smoke check)")
+
+    stats = sub.add_parser(
+        "stats",
+        help="dump compilation-cache and results-store counters as one JSON blob",
+    )
+    stats.add_argument("--store", default=DEFAULT_STORE_PATH)
+
     return parser
 
 
@@ -328,6 +517,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench-backend": _cmd_bench_backend,
         "explore": _cmd_explore,
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "loadgen": _cmd_loadgen,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,372 @@
+"""Wire-format (de)serialization of Lift programs.
+
+The execution service accepts requests that carry *either* a benchmark name
+*or* a full program; for the latter the program must cross a process
+boundary as data.  This module converts a closed :class:`~repro.core.ir.Lambda`
+to a JSON-able dict and back, preserving :func:`~repro.core.ir.structural_digest`
+— a deserialized program routes to the same service execution plan and the
+same compiled kernel as the original.
+
+Two kinds of node embed Python callables and therefore cannot be serialized
+structurally:
+
+* :class:`~repro.core.ir.UserFun` — serialized by *name* (plus its C body as
+  a consistency check) and resolved against a registry on deserialization.
+  The registry is seeded with the stock functions from
+  :mod:`repro.core.userfuns`; additional sources (e.g. the benchmark apps'
+  module-level user functions) register themselves via
+  :func:`add_userfun_source`, and ad-hoc functions via :func:`register_userfun`.
+* :class:`~repro.core.primitives.stencil.Pad` boundaries — serialized by
+  name and resolved against ``BOUNDARIES`` (clamp / mirror / wrap).
+
+``ArrayConstructor`` (a closure-generated array) has no wire form and raises
+:class:`SerializationError`; such programs must be submitted by benchmark
+name instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List
+
+from .arithmetic import ArithExpr
+from .ir import Expr, FunCall, FunDecl, Lambda, Literal, Param, Primitive, UserFun
+from .primitives.algorithmic import (
+    ArrayConstructor,
+    At,
+    Get,
+    Id,
+    Iterate,
+    Join,
+    Map,
+    Reduce,
+    Split,
+    Transpose,
+    TupleCons,
+    Zip,
+)
+from .primitives.opencl import (
+    MapGlb,
+    MapLcl,
+    MapSeq,
+    MapWrg,
+    ReduceSeq,
+    ReduceUnroll,
+    ToGlobal,
+    ToLocal,
+    ToPrivate,
+    _MapLike,
+)
+from .primitives.stencil import BOUNDARIES, Pad, PadConstant, Slide
+from .types import Bool, Double, Float, Int, Type, UNTYPED
+
+
+class SerializationError(Exception):
+    """A program contains a node with no wire representation."""
+
+
+# ---------------------------------------------------------------------------
+# The user-function registry
+# ---------------------------------------------------------------------------
+
+_USERFUNS: Dict[str, UserFun] = {}
+_USERFUN_SOURCES: List[Callable[[], Iterable[UserFun]]] = []
+_SOURCES_DRAINED = 0
+_STOCK_SEEDED = False
+
+
+def register_userfun(fun: UserFun) -> UserFun:
+    """Make a user function resolvable by name during deserialization."""
+    existing = _USERFUNS.get(fun.name)
+    if existing is not None and existing.body_c != fun.body_c:
+        raise SerializationError(
+            f"user function name {fun.name!r} already registered with a "
+            "different body"
+        )
+    _USERFUNS[fun.name] = fun
+    return fun
+
+
+def add_userfun_source(source: Callable[[], Iterable[UserFun]]) -> None:
+    """Register a lazy provider of user functions (drained on first lookup)."""
+    _USERFUN_SOURCES.append(source)
+
+
+def _resolve_userfun(name: str, body_c: str) -> UserFun:
+    global _SOURCES_DRAINED, _STOCK_SEEDED
+    if not _STOCK_SEEDED:
+        # One-shot, not conditioned on the registry being empty: a user
+        # registering a custom function first must not mask the stock ones.
+        _STOCK_SEEDED = True
+        from . import userfuns as stock
+
+        for value in vars(stock).values():
+            # An explicit earlier registration (even of a stock name) wins.
+            if isinstance(value, UserFun) and value.name not in _USERFUNS:
+                register_userfun(value)
+    while _SOURCES_DRAINED < len(_USERFUN_SOURCES) and name not in _USERFUNS:
+        source = _USERFUN_SOURCES[_SOURCES_DRAINED]
+        _SOURCES_DRAINED += 1
+        for fun in source():
+            if fun.name not in _USERFUNS:
+                register_userfun(fun)
+    fun = _USERFUNS.get(name)
+    if fun is None:
+        raise SerializationError(
+            f"unknown user function {name!r}; register it with "
+            "repro.core.serialize.register_userfun"
+        )
+    if fun.body_c != body_c:
+        raise SerializationError(
+            f"user function {name!r} has a different body than the "
+            "serialized program expects"
+        )
+    return fun
+
+
+# ---------------------------------------------------------------------------
+# Scalar types and arithmetic sizes
+# ---------------------------------------------------------------------------
+
+_SCALARS = {"float": Float, "double": Double, "int": Int, "bool": Bool}
+
+
+def _type_name(type_: Type) -> str:
+    for name, scalar in _SCALARS.items():
+        if type_ == scalar:
+            return name
+    raise SerializationError(f"cannot serialize literal type {type_!r}")
+
+
+def _concrete_int(size: ArithExpr, what: str) -> int:
+    if not size.is_constant():
+        raise SerializationError(f"cannot serialize symbolic {what} {size!r}")
+    return int(size.evaluate())
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def _encode(expr: Expr, param_ids: Dict[Param, int]) -> Dict[str, object]:
+    if isinstance(expr, Param):
+        if expr in param_ids:
+            return {"node": "param", "pid": param_ids[expr]}
+        return {"node": "free", "name": expr.name}
+    if isinstance(expr, Literal):
+        return {
+            "node": "lit",
+            "value": expr.value,
+            "type": _type_name(expr.type),
+        }
+    if isinstance(expr, Lambda):
+        inner = dict(param_ids)
+        params = []
+        for param in expr.params:
+            inner[param] = len(inner)
+            params.append({"name": param.name, "pid": inner[param]})
+        return {
+            "node": "lambda",
+            "params": params,
+            "body": _encode(expr.body, inner),
+        }
+    if isinstance(expr, UserFun):
+        return {"node": "userfun", "name": expr.name, "body_c": expr.body_c}
+    if isinstance(expr, FunCall):
+        fun = expr.fun
+        if not isinstance(fun, Expr):
+            raise SerializationError(
+                f"cannot serialize callee {type(fun).__name__}"
+            )
+        return {
+            "node": "call",
+            "fun": _encode(fun, param_ids),
+            "args": [_encode(arg, param_ids) for arg in expr.args],
+        }
+    if isinstance(expr, Primitive):
+        return _encode_primitive(expr, param_ids)
+    raise SerializationError(f"cannot serialize {type(expr).__name__}")
+
+
+def _encode_primitive(prim: Primitive, param_ids: Dict[Param, int]) -> Dict[str, object]:
+    kind = type(prim).__name__
+    out: Dict[str, object] = {"node": "prim", "kind": kind}
+    if isinstance(prim, ArrayConstructor):
+        raise SerializationError(
+            "ArrayConstructor closures have no wire form; submit this "
+            "program by benchmark name instead"
+        )
+    if isinstance(prim, (Map, Reduce, Iterate)) or isinstance(
+        prim, (ToGlobal, ToLocal, ToPrivate)
+    ):
+        out["f"] = _encode(prim.f, param_ids)  # type: ignore[attr-defined]
+    if isinstance(prim, _MapLike):
+        out["dim"] = prim.dim
+    if isinstance(prim, Reduce):
+        out["init"] = _encode(prim.init, param_ids)
+    if isinstance(prim, Iterate):
+        out["count"] = prim.count
+    if isinstance(prim, (Zip, TupleCons)):
+        out["n"] = prim.n
+    if isinstance(prim, Split):
+        out["chunk"] = _concrete_int(prim.chunk, "split chunk")
+    if isinstance(prim, (At, Get)):
+        out["index"] = prim.index
+    if isinstance(prim, Pad):
+        if prim.boundary.name not in BOUNDARIES:
+            raise SerializationError(
+                f"cannot serialize custom pad boundary {prim.boundary.name!r}"
+            )
+        out.update(left=prim.left, right=prim.right, boundary=prim.boundary.name)
+    if isinstance(prim, PadConstant):
+        out.update(
+            left=prim.left,
+            right=prim.right,
+            value=_encode(prim.value, param_ids),
+        )
+    if isinstance(prim, Slide):
+        out["size"] = _concrete_int(prim.size, "slide size")
+        out["step"] = _concrete_int(prim.step, "slide step")
+    known = (
+        Map, Reduce, Iterate, Zip, Split, Join, Transpose, At, Get,
+        TupleCons, Id, Pad, PadConstant, Slide, ToGlobal, ToLocal, ToPrivate,
+    )
+    if not isinstance(prim, known):
+        raise SerializationError(f"no wire form for primitive {kind!r}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Deserialization
+# ---------------------------------------------------------------------------
+
+_SIMPLE_PRIMS = {"Join": Join, "Transpose": Transpose, "Id": Id}
+_MAP_PRIMS = {"Map": Map, "MapSeq": MapSeq}
+_MAPLIKE_PRIMS = {"MapGlb": MapGlb, "MapWrg": MapWrg, "MapLcl": MapLcl}
+_REDUCE_PRIMS = {"Reduce": Reduce, "ReduceSeq": ReduceSeq, "ReduceUnroll": ReduceUnroll}
+_SPACE_PRIMS = {"ToGlobal": ToGlobal, "ToLocal": ToLocal, "ToPrivate": ToPrivate}
+
+
+def _decode(data: Dict[str, object], params: Dict[int, Param]) -> Expr:
+    node = data.get("node")
+    if node == "param":
+        pid = int(data["pid"])  # type: ignore[arg-type]
+        if pid not in params:
+            raise SerializationError(f"reference to unbound parameter id {pid}")
+        return params[pid]
+    if node == "free":
+        return Param(str(data["name"]), UNTYPED)
+    if node == "lit":
+        return Literal(data["value"], _SCALARS[str(data["type"])])
+    if node == "lambda":
+        inner = dict(params)
+        new_params = []
+        for spec in data["params"]:  # type: ignore[union-attr]
+            param = Param(str(spec["name"]), UNTYPED)
+            inner[int(spec["pid"])] = param
+            new_params.append(param)
+        return Lambda(new_params, _decode(data["body"], inner))  # type: ignore[arg-type]
+    if node == "userfun":
+        return _resolve_userfun(str(data["name"]), str(data["body_c"]))
+    if node == "call":
+        fun = _decode(data["fun"], params)  # type: ignore[arg-type]
+        if not isinstance(fun, FunDecl):
+            raise SerializationError(
+                f"call head decodes to non-callable {type(fun).__name__}"
+            )
+        args = [_decode(arg, params) for arg in data["args"]]  # type: ignore[union-attr]
+        return FunCall(fun, *args)
+    if node == "prim":
+        return _decode_primitive(data, params)
+    raise SerializationError(f"unknown node kind {node!r}")
+
+
+def _decode_fun(data: Dict[str, object], params: Dict[int, Param]) -> FunDecl:
+    fun = _decode(data, params)
+    if not isinstance(fun, FunDecl):
+        raise SerializationError(
+            f"expected a function, decoded {type(fun).__name__}"
+        )
+    return fun
+
+
+def _decode_primitive(data: Dict[str, object], params: Dict[int, Param]) -> Primitive:
+    kind = str(data["kind"])
+    if kind in _SIMPLE_PRIMS:
+        return _SIMPLE_PRIMS[kind]()
+    if kind in _MAP_PRIMS:
+        return _MAP_PRIMS[kind](_decode_fun(data["f"], params))  # type: ignore[arg-type]
+    if kind in _MAPLIKE_PRIMS:
+        return _MAPLIKE_PRIMS[kind](
+            _decode_fun(data["f"], params), int(data.get("dim", 0))  # type: ignore[arg-type]
+        )
+    if kind in _REDUCE_PRIMS:
+        return _REDUCE_PRIMS[kind](
+            _decode_fun(data["f"], params),  # type: ignore[arg-type]
+            _decode(data["init"], params),  # type: ignore[arg-type]
+        )
+    if kind in _SPACE_PRIMS:
+        return _SPACE_PRIMS[kind](_decode_fun(data["f"], params))  # type: ignore[arg-type]
+    if kind == "Iterate":
+        return Iterate(int(data["count"]), _decode_fun(data["f"], params))  # type: ignore[arg-type]
+    if kind == "Zip":
+        return Zip(int(data["n"]))  # type: ignore[arg-type]
+    if kind == "TupleCons":
+        return TupleCons(int(data["n"]))  # type: ignore[arg-type]
+    if kind == "Split":
+        return Split(int(data["chunk"]))  # type: ignore[arg-type]
+    if kind == "At":
+        return At(int(data["index"]))  # type: ignore[arg-type]
+    if kind == "Get":
+        return Get(int(data["index"]))  # type: ignore[arg-type]
+    if kind == "Pad":
+        return Pad(
+            int(data["left"]), int(data["right"]),  # type: ignore[arg-type]
+            BOUNDARIES[str(data["boundary"])],
+        )
+    if kind == "PadConstant":
+        return PadConstant(
+            int(data["left"]), int(data["right"]),  # type: ignore[arg-type]
+            _decode(data["value"], params),  # type: ignore[arg-type]
+        )
+    if kind == "Slide":
+        return Slide(int(data["size"]), int(data["step"]))  # type: ignore[arg-type]
+    raise SerializationError(f"unknown primitive kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def program_to_dict(program: Lambda) -> Dict[str, object]:
+    """Serialize a closed top-level lambda to a JSON-able dict."""
+    if not isinstance(program, Lambda):
+        raise SerializationError("only closed top-level lambdas serialize")
+    return _encode(program, {})
+
+
+def program_from_dict(data: Dict[str, object]) -> Lambda:
+    """Reconstruct a program serialized by :func:`program_to_dict`."""
+    program = _decode(dict(data), {})
+    if not isinstance(program, Lambda):
+        raise SerializationError("serialized program is not a lambda")
+    return program
+
+
+def program_to_json(program: Lambda) -> str:
+    return json.dumps(program_to_dict(program), sort_keys=True)
+
+
+def program_from_json(text: str) -> Lambda:
+    return program_from_dict(json.loads(text))
+
+
+__all__ = [
+    "SerializationError",
+    "add_userfun_source",
+    "program_from_dict",
+    "program_from_json",
+    "program_to_dict",
+    "program_to_json",
+    "register_userfun",
+]

@@ -42,6 +42,8 @@ CREATE TABLE IF NOT EXISTS results (
 );
 CREATE INDEX IF NOT EXISTS idx_results_bench_device
     ON results (benchmark, device);
+CREATE INDEX IF NOT EXISTS idx_results_digest
+    ON results (expr_digest);
 CREATE TABLE IF NOT EXISTS sessions (
     session    TEXT PRIMARY KEY,
     spec       TEXT NOT NULL,
@@ -97,7 +99,10 @@ class ResultsStore:
         if path != ":memory:":
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(path)
+        # The execution service reads best-result rows from its event-loop
+        # thread while the store was opened by the constructing thread;
+        # reads are safe under the GIL and writes stay driver-only.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
@@ -202,6 +207,66 @@ class ResultsStore:
             (benchmark, device),
         ).fetchone()
         return None if row is None else _row_to_result(row)
+
+    def best_for_digest(self, expr_digest: str,
+                        device: Optional[str] = None) -> Optional[StoredResult]:
+        """The lowest-cost stored result for one expression digest.
+
+        ``expr_digest`` lives in the *lowered*-expression digest space (what
+        :meth:`put` persisted from :class:`~repro.engine.jobs.EvaluationJob`),
+        not the high-level program digest the service routes requests by.
+        The tuned-kernel registry uses it for programs that match no
+        registered benchmark: looking up the digest of the request's default
+        lowering recalls the best configuration any past session found for
+        exactly that expression (optionally restricted to one device model).
+        """
+        if device is None:
+            row = self._conn.execute(
+                "SELECT * FROM results WHERE expr_digest = ? "
+                "ORDER BY cost ASC, fingerprint ASC LIMIT 1",
+                (expr_digest,),
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT * FROM results WHERE expr_digest = ? AND device = ? "
+                "ORDER BY cost ASC, fingerprint ASC LIMIT 1",
+                (expr_digest, device),
+            ).fetchone()
+        return None if row is None else _row_to_result(row)
+
+    def best_per_benchmark(self, device: Optional[str] = None
+                           ) -> Dict[str, StoredResult]:
+        """The best stored result of every benchmark (optionally per device).
+
+        One query warms the whole tuned-kernel registry: the service applies
+        these variants/configurations to incoming traffic without paying a
+        store round-trip per request.
+        """
+        device_filter = "" if device is None else "WHERE device = ?"
+        params: Tuple = () if device is None else (device, device)
+        rows = self._conn.execute(
+            # Group-wise minimum via the index, not a full-table sort: only
+            # rows matching each benchmark's minimum cost are materialised.
+            f"SELECT r.* FROM results r JOIN ("
+            f"  SELECT benchmark, MIN(cost) AS best_cost FROM results "
+            f"  {device_filter} GROUP BY benchmark"
+            f") m ON r.benchmark = m.benchmark AND r.cost = m.best_cost "
+            f"{'WHERE r.device = ?' if device is not None else ''} "
+            f"ORDER BY r.fingerprint ASC",
+            params,
+        ).fetchall()
+        best: Dict[str, StoredResult] = {}
+        for row in rows:  # ties resolved by lowest fingerprint (row order)
+            if row["benchmark"] not in best:
+                best[row["benchmark"]] = _row_to_result(row)
+        return best
+
+    def benchmarks(self) -> List[str]:
+        """Distinct benchmark names with at least one stored result."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT benchmark FROM results ORDER BY benchmark"
+        ).fetchall()
+        return [row["benchmark"] for row in rows]
 
     def count(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]

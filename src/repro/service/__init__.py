@@ -1,0 +1,44 @@
+"""The stencil execution service: async batching over tuned, compiled kernels.
+
+This package turns the compiled NumPy backend (PR 1) and the tuned results
+of the search engine (PR 2) into a long-lived, high-throughput serving
+subsystem:
+
+* :class:`StencilService` — the asyncio micro-batching server: concurrent
+  requests that share a structural digest + input signature are stacked
+  along a leading batch axis and executed as **one** vectorized call
+  (one compile, one sweep, N responses);
+* :class:`TunedKernelRegistry` — routes each request's digest to the best
+  rewrite variant/configuration past ``repro tune`` sessions persisted in
+  the engine's SQLite results store (cold digests get the default lowering
+  and can enqueue a background tune);
+* :class:`ServiceClient` — the blocking in-process client;
+  :func:`serve_tcp` / :func:`run_server` — the JSON-lines TCP endpoint
+  behind ``repro serve`` / ``repro submit``;
+* :mod:`.loadgen` — the load generator behind ``repro loadgen`` and
+  ``BENCH_service.json``;
+* :mod:`.metrics` — the shared ``/metrics``-style stats report, also
+  printed by ``repro stats``.
+"""
+
+from .loadgen import check_batching, format_loadgen, run_loadgen
+from .metrics import stats_report
+from .registry import ExecutionPlan, TunedKernelRegistry
+from .requests import ExecutionRequest, ExecutionResponse, ServiceError
+from .server import ServiceClient, StencilService, run_server, serve_tcp
+
+__all__ = [
+    "ExecutionPlan",
+    "ExecutionRequest",
+    "ExecutionResponse",
+    "ServiceClient",
+    "ServiceError",
+    "StencilService",
+    "TunedKernelRegistry",
+    "check_batching",
+    "format_loadgen",
+    "run_loadgen",
+    "run_server",
+    "serve_tcp",
+    "stats_report",
+]

@@ -1,0 +1,65 @@
+"""One stats blob for the whole execution stack (a ``/metrics``-style report).
+
+:func:`stats_report` assembles the compilation-cache counters (hits, misses,
+LRU evictions), the results-store counters (entries, hits, misses, sessions,
+per-benchmark bests) and — when called by a running service — the serving
+counters (requests, batches, compilations) into a single JSON-able dict.
+The ``repro stats`` CLI verb prints exactly this report; the service's
+:meth:`~repro.service.server.StencilService.stats` embeds it, so operators
+read the same shape everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..backend.cache import CompilationCache, default_cache
+from ..engine.store import ResultsStore
+
+
+def cache_section(cache: Optional[CompilationCache] = None) -> Dict[str, int]:
+    cache = default_cache if cache is None else cache
+    return cache.stats()
+
+
+def store_section(store: Union[ResultsStore, str, None]) -> Dict[str, object]:
+    """Results-store counters plus a per-benchmark best summary."""
+    if store is None:
+        return {"available": False}
+    owns = isinstance(store, str)
+    opened = ResultsStore(store) if owns else store
+    try:
+        section: Dict[str, object] = {"available": True}
+        section.update(opened.stats())
+        section["sessions"] = len(opened.sessions())
+        section["best"] = {
+            name: {
+                "variant": result.variant.describe(),
+                "config": dict(result.config),
+                "cost_s": result.cost,
+                "device": result.device,
+            }
+            for name, result in sorted(opened.best_per_benchmark().items())
+        }
+        return section
+    finally:
+        if owns:
+            opened.close()
+
+
+def stats_report(
+    cache: Optional[CompilationCache] = None,
+    store: Union[ResultsStore, str, None] = None,
+    service: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The combined hit/miss/eviction report in one JSON-able blob."""
+    report: Dict[str, object] = {
+        "compilation_cache": cache_section(cache),
+        "results_store": store_section(store),
+    }
+    if service is not None:
+        report["service"] = service
+    return report
+
+
+__all__ = ["cache_section", "stats_report", "store_section"]

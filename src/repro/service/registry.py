@@ -1,0 +1,219 @@
+"""The tuned-kernel registry: structural digest → best-known execution plan.
+
+Requests are routed by the :func:`~repro.core.ir.structural_digest` of their
+*high-level* program.  The registry resolves a digest to an
+:class:`ExecutionPlan`:
+
+* a digest matching a registered benchmark consults the engine's SQLite
+  :class:`~repro.engine.store.ResultsStore` for the lowest-cost stored
+  result of past ``repro tune`` / ``repro explore`` sessions and applies
+  that variant's rewrite strategy to incoming workloads — the ATF-style
+  amortisation of search cost over later executions;
+* a cold digest (no store, no stored results, or an unknown program) falls
+  back to the default naive lowering, and the serving layer may enqueue a
+  background tune for it.
+
+A *tiled* tuned variant only reproduces the full output on shapes its tiles
+exactly cover, so :meth:`ExecutionPlan.program_for` checks coverage per
+request shape and falls back to the naive lowering otherwise (recorded as
+plan source ``"fallback"`` in responses and stats).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.ir import Lambda, structural_digest
+from ..engine.store import ResultsStore, StoredResult
+from ..rewriting.strategies import NAIVE, LoweredProgram, lower_program
+from .requests import ServiceError
+
+
+@dataclass
+class ExecutionPlan:
+    """How the service executes all traffic for one structural digest."""
+
+    digest: str
+    benchmark: Optional[str]          # registry key, when the digest matched
+    naive: LoweredProgram
+    tuned: Optional[LoweredProgram] = None
+    tuned_config: Optional[Dict[str, object]] = None
+    tuned_cost: Optional[float] = None
+    stencil_extent: int = 3
+
+    @property
+    def source(self) -> str:
+        return "tuned" if self.tuned is not None else "default"
+
+    def covers(self, shape: Tuple[int, ...]) -> bool:
+        """True when the tuned tiling exactly covers this input shape."""
+        lowered = self.tuned
+        if lowered is None or not lowered.uses_tiling:
+            return True
+        u = lowered.tile_size
+        v = u - (lowered.stencil_size - lowered.stencil_step)
+        if v <= 0:
+            return False
+        radius = (self.stencil_extent - 1) // 2
+        for extent in shape:
+            padded = extent + 2 * radius
+            if padded < u or (padded - u) % v != 0:
+                return False
+        return True
+
+    def program_for(self, shape: Tuple[int, ...]) -> Tuple[Lambda, str, str]:
+        """The program serving one request shape: (program, variant, source)."""
+        if self.tuned is not None:
+            if self.covers(shape):
+                return (self.tuned.program,
+                        self.tuned.strategy.describe(), "tuned")
+            return (self.naive.program, self.naive.strategy.describe(),
+                    "fallback")
+        return (self.naive.program, self.naive.strategy.describe(), "default")
+
+
+class TunedKernelRegistry:
+    """Resolve programs to execution plans, consulting the results store."""
+
+    def __init__(
+        self,
+        store: Union[ResultsStore, str, None] = None,
+        device: str = "nvidia",
+    ) -> None:
+        self._owns_store = isinstance(store, str)
+        self.store: Optional[ResultsStore] = (
+            ResultsStore(store) if isinstance(store, str) else store
+        )
+        self.device = device
+        self._plans: Dict[str, ExecutionPlan] = {}
+        self._benchmark_digest: Dict[str, str] = {}
+        self._digest_to_benchmark: Optional[Dict[str, str]] = None
+        self._lock = threading.Lock()
+        self.lookups = 0
+        self.tuned_hits = 0
+        self.cold_misses = 0
+
+    def close(self) -> None:
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    # -- routing -------------------------------------------------------------
+    def _benchmark_digests(self) -> Dict[str, str]:
+        """Digest of every registered benchmark's high-level program.
+
+        Built once: it lets a *serialized program* request route to the same
+        tuned plan as the equivalent benchmark-name request.
+        """
+        if self._digest_to_benchmark is None:
+            from ..apps.suite import ALL_BENCHMARKS
+
+            self._digest_to_benchmark = {
+                structural_digest(benchmark.build_program()): key
+                for key, benchmark in ALL_BENCHMARKS.items()
+            }
+        return self._digest_to_benchmark
+
+    def plan_for(self, benchmark: Optional[str] = None,
+                 program: Optional[Lambda] = None) -> ExecutionPlan:
+        """The execution plan for a request (cached per digest)."""
+        from ..apps.suite import ALL_BENCHMARKS, get_benchmark
+
+        self.lookups += 1
+        if benchmark is not None:
+            key = benchmark.lower()
+            digest = self._benchmark_digest.get(key)
+            if digest is not None:
+                # Hot path: a benchmark's digest (and usually its whole
+                # plan) is computed once, not once per request.
+                with self._lock:
+                    plan = self._plans.get(digest)
+                if plan is not None:
+                    if plan.tuned is not None:
+                        self.tuned_hits += 1
+                    return plan
+            bench = get_benchmark(key)
+            program = bench.build_program()
+            digest = structural_digest(program)
+            self._benchmark_digest[key] = digest
+        elif program is not None:
+            digest = structural_digest(program)
+            key = self._benchmark_digests().get(digest)
+            bench = ALL_BENCHMARKS.get(key) if key is not None else None
+        else:
+            raise ServiceError("plan_for needs a benchmark key or a program")
+
+        with self._lock:
+            plan = self._plans.get(digest)
+        if plan is not None:
+            if plan.tuned is not None:
+                self.tuned_hits += 1
+            return plan
+
+        plan = self._build_plan(digest, key if bench is not None else None,
+                                program, bench)
+        with self._lock:
+            self._plans.setdefault(digest, plan)
+            plan = self._plans[digest]
+        if plan.tuned is not None:
+            self.tuned_hits += 1
+        else:
+            self.cold_misses += 1
+        return plan
+
+    def _build_plan(self, digest: str, key: Optional[str],
+                    program: Lambda, bench) -> ExecutionPlan:
+        naive = lower_program(program, NAIVE)
+        extent = bench.stencil_extent if bench is not None else 3
+        plan = ExecutionPlan(digest=digest, benchmark=key, naive=naive,
+                             stencil_extent=extent)
+        best = self._best_result(bench)
+        if best is None and bench is None and self.store is not None:
+            # Unknown program: the store keys results by the digest of the
+            # *lowered* expression, so look its default lowering up — a hit
+            # recalls the best configuration any past session found for
+            # exactly this expression.
+            best = self.store.best_for_digest(
+                structural_digest(naive.program), self.device
+            )
+        if best is not None:
+            try:
+                tuned = lower_program(program, best.variant.to_strategy())
+            except Exception:
+                return plan  # un-lowerable stored variant: serve the default
+            plan.tuned = tuned
+            plan.tuned_config = dict(best.config)
+            plan.tuned_cost = best.cost
+        return plan
+
+    def _best_result(self, bench) -> Optional[StoredResult]:
+        if self.store is None or bench is None:
+            return None
+        return self.store.best_for(bench.name, self.device)
+
+    # -- refresh (after a background tune) ------------------------------------
+    def refresh(self, digest: str) -> Optional[ExecutionPlan]:
+        """Re-consult the store for one digest (e.g. after a tune finished)."""
+        with self._lock:
+            plan = self._plans.pop(digest, None)
+        if plan is None:
+            return None
+        return self.plan_for(benchmark=plan.benchmark) \
+            if plan.benchmark is not None else None
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            cached = len(self._plans)
+            tuned = sum(1 for plan in self._plans.values()
+                        if plan.tuned is not None)
+        return {
+            "lookups": self.lookups,
+            "tuned_hits": self.tuned_hits,
+            "cold_misses": self.cold_misses,
+            "plans_cached": cached,
+            "plans_tuned": tuned,
+        }
+
+
+__all__ = ["ExecutionPlan", "TunedKernelRegistry"]

@@ -1,0 +1,166 @@
+"""Request/response types of the stencil execution service, plus wire forms.
+
+A request names *what* to run — a registered benchmark or a full serialized
+program — and carries concrete input grids.  Responses return the result
+(optionally) together with the execution metadata the batching layer
+produced: which structural digest the request routed to, which tuned variant
+served it, how large the micro-batch was, and the observed latency.
+
+``to_wire``/``from_wire`` translate both types to JSON-able dicts for the
+TCP endpoint (JSON lines over an asyncio stream); in-process callers hand
+the dataclasses to :class:`~repro.service.server.StencilService` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.ir import Lambda
+from ..core.serialize import program_from_dict, program_to_dict
+
+
+class ServiceError(Exception):
+    """A request could not be served (bad request, plan, or execution)."""
+
+
+@dataclass
+class ExecutionRequest:
+    """One stencil-execution request.
+
+    Exactly one of ``benchmark`` (a registry key such as ``"stencil2d"``)
+    or ``program`` (a closed Lift lambda) must be set.  ``inputs`` are the
+    concrete input grids, one per program parameter.
+    """
+
+    inputs: List[np.ndarray]
+    benchmark: Optional[str] = None
+    program: Optional[Lambda] = None
+    size_env: Dict[str, int] = field(default_factory=dict)
+    return_result: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.program is None):
+            raise ServiceError(
+                "a request names exactly one of: a benchmark key, a program"
+            )
+        self.inputs = [np.asarray(grid, dtype=np.float64) for grid in self.inputs]
+
+    @staticmethod
+    def for_benchmark(key: str, shape=None, seed: int = 0,
+                      return_result: bool = True) -> "ExecutionRequest":
+        """A request for a registered benchmark with generated inputs."""
+        from ..apps.suite import get_benchmark
+
+        benchmark = get_benchmark(key)
+        shape = tuple(shape or benchmark.default_shape)
+        return ExecutionRequest(
+            inputs=benchmark.make_inputs(shape, seed),
+            benchmark=key.lower(),
+            return_result=return_result,
+        )
+
+    @staticmethod
+    def for_program(program: Lambda, inputs, size_env=None,
+                    return_result: bool = True) -> "ExecutionRequest":
+        """A request carrying a full program (e.g. built by a remote client)."""
+        return ExecutionRequest(
+            inputs=list(inputs),
+            program=program,
+            size_env=dict(size_env or {}),
+            return_result=return_result,
+        )
+
+    def to_wire(self) -> Dict[str, object]:
+        wire: Dict[str, object] = {
+            "inputs": [grid.tolist() for grid in self.inputs],
+            "return_result": self.return_result,
+        }
+        if self.size_env:
+            wire["size_env"] = dict(self.size_env)
+        if self.benchmark is not None:
+            wire["benchmark"] = self.benchmark
+        else:
+            wire["program"] = program_to_dict(self.program)
+        return wire
+
+    @staticmethod
+    def from_wire(data: Dict[str, object]) -> "ExecutionRequest":
+        program = data.get("program")
+        benchmark = data.get("benchmark")
+        inputs = data.get("inputs")
+        if inputs is None:
+            # Generated inputs: the client sends a shape + seed instead of
+            # grids — the cheap form the load generator uses.
+            if benchmark is None:
+                raise ServiceError("generated inputs require a benchmark key")
+            return ExecutionRequest.for_benchmark(
+                str(benchmark),
+                shape=data.get("shape"),
+                seed=int(data.get("seed", 0)),
+                return_result=bool(data.get("return_result", True)),
+            )
+        return ExecutionRequest(
+            inputs=[np.asarray(grid, dtype=np.float64) for grid in inputs],
+            benchmark=None if benchmark is None else str(benchmark),
+            program=None if program is None else program_from_dict(program),
+            size_env={str(k): int(v)
+                      for k, v in dict(data.get("size_env") or {}).items()},
+            return_result=bool(data.get("return_result", True)),
+        )
+
+
+@dataclass
+class ExecutionResponse:
+    """The service's answer to one request."""
+
+    result: Optional[np.ndarray]
+    benchmark: Optional[str]
+    digest: str
+    variant: str                 # description of the lowering that served it
+    plan_source: str             # "tuned" | "default" | "fallback"
+    batch_size: int              # requests in the micro-batch that served it
+    batched: bool                # True when batch_size > 1
+    latency_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_wire(self) -> Dict[str, object]:
+        wire: Dict[str, object] = {
+            "ok": self.ok,
+            "benchmark": self.benchmark,
+            "digest": self.digest,
+            "variant": self.variant,
+            "plan_source": self.plan_source,
+            "batch_size": self.batch_size,
+            "batched": self.batched,
+            "latency_ms": round(self.latency_s * 1e3, 4),
+        }
+        if self.result is not None:
+            wire["result"] = np.asarray(self.result).tolist()
+        if self.error is not None:
+            wire["error"] = self.error
+        return wire
+
+    @staticmethod
+    def from_wire(data: Dict[str, object]) -> "ExecutionResponse":
+        result = data.get("result")
+        return ExecutionResponse(
+            result=None if result is None else np.asarray(result, dtype=np.float64),
+            benchmark=data.get("benchmark"),
+            digest=str(data.get("digest", "")),
+            variant=str(data.get("variant", "")),
+            plan_source=str(data.get("plan_source", "")),
+            batch_size=int(data.get("batch_size", 1)),
+            batched=bool(data.get("batched", False)),
+            latency_s=float(data.get("latency_ms", 0.0)) / 1e3,
+            error=data.get("error"),
+        )
+
+
+__all__ = ["ExecutionRequest", "ExecutionResponse", "ServiceError"]

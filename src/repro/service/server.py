@@ -1,0 +1,594 @@
+"""The asyncio execution service: micro-batching server + in-process client.
+
+:class:`StencilService` is a long-lived serving loop for compiled stencil
+kernels.  Concurrent requests are collected from an ``asyncio.Queue`` for a
+short *batch window* (or until ``max_batch`` arrive), grouped by routing key
+— structural digest + per-item input signature + size environment — and each
+group is executed as **one** stacked NumPy call through
+:meth:`~repro.backend.base.NumpyBackend.run_batched`: one compilation (the
+cache is keyed by the per-item signature), one vectorized sweep, N responses.
+
+Request routing consults the :class:`~repro.service.registry.TunedKernelRegistry`,
+so the best rewrite variant/configuration found by past ``repro tune``
+sessions is applied to incoming traffic automatically; cold digests are
+served by the default lowering and can enqueue a background tune on the
+engine.
+
+:class:`ServiceClient` wraps a service in a background event-loop thread and
+exposes blocking ``execute`` / ``execute_many`` calls — the in-process form
+used by tests, the experiment drivers and the load generator.
+:func:`serve_tcp` exposes the same service as a JSON-lines TCP endpoint for
+``repro serve`` / ``repro submit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..apps.base import squeeze_result
+from ..backend.base import NumpyBackend
+from ..backend.cache import CompilationCache
+from ..engine.store import ResultsStore
+from .metrics import stats_report
+from .registry import TunedKernelRegistry
+from .requests import ExecutionRequest, ExecutionResponse, ServiceError
+
+
+@dataclass
+class _Pending:
+    """One queued request together with its resolved execution plan."""
+
+    request: ExecutionRequest
+    program: object                   # the Lambda chosen by the plan
+    variant: str
+    plan_source: str
+    digest: str
+    benchmark: Optional[str]
+    key: Tuple
+    future: "asyncio.Future[ExecutionResponse]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class StencilService:
+    """An async, micro-batching execution service over the compiled backend.
+
+    Parameters
+    ----------
+    device:
+        Device model whose tuned results the registry consults.
+    store:
+        A :class:`~repro.engine.store.ResultsStore`, a path to one, or
+        ``None`` — the source of tuned variants (and the target of
+        background tunes).
+    cache:
+        The service's compilation cache.  Defaults to a *fresh* cache so the
+        serving stats (one compilation per hot digest) are observable in
+        isolation from the process-wide cache.
+    batch_window:
+        How long (seconds) the batcher waits for more requests after the
+        first one arrives.  A full ``max_batch`` flushes immediately.
+    max_batch:
+        Upper bound on requests per micro-batch.
+    crosscheck:
+        Re-execute every batched request individually and require the
+        stacked result to be **bit-identical** — the belt-and-braces mode
+        the acceptance tests run.
+    auto_tune:
+        Enqueue one background ``SearchEngine`` tune per cold benchmark
+        digest (requires a persistent, file-backed store).
+    """
+
+    def __init__(
+        self,
+        device: str = "nvidia",
+        store: Union[ResultsStore, str, None] = None,
+        cache: Optional[CompilationCache] = None,
+        batch_window: float = 0.002,
+        max_batch: int = 64,
+        crosscheck: bool = False,
+        auto_tune: bool = False,
+        tune_budget: int = 20,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        self.registry = TunedKernelRegistry(store=store, device=device)
+        self.cache = cache if cache is not None else CompilationCache()
+        self.backend = NumpyBackend(cache=self.cache, fallback=False)
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.crosscheck = crosscheck
+        self.auto_tune = auto_tune
+        self.tune_budget = tune_budget
+        self.device = device
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._tuning_digests: set = set()
+        self._tune_tasks: List[asyncio.Future] = []
+        # Serving counters (single-threaded: only the loop thread mutates).
+        self.requests_served = 0
+        self.batches_formed = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self.crosschecks_passed = 0
+        self.background_tunes = 0
+        self.request_errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "StencilService":
+        if self._batcher is not None:
+            raise ServiceError("service already started")
+        self._queue = asyncio.Queue()
+        self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+        return self
+
+    async def stop(self) -> None:
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._queue is not None:
+            # Requests admitted but never executed must not hang their
+            # callers: fail them in-band.
+            leftovers = []
+            while not self._queue.empty():
+                leftovers.append(self._queue.get_nowait())
+            self._fail_group(leftovers, "service stopped")
+        if self._tune_tasks:
+            await asyncio.gather(*self._tune_tasks, return_exceptions=True)
+        self._tune_tasks.clear()
+        self.registry.close()
+
+    async def __aenter__(self) -> "StencilService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- the request path ------------------------------------------------------
+    async def submit(self, request: ExecutionRequest) -> ExecutionResponse:
+        """Serve one request (awaits its micro-batch's execution)."""
+        if self._queue is None:
+            raise ServiceError("service is not started")
+        started = time.perf_counter()
+        try:
+            pending = self._admit(request)
+        except Exception as error:  # bad request: respond in-band
+            self.request_errors += 1
+            return ExecutionResponse(
+                result=None, benchmark=request.benchmark, digest="",
+                variant="", plan_source="", batch_size=0, batched=False,
+                latency_s=time.perf_counter() - started,
+                error=f"{type(error).__name__}: {error}",
+            )
+        await self._queue.put(pending)
+        return await pending.future
+
+    def _admit(self, request: ExecutionRequest) -> _Pending:
+        plan = self.registry.plan_for(benchmark=request.benchmark,
+                                      program=request.program)
+        shape = tuple(request.inputs[0].shape) if request.inputs else ()
+        program, variant, source = plan.program_for(shape)
+        signature = tuple(
+            (grid.shape, str(grid.dtype)) for grid in request.inputs
+        )
+        key = (plan.digest, signature, tuple(sorted(request.size_env.items())))
+        if (
+            self.auto_tune
+            and plan.tuned is None
+            and plan.benchmark is not None
+            and plan.digest not in self._tuning_digests
+        ):
+            self._start_background_tune(plan.digest, plan.benchmark)
+        loop = asyncio.get_running_loop()
+        return _Pending(
+            request=request, program=program, variant=variant,
+            plan_source=source, digest=plan.digest, benchmark=plan.benchmark,
+            key=key, future=loop.create_future(),
+        )
+
+    # -- the batcher -----------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            pending: List[_Pending] = []
+            try:
+                pending.append(await self._queue.get())
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + self.batch_window
+                while len(pending) < self.max_batch:
+                    if not self._queue.empty():
+                        pending.append(self._queue.get_nowait())
+                        continue
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        pending.append(
+                            await asyncio.wait_for(self._queue.get(), timeout)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                groups: Dict[Tuple, List[_Pending]] = {}
+                for item in pending:
+                    groups.setdefault(item.key, []).append(item)
+                for group in groups.values():
+                    await self._execute_group(group)
+            except asyncio.CancelledError:
+                # A half-collected batch must not strand its callers.
+                self._fail_group(pending, "service stopped")
+                raise
+            except Exception as error:  # noqa: BLE001 - batcher must survive
+                # _execute_group reports execution errors in-band; anything
+                # reaching here is a bug, but one bad batch must not brick
+                # the long-lived serving loop for every later request.
+                self._fail_group(pending, f"{type(error).__name__}: {error}")
+
+    async def _execute_group(self, group: List[_Pending]) -> None:
+        """One compile, one vectorized sweep, ``len(group)`` responses.
+
+        The numeric sweep runs on an executor thread so the event loop —
+        the TCP readers, stats/ping ops, and admission of further requests
+        — stays responsive while a batch executes.  Counters and futures
+        are only touched back on the loop.
+        """
+        size = len(group)
+        loop = asyncio.get_running_loop()
+        try:
+            outputs, crosschecked = await loop.run_in_executor(
+                None, self._compute_group, group
+            )
+        except Exception as error:  # noqa: BLE001 - reported in-band per request
+            self._fail_group(group, f"{type(error).__name__}: {error}")
+            return
+        self.batches_formed += 1
+        self.largest_batch = max(self.largest_batch, size)
+        if size > 1:
+            self.batched_requests += size
+        self.crosschecks_passed += crosschecked
+        now = time.perf_counter()
+        for item, output in zip(group, outputs):
+            if item.future.done():
+                # The caller gave up (e.g. wait_for cancelled the submit);
+                # its slot in the sweep is discarded, everyone else's stands.
+                continue
+            item.future.set_result(
+                ExecutionResponse(
+                    result=output if item.request.return_result else None,
+                    benchmark=item.benchmark,
+                    digest=item.digest,
+                    variant=item.variant,
+                    plan_source=item.plan_source,
+                    batch_size=size,
+                    batched=size > 1,
+                    latency_s=now - item.enqueued_at,
+                )
+            )
+            self.requests_served += 1
+
+    def _compute_group(self, group: List[_Pending]) -> Tuple[List, int]:
+        """The pure numeric part of a batch (runs on an executor thread)."""
+        head = group[0]
+        if len(group) == 1:
+            swept = [
+                self.backend.run(head.program, head.request.inputs,
+                                 head.request.size_env or None)
+            ]
+        else:
+            stacked = [
+                np.stack([item.request.inputs[i] for item in group])
+                for i in range(len(head.request.inputs))
+            ]
+            batch = self.backend.run_batched(
+                head.program, stacked, head.request.size_env or None
+            )
+            swept = [batch[index] for index in range(len(group))]
+        crosschecked = 0
+        if self.crosscheck and len(group) > 1:
+            crosschecked = self._crosscheck_group(group, swept)
+        return (
+            [squeeze_result(np.asarray(output, dtype=np.float64))
+             for output in swept],
+            crosschecked,
+        )
+
+    def _crosscheck_group(self, group: List[_Pending], outputs: List) -> int:
+        """Require stacked results to be bit-identical to per-request runs."""
+        for item, output in zip(group, outputs):
+            single = self.backend.run(item.program, item.request.inputs,
+                                      item.request.size_env or None)
+            if not np.array_equal(np.asarray(output), single):
+                raise ServiceError(
+                    f"batched result diverges from single-request execution "
+                    f"for digest {item.digest[:12]}"
+                )
+        return len(group)
+
+    def _fail_group(self, group: List[_Pending], reason: str) -> None:
+        now = time.perf_counter()
+        for item in group:
+            if not item.future.done():
+                self.request_errors += 1
+                item.future.set_result(
+                    ExecutionResponse(
+                        result=None, benchmark=item.benchmark,
+                        digest=item.digest, variant=item.variant,
+                        plan_source=item.plan_source, batch_size=len(group),
+                        batched=len(group) > 1,
+                        latency_s=now - item.enqueued_at, error=reason,
+                    )
+                )
+
+    # -- background tuning -----------------------------------------------------
+    def _start_background_tune(self, digest: str, benchmark: str) -> None:
+        store = self.registry.store
+        store_path = getattr(store, "path", None) if store is not None else None
+        if store_path is None or store_path == ":memory:":
+            return  # background tuning needs a persistent, shareable store
+        self._tuning_digests.add(digest)
+        loop = asyncio.get_running_loop()
+
+        def tune() -> None:
+            # Fresh store connection: SQLite connections are cheap and this
+            # runs on an executor thread while the loop keeps serving.
+            from ..engine import SearchEngine
+
+            with SearchEngine(store=store_path, workers=1) as engine:
+                engine.run(benchmark, budget=self.tune_budget,
+                           device=self.device)
+
+        def done(task: "asyncio.Future") -> None:
+            if not task.cancelled() and task.exception() is None:
+                self.background_tunes += 1
+                self.registry.refresh(digest)
+
+        task = loop.run_in_executor(None, tune)
+        task.add_done_callback(done)
+        self._tune_tasks.append(task)
+
+    # -- stats -----------------------------------------------------------------
+    def service_section(self) -> Dict[str, object]:
+        return {
+            "requests_served": self.requests_served,
+            "batches_formed": self.batches_formed,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+            "crosschecks_passed": self.crosschecks_passed,
+            "background_tunes": self.background_tunes,
+            "request_errors": self.request_errors,
+            "registry": self.registry.stats(),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """The combined ``/metrics``-style report (see :mod:`.metrics`)."""
+        return stats_report(
+            cache=self.cache,
+            store=self.registry.store,
+            service=self.service_section(),
+        )
+
+
+class ServiceClient:
+    """Blocking, thread-safe client running a service on a background loop.
+
+    ``execute_many`` submits all requests concurrently — this is what lets
+    the batcher stack them into micro-batches — and returns responses in
+    request order.
+    """
+
+    def __init__(self, service: StencilService) -> None:
+        self.service = service
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._run(service.start())
+
+    def _run(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    def execute(self, request: ExecutionRequest,
+                raise_on_error: bool = True) -> ExecutionResponse:
+        return self.execute_many([request], raise_on_error=raise_on_error)[0]
+
+    def execute_many(self, requests: Sequence[ExecutionRequest],
+                     raise_on_error: bool = True) -> List[ExecutionResponse]:
+        async def submit_all() -> List[ExecutionResponse]:
+            return list(
+                await asyncio.gather(
+                    *[self.service.submit(request) for request in requests]
+                )
+            )
+
+        responses = self._run(submit_all())
+        if raise_on_error:
+            for response in responses:
+                if not response.ok:
+                    raise ServiceError(response.error)
+        return responses
+
+    def stats(self) -> Dict[str, object]:
+        return self.service.stats()
+
+    def close(self) -> None:
+        self._run(self.service.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# The TCP endpoint (JSON lines)
+# ---------------------------------------------------------------------------
+
+async def _handle_message(service: StencilService,
+                          message: Dict[str, object]) -> Dict[str, object]:
+    op = str(message.get("op", "execute"))
+    if op == "ping":
+        return {"ok": True, "pong": True}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    if op == "execute":
+        # Payload conversion (JSON grids ↔ ndarrays, input generation) can
+        # be arbitrarily large; keep it off the event loop so one fat
+        # request does not stall the batch window or other connections.
+        loop = asyncio.get_running_loop()
+        request = await loop.run_in_executor(
+            None, ExecutionRequest.from_wire, message
+        )
+        response = await service.submit(request)
+        return await loop.run_in_executor(None, response.to_wire)
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve_tcp(
+    service: StencilService,
+    host: str = "127.0.0.1",
+    port: int = 7457,
+    max_requests: Optional[int] = None,
+) -> "asyncio.AbstractServer":
+    """Expose a started service as a JSON-lines TCP endpoint.
+
+    One JSON object per line in, one per line out; each carries the
+    client's ``id`` back so requests on one connection can be pipelined
+    (responses may arrive out of submission order).  ``max_requests``
+    closes the server after that many ``execute`` ops — used by smoke
+    tests to bound a ``repro serve`` process.
+    """
+    served = 0
+    done = asyncio.get_running_loop().create_future()
+    connections: set = set()
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        nonlocal served
+        write_lock = asyncio.Lock()
+        # Only in-flight answer tasks are retained; completed ones discard
+        # themselves so a long-lived pipelined connection stays O(in-flight).
+        tasks: set = set()
+
+        async def answer(message: Dict[str, object]) -> None:
+            nonlocal served
+            try:
+                reply = await _handle_message(service, message)
+            except Exception as error:  # noqa: BLE001 - wire-level error report
+                reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            if "id" in message:
+                reply["id"] = message["id"]
+            async with write_lock:
+                writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                await writer.drain()
+            if str(message.get("op", "execute")) == "execute":
+                served += 1
+                if max_requests is not None and served >= max_requests \
+                        and not done.done():
+                    done.set_result(None)
+
+        connection = asyncio.current_task()
+        if connection is not None:
+            connections.add(connection)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                try:
+                    message = json.loads(text)
+                except json.JSONDecodeError as error:
+                    message = {"op": "_invalid", "error": str(error)}
+                if message.get("op") == "_invalid":
+                    async with write_lock:
+                        writer.write(
+                            (json.dumps({"ok": False,
+                                         "error": "invalid JSON"}) + "\n")
+                            .encode("utf-8")
+                        )
+                        await writer.drain()
+                    continue
+                task = asyncio.ensure_future(answer(message))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            if connection is not None:
+                connections.discard(connection)
+
+    server = await asyncio.start_server(handle, host, port)
+    server.served_done = done  # type: ignore[attr-defined]
+    server.connections = connections  # type: ignore[attr-defined]
+    return server
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 7457,
+    max_requests: Optional[int] = None,
+    ready_event: Optional[threading.Event] = None,
+    **service_kwargs,
+) -> Dict[str, object]:
+    """Start a service + TCP endpoint and serve until done (blocking).
+
+    Runs until ``max_requests`` execute ops were served (when given) or the
+    loop is interrupted.  Returns the final stats report.  ``ready_event``
+    is set once the socket is listening — used by in-process smoke tests.
+    """
+    stats: Dict[str, object] = {}
+
+    async def main() -> None:
+        service = StencilService(**service_kwargs)
+        async with service:
+            server = await serve_tcp(service, host, port,
+                                     max_requests=max_requests)
+            async with server:
+                if ready_event is not None:
+                    ready_event.set()
+                if max_requests is not None:
+                    await server.served_done  # type: ignore[attr-defined]
+                    # Drain: clients may still pipeline trailing non-execute
+                    # ops (e.g. the load generator's final stats fetch), so
+                    # wait — bounded — for open connections to finish before
+                    # the listening socket and the service are torn down.
+                    drain_deadline = asyncio.get_running_loop().time() + 10.0
+                    while (
+                        server.connections  # type: ignore[attr-defined]
+                        and asyncio.get_running_loop().time() < drain_deadline
+                    ):
+                        await asyncio.sleep(0.05)
+                else:
+                    await asyncio.Event().wait()  # serve forever
+            stats.update(service.stats())
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return stats
+
+
+__all__ = [
+    "ServiceClient",
+    "StencilService",
+    "run_server",
+    "serve_tcp",
+]

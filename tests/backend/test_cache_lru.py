@@ -1,0 +1,51 @@
+"""CompilationCache: true LRU eviction — a hot key survives pressure."""
+
+from repro.backend.cache import CompilationCache
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.types import Float
+
+
+def identity_program():
+    return L.fun([L.array_type(Float, Var("N"))], lambda a: L.map(L.id_, a))
+
+
+def data_of_length(n):
+    return [[float(i) for i in range(n)]]
+
+
+class TestLruEviction:
+    def test_hot_key_survives_pressure(self):
+        cache = CompilationCache(max_entries=4)
+        program = identity_program()
+        hot = cache.get_or_compile(program, data_of_length(1))
+        # Insert many cold entries, re-touching the hot key between
+        # insertions: recency-based eviction must keep it resident.
+        for n in range(2, 12):
+            cache.get_or_compile(program, data_of_length(n))
+            assert cache.get_or_compile(program, data_of_length(1)) is hot
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["evictions"] == 10 + 1 - 4  # 11 distinct keys, 4 kept
+        assert stats["hits"] == 10  # every hot-key re-touch was answered
+
+    def test_lru_order_is_recency_not_insertion(self):
+        cache = CompilationCache(max_entries=2)
+        program = identity_program()
+        first = cache.get_or_compile(program, data_of_length(1))
+        cache.get_or_compile(program, data_of_length(2))
+        # Touch the *older* entry, then insert a third: the younger-but-
+        # least-recently-used length-2 entry must be the one evicted.
+        assert cache.get_or_compile(program, data_of_length(1)) is first
+        cache.get_or_compile(program, data_of_length(3))
+        assert cache.get_or_compile(program, data_of_length(1)) is first
+        stats = cache.stats()
+        assert stats["evictions"] == 1  # only the untouched length-2 entry
+        assert len(cache) == 2
+
+    def test_eviction_counter_in_stats(self):
+        cache = CompilationCache(max_entries=1)
+        program = identity_program()
+        for n in range(1, 5):
+            cache.get_or_compile(program, data_of_length(n))
+        assert cache.stats()["evictions"] == 3

@@ -254,7 +254,10 @@ class TestCompilationCache:
         k1 = cache.get_or_compile(program, data)
         k2 = cache.get_or_compile(program, data)
         assert k1 is k2
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1, "max_entries": 256,
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
 
     def test_alpha_equivalent_programs_share_an_entry(self):
         cache = CompilationCache()
@@ -284,7 +287,10 @@ class TestCompilationCache:
         program = L.fun([array(Float, Var("N"))], lambda a: L.map(L.id_, a))
         cache.get_or_compile(program, [[1.0]])
         cache.clear()
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0, "max_entries": 256,
+            "hits": 0, "misses": 0, "evictions": 0,
+        }
 
 
 class TestCompileErrors:

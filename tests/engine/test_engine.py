@@ -355,7 +355,10 @@ class TestPickling:
 
         clone = pickle.loads(pickle.dumps(cache))
         assert len(clone) == 0 and clone.max_entries == 17
-        assert clone.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert clone.stats() == {
+            "entries": 0, "max_entries": 17,
+            "hits": 0, "misses": 0, "evictions": 0,
+        }
 
         # A backend holding a cache round-trips and recompiles on first use.
         backend_clone = pickle.loads(pickle.dumps(backend))

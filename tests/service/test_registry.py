@@ -1,0 +1,128 @@
+"""Tuned-kernel registry + store lookup API: digest routing, fallbacks."""
+
+import pytest
+
+from repro.engine import ResultsStore
+from repro.engine.jobs import EvaluationJob, VariantSpec, config_items
+from repro.service import TunedKernelRegistry
+from repro.apps.suite import get_benchmark
+
+
+def stored_best(store, benchmark="Stencil2D", tile=18, cost=1e-5,
+                device="nvidia", digest="d" * 64, name="tiled"):
+    job = EvaluationJob(
+        benchmark=benchmark,
+        shape=(64, 64),
+        device=device,
+        variant=VariantSpec(name=name, use_tiling=(name == "tiled"),
+                            tile_size=tile, use_local_memory=(name == "tiled"),
+                            unroll_reduce=True),
+        config=config_items({"wg_x": 16, "wg_y": 16, "work_per_thread": 1}),
+        expr_digest=digest,
+    )
+    store.put(job, cost)
+    return job
+
+
+class TestStoreLookupAPI:
+    def test_best_for_digest(self, tmp_path):
+        with ResultsStore(str(tmp_path / "s.sqlite")) as store:
+            stored_best(store, digest="a" * 64, cost=2e-5, tile=18)
+            stored_best(store, digest="a" * 64, cost=1e-5, tile=34)
+            stored_best(store, digest="b" * 64, cost=5e-6, tile=10)
+            best = store.best_for_digest("a" * 64)
+            assert best is not None and best.variant.tile_size == 34
+            assert store.best_for_digest("a" * 64, device="amd") is None
+            assert store.best_for_digest("c" * 64) is None
+
+    def test_best_per_benchmark_and_benchmarks(self, tmp_path):
+        with ResultsStore(str(tmp_path / "s.sqlite")) as store:
+            stored_best(store, benchmark="Stencil2D", cost=2e-5, tile=18)
+            stored_best(store, benchmark="Stencil2D", cost=1e-5, tile=34)
+            stored_best(store, benchmark="Gaussian", cost=9e-6, tile=10)
+            best = store.best_per_benchmark()
+            assert set(best) == {"Stencil2D", "Gaussian"}
+            assert best["Stencil2D"].variant.tile_size == 34
+            assert store.benchmarks() == ["Gaussian", "Stencil2D"]
+
+
+class TestRegistryRouting:
+    def test_cold_digest_gets_default_plan(self):
+        registry = TunedKernelRegistry(store=None)
+        plan = registry.plan_for(benchmark="stencil2d")
+        assert plan.tuned is None
+        assert plan.source == "default"
+        program, variant, source = plan.program_for((16, 16))
+        assert source == "default" and "naive" in variant
+
+    def test_plan_is_cached_per_digest(self):
+        registry = TunedKernelRegistry(store=None)
+        first = registry.plan_for(benchmark="stencil2d")
+        second = registry.plan_for(benchmark="stencil2d")
+        assert first is second
+        assert registry.stats()["plans_cached"] == 1
+
+    def test_program_request_routes_to_benchmark_plan(self):
+        registry = TunedKernelRegistry(store=None)
+        by_name = registry.plan_for(benchmark="stencil2d")
+        program = get_benchmark("stencil2d").build_program()
+        by_program = registry.plan_for(program=program)
+        assert by_program is by_name
+        assert by_program.benchmark == "stencil2d"
+
+    def test_tuned_variant_is_applied(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        stored_best(store, benchmark="Stencil2D", tile=18)
+        registry = TunedKernelRegistry(store=store)
+        plan = registry.plan_for(benchmark="stencil2d")
+        assert plan.tuned is not None and plan.source == "tuned"
+        # tile 18, window 3, step 1: v = 16, radius 1; 16+2 == 18 covers.
+        program, variant, source = plan.program_for((16, 16))
+        assert source == "tuned" and "tile=18" in variant
+        # 24+2 = 26; (26-18) % 16 != 0: tiling does not cover, fall back.
+        program, variant, source = plan.program_for((24, 24))
+        assert source == "fallback" and "naive" in variant
+        store.close()
+
+    def test_refresh_picks_up_new_results(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        registry = TunedKernelRegistry(store=store)
+        plan = registry.plan_for(benchmark="stencil2d")
+        assert plan.tuned is None
+        stored_best(store, benchmark="Stencil2D", tile=18)
+        refreshed = registry.refresh(plan.digest)
+        assert refreshed is not None and refreshed.tuned is not None
+        assert registry.plan_for(benchmark="stencil2d").source == "tuned"
+        store.close()
+
+    def test_unknown_program_recalls_stored_lowered_digest(self, tmp_path):
+        from repro.core import builders as L
+        from repro.core.arithmetic import Var
+        from repro.core.ir import structural_digest
+        from repro.core.types import Float
+        from repro.core.userfuns import add
+        from repro.rewriting.strategies import NAIVE, lower_program
+
+        program = L.fun(
+            [L.array_type(Float, Var("N"))],
+            lambda a: L.map(lambda nbh: L.reduce(add, 0.0, nbh),
+                            L.slide(3, 1, L.pad(1, 1, L.CLAMP, a))),
+        )
+        lowered_digest = structural_digest(lower_program(program, NAIVE).program)
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        stored_best(store, benchmark="custom-1d", name="naive",
+                    tile=0, digest=lowered_digest)
+        registry = TunedKernelRegistry(store=store)
+        plan = registry.plan_for(program=program)
+        assert plan.benchmark is None
+        assert plan.tuned is not None and plan.source == "tuned"
+        assert plan.tuned_config == {"wg_x": 16, "wg_y": 16,
+                                     "work_per_thread": 1}
+        store.close()
+
+    def test_requires_benchmark_or_program(self):
+        from repro.service import ServiceError
+
+        registry = TunedKernelRegistry(store=None)
+        with pytest.raises(ServiceError):
+            registry.plan_for()

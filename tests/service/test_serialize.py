@@ -1,0 +1,106 @@
+"""Program serialization: digest-preserving round-trips for requests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.suite import ALL_BENCHMARKS, get_benchmark
+from repro.backend import get_backend
+from repro.core import builders as L
+from repro.core.arithmetic import Var
+from repro.core.ir import structural_digest
+from repro.core.serialize import (
+    SerializationError,
+    program_from_json,
+    program_to_json,
+)
+from repro.core.types import Float
+from repro.core.userfuns import add
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("key", sorted(ALL_BENCHMARKS))
+    def test_every_benchmark_round_trips(self, key):
+        benchmark = get_benchmark(key)
+        program = benchmark.build_program()
+        restored = program_from_json(program_to_json(program))
+        assert structural_digest(restored) == structural_digest(program)
+
+    def test_round_tripped_program_executes_identically(self):
+        benchmark = get_benchmark("stencil2d")
+        program = benchmark.build_program()
+        restored = program_from_json(program_to_json(program))
+        inputs = benchmark.make_inputs((9, 8), 7)
+        backend = get_backend("numpy")
+        np.testing.assert_array_equal(
+            backend.run(restored, inputs), backend.run(program, inputs)
+        )
+
+    def test_handwritten_program_round_trips(self):
+        program = L.fun(
+            [L.array_type(Float, Var("N"))],
+            lambda a: L.map(
+                lambda nbh: L.reduce(add, 0.0, nbh),
+                L.slide(3, 1, L.pad(1, 1, L.CLAMP, a)),
+            ),
+        )
+        restored = program_from_json(program_to_json(program))
+        assert structural_digest(restored) == structural_digest(program)
+        result = get_backend("numpy").run(restored, [[1.0, 2.0, 3.0, 4.0]])
+        np.testing.assert_allclose(np.squeeze(result), [4.0, 6.0, 9.0, 11.0])
+
+
+class TestRegistrySeeding:
+    def test_custom_registration_does_not_mask_stock_functions(self, monkeypatch):
+        from repro.core import serialize
+        from repro.core.userfuns import make_userfun
+
+        monkeypatch.setattr(serialize, "_USERFUNS", {})
+        monkeypatch.setattr(serialize, "_STOCK_SEEDED", False)
+        monkeypatch.setattr(serialize, "_SOURCES_DRAINED", 0)
+        serialize.register_userfun(
+            make_userfun("custom_fn_xyz", ["x"], "return x + x;",
+                         lambda x: x + x)
+        )
+        program = L.fun(
+            [L.array_type(Float, Var("N"))],
+            lambda a: L.map(lambda nbh: L.reduce(add, 0.0, nbh),
+                            L.slide(3, 1, L.pad(1, 1, L.CLAMP, a))),
+        )
+        # Resolving stock 'add' must still work after a custom registration.
+        restored = program_from_json(program_to_json(program))
+        assert structural_digest(restored) == structural_digest(program)
+
+
+class TestErrors:
+    def test_unknown_userfun_is_rejected(self):
+        from repro.core.serialize import program_from_dict
+
+        wire = {
+            "node": "lambda",
+            "params": [{"name": "x", "pid": 0}],
+            "body": {
+                "node": "call",
+                "fun": {"node": "userfun", "name": "no_such_fn",
+                        "body_c": "return x;"},
+                "args": [{"node": "param", "pid": 0}],
+            },
+        }
+        with pytest.raises(SerializationError):
+            program_from_dict(wire)
+
+    def test_userfun_body_mismatch_is_rejected(self):
+        from repro.core.serialize import program_from_dict
+
+        wire = {
+            "node": "lambda",
+            "params": [{"name": "x", "pid": 0}],
+            "body": {
+                "node": "call",
+                # Stock name, wrong body: must not silently resolve.
+                "fun": {"node": "userfun", "name": "add",
+                        "body_c": "return x - y;"},
+                "args": [{"node": "param", "pid": 0}],
+            },
+        }
+        with pytest.raises(SerializationError):
+            program_from_dict(wire)
