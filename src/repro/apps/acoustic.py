@@ -141,6 +141,9 @@ ACOUSTIC = StencilBenchmark(
     stencil_extent=3,
     description="Room acoustics simulation (Webb / Stoltzfus et al.)",
     num_program_inputs=3,
+    # Two-timestep rotation: prev ← curr, curr ← the new pressure grid;
+    # the wall/obstacle mask is static.
+    carry=(1, "out", None),
 )
 
 

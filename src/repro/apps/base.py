@@ -62,6 +62,12 @@ class StencilBenchmark:
     stencil_extent: int = 3          # window width per dimension passed to slide
     description: str = ""
     num_program_inputs: Optional[int] = None  # defaults to num_grids (Table 1 value)
+    #: How an iterative (time-stepping) run feeds each step's output back
+    #: into the next step's inputs — one entry per program input: ``"out"``
+    #: (the previous output), an input index (that input's previous value),
+    #: or ``None`` (static across timesteps).  ``None`` as a whole selects
+    #: the default: output → input 0, everything else static.
+    carry: Optional[Tuple] = None
 
     # ------------------------------------------------------------------ helpers
     def input_types(self, shape: Sequence[int]) -> List[Type]:
@@ -105,6 +111,51 @@ class StencilBenchmark:
     def run_interpreter(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         """Execute the Lift expression with the reference interpreter (oracle)."""
         return self.run_lift(inputs, backend="interpreter")
+
+    def carry_spec(self) -> Tuple:
+        """The resolved carry specification for iterative execution."""
+        from ..backend.plan import normalize_carry
+
+        count = self.num_program_inputs or self.num_grids
+        return normalize_carry(self.carry, count)
+
+    def run_plan(self, inputs: Sequence[np.ndarray], backend=None) -> np.ndarray:
+        """Execute the Lift expression through an allocation-free plan.
+
+        Bit-identical to :meth:`run_lift` on the compiled backend; the plan
+        (pooled buffers + replayable ``out=`` tape) is cached on the backend
+        and reused across calls with the same input shapes.
+        """
+        from ..backend.base import NumpyBackend
+
+        resolved = get_backend(backend)
+        if not isinstance(resolved, NumpyBackend):
+            return self.run_lift(inputs, backend=resolved)
+        program = self.build_program()
+        result = resolved.run_plan(program, list(inputs))
+        return squeeze_result(np.asarray(result, dtype=np.float64))
+
+    def iterate(self, inputs: Sequence[np.ndarray], steps: int,
+                backend=None, use_plan: bool = True) -> np.ndarray:
+        """Run ``steps`` timesteps, feeding outputs back per :attr:`carry`.
+
+        ``use_plan`` selects the double-buffered execution-plan loop
+        (default); ``use_plan=False`` drives the per-sweep generic ``run``
+        path instead — the two are bit-identical, the plan path just does
+        not allocate or re-dispatch in the steady state.
+        """
+        from ..backend.base import NumpyBackend
+        from ..backend.plan import iterate_generic
+
+        resolved = get_backend(backend)
+        program = self.build_program()
+        spec = self.carry_spec()
+        if use_plan and isinstance(resolved, NumpyBackend):
+            result = resolved.iterate(program, list(inputs), steps, carry=spec)
+        else:
+            result = iterate_generic(resolved, program, list(inputs), steps,
+                                     carry=spec)
+        return squeeze_result(np.asarray(result, dtype=np.float64))
 
     def run_reference(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         return np.asarray(self.reference(*inputs), dtype=np.float64)

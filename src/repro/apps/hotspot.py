@@ -182,6 +182,8 @@ HOTSPOT2D = StencilBenchmark(
     in_figure7=True,
     stencil_extent=3,
     description="Rodinia Hotspot 2D thermal simulation (temperature + power grids)",
+    # Time stepping: the new temperature feeds back; power is static.
+    carry=("out", None),
 )
 
 HOTSPOT3D = StencilBenchmark(
@@ -197,6 +199,7 @@ HOTSPOT3D = StencilBenchmark(
     in_figure7=True,
     stencil_extent=3,
     description="Rodinia Hotspot 3D thermal simulation (temperature + power grids)",
+    carry=("out", None),
 )
 
 

@@ -2,6 +2,9 @@
 
 * :mod:`repro.backend.numpy_backend` — compiles lowered Lift expressions
   into vectorized NumPy kernels (views, strided windows, batched maps);
+* :mod:`repro.backend.plan` — allocation-free execution plans: pooled
+  buffers, replayable ``out=`` tapes, double-buffered iteration;
+* :mod:`repro.backend.pool` — the sized buffer pool behind the plans;
 * :mod:`repro.backend.cache` — the compilation cache (expression hash +
   input signature → compiled kernel);
 * :mod:`repro.backend.base` — the :class:`Backend` protocol, the backend
@@ -26,22 +29,36 @@ from .numpy_backend import (
     ExecutionError,
     compile_program,
 )
+from .plan import (
+    ExecutionPlan,
+    PlanCache,
+    compile_plan,
+    iterate_generic,
+    normalize_carry,
+)
+from .pool import BufferPool
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "Backend",
     "BackendMismatch",
+    "BufferPool",
     "CompilationCache",
     "CompileError",
     "CompiledKernel",
     "CrossCheckBackend",
     "ExecutionError",
+    "ExecutionPlan",
     "InterpreterBackend",
     "NumpyBackend",
+    "PlanCache",
+    "compile_plan",
     "compile_program",
     "default_backend_name",
     "default_cache",
     "get_backend",
     "input_signature",
+    "iterate_generic",
+    "normalize_carry",
     "run_program",
 ]

@@ -24,6 +24,7 @@ import numpy as np
 from ..core.ir import Lambda
 from .cache import CompilationCache, default_cache
 from .numpy_backend import CompileError, compile_program
+from .plan import ExecutionPlan, PlanCache, iterate_generic
 
 
 @runtime_checkable
@@ -70,6 +71,11 @@ class NumpyBackend:
     compiler cannot handle — e.g. ones containing first-class function
     values — are executed by the interpreter instead of failing, so
     exploratory code paths never lose coverage by switching backends.
+
+    ``plans`` is the backend's :class:`~repro.backend.plan.PlanCache`:
+    :meth:`plan` / :meth:`run_plan` / :meth:`iterate` execute through
+    allocation-free execution plans (pooled buffers, ``out=`` tapes,
+    double-buffered iteration) with bit-identical results to :meth:`run`.
     """
 
     name = "numpy"
@@ -78,11 +84,13 @@ class NumpyBackend:
         self,
         cache=_DEFAULT_CACHE,
         fallback: bool = True,
+        plans: Optional[PlanCache] = None,
     ) -> None:
         self.cache: Optional[CompilationCache] = (
             default_cache if cache is _DEFAULT_CACHE else cache
         )
         self.fallback = fallback
+        self.plans = plans if plans is not None else PlanCache()
 
     def run(
         self,
@@ -126,6 +134,89 @@ class NumpyBackend:
         else:
             kernel = compile_program(program, size_env)
         return np.asarray(kernel.run_batched(arrays), dtype=np.float64)
+
+    # -- execution plans (the allocation-free steady path) -------------------
+    def plan(
+        self,
+        program: Lambda,
+        inputs_or_signature,
+        size_env: Optional[Mapping[str, int]] = None,
+        batched: bool = False,
+    ) -> ExecutionPlan:
+        """The cached execution plan for this program + input shapes.
+
+        The plan's staged kernel is resolved through this backend's
+        compilation cache under the *per-item* ``float64`` signature — the
+        same key the generic path uses — so a program served generically,
+        through plans, and in batches still compiles exactly once.
+        """
+        kernel_resolver = None
+        if self.cache is not None:
+            from .plan import plan_signature
+
+            shapes = plan_signature(inputs_or_signature)
+            if batched:
+                shapes = tuple(shape[1:] for shape in shapes)
+            signature = tuple((shape, "float64") for shape in shapes)
+            kernel_resolver = lambda: self.cache.get_or_compile_keyed(  # noqa: E731
+                program, signature, size_env
+            )
+        return self.plans.get_or_compile(
+            program, inputs_or_signature, size_env, batched=batched,
+            kernel_resolver=kernel_resolver,
+        )
+
+    def run_plan(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        """Like :meth:`run`, through the plan path (bit-identical results).
+
+        Programs a plan cannot capture — no compiled kernel, or a
+        run-varying scalar in the dataflow (:class:`PlanCaptureError`) —
+        are served by the generic :meth:`run` path instead, so callers can
+        route everything through plans without losing coverage.
+        """
+        try:
+            return self.plan(program, inputs, size_env).run(inputs)
+        except CompileError:
+            return self.run(program, inputs, size_env)
+
+    def iterate(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        steps: int,
+        carry=None,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        """Run ``steps`` timesteps through the double-buffered plan loop.
+
+        Bit-identical to :func:`~repro.backend.plan.iterate_generic` driving
+        :meth:`run` once per step with the same ``carry`` specification.
+        Falls back to that per-sweep loop for programs a plan cannot capture.
+        """
+        try:
+            return self.plan(program, inputs, size_env).iterate(
+                inputs, steps, carry=carry
+            )
+        except CompileError:
+            return iterate_generic(self, program, inputs, steps,
+                                   carry=carry, size_env=size_env)
+
+    def iterate_generic(
+        self,
+        program: Lambda,
+        inputs: Sequence,
+        steps: int,
+        carry=None,
+        size_env: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        """The per-sweep baseline loop (one generic ``run`` per timestep)."""
+        return iterate_generic(self, program, inputs, steps,
+                               carry=carry, size_env=size_env)
 
 
 class BackendMismatch(AssertionError):

@@ -60,6 +60,15 @@ class CompilationCache:
     queue, so under pressure the least-recently-used kernel is dropped and a
     hot kernel survives arbitrarily many insertions of cold ones.  Evictions
     are counted and reported by :meth:`stats` alongside hits and misses.
+
+    Thread-safety contract: every read *and* write of the entry table and
+    the counters happens under one lock — the execution service fans sweeps
+    out to executor threads that hit this cache concurrently, so an
+    unlocked fast path (even a "harmless" ``len`` or a hit-count bump)
+    would race with the LRU's pop-and-reinsert.  Compilation itself runs
+    outside the lock; when two threads miss on the same key simultaneously
+    both compile, and the second insert discards its kernel in favour of
+    the first — wasted work, never an inconsistent table.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -71,7 +80,8 @@ class CompilationCache:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def key_for(
         self,

@@ -42,6 +42,7 @@ structural expression hash plus input signature in
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,6 +78,18 @@ from ..core.primitives.stencil import Pad, PadConstant, Slide
 
 class CompileError(Exception):
     """Raised when an expression cannot be compiled to a NumPy kernel."""
+
+
+class PlanCaptureError(CompileError):
+    """Raised when a program cannot be captured as an execution-plan tape.
+
+    The tape mechanism stabilises *arrays* in pooled buffers; a program
+    computing a run-varying **scalar** (e.g. an untraceable user function
+    reducing its array argument to a Python float) has no buffer to refresh
+    through, so replays would silently freeze first-sweep data.  Callers
+    treat this like any :class:`CompileError`: the plan path refuses and
+    the generic per-call path serves the program instead.
+    """
 
 
 class ExecutionError(Exception):
@@ -121,16 +134,21 @@ def _first_leaf(value) -> Optional[Batched]:
 
 
 def _align_leaf(leaf: Batched, depth: int) -> Batched:
-    """Materialise missing inner batch axes as broadcastable singletons."""
+    """Materialise missing inner batch axes as broadcastable singletons.
+
+    Singleton axes are inserted with ``newaxis`` indexing rather than
+    ``reshape``: basic indexing is *guaranteed* to return a view, which the
+    execution-plan capture machinery relies on (a silent reshape copy would
+    detach downstream views from their tape-refreshed buffers).
+    """
     if leaf.bd == depth:
         return leaf
     if leaf.bd > depth:
         raise ExecutionError(
             f"value with {leaf.bd} batch axes used at depth {depth}"
         )
-    shape = leaf.data.shape
-    new_shape = shape[: leaf.bd] + (1,) * (depth - leaf.bd) + shape[leaf.bd:]
-    return Batched(leaf.data.reshape(new_shape), depth)
+    selector = (slice(None),) * leaf.bd + (None,) * (depth - leaf.bd)
+    return Batched(leaf.data[selector], depth)
 
 
 def _align(value, depth: int):
@@ -217,6 +235,166 @@ def _to_output_batched(value, batch: int):
     raise ExecutionError(
         f"cannot convert {type(value).__name__} to a batched output"
     )
+
+
+# ---------------------------------------------------------------------------
+# Capture arenas (the execution-plan recording mode)
+# ---------------------------------------------------------------------------
+
+_ARENA = threading.local()  # .current: the capturing thread's CaptureArena
+
+
+def _active_arena() -> Optional["CaptureArena"]:
+    return getattr(_ARENA, "current", None)
+
+
+class CaptureArena:
+    """Records the buffer-writing operations of one kernel execution.
+
+    While an arena is installed (see :meth:`CompiledKernel.capture`), every
+    compiled step that would allocate a fresh array for *run-varying* data —
+    ``pad`` gathers, ``padConstant`` halos, reshape copies in ``split``/
+    ``join``, and user-function results — instead writes into a buffer drawn
+    from the arena's pool and records the write as a *tape op*.  Everything
+    else in the compiled kernel is stride manipulation: views into those
+    stable buffers, identical from run to run.  Replaying the tape therefore
+    re-executes the whole kernel — bit-identically — without traversing the
+    closure tree and without allocating.
+    """
+
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.ops: List[Callable[[], object]] = []
+        self.buffers: List[np.ndarray] = []
+        self.schedules: List = []  # traced ReplaySchedules, in tape order
+        self.traced_calls = 0
+        self.opaque_calls = 0
+
+    def buffer(self, shape, dtype) -> np.ndarray:
+        buffer = self.pool.acquire(shape, dtype)
+        self.buffers.append(buffer)
+        return buffer
+
+    # Allocator protocol used by the ufunc tracer's scratch buffers.
+    acquire = buffer
+
+    def record_and_run(self, op: Callable[[], object]) -> None:
+        self.ops.append(op)
+        op()
+
+    # -- user functions ------------------------------------------------------
+    def userfun(self, fn: Callable, raws: List):
+        """Evaluate ``fn`` over ``raws`` with a stable, tape-refreshed result.
+
+        Preferred path: trace the function into an ``out=``-threaded ufunc
+        schedule (:mod:`repro.backend.ufunc_trace`) — allocation-free on
+        replay.  Untraceable functions fall back to per-sweep re-execution
+        with the result copied into a pooled buffer, which keeps downstream
+        views stable at the cost of the function's internal temporaries.
+        """
+        from .ufunc_trace import trace_function
+
+        try:
+            schedule, result = trace_function(fn, raws, self)
+        except Exception:  # noqa: BLE001 - tracing must never break execution
+            schedule, result = None, None
+        if schedule is not None:
+            self.ops.append(schedule.run)
+            self.schedules.append(schedule)
+            self.traced_calls += 1
+            return result
+        if result is not None:
+            # The function produced no recorded computation: its result is a
+            # stable argument view or a run-invariant constant. Use it as is.
+            return result
+        produced = fn(*raws)
+        if _has_array(raws) and not _all_arrays(produced):
+            # A run-varying scalar (or mixed) result cannot be refreshed
+            # through a buffer — replays would freeze first-sweep data.
+            raise PlanCaptureError(
+                "user function returns a data-dependent scalar; the program "
+                "cannot be captured as an allocation-free plan"
+            )
+        stable = _leaf_structure_map(
+            produced, lambda array: self.buffer(array.shape, array.dtype)
+        )
+
+        def op(_fn=fn, _raws=raws, _stable=stable):
+            _copy_structure(_stable, _fn(*_raws))
+
+        _copy_structure(stable, produced)
+        self.ops.append(op)
+        self.opaque_calls += 1
+        return stable
+
+    def reshape(self, data: np.ndarray, new_shape: Tuple[int, ...]) -> np.ndarray:
+        """A reshape whose result is stable across tape replays.
+
+        When NumPy can reshape ``data`` as a view, the view is returned
+        (nothing to record).  When the reshape would copy — e.g. merging the
+        non-contiguous window axes of ``slide`` under ``join`` — the copy
+        goes into a pooled buffer via a recorded ``copyto`` instead.
+        """
+        view = data.reshape(new_shape)
+        if np.shares_memory(view, data):
+            return view
+        buffer = self.buffer(new_shape, data.dtype)
+        destination = buffer.reshape(data.shape)  # contiguous: always a view
+
+        def op(_dst=destination, _src=data):
+            np.copyto(_dst, _src)
+
+        self.record_and_run(op)
+        return buffer
+
+
+def _index_runs(table: np.ndarray, max_runs: int = 8):
+    """Decompose an index table into maximal consecutive runs.
+
+    Returns ``[(destination_start, source_start, length), ...]`` such that
+    gathering with the table equals copying each source slice to its
+    destination slice, or ``None`` when the table is too fragmented for
+    block copies to beat one ``np.take``.
+    """
+    if len(table) == 0:
+        return []
+    runs = []
+    start = 0
+    for position in range(1, len(table) + 1):
+        if position == len(table) or table[position] != table[position - 1] + 1:
+            runs.append((start, int(table[start]), position - start))
+            if len(runs) > max_runs:
+                return None
+            start = position
+    return runs
+
+
+def _has_array(value) -> bool:
+    if isinstance(value, (tuple, list)):
+        return any(_has_array(component) for component in value)
+    return isinstance(value, np.ndarray)
+
+
+def _all_arrays(value) -> bool:
+    if isinstance(value, tuple):
+        return all(_all_arrays(component) for component in value)
+    return isinstance(value, np.ndarray)
+
+
+def _leaf_structure_map(value, fn):
+    if isinstance(value, tuple):
+        return tuple(_leaf_structure_map(component, fn) for component in value)
+    if isinstance(value, np.ndarray):
+        return fn(value)
+    return value  # scalar results of literal-only inputs are run-invariant
+
+
+def _copy_structure(destination, source) -> None:
+    if isinstance(destination, tuple):
+        for dst, src in zip(destination, source):
+            _copy_structure(dst, src)
+    elif isinstance(destination, np.ndarray):
+        np.copyto(destination, source)
 
 
 # ---------------------------------------------------------------------------
@@ -310,7 +488,11 @@ class _Compiler:
             return result
 
         def apply_userfun(args: List, env: Env, depth: int, _fn=fn):
-            return wrap(_fn(*[raw(a, depth) for a in args]), depth)
+            arena = _active_arena()
+            raws = [raw(a, depth) for a in args]
+            if arena is not None:
+                return wrap(arena.userfun(_fn, raws), depth)
+            return wrap(_fn(*raws), depth)
 
         return apply_userfun
 
@@ -422,6 +604,8 @@ class _Compiler:
         chunk = self._concrete(prim.chunk, "split chunk size")
 
         def apply_split(args: List, env: Env, depth: int):
+            arena = _active_arena()
+
             def split_leaf(leaf: Batched) -> Batched:
                 shape = leaf.data.shape
                 n = shape[depth]
@@ -430,6 +614,8 @@ class _Compiler:
                         f"split({chunk}): input length {n} is not divisible"
                     )
                 new_shape = shape[:depth] + (n // chunk, chunk) + shape[depth + 1:]
+                if arena is not None:
+                    return Batched(arena.reshape(leaf.data, new_shape), depth)
                 return Batched(leaf.data.reshape(new_shape), depth)
 
             return _leafmap(_align(args[0], depth), split_leaf)
@@ -438,6 +624,8 @@ class _Compiler:
 
     def _compile_join(self, prim: Join) -> Applier:
         def apply_join(args: List, env: Env, depth: int):
+            arena = _active_arena()
+
             def join_leaf(leaf: Batched) -> Batched:
                 shape = leaf.data.shape
                 if leaf.data.ndim < depth + 2:
@@ -446,6 +634,8 @@ class _Compiler:
                     shape[:depth] + (shape[depth] * shape[depth + 1],)
                     + shape[depth + 2:]
                 )
+                if arena is not None:
+                    return Batched(arena.reshape(leaf.data, new_shape), depth)
                 return Batched(leaf.data.reshape(new_shape), depth)
 
             return _leafmap(_align(args[0], depth), join_leaf)
@@ -503,11 +693,44 @@ class _Compiler:
             return table
 
         def apply_pad(args: List, env: Env, depth: int):
+            arena = _active_arena()
+
             def pad_leaf(leaf: Batched) -> Batched:
                 n = leaf.data.shape[depth]
-                return Batched(
-                    np.take(leaf.data, indices_for(n), axis=depth), depth
+                table = indices_for(n)
+                if arena is None:
+                    return Batched(np.take(leaf.data, table, axis=depth), depth)
+                source = leaf.data
+                shape = (
+                    source.shape[:depth] + (len(table),) + source.shape[depth + 1:]
                 )
+                buffer = arena.buffer(shape, source.dtype)
+                runs = _index_runs(table)
+                if runs is not None:
+                    # The boundary re-indexing decomposes into a few
+                    # contiguous runs (clamp/mirror/wrap all do): replay as
+                    # block copies — one big interior copy plus tiny halo
+                    # slices — instead of a per-element gather.
+                    pairs = [
+                        (
+                            buffer[(slice(None),) * depth
+                                   + (slice(dst, dst + length),)],
+                            source[(slice(None),) * depth
+                                   + (slice(src, src + length),)],
+                        )
+                        for dst, src, length in runs
+                    ]
+
+                    def op(_pairs=pairs):
+                        for destination, block in _pairs:
+                            np.copyto(destination, block)
+
+                else:
+                    def op(_src=source, _table=table, _axis=depth, _out=buffer):
+                        np.take(_src, _table, axis=_axis, out=_out)
+
+                arena.record_and_run(op)
+                return Batched(buffer, depth)
 
             return _leafmap(_align(args[0], depth), pad_leaf)
 
@@ -525,14 +748,36 @@ class _Compiler:
                         "padConstant requires a scalar boundary value"
                     )
                 value = float(value.data.reshape(()))
+            arena = _active_arena()
 
             def pad_leaf(leaf: Batched) -> Batched:
-                widths = [(0, 0)] * leaf.data.ndim
-                widths[depth] = (left, right)
-                return Batched(
-                    np.pad(leaf.data, widths, mode="constant", constant_values=value),
-                    depth,
+                if arena is None:
+                    widths = [(0, 0)] * leaf.data.ndim
+                    widths[depth] = (left, right)
+                    return Batched(
+                        np.pad(leaf.data, widths, mode="constant",
+                               constant_values=value),
+                        depth,
+                    )
+                # The constant halo never changes: write it once, refresh
+                # only the interior slab on every tape replay.
+                source = leaf.data
+                n = source.shape[depth]
+                shape = (
+                    source.shape[:depth] + (n + left + right,)
+                    + source.shape[depth + 1:]
                 )
+                buffer = arena.buffer(shape, source.dtype)
+                buffer.fill(value)
+                interior = buffer[
+                    (slice(None),) * depth + (slice(left, left + n),)
+                ]
+
+                def op(_dst=interior, _src=source):
+                    np.copyto(_dst, _src)
+
+                arena.record_and_run(op)
+                return Batched(buffer, depth)
 
             return _leafmap(_align(args[0], depth), pad_leaf)
 
@@ -629,6 +874,34 @@ class CompiledKernel:
         }
         return _to_output(self._body_step(env, 0))
 
+    def capture(self, buffers: Sequence[np.ndarray], depth: int,
+                arena: CaptureArena):
+        """Execute the kernel once under a capture arena (plan recording).
+
+        ``buffers`` are the plan's stable input buffers (already converted
+        to ``float64``), bound directly as the parameter environment —
+        ``depth`` is 0 for single execution, 1 when the leading axis is the
+        stacked-requests batch axis.  The execution both *computes* (this is
+        a real sweep over real data) and *records*: every buffer write lands
+        in the arena's tape.  Returns the raw result value tree (``Batched``
+        leaves / tuples), whose leaves are views of arena or input buffers —
+        the plan turns it into an output-materialisation op.
+        """
+        if len(buffers) != len(self._params):
+            raise ExecutionError(
+                f"program expects {len(self._params)} inputs, got {len(buffers)}"
+            )
+        env: Env = {
+            param: Batched(buffer, depth)
+            for param, buffer in zip(self._params, buffers)
+        }
+        previous = _active_arena()
+        _ARENA.current = arena
+        try:
+            return self._body_step(env, depth)
+        finally:
+            _ARENA.current = previous
+
     def run_batched(self, stacked_inputs: Sequence) -> np.ndarray:
         """Execute many independent requests in one vectorized sweep.
 
@@ -674,6 +947,7 @@ def compile_program(
 
 __all__ = [
     "Batched",
+    "CaptureArena",
     "CompileError",
     "CompiledKernel",
     "ExecutionError",

@@ -1,0 +1,595 @@
+"""Allocation-free execution plans: pooled buffers + replayable tapes.
+
+Compiling a program with :func:`compile_plan` executes it once under a
+:class:`~repro.backend.numpy_backend.CaptureArena`, which pre-allocates
+every run-varying array — padded halo buffers, user-function scratch, the
+output — from a :class:`~repro.backend.pool.BufferPool` and records the
+sequence of buffer writes as a *tape*.  Everything between those writes is
+stride manipulation (views of the stable buffers), identical from sweep to
+sweep, so the steady-state execution path is simply::
+
+    refresh input buffers  →  replay the tape  →  read the output buffer
+
+with **zero** array allocations and no closure-tree traversal, while
+producing bit-identical results to the generic
+:meth:`~repro.backend.base.NumpyBackend.run` path (every tape op performs
+the same NumPy operation on the same values, threaded through ``out=``).
+
+Iterative stencils (:meth:`ExecutionPlan.iterate`) run a double-buffered
+ping-pong loop: the output buffer of step *t* is bound as the carried input
+of step *t+1* by swapping buffer roles, not by copying — one tape is
+captured per distinct buffer binding (a short prologue plus a ping-pong
+cycle), after which every timestep is a pure replay.  The ``carry``
+specification names, per program input, what feeds it on the next step:
+``"out"`` (the previous output), an input index (that input's previous
+value — e.g. the acoustic benchmark's two-timestep rotation), or ``None``
+(a static grid such as Hotspot's power input).
+
+Plans are shape-bound (buffers are sized at build time) and serialise their
+own execution with a lock; :class:`PlanCache` memoises them per (program
+structure, input shapes, size environment, batched) the way the
+compilation cache memoises kernels.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.ir import Lambda, structural_key
+from .numpy_backend import (
+    Batched,
+    CaptureArena,
+    CompiledKernel,
+    ExecutionError,
+    _align_leaf,
+    compile_program,
+)
+from .pool import BufferPool
+
+#: Per-input carry specification entries (see module docstring).
+CarrySpec = Tuple[Union[str, int, None], ...]
+
+
+def normalize_carry(carry: Optional[Sequence], num_inputs: int) -> CarrySpec:
+    """Validate a carry spec; default: the output feeds input 0, rest static."""
+    if num_inputs < 1:
+        raise ExecutionError("iteration needs at least one program input")
+    if carry is None:
+        return ("out",) + (None,) * (num_inputs - 1)
+    spec = tuple(carry)
+    if len(spec) != num_inputs:
+        raise ExecutionError(
+            f"carry spec has {len(spec)} entries for {num_inputs} inputs"
+        )
+    for entry in spec:
+        if entry is None or entry == "out":
+            continue
+        if isinstance(entry, int) and 0 <= entry < num_inputs:
+            continue
+        raise ExecutionError(f"invalid carry entry {entry!r}")
+    if "out" not in spec:
+        raise ExecutionError("carry spec must feed the output back somewhere")
+    return spec
+
+
+def _rebind(state: List[np.ndarray], out: np.ndarray,
+            carry: CarrySpec) -> List[np.ndarray]:
+    return [
+        out if entry == "out" else state[entry if isinstance(entry, int) else i]
+        for i, entry in enumerate(carry)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Output materialisation (mirrors _to_output / _to_output_batched exactly)
+# ---------------------------------------------------------------------------
+
+def _output_spec(value, batch: Optional[int]) -> Tuple[Tuple[int, ...], np.dtype]:
+    """Shape and dtype of the assembled output for a raw result value."""
+    if isinstance(value, tuple):
+        specs = [_output_spec(component, batch) for component in value]
+        return specs[0][0] + (len(value),), np.result_type(*[d for _, d in specs])
+    if isinstance(value, Batched):
+        if batch is None:
+            if value.bd != 0:
+                raise ExecutionError("result value still carries batch axes")
+            return value.data.shape, value.data.dtype
+        leaf = _align_leaf(value, 1)
+        return (batch,) + leaf.data.shape[1:], leaf.data.dtype
+    scalar = np.asarray(value, dtype=np.float64)
+    shape = scalar.shape if batch is None else (batch,) + scalar.shape
+    return shape, scalar.dtype
+
+
+def _make_output_op(buffer: np.ndarray, value,
+                    batch: Optional[int]) -> Callable[[], None]:
+    """An allocation-free tape op copying the result value into ``buffer``.
+
+    Destination views and source views are resolved once, here; the op body
+    is a sequence of ``np.copyto`` calls.  Matches ``_to_output`` (tuples
+    stack along a new last axis) and ``_to_output_batched`` (length-1 batch
+    leaves broadcast to the full extent) bit for bit.
+    """
+    pairs: List[Tuple[np.ndarray, object]] = []
+
+    def collect(destination: np.ndarray, result) -> None:
+        if isinstance(result, tuple):
+            for index, component in enumerate(result):
+                collect(destination[..., index], component)
+            return
+        if isinstance(result, Batched):
+            if batch is None:
+                if result.bd != 0:
+                    raise ExecutionError("result value still carries batch axes")
+                pairs.append((destination, result.data))
+                return
+            leaf = _align_leaf(result, 1)
+            if leaf.data.shape[0] not in (1, batch):
+                raise ExecutionError(
+                    f"batched result has extent {leaf.data.shape[0]} on the "
+                    f"batch axis, expected {batch}"
+                )
+            pairs.append((destination, leaf.data))
+            return
+        pairs.append((destination, float(result)))
+
+    collect(buffer, value)
+
+    def op() -> None:
+        for destination, source in pairs:
+            np.copyto(destination, source)
+
+    return op
+
+
+class _Tape:
+    """One captured buffer binding: ordered ops plus the output buffer."""
+
+    __slots__ = ("ops", "out")
+
+    def __init__(self, ops: List[Callable[[], None]], out: np.ndarray) -> None:
+        self.ops = ops
+        self.out = out
+
+    def run(self) -> np.ndarray:
+        for op in self.ops:
+            op()
+        return self.out
+
+
+# ---------------------------------------------------------------------------
+# The execution plan
+# ---------------------------------------------------------------------------
+
+def plan_signature(inputs_or_signature) -> Tuple[Tuple[int, ...], ...]:
+    """Normalise inputs (or an input signature) to a tuple of shapes.
+
+    Plans convert every input to ``float64`` on bind — exactly what the
+    generic path's ``np.asarray(value, dtype=np.float64)`` does — so the
+    input *dtype* does not shape-specialise a plan; only shapes do.
+    """
+    shapes = []
+    for entry in inputs_or_signature:
+        if isinstance(entry, tuple) and len(entry) == 2 \
+                and isinstance(entry[0], tuple):
+            shapes.append(tuple(int(extent) for extent in entry[0]))
+        else:
+            shapes.append(tuple(np.shape(entry)))
+    return tuple(shapes)
+
+
+class ExecutionPlan:
+    """A program bound to pooled buffers with replayable execution tapes.
+
+    Not shareable across threads concurrently — a plan serialises its own
+    execution with an internal lock (buffers are reused between calls, so
+    results must be consumed — or copied, the default — before the next
+    call overwrites them).
+    """
+
+    def __init__(
+        self,
+        program: Lambda,
+        inputs_or_signature,
+        size_env: Optional[Mapping[str, int]] = None,
+        pool: Optional[BufferPool] = None,
+        batched: bool = False,
+        kernel: Optional[CompiledKernel] = None,
+    ) -> None:
+        self.program = program
+        self.size_env = dict(size_env or {})
+        self.batched = batched
+        self.input_shapes = plan_signature(inputs_or_signature)
+        if not self.input_shapes:
+            raise ExecutionError("a plan needs at least one input")
+        if batched:
+            extents = {shape[0] for shape in self.input_shapes if shape}
+            if len(extents) != 1:
+                raise ExecutionError(
+                    f"inconsistent batch extents across inputs: {sorted(extents)}"
+                )
+            (self.batch,) = extents
+        else:
+            self.batch = None
+        self._depth = 1 if batched else 0
+        self._pool = pool if pool is not None else BufferPool()
+        self._kernel = kernel if kernel is not None else compile_program(
+            program, self.size_env
+        )
+        self._lock = threading.RLock()
+        self._in_bufs = [
+            self._pool.acquire(shape, np.float64) for shape in self.input_shapes
+        ]
+        for buffer in self._in_bufs:
+            buffer.fill(1.0)  # benign values until the first bind
+        self._buffers: List[np.ndarray] = list(self._in_bufs)
+        self._tapes: Dict[Tuple, _Tape] = {}
+        self._ring: List[np.ndarray] = []   # ping-pong output buffers
+        self._out_shape: Optional[Tuple[int, ...]] = None
+        self._out_dtype = None
+        self.captures = 0
+        self.replays = 0
+        self.traced_calls = 0
+        self.opaque_calls = 0
+
+    # -- buffer management ---------------------------------------------------
+    def _bind(self, inputs: Sequence) -> None:
+        if len(inputs) != len(self._in_bufs):
+            raise ExecutionError(
+                f"plan expects {len(self._in_bufs)} inputs, got {len(inputs)}"
+            )
+        for buffer, value in zip(self._in_bufs, inputs):
+            array = value if isinstance(value, np.ndarray) else np.asarray(value)
+            if array.shape != buffer.shape:
+                raise ExecutionError(
+                    f"input shape {array.shape} does not match the plan's "
+                    f"{buffer.shape}"
+                )
+            np.copyto(buffer, array)  # casts to float64, like the generic path
+
+    def _pick_slot(self, state: Sequence[np.ndarray]) -> int:
+        """The lowest-indexed output slot whose buffer is not being read.
+
+        The choice is a pure function of the binding state, so re-running an
+        iteration from the same starting state retraces the same (state,
+        slot) keys and replays the already-captured tapes instead of
+        capturing fresh ones.
+        """
+        state_ids = {id(buffer) for buffer in state}
+        for index, buffer in enumerate(self._ring):
+            if id(buffer) not in state_ids:
+                return index
+        return len(self._ring)
+
+    def _slot_buffer(self, slot: int) -> np.ndarray:
+        if slot == len(self._ring):
+            buffer = self._pool.acquire(self._out_shape, self._out_dtype)
+            self._ring.append(buffer)
+            self._buffers.append(buffer)
+        return self._ring[slot]
+
+    # -- capture & replay ----------------------------------------------------
+    def _capture(self, state: List[np.ndarray], slot: int) -> _Tape:
+        arena = CaptureArena(self._pool)
+        value = self._kernel.capture(state, self._depth, arena)
+        if self._out_shape is None:
+            self._out_shape, self._out_dtype = _output_spec(value, self.batch)
+        out_buffer = self._slot_buffer(slot)
+        self._buffers.extend(arena.buffers)
+        self.captures += 1
+        self.traced_calls += arena.traced_calls
+        self.opaque_calls += arena.opaque_calls
+        if (
+            isinstance(value, Batched)
+            and value.bd == 0
+            and arena.schedules
+            and value.data is arena.schedules[-1].out
+            and arena.ops
+            and arena.ops[-1] == arena.schedules[-1].run
+            and value.data.shape == out_buffer.shape
+            and value.data.dtype == out_buffer.dtype
+        ):
+            # The kernel's whole result is the last traced schedule's final
+            # value: retarget that operation to write straight into the
+            # output ring buffer and skip the materialisation copy pass.
+            schedule = arena.schedules[-1]
+            np.copyto(out_buffer, value.data)  # this sweep already computed
+            schedule.retarget(out_buffer)
+            return _Tape(arena.ops[:-1] + [schedule.run], out_buffer)
+        final = _make_output_op(out_buffer, value, self.batch)
+        final()  # a capture is a real execution: materialise this sweep too
+        return _Tape(arena.ops + [final], out_buffer)
+
+    def _step(self, state: List[np.ndarray], slot: int) -> np.ndarray:
+        key = (tuple(id(buffer) for buffer in state), slot)
+        tape = self._tapes.get(key)
+        if tape is None:
+            tape = self._capture(state, slot)
+            self._tapes[key] = tape
+        else:
+            tape.run()
+            self.replays += 1
+        return tape.out
+
+    @staticmethod
+    def _result(out: np.ndarray, copy: bool) -> np.ndarray:
+        if copy:
+            return out.copy()
+        view = out.view()
+        view.flags.writeable = False
+        return view
+
+    # -- execution -----------------------------------------------------------
+    def run(self, inputs: Sequence, copy: bool = True) -> np.ndarray:
+        """One sweep.  ``copy=False`` returns a read-only view of the output
+        buffer, valid until the next call on this plan."""
+        with self._lock:
+            self._bind(inputs)
+            state = list(self._in_bufs)
+            out = self._step(state, self._pick_slot(state))
+            return self._result(out, copy)
+
+    def iterate(self, inputs: Sequence, steps: int,
+                carry: Optional[Sequence] = None,
+                copy: bool = True) -> np.ndarray:
+        """Run ``steps`` timesteps with double-buffered output ping-pong.
+
+        Equivalent — bit for bit — to calling the generic ``run`` path once
+        per step and re-binding inputs per ``carry``; after the first few
+        steps capture the binding cycle, every further step is a pure tape
+        replay with zero allocations.
+        """
+        if self.batched:
+            raise ExecutionError("iterate is not supported on batched plans")
+        if steps < 1:
+            raise ExecutionError("iterate needs steps >= 1")
+        spec = normalize_carry(carry, len(self._in_bufs))
+        with self._lock:
+            self._bind(inputs)
+            state = list(self._in_bufs)
+            out: Optional[np.ndarray] = None
+            for _ in range(steps):
+                out = self._step(state, self._pick_slot(state))
+                state = _rebind(state, out, spec)
+            return self._result(out, copy)
+
+    def run_batched(self, stacked_inputs: Sequence,
+                    copy: bool = True) -> np.ndarray:
+        """One stacked sweep over the leading request-batch axis."""
+        if not self.batched:
+            raise ExecutionError("this plan was not compiled for batching")
+        return self.run(stacked_inputs, copy=copy)
+
+    def run_batched_parts(self, parts: Sequence[Sequence],
+                          copy: bool = True) -> np.ndarray:
+        """Batched sweep fed from per-request input lists.
+
+        Each request's grids are copied directly into its slice of the
+        plan's one pooled stacked buffer set — no intermediate ``np.stack``
+        allocation on the serving path.
+        """
+        if not self.batched:
+            raise ExecutionError("this plan was not compiled for batching")
+        if len(parts) != self.batch:
+            raise ExecutionError(
+                f"plan is sized for batches of {self.batch}, got {len(parts)}"
+            )
+        with self._lock:
+            for index, item_inputs in enumerate(parts):
+                if len(item_inputs) != len(self._in_bufs):
+                    raise ExecutionError(
+                        f"request {index} carries {len(item_inputs)} inputs, "
+                        f"plan expects {len(self._in_bufs)}"
+                    )
+                for buffer, value in zip(self._in_bufs, item_inputs):
+                    array = value if isinstance(value, np.ndarray) \
+                        else np.asarray(value)
+                    if array.shape != buffer.shape[1:]:
+                        raise ExecutionError(
+                            f"input shape {array.shape} does not match the "
+                            f"plan's per-item {buffer.shape[1:]}"
+                        )
+                    np.copyto(buffer[index], array)
+            state = list(self._in_bufs)
+            out = self._step(state, self._pick_slot(state))
+            return self._result(out, copy)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def steady(self) -> bool:
+        """True once at least one binding replays from tape."""
+        return self.replays > 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "tapes": len(self._tapes),
+                "captures": self.captures,
+                "replays": self.replays,
+                "traced_userfun_calls": self.traced_calls,
+                "opaque_userfun_calls": self.opaque_calls,
+                "buffers": len(self._buffers),
+                "buffer_bytes": sum(b.nbytes for b in self._buffers),
+            }
+
+    def release(self) -> None:
+        """Return every pooled buffer.  The plan must not be used afterwards."""
+        with self._lock:
+            self._pool.release_all(self._buffers)
+            self._buffers = []
+            self._tapes = {}
+            self._ring = []
+            self._in_bufs = []
+
+
+def compile_plan(
+    program: Lambda,
+    inputs_or_signature,
+    size_env: Optional[Mapping[str, int]] = None,
+    pool: Optional[BufferPool] = None,
+    batched: bool = False,
+    kernel: Optional[CompiledKernel] = None,
+) -> ExecutionPlan:
+    """Compile a program into an execution plan (no caching)."""
+    return ExecutionPlan(program, inputs_or_signature, size_env,
+                         pool=pool, batched=batched, kernel=kernel)
+
+
+# ---------------------------------------------------------------------------
+# The plan cache
+# ---------------------------------------------------------------------------
+
+class PlanCache:
+    """A thread-safe LRU of execution plans, keyed like the kernel cache.
+
+    The key combines the program's structural key, the input *shapes* (not
+    dtypes — plans bind-convert to ``float64``), the size environment and
+    whether the plan sweeps a leading batch axis.  Evicted plans are simply
+    dropped: their buffers may still be mid-execution on another thread, so
+    they are left to the garbage collector rather than returned to a pool.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: Dict[Tuple, ExecutionPlan] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def key_for(self, program: Lambda, inputs_or_signature,
+                size_env: Optional[Mapping[str, int]] = None,
+                batched: bool = False) -> Tuple:
+        sizes = tuple(sorted((size_env or {}).items()))
+        return (structural_key(program), plan_signature(inputs_or_signature),
+                sizes, batched)
+
+    def get_or_compile(
+        self,
+        program: Lambda,
+        inputs_or_signature,
+        size_env: Optional[Mapping[str, int]] = None,
+        batched: bool = False,
+        kernel_resolver=None,
+    ) -> ExecutionPlan:
+        """The cached plan for this key; ``kernel_resolver`` (a zero-argument
+        callable returning a :class:`CompiledKernel`) lets the backend route
+        the plan's kernel through its compilation cache so kernels stay
+        shared — and counted — across the generic and plan paths."""
+        key = self.key_for(program, inputs_or_signature, size_env, batched)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._entries.pop(key)
+                self._entries[key] = plan  # LRU: refresh recency
+                return plan
+            self.misses += 1
+        kernel = kernel_resolver() if kernel_resolver is not None else None
+        plan = compile_plan(program, inputs_or_signature, size_env,
+                            batched=batched, kernel=kernel)
+        with self._lock:
+            if key not in self._entries:
+                while len(self._entries) >= self.max_entries:
+                    self._entries.pop(next(iter(self._entries)))
+                    self.evictions += 1
+                self._entries[key] = plan
+            else:
+                plan = self._entries[key]
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    # -- pickling (same contract as the compilation cache) -------------------
+    def __getstate__(self) -> Dict[str, int]:
+        # Plans close over compiled kernels and live buffers — neither is
+        # picklable nor meaningful in another process.  A pickled cache
+        # carries only its size limit and rebuilds plans on first use.
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.__init__(max_entries=state.get("max_entries", 64))
+
+
+def time_steady(plan: ExecutionPlan, inputs: Sequence, runs: int = 3) -> float:
+    """Best-of-``runs`` wall-clock of one warm steady-state sweep.
+
+    Warms the plan first (capture + one replay) so the measurement reflects
+    the tape-replay serving path, not first-call compilation or buffer
+    allocation.  The shared protocol of the engine's measured scorer and
+    the tuner's ``measure_best`` hook.
+    """
+    import time
+
+    plan.run(inputs)  # warm-up: capture the tape, populate buffers
+    plan.run(inputs)  # first replay (steady state from here on)
+    best = float("inf")
+    for _ in range(max(1, runs)):
+        started = time.perf_counter()
+        plan.run(inputs, copy=False)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The per-sweep generic baseline (what plans are measured against)
+# ---------------------------------------------------------------------------
+
+def iterate_generic(
+    backend,
+    program: Lambda,
+    inputs: Sequence,
+    steps: int,
+    carry: Optional[Sequence] = None,
+    size_env: Optional[Mapping[str, int]] = None,
+) -> np.ndarray:
+    """Drive an iterative stencil through the generic per-sweep ``run`` path.
+
+    This is the pre-plan steady-state loop — one full ``backend.run`` (cache
+    lookup, closure traversal, fresh temporaries) per timestep — kept as the
+    reference implementation plans are verified against bit for bit, and as
+    the baseline ``repro bench-plans`` compares them to.
+    """
+    if steps < 1:
+        raise ExecutionError("iterate needs steps >= 1")
+    state = [np.asarray(value, dtype=np.float64) for value in inputs]
+    spec = normalize_carry(carry, len(state))
+    out: Optional[np.ndarray] = None
+    for _ in range(steps):
+        out = np.asarray(backend.run(program, state, size_env),
+                         dtype=np.float64)
+        state = _rebind(state, out, spec)
+    return out
+
+
+__all__ = [
+    "CarrySpec",
+    "ExecutionPlan",
+    "PlanCache",
+    "compile_plan",
+    "iterate_generic",
+    "normalize_carry",
+    "plan_signature",
+]

@@ -1,0 +1,86 @@
+"""The sized buffer pool backing allocation-free execution plans.
+
+An :class:`~repro.backend.plan.ExecutionPlan` pre-allocates every array the
+steady-state execution loop writes — padded halo buffers, user-function
+scratch, ping-pong output buffers — from one :class:`BufferPool`.  The pool
+is an accounting and reuse layer over ``np.empty``:
+
+* ``acquire`` hands out a buffer of the requested shape/dtype, reusing a
+  previously released one when an exact match is free;
+* ``release`` returns buffers to the free lists (plans release their whole
+  buffer set when they are evicted from the plan cache);
+* ``stats`` reports how many buffers and bytes are live, how many fresh
+  allocations happened, and how many acquisitions were served for free —
+  the numbers the zero-allocation tests and ``repro bench-plans`` assert on.
+
+The pool is thread-safe; buffers themselves are owned by exactly one plan
+at a time (plans serialise their own execution with a per-plan lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+_Key = Tuple[Tuple[int, ...], str]
+
+
+class BufferPool:
+    """A pool of reusable ndarray buffers keyed by (shape, dtype)."""
+
+    def __init__(self) -> None:
+        self._free: Dict[_Key, List[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.allocations = 0
+        self.reuses = 0
+        self.live_buffers = 0
+        self.live_bytes = 0
+
+    @staticmethod
+    def _key(shape: Tuple[int, ...], dtype) -> _Key:
+        return (tuple(int(extent) for extent in shape), str(np.dtype(dtype)))
+
+    def acquire(self, shape, dtype=np.float64) -> np.ndarray:
+        """A writable buffer of exactly this shape and dtype."""
+        key = self._key(tuple(shape), dtype)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                buffer = free.pop()
+                self.reuses += 1
+            else:
+                buffer = np.empty(key[0], dtype=np.dtype(key[1]))
+                self.allocations += 1
+            self.live_buffers += 1
+            self.live_bytes += buffer.nbytes
+        return buffer
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Return a buffer to the pool for reuse."""
+        key = self._key(buffer.shape, buffer.dtype)
+        with self._lock:
+            self._free.setdefault(key, []).append(buffer)
+            self.live_buffers -= 1
+            self.live_bytes -= buffer.nbytes
+
+    def release_all(self, buffers) -> None:
+        for buffer in buffers:
+            self.release(buffer)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            free_buffers = sum(len(v) for v in self._free.values())
+            free_bytes = sum(b.nbytes for v in self._free.values() for b in v)
+            return {
+                "allocations": self.allocations,
+                "reuses": self.reuses,
+                "live_buffers": self.live_buffers,
+                "live_bytes": self.live_bytes,
+                "free_buffers": free_buffers,
+                "free_bytes": free_bytes,
+            }
+
+
+__all__ = ["BufferPool"]

@@ -1,0 +1,365 @@
+"""Tracing user functions into replayable ``out=``-threaded ufunc schedules.
+
+The compiled backend evaluates a user function by calling its whole-array
+implementation (``numpy_fn`` or a broadcasting ``python_fn``); every
+arithmetic step inside it allocates a fresh temporary.  For steady-state
+execution loops that cost dominates, so execution plans *trace* the
+function once: the concrete argument arrays are wrapped in
+:class:`TracedArray` proxies whose operators, ``__array_ufunc__`` and
+``__array_function__`` hooks record each NumPy operation instead of hiding
+it, yielding a schedule of ufunc applications.  Replaying the schedule
+executes exactly the same operations in exactly the same order — results
+are bit-identical — but every operation writes into a pre-allocated scratch
+buffer via ``out=``, so the steady path performs **zero** array
+allocations.
+
+Supported operations: every NumPy ufunc (arithmetic, comparisons,
+``np.sqrt``/``np.abs``/…), plus ``np.where`` (replayed as a pair of
+``np.copyto`` selections) and ``np.clip`` (which accepts ``out=``).  A
+function that cannot be traced — e.g. one that branches on array values —
+raises :class:`UntraceableFunction` and the caller falls back to calling it
+directly into a pooled result buffer (correct, just not allocation-free).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class UntraceableFunction(Exception):
+    """The user function performed an operation the tracer cannot record."""
+
+
+class _Node:
+    """One recorded operation: ``kind`` plus operands (nodes, arrays, scalars)."""
+
+    __slots__ = ("kind", "fn", "operands", "buffer", "concrete")
+
+    def __init__(self, kind: str, fn, operands: Tuple, concrete) -> None:
+        self.kind = kind            # "ufunc" | "where" | "clip"
+        self.fn = fn                # the ufunc (for kind == "ufunc")
+        self.operands = operands    # mix of TracedArray / ndarray / scalar
+        self.concrete = concrete    # eager result (drives scratch shape/dtype)
+        self.buffer: Optional[np.ndarray] = None  # bound by the schedule
+
+
+def _concrete(value):
+    """The concrete array/scalar behind a traced or plain operand."""
+    if isinstance(value, TracedArray):
+        return value.concrete
+    return value
+
+
+class TracedArray:
+    """A proxy recording NumPy operations applied to a concrete array.
+
+    ``concrete`` always holds the materialised value (operations execute
+    eagerly during tracing), so shapes and dtypes of every intermediate are
+    known exactly when the replay schedule allocates its scratch buffers.
+    ``node`` is ``None`` for leaves — arrays that exist independently of the
+    traced function (the stable argument views of an execution plan).
+    """
+
+    __slots__ = ("concrete", "node")
+
+    def __init__(self, concrete: np.ndarray, node: Optional[_Node] = None) -> None:
+        self.concrete = concrete
+        self.node = node
+
+    # -- NumPy protocol hooks ------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        if method != "__call__" or kwargs:
+            raise UntraceableFunction(
+                f"unsupported ufunc use: {ufunc.__name__}.{method} with {kwargs}"
+            )
+        concrete_inputs = [_concrete(value) for value in inputs]
+        result = getattr(ufunc, method)(*concrete_inputs)
+        if isinstance(result, tuple):  # multi-output ufuncs (divmod, …)
+            raise UntraceableFunction(f"multi-output ufunc {ufunc.__name__}")
+        result = np.asarray(result)
+        return TracedArray(result, _Node("ufunc", ufunc, tuple(inputs), result))
+
+    def __array_function__(self, func, types, args, kwargs):
+        if func is np.where and len(args) == 3 and not kwargs:
+            condition, x, y = args
+            result = np.asarray(
+                np.where(_concrete(condition), _concrete(x), _concrete(y))
+            )
+            return TracedArray(result, _Node("where", None, (condition, x, y), result))
+        if func is np.clip and len(args) == 3 and not kwargs:
+            a, lo, hi = args
+            result = np.asarray(np.clip(_concrete(a), _concrete(lo), _concrete(hi)))
+            return TracedArray(result, _Node("clip", None, (a, lo, hi), result))
+        raise UntraceableFunction(f"unsupported function {getattr(func, '__name__', func)}")
+
+    # -- structural access (views of leaves are themselves leaves) ----------
+    def __getitem__(self, key) -> "TracedArray":
+        if self.node is not None:
+            raise UntraceableFunction("indexing a computed intermediate")
+        result = self.concrete[key]
+        # Only *views* of the leaf stay live across tape replays.  Advanced
+        # indexing (index arrays, boolean masks) and scalar extraction copy
+        # first-sweep data, which would silently go stale — force the safe
+        # opaque (re-execute per sweep) fallback instead.
+        if not isinstance(result, np.ndarray) \
+                or not np.shares_memory(result, self.concrete):
+            raise UntraceableFunction(
+                "indexing a traced argument with a copying (advanced/scalar) "
+                "selection"
+            )
+        return TracedArray(result)
+
+    @property
+    def shape(self):
+        return self.concrete.shape
+
+    @property
+    def dtype(self):
+        return self.concrete.dtype
+
+    @property
+    def ndim(self):
+        return self.concrete.ndim
+
+    def __len__(self) -> int:
+        return len(self.concrete)
+
+    def __iter__(self):
+        raise UntraceableFunction("iterating over a traced array")
+
+    def __bool__(self) -> bool:
+        raise UntraceableFunction("branching on a traced array value")
+
+    def __float__(self) -> float:
+        raise UntraceableFunction("converting a traced array to a scalar")
+
+    # -- operators (each routes through the ufunc hook above) ----------------
+    def __add__(self, other):
+        return np.add(self, other)
+
+    def __radd__(self, other):
+        return np.add(other, self)
+
+    def __sub__(self, other):
+        return np.subtract(self, other)
+
+    def __rsub__(self, other):
+        return np.subtract(other, self)
+
+    def __mul__(self, other):
+        return np.multiply(self, other)
+
+    def __rmul__(self, other):
+        return np.multiply(other, self)
+
+    def __truediv__(self, other):
+        return np.true_divide(self, other)
+
+    def __rtruediv__(self, other):
+        return np.true_divide(other, self)
+
+    def __pow__(self, other):
+        return np.power(self, other)
+
+    def __rpow__(self, other):
+        return np.power(other, self)
+
+    def __mod__(self, other):
+        return np.mod(self, other)
+
+    def __neg__(self):
+        return np.negative(self)
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        return np.absolute(self)
+
+    def __lt__(self, other):
+        return np.less(self, other)
+
+    def __le__(self, other):
+        return np.less_equal(self, other)
+
+    def __gt__(self, other):
+        return np.greater(self, other)
+
+    def __ge__(self, other):
+        return np.greater_equal(self, other)
+
+    def __eq__(self, other):  # noqa: D105 - traced comparison, not identity
+        return np.equal(self, other)
+
+    def __ne__(self, other):
+        return np.not_equal(self, other)
+
+    __hash__ = None  # traced arrays are not hashable (eq is elementwise)
+
+
+def _wrap_argument(value):
+    if isinstance(value, np.ndarray):
+        return TracedArray(value)
+    if isinstance(value, tuple):
+        return tuple(_wrap_argument(component) for component in value)
+    return value  # scalars participate as plain Python numbers
+
+
+class ReplaySchedule:
+    """A traced function bound to scratch buffers: call :meth:`run` per sweep.
+
+    ``run`` executes the recorded operations in recorded order, each through
+    ``out=`` into its scratch buffer, and returns the final buffer.  The
+    argument views captured at trace time are read live — they alias the
+    plan's stable buffers, which earlier tape entries refresh every sweep.
+    """
+
+    def __init__(self, nodes: List[_Node], out: np.ndarray) -> None:
+        self._nodes = nodes
+        self.out = out
+
+    def retarget(self, new_out: np.ndarray) -> None:
+        """Make the final operation write directly into ``new_out``.
+
+        Used by execution plans when the kernel's whole result *is* this
+        schedule's final value: retargeting saves the output-materialisation
+        copy pass.  ``new_out`` must be disjoint from every buffer the
+        schedule reads (plans pass a fresh ring buffer), so even the
+        ``where`` replay — which reads operands after its first write —
+        stays correct.
+        """
+        final = self._nodes[-1]
+        assert final.buffer is self.out, "final node must own the schedule output"
+        final.buffer = new_out
+        self.out = new_out
+
+    def run(self) -> np.ndarray:
+        for node in self._nodes:
+            operands = node.operands
+            if node.kind == "ufunc":
+                node.fn(*[_replay_operand(value) for value in operands],
+                        out=node.buffer)
+            elif node.kind == "where":
+                condition, x, y = (_replay_operand(value) for value in operands)
+                np.copyto(node.buffer, y, casting="unsafe")
+                np.copyto(node.buffer, x, where=condition, casting="unsafe")
+            else:  # "clip"
+                a, lo, hi = (_replay_operand(value) for value in operands)
+                np.clip(a, lo, hi, out=node.buffer)
+        return self.out
+
+
+def _replay_operand(value):
+    if isinstance(value, TracedArray):
+        if value.node is not None:
+            return value.node.buffer
+        return value.concrete  # a live view of a stable buffer
+    return value
+
+
+def trace_function(
+    fn: Callable,
+    args: Sequence,
+    pool,
+) -> Tuple[Optional[ReplaySchedule], Optional[np.ndarray]]:
+    """Trace ``fn(*args)`` into a replay schedule with pooled scratch.
+
+    ``pool`` is any allocator with an ``acquire(shape, dtype)`` method (a
+    :class:`~repro.backend.pool.BufferPool` or a capture arena).  Returns
+    ``(schedule, result)`` where ``result`` holds the concrete value of this
+    first (tracing) execution, living in the schedule's final scratch buffer
+    so downstream consumers see a stable array.  Returns ``(None, value)``
+    when the function performed no recorded computation but its result is
+    nevertheless stable across sweeps — an argument passed through unchanged
+    (a live view of the caller's buffers) or a run-invariant constant.
+    Returns ``(None, None)`` when the function must be re-executed per sweep
+    (untraceable control flow, unsupported operations, tuple results).
+    """
+    try:
+        traced = fn(*[_wrap_argument(value) for value in args])
+    except UntraceableFunction:
+        return None, None
+    if isinstance(traced, TracedArray) and traced.node is None:
+        return None, traced.concrete  # argument passthrough: a stable view
+    if not isinstance(traced, TracedArray):
+        if isinstance(traced, np.ndarray) and traced.dtype != object:
+            return None, traced  # constant built inside fn: run-invariant
+        if isinstance(traced, (int, float, np.generic)):
+            return None, traced
+        return None, None  # tuples / object arrays: re-execute per sweep
+
+    # Collect the recorded nodes in dependency order (operands precede use).
+    nodes: List[_Node] = []
+    seen = set()
+
+    def collect(value) -> None:
+        if not isinstance(value, TracedArray) or value.node is None:
+            return
+        node = value.node
+        if id(node) in seen:
+            return
+        for operand in node.operands:
+            collect(operand)
+        seen.add(id(node))
+        nodes.append(node)
+
+    collect(traced)
+    _assign_buffers(nodes, traced.node, pool)
+    schedule = ReplaySchedule(nodes, traced.node.buffer)
+    result = schedule.run()  # materialise the traced values into the buffers
+    return schedule, result
+
+
+def _assign_buffers(nodes: List[_Node], final: _Node, pool) -> None:
+    """Bind scratch buffers to nodes with liveness-based reuse.
+
+    A node's buffer is dead once its last consumer has executed; later nodes
+    of the same shape and dtype reuse it.  This mirrors NumPy's own
+    temporary elision on the generic path — the replay's working set stays a
+    couple of buffers instead of one per operation, which keeps the hot loop
+    in cache.  A plain ufunc may even write directly over an operand dying
+    at that very node (exact-overlap ``out=`` is well-defined); the
+    ``where``/``clip`` replays never do, as they read operands after the
+    first write into ``out``.
+    """
+    last_use = {}
+    for index, node in enumerate(nodes):
+        for operand in node.operands:
+            if isinstance(operand, TracedArray) and operand.node is not None:
+                last_use[id(operand.node)] = index
+    last_use[id(final)] = len(nodes)  # the result buffer outlives the schedule
+
+    free = {}  # (shape, dtype str) -> [buffers]
+
+    def key_of(buffer: np.ndarray):
+        return (buffer.shape, str(buffer.dtype))
+
+    for index, node in enumerate(nodes):
+        shape, dtype = node.concrete.shape, node.concrete.dtype
+        node.concrete = None  # eager temporaries are no longer needed
+        dying = []
+        for operand in node.operands:
+            if isinstance(operand, TracedArray) and operand.node is not None \
+                    and last_use.get(id(operand.node)) == index \
+                    and operand.node.buffer is not None \
+                    and not any(operand.node.buffer is b for b in dying):
+                dying.append(operand.node.buffer)
+        reused = None
+        if node.kind == "ufunc":
+            for buffer in dying:
+                if buffer.shape == shape and buffer.dtype == dtype:
+                    reused = buffer
+                    break
+        if reused is not None:
+            node.buffer = reused
+        else:
+            bucket = free.get((shape, str(np.dtype(dtype))))
+            node.buffer = bucket.pop() if bucket else pool.acquire(shape, dtype)
+        for buffer in dying:
+            if buffer is not node.buffer:
+                free.setdefault(key_of(buffer), []).append(buffer)
+
+
+__all__ = ["ReplaySchedule", "TracedArray", "UntraceableFunction", "trace_function"]

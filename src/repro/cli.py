@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro kernel jacobi2d5pt --strategy tiled --tile 18 --size 64 64
     python -m repro verify [--benchmarks heat poisson] [--backend crosscheck]
     python -m repro bench-backend [--out BENCH_backend.json]
+    python -m repro bench-plans [--steps 64] [--out BENCH_plans.json]
     python -m repro explore stencil2d --workers 4 [--budget 200]
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
     python -m repro serve --port 7457 [--store .repro/engine.sqlite]
@@ -122,6 +123,36 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
         write_backend_bench(rows, args.out)
         print(f"\nwrote {args.out}")
     return 0 if all(row.results_match for row in rows) else 1
+
+
+def _cmd_bench_plans(args: argparse.Namespace) -> int:
+    from .experiments.plan_bench import (
+        format_plan_bench,
+        run_plan_bench,
+        write_plan_bench,
+    )
+
+    rows = run_plan_bench(
+        benchmarks=args.benchmarks or None,
+        steps=args.steps,
+        repeats=args.repeats,
+    )
+    print(format_plan_bench(rows))
+    if args.out:
+        write_plan_bench(rows, args.out)
+        print(f"\nwrote {args.out}")
+    failures = [row.benchmark for row in rows if not row.results_match]
+    for name in failures:
+        print(f"FAIL: {name}: plan result diverges from the generic path",
+              file=sys.stderr)
+    if args.assert_speedup is not None:
+        slow = [row for row in rows if row.speedup < args.assert_speedup]
+        for row in slow:
+            print(f"FAIL: {row.benchmark}: plan speedup {row.speedup:.2f}x "
+                  f"< required {args.assert_speedup:.2f}x", file=sys.stderr)
+        if slow:
+            return 1
+    return 1 if failures else 0
 
 
 def _run_engine_command(args: argparse.Namespace, command: str) -> int:
@@ -386,6 +417,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_backend.add_argument("--out", default=None,
                                help="write the rows as JSON to this path")
 
+    bench_plans = sub.add_parser(
+        "bench-plans",
+        help="time the per-sweep generic path vs the allocation-free "
+             "execution-plan path on iterative stencils",
+    )
+    bench_plans.add_argument("--benchmarks", nargs="*", default=None,
+                             help="benchmark keys (default: the iterative set)")
+    bench_plans.add_argument("--steps", type=int, default=64,
+                             help="timesteps per benchmark run")
+    bench_plans.add_argument("--repeats", type=int, default=3,
+                             help="timing repetitions (best wall kept)")
+    bench_plans.add_argument("--out", default=None,
+                             help="write the rows as JSON to this path")
+    bench_plans.add_argument("--assert-speedup", type=float, default=None,
+                             metavar="X",
+                             help="exit non-zero unless every row's plan "
+                                  "speedup is at least X (CI smoke check)")
+
     from .engine.store import DEFAULT_STORE_PATH
 
     for name, helptext in (
@@ -515,6 +564,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "kernel": _cmd_kernel,
         "verify": _cmd_verify,
         "bench-backend": _cmd_bench_backend,
+        "bench-plans": _cmd_bench_plans,
         "explore": _cmd_explore,
         "tune": _cmd_tune,
         "serve": _cmd_serve,

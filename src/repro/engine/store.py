@@ -271,6 +271,22 @@ class ResultsStore:
     def count(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
+    def generation(self) -> int:
+        """A monotonic counter advancing with every results write.
+
+        ``INSERT OR REPLACE`` always assigns a fresh (larger) rowid, and
+        results are never deleted, so ``MAX(rowid)`` grows on every
+        :meth:`put` / :meth:`put_many` — including ones issued by *other*
+        connections or processes on the same database file.  The
+        tuned-kernel registry polls this to notice mid-flight improvements
+        (a background or concurrent ``repro tune`` landing a better
+        variant) without an explicit ``refresh`` call.
+        """
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(rowid), 0) FROM results"
+        ).fetchone()
+        return int(row[0])
+
     def stats(self) -> Dict[str, int]:
         return {"entries": self.count(), "hits": self.hits, "misses": self.misses}
 

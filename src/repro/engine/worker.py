@@ -142,14 +142,18 @@ def _validate_variant(job: EvaluationJob, lowered: LoweredProgram) -> None:
 
 
 def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
-    """Time the compiled kernel on a real grid (the empirical scoring mode).
+    """Time the variant's steady-state execution on a real grid.
 
     The simulator scores a *device model*; measured scoring instead executes
-    the variant through the compiled NumPy backend on this machine and takes
-    the best of ``measure_runs`` timings — the closest analogue of the
-    paper's on-device auto-tuning runs.  Measured costs are wall-clock and
-    therefore not bit-reproducible across machines; the engine keeps them in
-    a separate memo keyspace (see :meth:`EvaluationJob.fingerprint`).
+    the variant on this machine and takes the best of ``measure_runs``
+    timings — the closest analogue of the paper's on-device auto-tuning
+    runs.  Timing goes through an :class:`~repro.backend.plan.ExecutionPlan`
+    (warmed until its tape replays), so the reported cost is the
+    *steady-state* sweep — the thing serving traffic actually pays — rather
+    than first-call compilation and allocation noise.  Measured costs are
+    wall-clock and therefore not bit-reproducible across machines; the
+    engine keeps them in a separate memo keyspace (see
+    :meth:`EvaluationJob.fingerprint`).
 
     The compiled NumPy execution is configuration-independent (work-group
     geometry only exists in the device model), so measured mode ranks
@@ -166,17 +170,28 @@ def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
     if cached is not None:
         return cached
 
+    from ..backend import CompileError
+    from ..backend.plan import time_steady
+
     benchmark = get_benchmark(job.benchmark)
     shape = measurement_shape(benchmark.stencil_extent, benchmark.ndims,
                               lowered, job.measure_size)
     inputs = [np.asarray(grid) for grid in benchmark.make_inputs(shape, 29)]
     backend = get_backend("numpy")
-    backend.run(lowered.program, inputs)  # warm-up: compile + populate caches
-    best = float("inf")
-    for _ in range(max(1, job.measure_runs)):
-        started = time.perf_counter()
+    runs = max(1, job.measure_runs)
+    try:
+        plan = backend.plan(lowered.program, inputs)
+        best = time_steady(plan, inputs, runs=runs)
+    except CompileError:
+        # Plans have no interpreter fallback; a variant the compiler cannot
+        # handle is still timed through the generic path (which falls back),
+        # so measured-mode search never loses coverage over validation.
         backend.run(lowered.program, inputs)
-        best = min(best, time.perf_counter() - started)
+        best = float("inf")
+        for _ in range(runs):
+            started = time.perf_counter()
+            backend.run(lowered.program, inputs)
+            best = min(best, time.perf_counter() - started)
     _MEASURED[memo_key] = best
     return best
 

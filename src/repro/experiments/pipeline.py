@@ -145,10 +145,12 @@ def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResul
     means a rewrite or the compiler miscompiled the kernel the tuner is
     about to report as the winner, so the hook raises.
     """
-    from ..backend import BackendMismatch
+    from ..backend import BackendMismatch, NumpyBackend
     from ..rewriting.exploration import verify_variants
 
     def validate(_config: Dict[str, object]) -> None:
+        import numpy as np
+
         shape = _validation_shape(benchmark, variant)
         inputs = benchmark.make_inputs(shape, 23)
         program = benchmark.build_program()
@@ -157,8 +159,42 @@ def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResul
                 f"{benchmark.name}: tuned variant {variant.strategy.describe()!r} "
                 "diverges from the high-level program"
             )
+        # The serving layer executes tuned variants through buffer-pooled
+        # execution plans: require the plan path to reproduce the generic
+        # compiled path bit for bit before this variant can win the search.
+        # Variants only the interpreter fallback can execute have no plan
+        # (or no compiled kernel) to compare — they validated above.
+        from ..backend import CompileError
+
+        backend = NumpyBackend()
+        generic = backend.run(variant.lowered.program, inputs)
+        try:
+            planned = backend.plan(variant.lowered.program, inputs).run(inputs)
+        except CompileError:
+            return
+        if not np.array_equal(generic, planned):
+            raise BackendMismatch(
+                f"{benchmark.name}: execution plan diverges from the generic "
+                f"path for variant {variant.strategy.describe()!r}"
+            )
 
     return validate
+
+
+def _steady_measurer(benchmark: StencilBenchmark, variant: ExplorationResult,
+                     runs: int = 3):
+    """A tuner ``measure_best`` hook timing the warm plan-replay sweep."""
+    from ..backend import NumpyBackend
+    from ..backend.plan import time_steady
+
+    def measure(_config: Dict[str, object]) -> float:
+        shape = _validation_shape(benchmark, variant)
+        inputs = benchmark.make_inputs(shape, 29)
+        backend = NumpyBackend()
+        plan = backend.plan(variant.lowered.program, inputs)
+        return time_steady(plan, inputs, runs=runs)
+
+    return measure
 
 
 def scaled_shape(shape: Sequence[int], scale: float) -> Tuple[int, ...]:
@@ -219,12 +255,16 @@ def lift_best_result(
     store=None,
     session: Optional[str] = None,
     engine=None,
+    measure_steady: bool = False,
 ) -> BenchmarkOutcome:
     """Run the full Lift pipeline for one benchmark on one device.
 
     With ``validate_functional`` set, every tuned kernel variant is also
     executed on a small grid through the compiled NumPy backend and checked
-    against the reference interpreter before it may be reported.
+    against the reference interpreter before it may be reported — and its
+    execution plan is required to match the generic path bit for bit.
+    ``measure_steady`` additionally times the winning variant's warm
+    plan-replay sweep (:attr:`~repro.tuning.tuner.TuningResult.steady_cost_s`).
 
     ``workers`` > 1 (or a ``store`` — a :class:`~repro.engine.ResultsStore`
     or a path for one) routes the search through the parallel engine:
@@ -268,6 +308,11 @@ def lift_best_result(
             validate_best=(
                 _functional_validator(benchmark, variant)
                 if validate_functional
+                else None
+            ),
+            measure_best=(
+                _steady_measurer(benchmark, variant)
+                if measure_steady
                 else None
             ),
         )

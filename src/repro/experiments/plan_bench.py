@@ -1,0 +1,188 @@
+"""Per-sweep generic path vs allocation-free plan path, over real timesteps.
+
+This experiment quantifies what execution plans buy on iterative workloads:
+every requested benchmark runs ``steps`` timesteps twice —
+
+* **per-sweep**: the pre-plan steady state, one full generic ``run`` per
+  timestep (compilation-cache lookup, closure traversal, fresh temporaries),
+  feeding outputs back per the benchmark's carry specification;
+* **plan**: the same loop through
+  :meth:`~repro.backend.plan.ExecutionPlan.iterate` — pooled buffers,
+  ``out=`` tape replays, double-buffered output ping-pong.
+
+Both paths are warmed first, timings take the best of ``repeats`` runs, the
+final grids are required to be **bit-identical**, and the plan's steady loop
+is additionally measured for allocations (net ``tracemalloc`` delta across
+the timed steps, plus the plan's own buffer-pool accounting).  ``python -m
+repro bench-plans`` writes the rows to ``BENCH_plans.json``; the CI plan
+smoke job asserts the Hotspot2D row's speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apps.suite import ITERATIVE_BENCHMARKS, get_benchmark
+from ..backend.base import NumpyBackend
+from ..backend.plan import iterate_generic
+
+#: Grid sizes for the timing comparison (per dimensionality).  Sized like a
+#: serving-tier request: large enough that NumPy sweeps dominate Python
+#: dispatch, small enough that 64-step runs stay affordable everywhere.
+PLAN_BENCH_SHAPES: Dict[int, Tuple[int, ...]] = {2: (256, 256), 3: (16, 48, 48)}
+
+
+@dataclass
+class PlanTiming:
+    """One benchmark's per-sweep vs plan steady-state comparison."""
+
+    benchmark: str
+    shape: Tuple[int, ...]
+    steps: int
+    per_sweep_s: float          # generic path, whole T-step loop
+    plan_steady_s: float        # plan path, whole T-step loop (warm tapes)
+    plan_build_s: float         # first iterate: captures + buffer allocation
+    speedup: float
+    per_step_us: float          # plan steady cost per timestep
+    tapes: int                  # captured bindings (prologue + ping-pong cycle)
+    allocations_per_step: float  # net tracemalloc blocks per steady step
+    pool_allocations: int       # fresh pool buffers during the timed loop
+    results_match: bool         # final grids bit-identical across both paths
+
+
+def run_plan_bench(
+    benchmarks: Optional[Sequence[str]] = None,
+    steps: int = 64,
+    shapes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[PlanTiming]:
+    """Time every requested benchmark on both iterative paths."""
+    keys = list(benchmarks or ITERATIVE_BENCHMARKS)
+    shapes = dict(shapes or PLAN_BENCH_SHAPES)
+    repeats = max(1, repeats)
+    backend = NumpyBackend()
+
+    rows: List[PlanTiming] = []
+    for key in keys:
+        bench = get_benchmark(key)
+        shape = shapes[bench.ndims]
+        inputs = bench.make_inputs(shape, seed)
+        program = bench.build_program()
+        carry = bench.carry_spec()
+
+        plan = backend.plan(program, inputs)
+        build_started = time.perf_counter()
+        plan.iterate(inputs, max(steps, 8), carry=carry)  # capture all tapes
+        plan_build_s = time.perf_counter() - build_started
+
+        iterate_generic(backend, program, inputs, 2, carry=carry)  # warm cache
+        per_sweep_s = min(
+            _timed(lambda: iterate_generic(backend, program, inputs, steps,
+                                           carry=carry))
+            for _ in range(repeats)
+        )
+        plan_steady_s = min(
+            _timed(lambda: plan.iterate(inputs, steps, carry=carry))
+            for _ in range(repeats)
+        )
+
+        reference = iterate_generic(backend, program, inputs, steps, carry=carry)
+        produced = plan.iterate(inputs, steps, carry=carry)
+        results_match = bool(np.array_equal(reference, produced))
+
+        allocations = _steady_allocations(plan, inputs, steps, carry)
+        pool_before = plan._pool.allocations
+        plan.iterate(inputs, steps, carry=carry)
+        pool_allocations = plan._pool.allocations - pool_before
+
+        rows.append(
+            PlanTiming(
+                benchmark=bench.name,
+                shape=tuple(shape),
+                steps=steps,
+                per_sweep_s=per_sweep_s,
+                plan_steady_s=plan_steady_s,
+                plan_build_s=plan_build_s,
+                speedup=per_sweep_s / plan_steady_s,
+                per_step_us=plan_steady_s / steps * 1e6,
+                tapes=plan.stats()["tapes"],
+                allocations_per_step=allocations / steps,
+                pool_allocations=pool_allocations,
+                results_match=results_match,
+            )
+        )
+    return rows
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _steady_allocations(plan, inputs, steps: int, carry) -> int:
+    """Net traced memory blocks allocated across a warm ``steps``-step loop.
+
+    The tape replays write only into pooled buffers, so the steady loop's
+    net allocation count stays at (small-constant) Python-object noise —
+    this is the number the zero-allocation test asserts a bound on.
+    """
+    plan.iterate(inputs, 2, carry=carry)  # ensure tapes + result buffer exist
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        plan.iterate(inputs, steps, carry=carry, copy=False)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    delta = after.compare_to(before, "filename")
+    return max(0, sum(entry.count_diff for entry in delta))
+
+
+def format_plan_bench(rows: Sequence[PlanTiming]) -> str:
+    header = (
+        f"{'benchmark':<12} {'shape':<12} {'steps':>5} {'per-sweep':>11} "
+        f"{'plan':>9} {'speedup':>8} {'µs/step':>9} {'tapes':>5} "
+        f"{'alloc/step':>10} {'match':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        shape = "×".join(str(extent) for extent in row.shape)
+        lines.append(
+            f"{row.benchmark:<12} {shape:<12} {row.steps:>5} "
+            f"{row.per_sweep_s:>9.4f} s {row.plan_steady_s:>7.4f} s "
+            f"{row.speedup:>7.2f}x {row.per_step_us:>9.1f} {row.tapes:>5} "
+            f"{row.allocations_per_step:>10.2f} "
+            f"{'yes' if row.results_match else 'NO':>6}"
+        )
+    return "\n".join(lines)
+
+
+def write_plan_bench(rows: Sequence[PlanTiming], path: str) -> None:
+    payload = {
+        "description": (
+            "Iterative steady-state comparison: one generic run() per "
+            "timestep vs the double-buffered, buffer-pooled execution-plan "
+            "loop (bit-identical results required)"
+        ),
+        "rows": [asdict(row) for row in rows],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+__all__ = [
+    "PLAN_BENCH_SHAPES",
+    "PlanTiming",
+    "format_plan_bench",
+    "run_plan_bench",
+    "write_plan_bench",
+]

@@ -23,12 +23,15 @@ subsystem:
 
 from .loadgen import check_batching, format_loadgen, run_loadgen
 from .metrics import stats_report
-from .registry import ExecutionPlan, TunedKernelRegistry
+# ExecutionPlan is the backwards-compatible alias of RoutingPlan (the class
+# was renamed when the backend gained its buffer-pooled ExecutionPlan).
+from .registry import ExecutionPlan, RoutingPlan, TunedKernelRegistry
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
 from .server import ServiceClient, StencilService, run_server, serve_tcp
 
 __all__ = [
     "ExecutionPlan",
+    "RoutingPlan",
     "ExecutionRequest",
     "ExecutionResponse",
     "ServiceClient",

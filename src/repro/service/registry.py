@@ -2,7 +2,7 @@
 
 Requests are routed by the :func:`~repro.core.ir.structural_digest` of their
 *high-level* program.  The registry resolves a digest to an
-:class:`ExecutionPlan`:
+:class:`RoutingPlan`:
 
 * a digest matching a registered benchmark consults the engine's SQLite
   :class:`~repro.engine.store.ResultsStore` for the lowest-cost stored
@@ -14,7 +14,7 @@ Requests are routed by the :func:`~repro.core.ir.structural_digest` of their
   background tune for it.
 
 A *tiled* tuned variant only reproduces the full output on shapes its tiles
-exactly cover, so :meth:`ExecutionPlan.program_for` checks coverage per
+exactly cover, so :meth:`RoutingPlan.program_for` checks coverage per
 request shape and falls back to the naive lowering otherwise (recorded as
 plan source ``"fallback"`` in responses and stats).
 """
@@ -32,7 +32,7 @@ from .requests import ServiceError
 
 
 @dataclass
-class ExecutionPlan:
+class RoutingPlan:
     """How the service executes all traffic for one structural digest."""
 
     digest: str
@@ -42,6 +42,10 @@ class ExecutionPlan:
     tuned_config: Optional[Dict[str, object]] = None
     tuned_cost: Optional[float] = None
     stencil_extent: int = 3
+    #: Fingerprint of the stored result this plan was built from (``None``
+    #: for the default lowering) — the staleness check compares it against
+    #: the store's current best to rebuild only on an actual change.
+    tuned_fingerprint: Optional[str] = None
 
     @property
     def source(self) -> str:
@@ -75,25 +79,44 @@ class ExecutionPlan:
 
 
 class TunedKernelRegistry:
-    """Resolve programs to execution plans, consulting the results store."""
+    """Resolve programs to routing plans, consulting the results store.
+
+    The registry notices store improvements *by itself*: ``plan_for``
+    re-polls the store's
+    :meth:`~repro.engine.store.ResultsStore.generation` counter (throttled
+    to at most once per ``poll_interval`` seconds).  When the store gained
+    results mid-flight — a background tune, or a concurrent ``repro tune``
+    in another process — cached plans are marked *stale*; the next lookup
+    of a stale digest re-reads just that digest's best stored result (one
+    point query) and rebuilds the plan only if the best actually changed
+    (compared by result fingerprint), so a tune writing hundreds of rows
+    for one benchmark does not churn every other digest's plan.  Explicit
+    :meth:`refresh` still works and skips the throttle.
+    """
 
     def __init__(
         self,
         store: Union[ResultsStore, str, None] = None,
         device: str = "nvidia",
+        poll_interval: float = 0.25,
     ) -> None:
         self._owns_store = isinstance(store, str)
         self.store: Optional[ResultsStore] = (
             ResultsStore(store) if isinstance(store, str) else store
         )
         self.device = device
-        self._plans: Dict[str, ExecutionPlan] = {}
+        self.poll_interval = poll_interval
+        self._plans: Dict[str, RoutingPlan] = {}
+        self._stale: set = set()
         self._benchmark_digest: Dict[str, str] = {}
         self._digest_to_benchmark: Optional[Dict[str, str]] = None
         self._lock = threading.Lock()
+        self._generation = self.store.generation() if self.store is not None else 0
+        self._last_poll = 0.0
         self.lookups = 0
         self.tuned_hits = 0
         self.cold_misses = 0
+        self.invalidations = 0
 
     def close(self) -> None:
         if self._owns_store and self.store is not None:
@@ -115,20 +138,72 @@ class TunedKernelRegistry:
             }
         return self._digest_to_benchmark
 
+    def _maybe_invalidate(self) -> None:
+        """Mark cached plans stale when the store advanced underneath us."""
+        if self.store is None:
+            return
+        import time
+
+        now = time.monotonic()
+        if now - self._last_poll < self.poll_interval:
+            return
+        self._last_poll = now
+        generation = self.store.generation()
+        if generation != self._generation:
+            self._generation = generation
+            with self._lock:
+                self._stale.update(self._plans)
+
+    def _cached_plan(self, digest: str) -> Optional[RoutingPlan]:
+        """The cached plan for a digest, re-validated if marked stale.
+
+        A stale plan costs one point query against the store; the plan is
+        dropped (forcing a rebuild) only when the best stored result's
+        fingerprint differs from the one the plan was built from.
+        """
+        with self._lock:
+            plan = self._plans.get(digest)
+            stale = digest in self._stale
+        if plan is None or not stale:
+            return plan
+        best = self._current_best(plan)
+        fingerprint = best.fingerprint if best is not None else None
+        if fingerprint == plan.tuned_fingerprint:
+            with self._lock:
+                self._stale.discard(digest)
+            return plan
+        with self._lock:
+            self._plans.pop(digest, None)
+            self._stale.discard(digest)
+        self.invalidations += 1
+        return None
+
+    def _current_best(self, plan: RoutingPlan) -> Optional[StoredResult]:
+        from ..apps.suite import ALL_BENCHMARKS
+
+        if self.store is None:
+            return None
+        if plan.benchmark is not None:
+            bench = ALL_BENCHMARKS.get(plan.benchmark)
+            return self._best_result(bench)
+        return self.store.best_for_digest(
+            structural_digest(plan.naive.program), self.device
+        )
+
     def plan_for(self, benchmark: Optional[str] = None,
-                 program: Optional[Lambda] = None) -> ExecutionPlan:
+                 program: Optional[Lambda] = None) -> RoutingPlan:
         """The execution plan for a request (cached per digest)."""
         from ..apps.suite import ALL_BENCHMARKS, get_benchmark
 
         self.lookups += 1
+        self._maybe_invalidate()
         if benchmark is not None:
             key = benchmark.lower()
             digest = self._benchmark_digest.get(key)
             if digest is not None:
                 # Hot path: a benchmark's digest (and usually its whole
                 # plan) is computed once, not once per request.
-                with self._lock:
-                    plan = self._plans.get(digest)
+                plan = self._cached_plan(digest)
                 if plan is not None:
                     if plan.tuned is not None:
                         self.tuned_hits += 1
@@ -144,8 +219,7 @@ class TunedKernelRegistry:
         else:
             raise ServiceError("plan_for needs a benchmark key or a program")
 
-        with self._lock:
-            plan = self._plans.get(digest)
+        plan = self._cached_plan(digest)
         if plan is not None:
             if plan.tuned is not None:
                 self.tuned_hits += 1
@@ -163,10 +237,10 @@ class TunedKernelRegistry:
         return plan
 
     def _build_plan(self, digest: str, key: Optional[str],
-                    program: Lambda, bench) -> ExecutionPlan:
+                    program: Lambda, bench) -> RoutingPlan:
         naive = lower_program(program, NAIVE)
         extent = bench.stencil_extent if bench is not None else 3
-        plan = ExecutionPlan(digest=digest, benchmark=key, naive=naive,
+        plan = RoutingPlan(digest=digest, benchmark=key, naive=naive,
                              stencil_extent=extent)
         best = self._best_result(bench)
         if best is None and bench is None and self.store is not None:
@@ -185,6 +259,7 @@ class TunedKernelRegistry:
             plan.tuned = tuned
             plan.tuned_config = dict(best.config)
             plan.tuned_cost = best.cost
+            plan.tuned_fingerprint = best.fingerprint
         return plan
 
     def _best_result(self, bench) -> Optional[StoredResult]:
@@ -193,10 +268,11 @@ class TunedKernelRegistry:
         return self.store.best_for(bench.name, self.device)
 
     # -- refresh (after a background tune) ------------------------------------
-    def refresh(self, digest: str) -> Optional[ExecutionPlan]:
+    def refresh(self, digest: str) -> Optional[RoutingPlan]:
         """Re-consult the store for one digest (e.g. after a tune finished)."""
         with self._lock:
             plan = self._plans.pop(digest, None)
+            self._stale.discard(digest)
         if plan is None:
             return None
         return self.plan_for(benchmark=plan.benchmark) \
@@ -213,7 +289,14 @@ class TunedKernelRegistry:
             "cold_misses": self.cold_misses,
             "plans_cached": cached,
             "plans_tuned": tuned,
+            "store_generation": self._generation,
+            "invalidations": self.invalidations,
         }
 
 
-__all__ = ["ExecutionPlan", "TunedKernelRegistry"]
+#: Backwards-compatible alias — the routing plan predates the backend's
+#: buffer-pooled :class:`~repro.backend.plan.ExecutionPlan` and was renamed
+#: to keep the two concepts distinct.
+ExecutionPlan = RoutingPlan
+
+__all__ = ["ExecutionPlan", "RoutingPlan", "TunedKernelRegistry"]

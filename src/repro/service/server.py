@@ -35,6 +35,7 @@ import numpy as np
 from ..apps.base import squeeze_result
 from ..backend.base import NumpyBackend
 from ..backend.cache import CompilationCache
+from ..backend.numpy_backend import CompileError
 from ..engine.store import ResultsStore
 from .metrics import stats_report
 from .registry import TunedKernelRegistry
@@ -79,7 +80,14 @@ class StencilService:
     crosscheck:
         Re-execute every batched request individually and require the
         stacked result to be **bit-identical** — the belt-and-braces mode
-        the acceptance tests run.
+        the acceptance tests run.  With plans enabled this also
+        cross-checks the plan path against the generic compiled path.
+    use_plans:
+        Serve through cached execution plans (pooled buffers + replayable
+        ``out=`` tapes): one plan per (program structure, input shapes),
+        reused across requests so the steady serving path neither
+        re-dispatches nor allocates.  Batched groups copy request grids
+        straight into the plan's one pooled stacked buffer set.
     auto_tune:
         Enqueue one background ``SearchEngine`` tune per cold benchmark
         digest (requires a persistent, file-backed store).
@@ -95,12 +103,14 @@ class StencilService:
         crosscheck: bool = False,
         auto_tune: bool = False,
         tune_budget: int = 20,
+        use_plans: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
         self.registry = TunedKernelRegistry(store=store, device=device)
         self.cache = cache if cache is not None else CompilationCache()
         self.backend = NumpyBackend(cache=self.cache, fallback=False)
+        self.use_plans = use_plans
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.crosscheck = crosscheck
@@ -278,18 +288,50 @@ class StencilService:
     def _compute_group(self, group: List[_Pending]) -> Tuple[List, int]:
         """The pure numeric part of a batch (runs on an executor thread)."""
         head = group[0]
+        size_env = head.request.size_env or None
         if len(group) == 1:
-            swept = [
-                self.backend.run(head.program, head.request.inputs,
-                                 head.request.size_env or None)
+            if self.use_plans:
+                swept = [self.backend.run_plan(head.program,
+                                               head.request.inputs, size_env)]
+            else:
+                swept = [self.backend.run(head.program, head.request.inputs,
+                                          size_env)]
+        elif self.use_plans:
+            # One cached batched plan per (program, shapes, capacity):
+            # request grids are copied straight into its pooled stacked
+            # buffer set — no np.stack allocation, one tape replay.  Group
+            # sizes are rounded up to the next power of two (padding with
+            # repeats of the head request, whose slots are discarded), so
+            # variable load keys O(log max_batch) resident plans per
+            # program instead of one per distinct batch size.
+            capacity = 1
+            while capacity < len(group):
+                capacity *= 2
+            signature = [
+                ((capacity,) + tuple(grid.shape), str(grid.dtype))
+                for grid in head.request.inputs
             ]
+            parts = [item.request.inputs for item in group]
+            parts += [head.request.inputs] * (capacity - len(group))
+            try:
+                plan = self.backend.plan(head.program, signature, size_env,
+                                         batched=True)
+                batch = plan.run_batched_parts(parts)
+            except CompileError:
+                stacked = [
+                    np.stack([item[i] for item in parts])
+                    for i in range(len(head.request.inputs))
+                ]
+                batch = self.backend.run_batched(head.program, stacked,
+                                                 size_env)
+            swept = [batch[index] for index in range(len(group))]
         else:
             stacked = [
                 np.stack([item.request.inputs[i] for item in group])
                 for i in range(len(head.request.inputs))
             ]
             batch = self.backend.run_batched(
-                head.program, stacked, head.request.size_env or None
+                head.program, stacked, size_env
             )
             swept = [batch[index] for index in range(len(group))]
         crosschecked = 0
@@ -366,6 +408,7 @@ class StencilService:
             "background_tunes": self.background_tunes,
             "request_errors": self.request_errors,
             "registry": self.registry.stats(),
+            "plans": self.backend.plans.stats() if self.use_plans else None,
         }
 
     def stats(self) -> Dict[str, object]:

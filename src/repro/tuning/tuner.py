@@ -25,17 +25,28 @@ from .search import (
 
 @dataclass
 class TuningResult:
-    """Best configuration found plus the search history."""
+    """Best configuration found plus the search history.
+
+    ``steady_cost_s`` is only set when the tuner was given a ``measure_best``
+    hook: the winner's *steady-state* wall-clock cost, measured through an
+    allocation-free execution plan (warm tape replay), as opposed to the
+    model- or first-call-based ``best_cost`` the search optimised.
+    """
 
     best_configuration: Configuration
     best_cost: float
     evaluations: int
     history: List[Evaluation]
+    steady_cost_s: Optional[float] = None
 
     def describe(self) -> str:
+        steady = (
+            f", steady {self.steady_cost_s * 1e3:.4f} ms"
+            if self.steady_cost_s is not None else ""
+        )
         return (
-            f"best cost {self.best_cost:.6g} after {self.evaluations} evaluations: "
-            f"{self.best_configuration}"
+            f"best cost {self.best_cost:.6g} after {self.evaluations} evaluations"
+            f"{steady}: {self.best_configuration}"
         )
 
 
@@ -55,6 +66,13 @@ class AutoTuner:
     evaluator here, which is how an unchanged :class:`AutoTuner` runs on a
     process pool with a persistent results store underneath.  ``restarts``
     bounds the number of hill-climbing basin walks.
+
+    ``measure_best`` is an optional callback invoked with the winning
+    configuration (after validation) returning its measured *steady-state*
+    cost in seconds — callers route this through an execution plan so the
+    recorded number reflects the warm serving path, not first-call
+    compilation and allocation noise.  The value is reported as
+    :attr:`TuningResult.steady_cost_s`.
     """
 
     STRATEGIES = ("exhaustive", "random", "hillclimb")
@@ -69,6 +87,7 @@ class AutoTuner:
         validate_best: Optional[Callable[[Configuration], None]] = None,
         restarts: int = 4,
         batch_objective: Optional[BatchEvaluate] = None,
+        measure_best: Optional[Callable[[Configuration], float]] = None,
     ) -> None:
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown search strategy {strategy!r}")
@@ -80,6 +99,7 @@ class AutoTuner:
         self.validate_best = validate_best
         self.restarts = restarts
         self.batch_objective = batch_objective
+        self.measure_best = measure_best
 
     def tune(self) -> TuningResult:
         if self.strategy == "exhaustive":
@@ -100,11 +120,16 @@ class AutoTuner:
             )
         if self.validate_best is not None:
             self.validate_best(outcome.best.configuration)
+        steady = (
+            self.measure_best(outcome.best.configuration)
+            if self.measure_best is not None else None
+        )
         return TuningResult(
             best_configuration=outcome.best.configuration,
             best_cost=outcome.best.cost,
             evaluations=outcome.evaluations,
             history=outcome.history,
+            steady_cost_s=steady,
         )
 
 

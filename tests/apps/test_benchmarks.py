@@ -118,3 +118,71 @@ class TestBenchmarkDetails:
             program = benchmark.build_program()
             types = benchmark.input_types(SMALL_SHAPES[benchmark.ndims])
             assert len(types) == len(program.params), key
+
+
+class TestIterativeExecution:
+    """apps-level time stepping: plan loop vs per-sweep loop, carry specs."""
+
+    def test_hotspot2d_iterate_plan_matches_generic(self):
+        import numpy as np
+        from repro.apps.suite import get_benchmark
+
+        bench = get_benchmark("hotspot2d")
+        inputs = bench.make_inputs((13, 11), 3)
+        fast = bench.iterate(inputs, steps=6, use_plan=True)
+        slow = bench.iterate(inputs, steps=6, use_plan=False)
+        assert np.array_equal(fast, slow)
+
+    def test_acoustic_carry_rotation_matches_manual_loop(self):
+        import numpy as np
+        from repro.apps.suite import get_benchmark
+
+        bench = get_benchmark("acoustic")
+        prev, curr, mask = bench.make_inputs((5, 7, 9), 1)
+        expected_prev, expected_curr = prev, curr
+        for _ in range(4):
+            out = bench.run_lift([expected_prev, expected_curr, mask])
+            expected_prev, expected_curr = expected_curr, out
+        produced = bench.iterate([prev, curr, mask], steps=4)
+        assert np.array_equal(produced, expected_curr)
+
+    def test_default_carry_spec(self):
+        from repro.apps.suite import get_benchmark
+
+        assert get_benchmark("stencil2d").carry_spec() == ("out",)
+        assert get_benchmark("hotspot2d").carry_spec() == ("out", None)
+        assert get_benchmark("acoustic").carry_spec() == (1, "out", None)
+
+
+class TestTunerSteadyMeasurement:
+    def test_measure_best_records_plan_steady_cost(self):
+        from repro.apps.suite import get_benchmark
+        from repro.experiments.pipeline import (
+            _steady_measurer,
+            explore_variants_for,
+            parameter_space_for,
+        )
+        from repro.runtime.simulator.device import DEVICES
+        from repro.tuning.tuner import AutoTuner
+
+        bench = get_benchmark("stencil2d")
+        variant = explore_variants_for(bench, (16, 16))[0]
+        space = parameter_space_for(variant.lowered, bench.problem((16, 16)),
+                                    DEVICES["nvidia"])
+        tuner = AutoTuner(space, lambda config: 1.0, budget=2,
+                          measure_best=_steady_measurer(bench, variant))
+        result = tuner.tune()
+        assert result.steady_cost_s is not None
+        assert 0.0 < result.steady_cost_s < 10.0
+        assert "steady" in result.describe()
+
+    def test_functional_validator_checks_plan_bit_identity(self):
+        from repro.apps.suite import get_benchmark
+        from repro.experiments.pipeline import (
+            _functional_validator,
+            explore_variants_for,
+        )
+
+        bench = get_benchmark("stencil2d")
+        variant = explore_variants_for(bench, (16, 16))[0]
+        _functional_validator(bench, variant)({})  # must not raise

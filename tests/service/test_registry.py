@@ -126,3 +126,83 @@ class TestRegistryRouting:
         registry = TunedKernelRegistry(store=None)
         with pytest.raises(ServiceError):
             registry.plan_for()
+
+
+class TestGenerationInvalidation:
+    """Mid-flight store improvements reach serving without explicit refresh."""
+
+    def test_store_generation_advances_on_writes(self, tmp_path):
+        with ResultsStore(str(tmp_path / "s.sqlite")) as store:
+            assert store.generation() == 0
+            stored_best(store, cost=2e-5, tile=18)
+            first = store.generation()
+            assert first > 0
+            stored_best(store, cost=1e-5, tile=34, digest="e" * 64)
+            assert store.generation() > first
+
+    def test_better_result_mid_flight_invalidates_cached_plans(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        registry = TunedKernelRegistry(store=store, poll_interval=0.0)
+        plan = registry.plan_for(benchmark="stencil2d")
+        assert plan.tuned is None  # cold store: default lowering
+
+        # A tune session lands a result while the registry keeps serving.
+        stored_best(store, benchmark="Stencil2D", tile=18)
+        refreshed = registry.plan_for(benchmark="stencil2d")
+        assert refreshed is not plan
+        assert refreshed.tuned is not None and refreshed.source == "tuned"
+        assert registry.stats()["invalidations"] >= 1
+        store.close()
+
+    def test_improvement_from_another_connection_is_noticed(self, tmp_path):
+        path = str(tmp_path / "s.sqlite")
+        store = ResultsStore(path)
+        stored_best(store, benchmark="Stencil2D", tile=18, cost=1e-4)
+        registry = TunedKernelRegistry(store=store, poll_interval=0.0)
+        plan = registry.plan_for(benchmark="stencil2d")
+        assert plan.tuned_config is not None
+
+        # A second connection (e.g. a background tune worker) writes a
+        # strictly better configuration for the same benchmark.
+        with ResultsStore(path) as other:
+            stored_best(other, benchmark="Stencil2D", tile=34, cost=1e-6)
+        updated = registry.plan_for(benchmark="stencil2d")
+        assert updated.tuned is not None
+        assert updated.tuned_cost == pytest.approx(1e-6)
+        store.close()
+
+    def test_poll_interval_throttles_store_queries(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        registry = TunedKernelRegistry(store=store, poll_interval=3600.0)
+        plan = registry.plan_for(benchmark="stencil2d")
+        stored_best(store, benchmark="Stencil2D", tile=18)
+        # Inside the poll window the cached plan keeps serving untouched...
+        assert registry.plan_for(benchmark="stencil2d") is plan
+        # ...and an explicit refresh still applies the improvement at once.
+        registry.refresh(plan.digest)
+        assert registry.plan_for(benchmark="stencil2d").tuned is not None
+        store.close()
+
+    def test_unrelated_store_write_does_not_rebuild_plans(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        stored_best(store, benchmark="Stencil2D", tile=18, cost=1e-4)
+        registry = TunedKernelRegistry(store=store, poll_interval=0.0)
+        plan = registry.plan_for(benchmark="stencil2d")
+        # A tune for a *different* benchmark advances the generation…
+        stored_best(store, benchmark="Gaussian", tile=10, cost=5e-6,
+                    digest="f" * 64)
+        # …but stencil2d's best is unchanged: same plan object, no rebuild.
+        assert registry.plan_for(benchmark="stencil2d") is plan
+        assert registry.stats()["invalidations"] == 0
+        store.close()
+
+    def test_worse_result_does_not_rebuild_plans(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "s.sqlite"))
+        stored_best(store, benchmark="Stencil2D", tile=18, cost=1e-6)
+        registry = TunedKernelRegistry(store=store, poll_interval=0.0)
+        plan = registry.plan_for(benchmark="stencil2d")
+        stored_best(store, benchmark="Stencil2D", tile=34, cost=1e-3,
+                    digest="f" * 64)  # strictly worse: best is unchanged
+        assert registry.plan_for(benchmark="stencil2d") is plan
+        assert registry.stats()["invalidations"] == 0
+        store.close()

@@ -1,0 +1,92 @@
+"""The service's plan-based serving path: caching, bit-identity, stats."""
+
+import numpy as np
+
+from repro.apps.suite import get_benchmark
+from repro.service import ExecutionRequest, ServiceClient, StencilService
+from repro.service.loadgen import build_requests
+
+
+def make_client(**kwargs) -> ServiceClient:
+    kwargs.setdefault("batch_window", 0.05)
+    return ServiceClient(StencilService(**kwargs))
+
+
+class TestServicePlanPath:
+    def test_batched_plan_serving_is_bit_identical_to_generic(self):
+        requests = build_requests("hotspot2d", 16, shape=(13, 11),
+                                  identical=False, return_result=True)
+        with make_client(use_plans=True, crosscheck=True) as client:
+            responses = client.execute_many(requests)
+            stats = client.stats()
+        assert all(response.ok for response in responses)
+        # crosscheck re-executes every batched request through the generic
+        # backend and requires bit-identity with the plan-path sweep.
+        assert stats["service"]["crosschecks_passed"] >= 16
+        plan_stats = stats["service"]["plans"]
+        assert plan_stats is not None and plan_stats["entries"] >= 1
+
+    def test_plan_reuse_across_batches(self):
+        bench = get_benchmark("stencil2d")
+        with make_client(use_plans=True) as client:
+            for seed in range(3):
+                requests = [
+                    ExecutionRequest.for_benchmark("stencil2d", shape=(13, 11),
+                                                   seed=seed + copy)
+                    for copy in range(8)
+                ]
+                responses = client.execute_many(requests)
+                for request, response in zip(requests, responses):
+                    expected = bench.run_lift(request.inputs)
+                    assert np.array_equal(response.result, expected)
+            stats = client.stats()
+        plan_stats = stats["service"]["plans"]
+        # One batched plan compiled, then reused for the later batches.
+        assert plan_stats["misses"] <= 2  # batched (+ possibly single) plan
+        assert plan_stats["hits"] >= 1
+        # Exactly one kernel compilation across every batch.
+        assert stats["compilation_cache"]["misses"] == 1
+
+    def test_plans_disabled_falls_back_to_generic_path(self):
+        requests = build_requests("stencil2d", 8, shape=(13, 11),
+                                  identical=True, return_result=True)
+        with make_client(use_plans=False, crosscheck=True) as client:
+            responses = client.execute_many(requests)
+            stats = client.stats()
+        assert all(response.ok for response in responses)
+        assert stats["service"]["plans"] is None
+
+    def test_mixed_shapes_get_separate_plans(self):
+        with make_client(use_plans=True) as client:
+            small = [ExecutionRequest.for_benchmark("stencil2d", shape=(13, 11),
+                                                    seed=s) for s in range(4)]
+            large = [ExecutionRequest.for_benchmark("stencil2d", shape=(16, 16),
+                                                    seed=s) for s in range(4)]
+            responses = client.execute_many(small + large)
+            stats = client.stats()
+        assert all(response.ok for response in responses)
+        assert stats["service"]["plans"]["entries"] >= 2
+
+
+class TestBatchSizeBucketing:
+    def test_variable_batch_sizes_share_bucketed_plans(self):
+        # Groups of size 3, 5, 6 all round up to one capacity-8 batched
+        # plan (padding slots discarded), so variable load does not pin a
+        # resident stacked buffer set per distinct batch size.
+        bench = get_benchmark("stencil2d")
+        with make_client(use_plans=True, crosscheck=True) as client:
+            for size in (3, 5, 6):
+                requests = [
+                    ExecutionRequest.for_benchmark("stencil2d", shape=(13, 11),
+                                                   seed=100 * size + copy)
+                    for copy in range(size)
+                ]
+                responses = client.execute_many(requests)
+                for request, response in zip(requests, responses):
+                    expected = bench.run_lift(request.inputs)
+                    assert np.array_equal(response.result, expected)
+            stats = client.stats()
+        plan_stats = stats["service"]["plans"]
+        batched_misses = plan_stats["misses"]
+        assert batched_misses <= 2  # one capacity-8 plan (+ maybe a single)
+        assert stats["compilation_cache"]["misses"] == 1
