@@ -1,11 +1,13 @@
 """Execution-plan benchmarks: per-sweep generic loop vs warm tape replay.
 
-Times the two iterative steady-state paths on the time-stepping apps and
-asserts the headline property of the plan layer: the allocation-free,
+Times the iterative steady-state paths on the time-stepping apps and
+asserts the headline properties of the plan layer: the allocation-free,
 double-buffered loop beats one generic ``run`` per timestep (the recorded
-``BENCH_plans.json`` shows >= 2x).
+``BENCH_plans.json`` shows >= 2x at this dispatch-bound size), and the
+tape-optimized (fused + tiled) loop is tracked alongside it.
 
-Run with ``pytest benchmarks/test_plan_speed.py`` — the summary table also
+Run with ``pytest benchmarks/test_plan_speed.py`` — the summary table
+(including the large, bandwidth-bound shapes where fusion wins >= 1.3x)
 lands in ``BENCH_plans.json`` via ``python -m repro bench-plans``.
 """
 
@@ -18,22 +20,43 @@ from repro.apps import get_benchmark
 from repro.apps.suite import ITERATIVE_BENCHMARKS
 from repro.backend.base import NumpyBackend
 from repro.backend.plan import iterate_generic
-from repro.experiments.plan_bench import PLAN_BENCH_SHAPES
+
+#: Harness-local sizes: large enough that NumPy sweeps dominate Python
+#: dispatch, small enough that the (non-blocking) CI benchmark job stays
+#: snappy.  The recorded BENCH_plans.json uses the larger
+#: ``repro.experiments.plan_bench.PLAN_BENCH_SHAPES``.
+PLAN_BENCH_SHAPES = {2: (256, 256), 3: (16, 48, 48)}
 
 STEPS = 16
 
 
 @pytest.mark.parametrize("key", ITERATIVE_BENCHMARKS)
 def test_plan_steady_iterate_speed(benchmark, key):
-    """Time the warm plan loop (tapes captured, pure replays)."""
+    """Time the warm plan loop (tapes captured, pure replays, unfused)."""
     bench = get_benchmark(key)
     shape = PLAN_BENCH_SHAPES[bench.ndims]
     inputs = bench.make_inputs(shape, seed=0)
     program = bench.build_program()
     carry = bench.carry_spec()
     backend = NumpyBackend()
-    plan = backend.plan(program, inputs)
+    plan = backend.plan(program, inputs, tile_shape=False)
     plan.iterate(inputs, STEPS, carry=carry)  # capture every tape
+    out = benchmark(lambda: plan.iterate(inputs, STEPS, carry=carry))
+    assert out.shape[: len(shape)] == tuple(shape)
+
+
+@pytest.mark.parametrize("key", ITERATIVE_BENCHMARKS)
+def test_fused_steady_iterate_speed(benchmark, key):
+    """Time the optimized tape: fused regions, cache-blocked tiled replay."""
+    bench = get_benchmark(key)
+    shape = PLAN_BENCH_SHAPES[bench.ndims]
+    inputs = bench.make_inputs(shape, seed=0)
+    program = bench.build_program()
+    carry = bench.carry_spec()
+    backend = NumpyBackend()
+    plan = backend.plan(program, inputs)  # heuristic tile, fused by default
+    plan.iterate(inputs, STEPS, carry=carry)  # capture every tape
+    assert plan.stats()["fused_regions"] >= 1
     out = benchmark(lambda: plan.iterate(inputs, STEPS, carry=carry))
     assert out.shape[: len(shape)] == tuple(shape)
 

@@ -142,6 +142,7 @@ class NumpyBackend:
         inputs_or_signature,
         size_env: Optional[Mapping[str, int]] = None,
         batched: bool = False,
+        tile_shape=None,
     ) -> ExecutionPlan:
         """The cached execution plan for this program + input shapes.
 
@@ -149,6 +150,9 @@ class NumpyBackend:
         compilation cache under the *per-item* ``float64`` signature — the
         same key the generic path uses — so a program served generically,
         through plans, and in batches still compiles exactly once.
+        ``tile_shape`` selects the tape optimizer's tile (``None`` = auto
+        heuristic, ``False`` = unfused, tuple = explicit trailing-axis
+        blocking); distinct tile shapes cache distinct plans.
         """
         kernel_resolver = None
         if self.cache is not None:
@@ -163,7 +167,7 @@ class NumpyBackend:
             )
         return self.plans.get_or_compile(
             program, inputs_or_signature, size_env, batched=batched,
-            kernel_resolver=kernel_resolver,
+            kernel_resolver=kernel_resolver, tile_shape=tile_shape,
         )
 
     def run_plan(
@@ -171,6 +175,7 @@ class NumpyBackend:
         program: Lambda,
         inputs: Sequence,
         size_env: Optional[Mapping[str, int]] = None,
+        tile_shape=None,
     ) -> np.ndarray:
         """Like :meth:`run`, through the plan path (bit-identical results).
 
@@ -180,7 +185,8 @@ class NumpyBackend:
         route everything through plans without losing coverage.
         """
         try:
-            return self.plan(program, inputs, size_env).run(inputs)
+            return self.plan(program, inputs, size_env,
+                             tile_shape=tile_shape).run(inputs)
         except CompileError:
             return self.run(program, inputs, size_env)
 
@@ -191,6 +197,7 @@ class NumpyBackend:
         steps: int,
         carry=None,
         size_env: Optional[Mapping[str, int]] = None,
+        tile_shape=None,
     ) -> np.ndarray:
         """Run ``steps`` timesteps through the double-buffered plan loop.
 
@@ -199,7 +206,8 @@ class NumpyBackend:
         Falls back to that per-sweep loop for programs a plan cannot capture.
         """
         try:
-            return self.plan(program, inputs, size_env).iterate(
+            return self.plan(program, inputs, size_env,
+                             tile_shape=tile_shape).iterate(
                 inputs, steps, carry=carry
             )
         except CompileError:

@@ -1,0 +1,691 @@
+"""Tape-level optimizer: ufunc fusion + cache-blocked tiled replay.
+
+An execution plan's tape (:mod:`repro.backend.plan`) replays one full-array
+pass per op: every traced user-function schedule streams its whole operand
+grids through memory, so on large grids the steady state is bound by DRAM
+bandwidth, not compute.  This module rewrites a captured tape before it is
+first replayed:
+
+1. **Region analysis** — scan the tape's :class:`~repro.backend.numpy_backend.TapeEntry`
+   descriptors for maximal runs of *elementwise* traced schedules (every
+   node a plain ufunc / ``where`` / ``clip`` whose shape broadcasts to the
+   region's output shape), then extend each run backwards over the
+   halo-gather ``pad`` writes whose buffers only the run reads.
+2. **Fusion** — replace each region with a single :class:`FusedOp` that
+   replays the same operations in the same order but **tile by tile** over
+   cache-blocked slices of the output.  Per-tile intermediates live in a
+   small scratch arena drawn from the plan's
+   :class:`~repro.backend.pool.BufferPool` (sized to one tile, reused
+   across tiles), so a value produced by one op is consumed by the next
+   while still resident in L1/L2 instead of round-tripping through DRAM.
+   Fused pad writes are *restricted*: each tile refreshes only the halo
+   slab it actually reads.
+
+Because every elementwise operation computes output element ``i`` from
+element ``i`` of its (broadcast) operands, executing the identical
+operation sequence on tiles is **bit-identical** to the full-array replay —
+no reassociation, no reordering.  The analyzer is conservative: reductions,
+opaque (re-executed) user functions, data-dependent gathers, non-aligned
+producer/consumer views and anything else it cannot prove safe simply
+breaks the region, and the plan falls back to the unfused tape.  On top of
+that, :meth:`~repro.backend.plan.ExecutionPlan._capture` verifies every
+fused tape against the unfused one bit for bit at capture time before
+accepting it.
+
+Tile shape is a first-class tuning parameter (see
+:func:`repro.tuning.parameters.fuse_tile_candidates` and
+:func:`measure_best_tile`): ``None`` selects a cache-sized row-block
+heuristic, ``False`` disables fusion, and an explicit tuple blocks the
+trailing output axes (``None`` entries keep an axis un-blocked).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .numpy_backend import ExecutionError, TapeEntry
+from .ufunc_trace import TracedArray
+
+#: Per-tile working-set target.  One tile of every live scratch buffer
+#: should sit comfortably in L2: with the couple of buffers liveness reuse
+#: leaves live, 256 KiB per buffer keeps the fused loop cache-resident.
+TILE_TARGET_BYTES = 1 << 18
+
+
+class FusionError(Exception):
+    """The tape optimizer could not (safely) fuse — callers fall back."""
+
+
+# ---------------------------------------------------------------------------
+# Tile specifications
+# ---------------------------------------------------------------------------
+
+def normalize_tile_spec(tile_shape):
+    """Canonicalise a user tile spec: ``None``/``"auto"`` (heuristic),
+    ``False``/``"off"`` (unfused), or a tuple of positive ints / ``None``
+    entries applied to trailing axes."""
+    if tile_shape is None or tile_shape == "auto":
+        return None
+    if tile_shape is False or tile_shape == "off":
+        return False
+    if isinstance(tile_shape, (int, np.integer)):
+        tile_shape = (int(tile_shape),)
+    spec = tuple(
+        None if entry is None else int(entry) for entry in tile_shape
+    )
+    if not spec:
+        raise ExecutionError("tile shape must name at least one axis")
+    for entry in spec:
+        if entry is not None and entry < 1:
+            raise ExecutionError(f"invalid tile extent {entry}")
+    return spec
+
+
+def auto_tile(shape: Sequence[int], itemsize: int = 8,
+              target_bytes: int = TILE_TARGET_BYTES) -> Tuple[int, ...]:
+    """A cache-sized row-block tile for ``shape``.
+
+    Trailing axes are kept whole (contiguous, vectorisable rows) while the
+    cumulative tile footprint stays under ``target_bytes``; the first axis
+    that overflows is blocked to fit and every axis before it becomes an
+    outer loop (tile extent 1).
+    """
+    tile = [1] * len(shape)
+    footprint = itemsize
+    for axis in range(len(shape) - 1, -1, -1):
+        full = footprint * max(1, shape[axis])
+        if full <= target_bytes:
+            tile[axis] = max(1, shape[axis])
+            footprint = full
+        else:
+            tile[axis] = max(1, target_bytes // footprint)
+            break
+    return tuple(tile)
+
+
+def tile_extents(tile_spec, shape: Sequence[int],
+                 itemsize: int = 8) -> Tuple[int, ...]:
+    """Resolve a tile spec to concrete per-axis tile extents for ``shape``."""
+    if tile_spec is None:
+        return auto_tile(shape, itemsize)
+    spec = tuple(tile_spec)
+    if len(spec) > len(shape):
+        spec = spec[len(spec) - len(shape):]
+    extents = list(shape)
+    offset = len(shape) - len(spec)
+    for index, entry in enumerate(spec):
+        if entry is not None:
+            extents[offset + index] = max(1, min(int(entry),
+                                                 max(1, shape[offset + index])))
+    return tuple(max(1, extent) for extent in extents)
+
+
+def _tile_grid(shape: Sequence[int],
+               tiles: Sequence[int]) -> List[Tuple[Tuple[int, int], ...]]:
+    """All tile boxes, row-major: one ``(start, stop)`` pair per axis."""
+    ranges = [
+        [(start, min(start + tiles[axis], shape[axis]))
+         for start in range(0, shape[axis], tiles[axis])]
+        for axis in range(len(shape))
+    ]
+    return list(itertools.product(*ranges))
+
+
+# ---------------------------------------------------------------------------
+# View geometry
+# ---------------------------------------------------------------------------
+
+def _address(array: np.ndarray) -> int:
+    return array.__array_interface__["data"][0]
+
+
+def _locate(view: np.ndarray, buffer: np.ndarray):
+    """Decompose ``view`` as a rectangular selection of ``buffer``.
+
+    Returns, per buffer axis, ``(offset, view_axis, extent)`` — where
+    ``view_axis`` is the view axis sweeping that buffer axis (``None`` when
+    the view reads a single index) — or ``None`` when the view is not a
+    plain strided window (step-sliced, transposed onto equal strides,
+    different dtype, …).  Broadcast (stride-0) view axes contribute nothing.
+    """
+    if view.dtype != buffer.dtype or not buffer.flags.c_contiguous:
+        return None
+    delta = _address(view) - _address(buffer)
+    if delta < 0:
+        return None
+    matched: Dict[int, int] = {}
+    for axis in range(view.ndim):
+        if view.shape[axis] <= 1 or view.strides[axis] == 0:
+            continue
+        hits = [k for k in range(buffer.ndim)
+                if buffer.shape[k] > 1
+                and buffer.strides[k] == view.strides[axis]]
+        if len(hits) != 1 or hits[0] in matched:
+            return None
+        matched[hits[0]] = axis
+    locations = []
+    remaining = delta
+    for k in range(buffer.ndim):
+        stride = buffer.strides[k]
+        if buffer.shape[k] <= 1 or stride <= 0:
+            locations.append((0, None, 1))
+            continue
+        offset = remaining // stride
+        remaining -= offset * stride
+        view_axis = matched.get(k)
+        extent = view.shape[view_axis] if view_axis is not None else 1
+        if offset + extent > buffer.shape[k]:
+            return None
+        locations.append((int(offset), view_axis, int(extent)))
+    if remaining != 0:
+        return None
+    return locations
+
+
+def _is_aligned(view: np.ndarray, buffer: np.ndarray) -> bool:
+    """True when ``view`` reads all of ``buffer`` element-for-element —
+    i.e. it is ``buffer`` itself modulo inserted broadcast/singleton axes
+    (same order, no transposition, no offset)."""
+    locations = _locate(view, buffer)
+    if locations is None:
+        return False
+    swept = []
+    for k, (offset, view_axis, extent) in enumerate(locations):
+        if offset != 0 or extent != buffer.shape[k]:
+            return False
+        if view_axis is not None:
+            swept.append(view_axis)
+    return swept == sorted(swept)
+
+
+def _broadcast_ok(shape: Sequence[int], region_shape: Sequence[int]) -> bool:
+    if len(shape) > len(region_shape):
+        return False
+    offset = len(region_shape) - len(shape)
+    return all(
+        shape[axis] == 1 or shape[axis] == region_shape[offset + axis]
+        for axis in range(len(shape))
+    )
+
+
+def _tile_view(array: np.ndarray, tile, region_shape) -> np.ndarray:
+    """Slice ``array`` (trailing-aligned, broadcastable to the region shape)
+    down to one tile box; broadcast (extent-1) axes stay extent 1."""
+    offset = len(region_shape) - array.ndim
+    selector = tuple(
+        slice(tile[offset + axis][0], tile[offset + axis][1])
+        if array.shape[axis] != 1 else slice(0, 1)
+        for axis in range(array.ndim)
+    )
+    return array[selector]
+
+
+# ---------------------------------------------------------------------------
+# The fused replay op
+# ---------------------------------------------------------------------------
+
+# Step kinds (local ints keep the replay loop's dispatch cheap).
+_UFUNC, _COPY, _WHERE, _CLIP = 0, 1, 2, 3
+
+
+class FusedOp:
+    """One fused region: pre-resolved tile micro-ops, replayed in order.
+
+    Every operand/output view was resolved at build time, so a replay is a
+    flat loop of NumPy calls over existing views — zero allocations.
+    """
+
+    __slots__ = ("steps", "tiles", "schedules", "pads")
+
+    def __init__(self, steps: List[Tuple], tiles: int,
+                 schedules: int, pads: int) -> None:
+        self.steps = steps
+        self.tiles = tiles
+        self.schedules = schedules
+        self.pads = pads
+
+    def run(self) -> None:
+        for step in self.steps:
+            kind = step[0]
+            if kind == _UFUNC:
+                step[1](*step[2], out=step[3])
+            elif kind == _COPY:
+                np.copyto(step[1], step[2])
+            elif kind == _WHERE:
+                np.copyto(step[4], step[3], casting="unsafe")
+                np.copyto(step[4], step[2], where=step[1], casting="unsafe")
+            else:  # _CLIP
+                np.clip(step[1], step[2], step[3], out=step[4])
+
+
+class FusionInfo:
+    """What the optimizer did to one tape (reported via plan stats)."""
+
+    __slots__ = ("regions", "tiles", "fused_schedules", "fused_pads", "steps")
+
+    def __init__(self) -> None:
+        self.regions = 0
+        self.tiles = 0
+        self.fused_schedules = 0
+        self.fused_pads = 0
+        self.steps = 0
+
+
+# ---------------------------------------------------------------------------
+# Region analysis
+# ---------------------------------------------------------------------------
+
+def _entry_reads(entry: TapeEntry) -> List[np.ndarray]:
+    if entry.kind == "schedule":
+        reads: List[np.ndarray] = []
+        for node in entry.schedule.nodes:
+            for operand in node.operands:
+                if isinstance(operand, TracedArray):
+                    if operand.node is None:
+                        reads.append(operand.concrete)
+                elif isinstance(operand, np.ndarray):
+                    reads.append(operand)
+        return reads
+    return entry.reads
+
+
+def _reads_buffer(reads: Sequence[np.ndarray], buffer: np.ndarray) -> bool:
+    return any(np.may_share_memory(read, buffer) for read in reads)
+
+
+class _Region:
+    """One fusable candidate: ``[pad_start, end)`` entries of the tape."""
+
+    def __init__(self, pad_start: int, start: int, end: int) -> None:
+        self.pad_start = pad_start  # fused pads live in [pad_start, start)
+        self.start = start          # schedules live in [start, end)
+        self.end = end
+
+
+def _validate_schedules(entries: List[TapeEntry], start: int, end: int,
+                        region_shape) -> Dict[int, np.ndarray]:
+    """Check every node/operand is tileable; returns the internal buffers."""
+    internal: Dict[int, np.ndarray] = {}
+    for index in range(start, end):
+        for node in entries[index].schedule.nodes:
+            if node.kind not in ("ufunc", "where", "clip"):
+                raise FusionError(f"untileable node kind {node.kind!r}")
+            if node.buffer is None or not _broadcast_ok(node.buffer.shape,
+                                                        region_shape):
+                raise FusionError("node shape does not broadcast to region")
+            internal[id(node.buffer)] = node.buffer
+    for index in range(start, end):
+        for node in entries[index].schedule.nodes:
+            for operand in node.operands:
+                if isinstance(operand, TracedArray) and operand.node is None:
+                    leaf = operand.concrete
+                    if not _broadcast_ok(leaf.shape, region_shape):
+                        raise FusionError("leaf does not broadcast to region")
+                    for buffer in internal.values():
+                        if np.may_share_memory(leaf, buffer) \
+                                and not _is_aligned(leaf, buffer):
+                            raise FusionError(
+                                "non-aligned view of an internal buffer"
+                            )
+                elif isinstance(operand, np.ndarray):
+                    if not _broadcast_ok(operand.shape, region_shape):
+                        raise FusionError("operand does not broadcast")
+                    for buffer in internal.values():
+                        if np.may_share_memory(operand, buffer):
+                            raise FusionError("raw view of an internal buffer")
+    return internal
+
+
+def _pad_reader_locations(entries: List[TapeEntry], start: int, end: int,
+                          pad_buffer: np.ndarray, region_shape):
+    """Locate every region leaf reading ``pad_buffer``; None if any fails."""
+    locations = []
+    for index in range(start, end):
+        for node in entries[index].schedule.nodes:
+            for operand in node.operands:
+                leaf = None
+                if isinstance(operand, TracedArray) and operand.node is None:
+                    leaf = operand.concrete
+                elif isinstance(operand, np.ndarray):
+                    leaf = operand
+                if leaf is None or not np.may_share_memory(leaf, pad_buffer):
+                    continue
+                located = _locate(leaf, pad_buffer)
+                if located is None:
+                    return None
+                locations.append((leaf.ndim, located))
+    return locations
+
+
+def _leaf_box(locations, tile, region_shape):
+    """The pad-buffer box (per-axis [lo, hi)) one tile's leaf reads cover."""
+    ndim = len(locations[0][1])
+    lows = [None] * ndim
+    highs = [None] * ndim
+    for leaf_ndim, located in locations:
+        axis_offset = len(region_shape) - leaf_ndim
+        for k, (offset, view_axis, extent) in enumerate(located):
+            if view_axis is None:
+                lo, hi = offset, offset + extent
+            else:
+                start, stop = tile[axis_offset + view_axis]
+                lo, hi = offset + start, offset + stop
+            lows[k] = lo if lows[k] is None else min(lows[k], lo)
+            highs[k] = hi if highs[k] is None else max(highs[k], hi)
+    return lows, highs
+
+
+def _merge_box(box, other):
+    if box is None:
+        return other
+    if other is None:
+        return box
+    lows = [min(a, b) for a, b in zip(box[0], other[0])]
+    highs = [max(a, b) for a, b in zip(box[1], other[1])]
+    return lows, highs
+
+
+def find_regions(entries: List[TapeEntry], out_buffer: np.ndarray):
+    """All fusable regions (with backward pad extension), non-overlapping."""
+    regions: List[_Region] = []
+    index = 0
+    while index < len(entries):
+        if entries[index].kind != "schedule":
+            index += 1
+            continue
+        start = index
+        while index < len(entries) and entries[index].kind == "schedule":
+            index += 1
+        regions.append(_Region(start, start, index))
+    if not regions:
+        return []
+
+    for region in regions:
+        # Extend backwards over halo-gather pads whose buffers nothing
+        # outside this region reads.  Chains are welcome: an earlier pad
+        # feeding a later fused pad is restricted transitively (the later
+        # pad's per-tile gathers define the earlier one's required box).
+        position = region.start - 1
+        while position >= 0 and entries[position].kind == "pad":
+            pad = entries[position].pad
+            outside = [
+                entry for k, entry in enumerate(entries)
+                if not (position <= k < region.end)
+            ]
+            if any(_reads_buffer(_entry_reads(entry), pad.buffer)
+                   for entry in outside):
+                break
+            if np.may_share_memory(pad.buffer, out_buffer):
+                break
+            region.pad_start = position
+            position -= 1
+    return regions
+
+
+# ---------------------------------------------------------------------------
+# Building the fused replay
+# ---------------------------------------------------------------------------
+
+def _build_region(entries: List[TapeEntry], region: _Region,
+                  out_buffer: np.ndarray, tile_spec, pool,
+                  scratch: List[np.ndarray]) -> Optional[FusedOp]:
+    schedules = [entries[k].schedule for k in range(region.start, region.end)]
+    final_node = schedules[-1].nodes[-1]
+    if final_node.buffer is None:
+        raise FusionError("schedule has no output buffer")
+    region_shape = final_node.buffer.shape
+
+    internal = _validate_schedules(entries, region.start, region.end,
+                                   region_shape)
+
+    # Buffers whose full contents outlive the region must be written through
+    # (per-tile slices of the real buffer), not into tile scratch.
+    later_reads: List[np.ndarray] = []
+    for entry in entries[region.end:]:
+        later_reads.extend(_entry_reads(entry))
+    through: Dict[int, np.ndarray] = {}
+    for key, buffer in internal.items():
+        outlives = np.may_share_memory(buffer, out_buffer) \
+            or _reads_buffer(later_reads, buffer)
+        if outlives:
+            if buffer.shape != region_shape:
+                raise FusionError("escaping buffer is not region-shaped")
+            through[key] = buffer
+
+    # Validate + locate the fused pads' readers.  A fused pad is read either
+    # directly by region leaves (located below) or by a *later* fused pad
+    # gathering from its buffer — a chained halo: pad₂'s restricted reads
+    # define, per tile, the box pad₁ must have refreshed first.
+    pads = []
+    for k in range(region.pad_start, region.start):
+        pad = entries[k].pad
+        locations = _pad_reader_locations(entries, region.start, region.end,
+                                          pad.buffer, region_shape)
+        if locations is None:
+            raise FusionError("cannot locate the halo reads of a fused pad")
+        pads.append((pad, locations))
+    for index, (pad, locations) in enumerate(pads):
+        fed = False
+        for later, _ in pads[index + 1:]:
+            if np.may_share_memory(later.source, pad.buffer):
+                if later.source.shape != pad.buffer.shape \
+                        or not _is_aligned(later.source, pad.buffer):
+                    raise FusionError("chained pad reads a reshaped buffer")
+                fed = True
+        if not locations and not fed:
+            raise FusionError("fused pad has no reader inside the region")
+
+    if len(schedules) < 2 and not pads:
+        return None  # a lone schedule gains nothing from tiling
+
+    tiles = tile_extents(tile_spec, region_shape, final_node.buffer.itemsize)
+    grid = _tile_grid(region_shape, tiles)
+
+    # One tile-sized scratch buffer per internal (non-through) buffer,
+    # shared across tiles (tiles replay sequentially); edge tiles use
+    # pre-sliced sub-views.
+    scratch_for: Dict[int, np.ndarray] = {}
+    for key, buffer in internal.items():
+        if key in through:
+            continue
+        offset = len(region_shape) - buffer.ndim
+        shape = tuple(
+            1 if buffer.shape[axis] == 1
+            else min(buffer.shape[axis], tiles[offset + axis])
+            for axis in range(buffer.ndim)
+        )
+        tile_scratch = pool.acquire(shape, buffer.dtype)
+        scratch.append(tile_scratch)
+        scratch_for[key] = tile_scratch
+
+    def buffer_tile(buffer: np.ndarray, tile) -> np.ndarray:
+        key = id(buffer)
+        if key in through:
+            return _tile_view(buffer, tile, region_shape)
+        base = scratch_for[key]
+        offset = len(region_shape) - buffer.ndim
+        selector = tuple(
+            slice(0, 1) if buffer.shape[axis] == 1
+            else slice(0, tile[offset + axis][1] - tile[offset + axis][0])
+            for axis in range(buffer.ndim)
+        )
+        return base[selector]
+
+    def operand_tile(operand, tile):
+        if isinstance(operand, TracedArray):
+            if operand.node is not None:
+                return buffer_tile(operand.node.buffer, tile)
+            leaf = operand.concrete
+            for buffer in internal.values():
+                if np.may_share_memory(leaf, buffer):
+                    return buffer_tile(buffer, tile)
+            return _tile_view(leaf, tile, region_shape)
+        if isinstance(operand, np.ndarray):
+            return _tile_view(operand, tile, region_shape)
+        return operand
+
+    steps: List[Tuple] = []
+    for tile in grid:
+        # Walk the fused pads backwards: each pad's required box is the
+        # union of the region leaves' located reads and the restricted
+        # gathers of every later pad chained onto its buffer.
+        boxes: Dict[int, Tuple[List[int], List[int]]] = {}
+        pad_steps_reversed: List[List[Tuple]] = []
+        for pad, locations in reversed(pads):
+            box = _leaf_box(locations, tile, region_shape) \
+                if locations else None
+            box = _merge_box(box, boxes.pop(_address(pad.buffer), None))
+            if box is None:
+                raise FusionError("fused pad has no reader for a tile")
+            lows = [max(0, lo) for lo in box[0]]
+            highs = [min(extent, hi)
+                     for extent, hi in zip(pad.buffer.shape, box[1])]
+            axis = pad.axis
+            tile_steps: List[Tuple] = []
+            src_box = None
+            for dst_start, src_start, length in pad.runs:
+                lo = max(dst_start, lows[axis])
+                hi = min(dst_start + length, highs[axis])
+                if hi <= lo:
+                    continue
+                dst_selector = []
+                src_selector = []
+                for m in range(pad.buffer.ndim):
+                    if m == axis:
+                        dst_selector.append(slice(lo, hi))
+                        src_selector.append(slice(src_start + (lo - dst_start),
+                                                  src_start + (hi - dst_start)))
+                    else:
+                        dst_selector.append(slice(lows[m], highs[m]))
+                        src_selector.append(slice(lows[m], highs[m]))
+                destination = pad.buffer[tuple(dst_selector)]
+                if destination.size == 0:
+                    continue
+                tile_steps.append((_COPY, destination,
+                                   pad.source[tuple(src_selector)]))
+                src_box = _merge_box(src_box, (
+                    [selector.start for selector in src_selector],
+                    [selector.stop for selector in src_selector],
+                ))
+            if src_box is not None:
+                key = _address(pad.source)
+                boxes[key] = _merge_box(boxes.get(key), src_box)
+            pad_steps_reversed.append(tile_steps)
+        for tile_steps in reversed(pad_steps_reversed):
+            steps.extend(tile_steps)
+        for schedule in schedules:
+            for node in schedule.nodes:
+                out = buffer_tile(node.buffer, tile)
+                if node.kind == "ufunc":
+                    steps.append((
+                        _UFUNC, node.fn,
+                        tuple(operand_tile(op, tile) for op in node.operands),
+                        out,
+                    ))
+                elif node.kind == "where":
+                    condition, x, y = (operand_tile(op, tile)
+                                       for op in node.operands)
+                    steps.append((_WHERE, condition, x, y, out))
+                else:  # clip
+                    a, lo, hi = (operand_tile(op, tile)
+                                 for op in node.operands)
+                    steps.append((_CLIP, a, lo, hi, out))
+
+    return FusedOp(steps, tiles=len(grid), schedules=len(schedules),
+                   pads=len(pads))
+
+
+def optimize_tape(entries: List[TapeEntry], out_buffer: np.ndarray,
+                  tile_spec, pool):
+    """Fuse every eligible region of a captured tape.
+
+    Returns ``(ops, scratch_buffers, info)`` — the new op list with fused
+    regions replaced by :class:`FusedOp` replays — or ``None`` when nothing
+    fuses.  Raises :class:`FusionError` (after handing scratch back to the
+    pool) when an analysis invariant fails; callers fall back to the
+    unfused tape either way.
+    """
+    regions = find_regions(entries, out_buffer)
+    scratch: List[np.ndarray] = []
+    info = FusionInfo()
+    replacements = []
+    try:
+        for region in regions:
+            fused = _build_region(entries, region, out_buffer, tile_spec,
+                                  pool, scratch)
+            if fused is None:
+                continue
+            replacements.append((region, fused))
+            info.regions += 1
+            info.tiles += fused.tiles
+            info.fused_schedules += fused.schedules
+            info.fused_pads += fused.pads
+            info.steps += len(fused.steps)
+    except FusionError:
+        pool.release_all(scratch)
+        raise
+    except Exception as error:  # noqa: BLE001 - analysis must never corrupt
+        pool.release_all(scratch)
+        raise FusionError(f"{type(error).__name__}: {error}") from error
+    if not replacements:
+        pool.release_all(scratch)
+        return None
+    ops = []
+    index = 0
+    for region, fused in replacements:
+        while index < region.pad_start:
+            ops.append(entries[index].op)
+            index += 1
+        ops.append(fused.run)
+        index = region.end
+    while index < len(entries):
+        ops.append(entries[index].op)
+        index += 1
+    return ops, scratch, info
+
+
+# ---------------------------------------------------------------------------
+# Tile-size search (the tuning hook)
+# ---------------------------------------------------------------------------
+
+def measure_best_tile(backend, program, inputs, candidates=None,
+                      runs: int = 3, size_env=None):
+    """Time warm fused-plan replays across tile specs; return the winner.
+
+    ``candidates`` defaults to
+    :func:`repro.tuning.parameters.fuse_tile_candidates` for the input's
+    dimensionality.  Returns ``(steady_seconds, tile_spec)`` for the
+    fastest warm replay — the tuner's ``measure_best`` protocol, and the
+    engine worker's measured-scoring primitive.
+    """
+    from ..tuning.parameters import fuse_tile_candidates
+    from .plan import time_steady
+
+    if candidates is None:
+        ndims = max((np.ndim(grid) for grid in inputs), default=2)
+        candidates = fuse_tile_candidates(ndims)
+    best_cost = float("inf")
+    best_spec = False
+    for spec in candidates:
+        plan = backend.plan(program, inputs, size_env, tile_shape=spec)
+        cost = time_steady(plan, inputs, runs=runs)
+        if cost < best_cost:
+            best_cost, best_spec = cost, spec
+    return best_cost, best_spec
+
+
+__all__ = [
+    "FusedOp",
+    "FusionError",
+    "FusionInfo",
+    "TILE_TARGET_BYTES",
+    "auto_tile",
+    "find_regions",
+    "measure_best_tile",
+    "normalize_tile_spec",
+    "optimize_tape",
+    "tile_extents",
+]

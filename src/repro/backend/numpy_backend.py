@@ -248,6 +248,52 @@ def _active_arena() -> Optional["CaptureArena"]:
     return getattr(_ARENA, "current", None)
 
 
+class PadWrite:
+    """Structured description of one halo-gather buffer write.
+
+    A pad (or padConstant interior) tape op is a set of block copies along
+    one axis: ``buffer[..., dst:dst+length, ...] = source[..., src:src+length,
+    ...]`` for each ``(dst, src, length)`` run, with every other axis copied
+    in full.  Recording the geometry — not just the closure — lets the tape
+    optimizer (:mod:`repro.backend.fuse`) re-emit the copy restricted to the
+    halo region one output tile actually reads.
+    """
+
+    __slots__ = ("buffer", "source", "axis", "runs")
+
+    def __init__(self, buffer: np.ndarray, source: np.ndarray,
+                 axis: int, runs) -> None:
+        self.buffer = buffer
+        self.source = source
+        self.axis = axis
+        self.runs = list(runs)  # [(dst_start, src_start, length), ...]
+
+
+class TapeEntry:
+    """One tape op plus the dataflow facts the fuser needs.
+
+    ``kind`` is one of ``"pad"`` (a :class:`PadWrite`-described halo
+    gather), ``"schedule"`` (a traced
+    :class:`~repro.backend.ufunc_trace.ReplaySchedule`), ``"copy"``
+    (reshape/gather block copies the fuser treats as opaque), ``"opaque"``
+    (per-sweep re-executed user functions) or ``"output"`` (the plan's
+    result materialisation).  ``reads``/``writes`` list the concrete arrays
+    the op touches — the fuser's interference analysis is conservative:
+    unknown ops simply break fusion regions.
+    """
+
+    __slots__ = ("kind", "op", "reads", "writes", "schedule", "pad")
+
+    def __init__(self, kind: str, op: Callable[[], object],
+                 reads=(), writes=(), schedule=None, pad=None) -> None:
+        self.kind = kind
+        self.op = op
+        self.reads = list(reads)
+        self.writes = list(writes)
+        self.schedule = schedule
+        self.pad = pad
+
+
 class CaptureArena:
     """Records the buffer-writing operations of one kernel execution.
 
@@ -265,6 +311,7 @@ class CaptureArena:
     def __init__(self, pool) -> None:
         self.pool = pool
         self.ops: List[Callable[[], object]] = []
+        self.entries: List[TapeEntry] = []  # descriptors, aligned with ops
         self.buffers: List[np.ndarray] = []
         self.schedules: List = []  # traced ReplaySchedules, in tape order
         self.traced_calls = 0
@@ -278,8 +325,11 @@ class CaptureArena:
     # Allocator protocol used by the ufunc tracer's scratch buffers.
     acquire = buffer
 
-    def record_and_run(self, op: Callable[[], object]) -> None:
+    def record_and_run(self, op: Callable[[], object], kind: str = "copy",
+                       reads=(), writes=(), pad=None) -> None:
         self.ops.append(op)
+        self.entries.append(TapeEntry(kind, op, reads=reads, writes=writes,
+                                      pad=pad))
         op()
 
     # -- user functions ------------------------------------------------------
@@ -300,6 +350,8 @@ class CaptureArena:
             schedule, result = None, None
         if schedule is not None:
             self.ops.append(schedule.run)
+            self.entries.append(TapeEntry("schedule", schedule.run,
+                                          schedule=schedule))
             self.schedules.append(schedule)
             self.traced_calls += 1
             return result
@@ -324,6 +376,10 @@ class CaptureArena:
 
         _copy_structure(stable, produced)
         self.ops.append(op)
+        self.entries.append(TapeEntry(
+            "opaque", op,
+            reads=_flat_arrays(raws), writes=_flat_arrays(stable),
+        ))
         self.opaque_calls += 1
         return stable
 
@@ -344,7 +400,7 @@ class CaptureArena:
         def op(_dst=destination, _src=data):
             np.copyto(_dst, _src)
 
-        self.record_and_run(op)
+        self.record_and_run(op, kind="copy", reads=[data], writes=[buffer])
         return buffer
 
 
@@ -367,6 +423,15 @@ def _index_runs(table: np.ndarray, max_runs: int = 8):
                 return None
             start = position
     return runs
+
+
+def _flat_arrays(value) -> List[np.ndarray]:
+    if isinstance(value, (tuple, list)):
+        arrays: List[np.ndarray] = []
+        for component in value:
+            arrays.extend(_flat_arrays(component))
+        return arrays
+    return [value] if isinstance(value, np.ndarray) else []
 
 
 def _has_array(value) -> bool:
@@ -725,11 +790,16 @@ class _Compiler:
                         for destination, block in _pairs:
                             np.copyto(destination, block)
 
+                    arena.record_and_run(
+                        op, kind="pad", reads=[source], writes=[buffer],
+                        pad=PadWrite(buffer, source, depth, runs),
+                    )
                 else:
                     def op(_src=source, _table=table, _axis=depth, _out=buffer):
                         np.take(_src, _table, axis=_axis, out=_out)
 
-                arena.record_and_run(op)
+                    arena.record_and_run(op, kind="copy", reads=[source],
+                                         writes=[buffer])
                 return Batched(buffer, depth)
 
             return _leafmap(_align(args[0], depth), pad_leaf)
@@ -776,7 +846,13 @@ class _Compiler:
                 def op(_dst=interior, _src=source):
                     np.copyto(_dst, _src)
 
-                arena.record_and_run(op)
+                # The constant halo itself was written once above and never
+                # refreshed, so the replayable write is a single interior
+                # run — exactly the shape the tape optimizer can restrict.
+                arena.record_and_run(
+                    op, kind="pad", reads=[source], writes=[buffer],
+                    pad=PadWrite(buffer, source, depth, [(left, 0, n)]),
+                )
                 return Batched(buffer, depth)
 
             return _leafmap(_align(args[0], depth), pad_leaf)
@@ -951,5 +1027,7 @@ __all__ = [
     "CompileError",
     "CompiledKernel",
     "ExecutionError",
+    "PadWrite",
+    "TapeEntry",
     "compile_program",
 ]

@@ -25,9 +25,17 @@ specification names, per program input, what feeds it on the next step:
 value — e.g. the acoustic benchmark's two-timestep rotation), or ``None``
 (a static grid such as Hotspot's power input).
 
+Captured tapes are handed to the tape optimizer (:mod:`repro.backend.fuse`)
+before their first replay: chains of elementwise traced-ufunc ops — halo
+gathers included — are fused into regions replayed **tile by tile** over
+cache-blocked output slices with per-tile pooled scratch, verified
+bit-identical against the unfused tape at capture time and falling back to
+it for anything the analyzer cannot prove safe.  The tile shape is a plan
+parameter (``tile_shape``) the auto-tuner searches.
+
 Plans are shape-bound (buffers are sized at build time) and serialise their
 own execution with a lock; :class:`PlanCache` memoises them per (program
-structure, input shapes, size environment, batched) the way the
+structure, input shapes, size environment, batched, tile spec) the way the
 compilation cache memoises kernels.
 """
 
@@ -39,11 +47,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from ..core.ir import Lambda, structural_key
+from .fuse import normalize_tile_spec, optimize_tape
 from .numpy_backend import (
     Batched,
     CaptureArena,
     CompiledKernel,
     ExecutionError,
+    TapeEntry,
     _align_leaf,
     compile_program,
 )
@@ -104,14 +114,14 @@ def _output_spec(value, batch: Optional[int]) -> Tuple[Tuple[int, ...], np.dtype
     return shape, scalar.dtype
 
 
-def _make_output_op(buffer: np.ndarray, value,
-                    batch: Optional[int]) -> Callable[[], None]:
+def _make_output_op(buffer: np.ndarray, value, batch: Optional[int]):
     """An allocation-free tape op copying the result value into ``buffer``.
 
     Destination views and source views are resolved once, here; the op body
     is a sequence of ``np.copyto`` calls.  Matches ``_to_output`` (tuples
     stack along a new last axis) and ``_to_output_batched`` (length-1 batch
-    leaves broadcast to the full extent) bit for bit.
+    leaves broadcast to the full extent) bit for bit.  Returns the op plus
+    the arrays it reads (the tape optimizer's interference facts).
     """
     pairs: List[Tuple[np.ndarray, object]] = []
 
@@ -142,7 +152,18 @@ def _make_output_op(buffer: np.ndarray, value,
         for destination, source in pairs:
             np.copyto(destination, source)
 
-    return op
+    reads = [source for _, source in pairs if isinstance(source, np.ndarray)]
+    return op, reads
+
+
+def _bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-exact equality (NaN payloads included) of two dense arrays."""
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    return bool(np.array_equal(
+        np.ascontiguousarray(a).view(np.uint8),
+        np.ascontiguousarray(b).view(np.uint8),
+    ))
 
 
 class _Tape:
@@ -198,10 +219,14 @@ class ExecutionPlan:
         pool: Optional[BufferPool] = None,
         batched: bool = False,
         kernel: Optional[CompiledKernel] = None,
+        tile_shape=None,
     ) -> None:
         self.program = program
         self.size_env = dict(size_env or {})
         self.batched = batched
+        #: Tape-optimizer tile spec: ``None`` = cache-sized heuristic,
+        #: ``False`` = unfused tapes, a tuple = explicit trailing-axis tile.
+        self.tile_shape = normalize_tile_spec(tile_shape)
         self.input_shapes = plan_signature(inputs_or_signature)
         if not self.input_shapes:
             raise ExecutionError("a plan needs at least one input")
@@ -234,6 +259,11 @@ class ExecutionPlan:
         self.replays = 0
         self.traced_calls = 0
         self.opaque_calls = 0
+        self.fused_regions = 0
+        self.fused_tiles = 0
+        self.fused_schedules = 0
+        self.fused_pads = 0
+        self.fusion_fallbacks = 0
 
     # -- buffer management ---------------------------------------------------
     def _bind(self, inputs: Sequence) -> None:
@@ -274,9 +304,18 @@ class ExecutionPlan:
     # -- capture & replay ----------------------------------------------------
     def _capture(self, state: List[np.ndarray], slot: int) -> _Tape:
         arena = CaptureArena(self._pool)
-        value = self._kernel.capture(state, self._depth, arena)
-        if self._out_shape is None:
-            self._out_shape, self._out_dtype = _output_spec(value, self.batch)
+        try:
+            value = self._kernel.capture(state, self._depth, arena)
+            if self._out_shape is None:
+                self._out_shape, self._out_dtype = _output_spec(value,
+                                                                self.batch)
+        except Exception:
+            # An aborted capture (e.g. PlanCaptureError on a data-dependent
+            # scalar) must hand the arena's buffers straight back: they were
+            # never adopted into this plan's buffer set, so without this
+            # they would leak from the pool's accounting for good.
+            self._pool.release_all(arena.buffers)
+            raise
         out_buffer = self._slot_buffer(slot)
         self._buffers.extend(arena.buffers)
         self.captures += 1
@@ -298,10 +337,57 @@ class ExecutionPlan:
             schedule = arena.schedules[-1]
             np.copyto(out_buffer, value.data)  # this sweep already computed
             schedule.retarget(out_buffer)
-            return _Tape(arena.ops[:-1] + [schedule.run], out_buffer)
-        final = _make_output_op(out_buffer, value, self.batch)
-        final()  # a capture is a real execution: materialise this sweep too
-        return _Tape(arena.ops + [final], out_buffer)
+            ops = arena.ops[:-1] + [schedule.run]
+            entries = list(arena.entries)
+        else:
+            final, final_reads = _make_output_op(out_buffer, value, self.batch)
+            final()  # a capture is a real execution: materialise this sweep
+            ops = arena.ops + [final]
+            entries = arena.entries + [
+                TapeEntry("output", final, reads=final_reads,
+                          writes=[out_buffer])
+            ]
+        tape = _Tape(ops, out_buffer)
+        if self.tile_shape is not False:
+            tape = self._try_fuse(tape, entries, out_buffer)
+        return tape
+
+    def _try_fuse(self, tape: _Tape, entries: List[TapeEntry],
+                  out_buffer: np.ndarray) -> _Tape:
+        """Fuse + tile the captured tape; verified, with unfused fallback.
+
+        The fused tape replays the identical operation sequence tile by
+        tile, so it must reproduce the unfused replay bit for bit — which
+        is checked right here, against the output the capture just
+        computed, before the fused tape is ever trusted with a result.
+        """
+        try:
+            optimized = optimize_tape(entries, out_buffer, self.tile_shape,
+                                      self._pool)
+        except Exception:  # noqa: BLE001 - fusion must never break execution
+            self.fusion_fallbacks += 1
+            return tape
+        if optimized is None:
+            return tape
+        ops, scratch, info = optimized
+        snapshot = out_buffer.copy()
+        fused = _Tape(ops, out_buffer)
+        try:
+            fused.run()
+            accepted = _bits_equal(snapshot, out_buffer)
+        except Exception:  # noqa: BLE001 - reject, restore, fall back
+            accepted = False
+        if not accepted:
+            self._pool.release_all(scratch)
+            self.fusion_fallbacks += 1
+            tape.run()  # restore every buffer from the trusted unfused ops
+            return tape
+        self._buffers.extend(scratch)
+        self.fused_regions += info.regions
+        self.fused_tiles += info.tiles
+        self.fused_schedules += info.fused_schedules
+        self.fused_pads += info.fused_pads
+        return fused
 
     def _step(self, state: List[np.ndarray], slot: int) -> np.ndarray:
         key = (tuple(id(buffer) for buffer in state), slot)
@@ -413,6 +499,12 @@ class ExecutionPlan:
                 "opaque_userfun_calls": self.opaque_calls,
                 "buffers": len(self._buffers),
                 "buffer_bytes": sum(b.nbytes for b in self._buffers),
+                "fused_regions": self.fused_regions,
+                "fused_tiles": self.fused_tiles,
+                "fused_schedules": self.fused_schedules,
+                "fused_pads": self.fused_pads,
+                "fusion_fallbacks": self.fusion_fallbacks,
+                "tile_shape": self.tile_shape,
             }
 
     def release(self) -> None:
@@ -432,10 +524,12 @@ def compile_plan(
     pool: Optional[BufferPool] = None,
     batched: bool = False,
     kernel: Optional[CompiledKernel] = None,
+    tile_shape=None,
 ) -> ExecutionPlan:
     """Compile a program into an execution plan (no caching)."""
     return ExecutionPlan(program, inputs_or_signature, size_env,
-                         pool=pool, batched=batched, kernel=kernel)
+                         pool=pool, batched=batched, kernel=kernel,
+                         tile_shape=tile_shape)
 
 
 # ---------------------------------------------------------------------------
@@ -446,8 +540,10 @@ class PlanCache:
     """A thread-safe LRU of execution plans, keyed like the kernel cache.
 
     The key combines the program's structural key, the input *shapes* (not
-    dtypes — plans bind-convert to ``float64``), the size environment and
-    whether the plan sweeps a leading batch axis.  Evicted plans are simply
+    dtypes — plans bind-convert to ``float64``), the size environment,
+    whether the plan sweeps a leading batch axis, and the tape-optimizer
+    tile spec (distinct tile shapes are distinct plans — how the tuner
+    searches tile sizes over warm fused replays).  Evicted plans are simply
     dropped: their buffers may still be mid-execution on another thread, so
     they are left to the garbage collector rather than returned to a pool.
     """
@@ -466,10 +562,10 @@ class PlanCache:
 
     def key_for(self, program: Lambda, inputs_or_signature,
                 size_env: Optional[Mapping[str, int]] = None,
-                batched: bool = False) -> Tuple:
+                batched: bool = False, tile_shape=None) -> Tuple:
         sizes = tuple(sorted((size_env or {}).items()))
         return (structural_key(program), plan_signature(inputs_or_signature),
-                sizes, batched)
+                sizes, batched, normalize_tile_spec(tile_shape))
 
     def get_or_compile(
         self,
@@ -478,12 +574,14 @@ class PlanCache:
         size_env: Optional[Mapping[str, int]] = None,
         batched: bool = False,
         kernel_resolver=None,
+        tile_shape=None,
     ) -> ExecutionPlan:
         """The cached plan for this key; ``kernel_resolver`` (a zero-argument
         callable returning a :class:`CompiledKernel`) lets the backend route
         the plan's kernel through its compilation cache so kernels stay
         shared — and counted — across the generic and plan paths."""
-        key = self.key_for(program, inputs_or_signature, size_env, batched)
+        key = self.key_for(program, inputs_or_signature, size_env, batched,
+                           tile_shape)
         with self._lock:
             plan = self._entries.get(key)
             if plan is not None:
@@ -494,7 +592,8 @@ class PlanCache:
             self.misses += 1
         kernel = kernel_resolver() if kernel_resolver is not None else None
         plan = compile_plan(program, inputs_or_signature, size_env,
-                            batched=batched, kernel=kernel)
+                            batched=batched, kernel=kernel,
+                            tile_shape=tile_shape)
         with self._lock:
             if key not in self._entries:
                 while len(self._entries) >= self.max_entries:

@@ -220,6 +220,14 @@ class ReplaySchedule:
         self._nodes = nodes
         self.out = out
 
+    @property
+    def nodes(self) -> List[_Node]:
+        """The recorded operation DAG in replay order (read-only use).
+
+        Exposed for the tape optimizer (:mod:`repro.backend.fuse`), which
+        re-derives a tiled replay from the same nodes."""
+        return self._nodes
+
     def retarget(self, new_out: np.ndarray) -> None:
         """Make the final operation write directly into ``new_out``.
 

@@ -9,9 +9,11 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro verify [--benchmarks heat poisson] [--backend crosscheck]
     python -m repro bench-backend [--out BENCH_backend.json]
     python -m repro bench-plans [--steps 64] [--out BENCH_plans.json]
+                                [--compare BENCH_plans.json] [--assert-fused]
     python -m repro explore stencil2d --workers 4 [--budget 200]
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
     python -m repro serve --port 7457 [--store .repro/engine.sqlite]
+                          [--prewarm suite]
     python -m repro submit stencil2d --port 7457 --shape 64 64
     python -m repro loadgen [stencil2d] --requests 64 [--out BENCH_service.json]
     python -m repro stats [--store .repro/engine.sqlite]
@@ -127,15 +129,35 @@ def _cmd_bench_backend(args: argparse.Namespace) -> int:
 
 def _cmd_bench_plans(args: argparse.Namespace) -> int:
     from .experiments.plan_bench import (
+        PLAN_BENCH_SHAPES,
+        compare_plan_bench,
         format_plan_bench,
         run_plan_bench,
         write_plan_bench,
     )
 
+    shapes = dict(PLAN_BENCH_SHAPES)
+    if args.shape:
+        shapes[len(args.shape)] = tuple(args.shape)
+    if args.tile is None:
+        tile = "search"
+    elif args.tile in (["off"], ["auto"]):
+        tile = args.tile[0]
+    else:
+        try:
+            tile = tuple(int(extent) for extent in args.tile)
+            if not tile:
+                raise ValueError("no extents")
+        except ValueError:
+            print("error: --tile takes tile extents (e.g. --tile 32 1024), "
+                  "'off' (unfused) or 'auto' (heuristic)", file=sys.stderr)
+            return 2
     rows = run_plan_bench(
         benchmarks=args.benchmarks or None,
         steps=args.steps,
+        shapes=shapes,
         repeats=args.repeats,
+        tile=tile,
     )
     print(format_plan_bench(rows))
     if args.out:
@@ -145,14 +167,29 @@ def _cmd_bench_plans(args: argparse.Namespace) -> int:
     for name in failures:
         print(f"FAIL: {name}: plan result diverges from the generic path",
               file=sys.stderr)
+    status = 1 if failures else 0
+    if args.compare:
+        report, regressions = compare_plan_bench(rows, args.compare)
+        print("\n" + report)
+        for problem in regressions:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if regressions:
+            status = 1
     if args.assert_speedup is not None:
         slow = [row for row in rows if row.speedup < args.assert_speedup]
         for row in slow:
             print(f"FAIL: {row.benchmark}: plan speedup {row.speedup:.2f}x "
                   f"< required {args.assert_speedup:.2f}x", file=sys.stderr)
         if slow:
-            return 1
-    return 1 if failures else 0
+            status = 1
+    if args.assert_fused:
+        unfused = [row for row in rows if row.fused_regions < 1]
+        for row in unfused:
+            print(f"FAIL: {row.benchmark}: no fused region formed",
+                  file=sys.stderr)
+        if unfused:
+            status = 1
+    return status
 
 
 def _run_engine_command(args: argparse.Namespace, command: str) -> int:
@@ -260,6 +297,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import run_server
 
     store = None if args.no_store else args.store
+    prewarm = None
+    if args.prewarm is not None:
+        from .apps.suite import execution_requests
+
+        keys = None if not args.prewarm or "suite" in args.prewarm \
+            else args.prewarm
+        prewarm = execution_requests(
+            benchmarks=keys,
+            shape=tuple(args.prewarm_shape) if args.prewarm_shape else None,
+        )
     print(f"serving on {args.host}:{args.port} "
           f"(device {args.device}, store {store or '<none>'}, "
           f"window {args.window_ms} ms, max batch {args.max_batch})",
@@ -268,6 +315,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_requests=args.max_requests,
+        prewarm=prewarm,
+        prewarm_batch=tuple(args.prewarm_batch or ()),
         device=args.device,
         store=store,
         batch_window=args.window_ms / 1e3,
@@ -430,10 +479,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="timing repetitions (best wall kept)")
     bench_plans.add_argument("--out", default=None,
                              help="write the rows as JSON to this path")
+    bench_plans.add_argument("--shape", type=int, nargs="*", default=None,
+                             help="override the benchmark grid for its "
+                                  "dimensionality (e.g. --shape 256 256)")
+    bench_plans.add_argument("--tile", nargs="*", default=None,
+                             metavar="EXTENT",
+                             help="fixed tape-optimizer tile extents for "
+                                  "the fused path, or 'off' (unfused) / "
+                                  "'auto' (heuristic); default: "
+                                  "per-benchmark warm-replay search")
+    bench_plans.add_argument("--compare", default=None, metavar="BASELINE",
+                             help="diff steady-state times against a "
+                                  "recorded BENCH_plans.json; exit non-zero "
+                                  "on >25%% regression")
     bench_plans.add_argument("--assert-speedup", type=float, default=None,
                              metavar="X",
                              help="exit non-zero unless every row's plan "
                                   "speedup is at least X (CI smoke check)")
+    bench_plans.add_argument("--assert-fused", action="store_true",
+                             help="exit non-zero unless every row formed at "
+                                  "least one fused region (CI fuse smoke)")
 
     from .engine.store import DEFAULT_STORE_PATH
 
@@ -503,6 +568,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="exit after serving this many requests "
                             "(smoke tests); default: serve forever")
+    serve.add_argument("--prewarm", nargs="*", default=None, metavar="BENCH",
+                       help="capture execution plans before accepting "
+                            "connections: 'suite' (or no value) prewarms "
+                            "every registered benchmark, otherwise the "
+                            "named keys — first-request latency then "
+                            "excludes plan_build_s")
+    serve.add_argument("--prewarm-shape", type=int, nargs="*", default=None,
+                       help="input grid extents the prewarmed plans are "
+                            "sized for (plans are shape-bound)")
+    serve.add_argument("--prewarm-batch", type=int, nargs="*", default=None,
+                       metavar="CAP",
+                       help="also capture the batched plans for these "
+                            "micro-batch capacities (rounded up to the "
+                            "batcher's powers of two)")
 
     submit = sub.add_parser("submit", help="send requests to a running service")
     submit.add_argument("benchmark", nargs="?", default="stencil2d")

@@ -148,9 +148,11 @@ def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
     the variant on this machine and takes the best of ``measure_runs``
     timings — the closest analogue of the paper's on-device auto-tuning
     runs.  Timing goes through an :class:`~repro.backend.plan.ExecutionPlan`
-    (warmed until its tape replays), so the reported cost is the
-    *steady-state* sweep — the thing serving traffic actually pays — rather
-    than first-call compilation and allocation noise.  Measured costs are
+    (warmed until its tape replays) and **searches the tape optimizer's
+    tile shapes** (unfused tape, heuristic tile, row/slab blocks — see
+    :func:`repro.tuning.parameters.fuse_tile_candidates`) with warm
+    fused-plan replays, so the reported cost is the best *steady-state*
+    sweep the serving layer could actually pay.  Measured costs are
     wall-clock and therefore not bit-reproducible across machines; the
     engine keeps them in a separate memo keyspace (see
     :meth:`EvaluationJob.fingerprint`).
@@ -171,7 +173,8 @@ def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
         return cached
 
     from ..backend import CompileError
-    from ..backend.plan import time_steady
+    from ..backend.fuse import measure_best_tile
+    from ..tuning.parameters import fuse_tile_candidates
 
     benchmark = get_benchmark(job.benchmark)
     shape = measurement_shape(benchmark.stencil_extent, benchmark.ndims,
@@ -180,8 +183,10 @@ def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
     backend = get_backend("numpy")
     runs = max(1, job.measure_runs)
     try:
-        plan = backend.plan(lowered.program, inputs)
-        best = time_steady(plan, inputs, runs=runs)
+        best, _tile = measure_best_tile(
+            backend, lowered.program, inputs,
+            candidates=fuse_tile_candidates(benchmark.ndims), runs=runs,
+        )
     except CompileError:
         # Plans have no interpreter fallback; a variant the compiler cannot
         # handle is still timed through the generic path (which falls back),

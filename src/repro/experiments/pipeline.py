@@ -183,16 +183,26 @@ def _functional_validator(benchmark: StencilBenchmark, variant: ExplorationResul
 
 def _steady_measurer(benchmark: StencilBenchmark, variant: ExplorationResult,
                      runs: int = 3):
-    """A tuner ``measure_best`` hook timing the warm plan-replay sweep."""
-    from ..backend import NumpyBackend
-    from ..backend.plan import time_steady
+    """A tuner ``measure_best`` hook timing the warm plan-replay sweep.
 
-    def measure(_config: Dict[str, object]) -> float:
+    Searches the tape optimizer's tile shapes (unfused tape, heuristic tile
+    and the row/slab-block candidates) with warm fused-plan replays and
+    returns ``(steady_seconds, tile_shape)`` for the winner — reported as
+    :attr:`~repro.tuning.tuner.TuningResult.steady_cost_s` /
+    :attr:`~repro.tuning.tuner.TuningResult.tile_shape`.
+    """
+    from ..backend import NumpyBackend
+    from ..backend.fuse import measure_best_tile
+    from ..tuning.parameters import fuse_tile_candidates
+
+    def measure(_config: Dict[str, object]):
         shape = _validation_shape(benchmark, variant)
         inputs = benchmark.make_inputs(shape, 29)
         backend = NumpyBackend()
-        plan = backend.plan(variant.lowered.program, inputs)
-        return time_steady(plan, inputs, runs=runs)
+        return measure_best_tile(
+            backend, variant.lowered.program, inputs,
+            candidates=fuse_tile_candidates(benchmark.ndims), runs=runs,
+        )
 
     return measure
 

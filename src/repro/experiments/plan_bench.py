@@ -1,21 +1,30 @@
-"""Per-sweep generic path vs allocation-free plan path, over real timesteps.
+"""Per-sweep generic path vs plan path vs fused+tiled plan, over timesteps.
 
-This experiment quantifies what execution plans buy on iterative workloads:
-every requested benchmark runs ``steps`` timesteps twice —
+This experiment quantifies what execution plans — and the tape optimizer on
+top of them — buy on iterative workloads: every requested benchmark runs
+``steps`` timesteps three ways —
 
 * **per-sweep**: the pre-plan steady state, one full generic ``run`` per
   timestep (compilation-cache lookup, closure traversal, fresh temporaries),
   feeding outputs back per the benchmark's carry specification;
 * **plan**: the same loop through
-  :meth:`~repro.backend.plan.ExecutionPlan.iterate` — pooled buffers,
-  ``out=`` tape replays, double-buffered output ping-pong.
+  :meth:`~repro.backend.plan.ExecutionPlan.iterate` with the tape optimizer
+  disabled — pooled buffers, ``out=`` tape replays, double-buffered output
+  ping-pong;
+* **fused**: the optimized tape — ufunc-fused regions (halo gathers
+  included) replayed tile by tile over cache-blocked output slices, with
+  the tile shape picked by a warm-replay search over
+  :func:`~repro.tuning.parameters.fuse_tile_candidates` (or fixed via
+  ``tile``).
 
-Both paths are warmed first, timings take the best of ``repeats`` runs, the
-final grids are required to be **bit-identical**, and the plan's steady loop
-is additionally measured for allocations (net ``tracemalloc`` delta across
-the timed steps, plus the plan's own buffer-pool accounting).  ``python -m
-repro bench-plans`` writes the rows to ``BENCH_plans.json``; the CI plan
-smoke job asserts the Hotspot2D row's speedup.
+All paths are warmed first, timings take the best of ``repeats`` runs, the
+final grids are required to be **bit-identical** across all three, and the
+fused plan's steady loop is additionally measured for allocations (net
+``tracemalloc`` delta across the timed steps, plus the plan's own
+buffer-pool accounting).  ``python -m repro bench-plans`` writes the rows
+to ``BENCH_plans.json``; ``--compare`` diffs a run against a recorded
+baseline and fails on steady-state regressions; the CI plan/fuse smoke
+jobs assert the Hotspot2D row's speedup and that its tape actually fused.
 """
 
 from __future__ import annotations
@@ -32,28 +41,39 @@ from ..apps.suite import ITERATIVE_BENCHMARKS, get_benchmark
 from ..backend.base import NumpyBackend
 from ..backend.plan import iterate_generic
 
-#: Grid sizes for the timing comparison (per dimensionality).  Sized like a
-#: serving-tier request: large enough that NumPy sweeps dominate Python
-#: dispatch, small enough that 64-step runs stay affordable everywhere.
-PLAN_BENCH_SHAPES: Dict[int, Tuple[int, ...]] = {2: (256, 256), 3: (16, 48, 48)}
+#: Grid sizes for the timing comparison (per dimensionality).  Sized so the
+#: working set of a whole unfused tape clearly exceeds the last-level cache
+#: — the regime the tape optimizer targets (1024² Hotspot2D is the paper's
+#: own large 2-D configuration).
+PLAN_BENCH_SHAPES: Dict[int, Tuple[int, ...]] = {2: (1024, 1024),
+                                                 3: (32, 96, 96)}
+
+#: Steady-state regression threshold for ``repro bench-plans --compare``.
+COMPARE_THRESHOLD = 0.25
 
 
 @dataclass
 class PlanTiming:
-    """One benchmark's per-sweep vs plan steady-state comparison."""
+    """One benchmark's per-sweep vs plan vs fused-plan comparison."""
 
     benchmark: str
     shape: Tuple[int, ...]
     steps: int
     per_sweep_s: float          # generic path, whole T-step loop
-    plan_steady_s: float        # plan path, whole T-step loop (warm tapes)
+    plan_steady_s: float        # unfused plan path, whole T-step loop
     plan_build_s: float         # first iterate: captures + buffer allocation
-    speedup: float
-    per_step_us: float          # plan steady cost per timestep
-    tapes: int                  # captured bindings (prologue + ping-pong cycle)
+    speedup: float              # per-sweep / unfused plan
+    per_step_us: float          # unfused plan steady cost per timestep
+    fused_steady_s: float       # optimized (fused + tiled) plan, whole loop
+    fused_speedup: float        # unfused plan / fused plan
+    fused_per_step_us: float    # fused plan steady cost per timestep
+    fused_regions: int          # fused regions across the plan's tapes
+    fused_pads: int             # halo gathers folded into those regions
+    tile: Optional[Tuple]       # winning tile spec (None = heuristic)
+    tapes: int                  # captured bindings (prologue + cycle)
     allocations_per_step: float  # net tracemalloc blocks per steady step
     pool_allocations: int       # fresh pool buffers during the timed loop
-    results_match: bool         # final grids bit-identical across both paths
+    results_match: bool         # all three final grids bit-identical
 
 
 def run_plan_bench(
@@ -62,8 +82,14 @@ def run_plan_bench(
     shapes: Optional[Dict[int, Tuple[int, ...]]] = None,
     repeats: int = 3,
     seed: int = 0,
+    tile: object = "search",
 ) -> List[PlanTiming]:
-    """Time every requested benchmark on both iterative paths."""
+    """Time every requested benchmark on all three iterative paths.
+
+    ``tile`` selects the fused plan's tile shape: ``"search"`` (default)
+    times warm replays across the standard candidates and keeps the winner
+    per benchmark; anything else is passed through as an explicit spec.
+    """
     keys = list(benchmarks or ITERATIVE_BENCHMARKS)
     shapes = dict(shapes or PLAN_BENCH_SHAPES)
     repeats = max(1, repeats)
@@ -77,10 +103,16 @@ def run_plan_bench(
         program = bench.build_program()
         carry = bench.carry_spec()
 
-        plan = backend.plan(program, inputs)
+        plan = backend.plan(program, inputs, tile_shape=False)
         build_started = time.perf_counter()
         plan.iterate(inputs, max(steps, 8), carry=carry)  # capture all tapes
         plan_build_s = time.perf_counter() - build_started
+
+        tile_spec = tile
+        if tile == "search":
+            tile_spec = _search_tile(program, inputs, bench.ndims, carry)
+        fused = backend.plan(program, inputs, tile_shape=tile_spec)
+        fused.iterate(inputs, max(steps, 8), carry=carry)  # warm fused tapes
 
         iterate_generic(backend, program, inputs, 2, carry=carry)  # warm cache
         per_sweep_s = min(
@@ -92,15 +124,24 @@ def run_plan_bench(
             _timed(lambda: plan.iterate(inputs, steps, carry=carry))
             for _ in range(repeats)
         )
+        fused_steady_s = min(
+            _timed(lambda: fused.iterate(inputs, steps, carry=carry))
+            for _ in range(repeats)
+        )
 
         reference = iterate_generic(backend, program, inputs, steps, carry=carry)
         produced = plan.iterate(inputs, steps, carry=carry)
-        results_match = bool(np.array_equal(reference, produced))
+        optimized = fused.iterate(inputs, steps, carry=carry)
+        results_match = bool(
+            np.array_equal(reference, produced)
+            and np.array_equal(reference, optimized)
+        )
 
-        allocations = _steady_allocations(plan, inputs, steps, carry)
-        pool_before = plan._pool.allocations
-        plan.iterate(inputs, steps, carry=carry)
-        pool_allocations = plan._pool.allocations - pool_before
+        allocations = _steady_allocations(fused, inputs, steps, carry)
+        pool_before = fused._pool.allocations
+        fused.iterate(inputs, steps, carry=carry)
+        pool_allocations = fused._pool.allocations - pool_before
+        fused_stats = fused.stats()
 
         rows.append(
             PlanTiming(
@@ -112,13 +153,50 @@ def run_plan_bench(
                 plan_build_s=plan_build_s,
                 speedup=per_sweep_s / plan_steady_s,
                 per_step_us=plan_steady_s / steps * 1e6,
-                tapes=plan.stats()["tapes"],
+                fused_steady_s=fused_steady_s,
+                fused_speedup=plan_steady_s / fused_steady_s,
+                fused_per_step_us=fused_steady_s / steps * 1e6,
+                fused_regions=fused_stats["fused_regions"],
+                fused_pads=fused_stats["fused_pads"],
+                tile=fused_stats["tile_shape"],
+                tapes=fused_stats["tapes"],
                 allocations_per_step=allocations / steps,
                 pool_allocations=pool_allocations,
                 results_match=results_match,
             )
         )
     return rows
+
+
+def _search_tile(program, inputs, ndims: int, carry, steps: int = 8):
+    """The fastest tile spec for the warm double-buffered iterate loop.
+
+    Times each candidate with the same loop the benchmark reports (short,
+    warm ``iterate`` replays) on a throwaway plan whose buffers are released
+    right after, so the search neither skews the timed runs' memory
+    footprint nor leaks pool buffers.
+    """
+    from ..backend.plan import compile_plan
+    from ..tuning.parameters import fuse_tile_candidates
+
+    best_cost = float("inf")
+    best_spec = None
+    for spec in fuse_tile_candidates(ndims):
+        if spec is False:
+            continue
+        plan = compile_plan(program, inputs, tile_shape=spec)
+        try:
+            plan.iterate(inputs, max(4, steps // 2), carry=carry)  # warm
+            cost = min(
+                _timed(lambda: plan.iterate(inputs, steps, carry=carry,
+                                            copy=False))
+                for _ in range(2)
+            )
+        finally:
+            plan.release()
+        if cost < best_cost:
+            best_cost, best_spec = cost, spec
+    return best_spec
 
 
 def _timed(fn) -> float:
@@ -130,9 +208,10 @@ def _timed(fn) -> float:
 def _steady_allocations(plan, inputs, steps: int, carry) -> int:
     """Net traced memory blocks allocated across a warm ``steps``-step loop.
 
-    The tape replays write only into pooled buffers, so the steady loop's
-    net allocation count stays at (small-constant) Python-object noise —
-    this is the number the zero-allocation test asserts a bound on.
+    The tape replays (fused or not) write only into pooled buffers and
+    pre-resolved views, so the steady loop's net allocation count stays at
+    (small-constant) Python-object noise — this is the number the
+    zero-allocation test asserts a bound on.
     """
     plan.iterate(inputs, 2, carry=carry)  # ensure tapes + result buffer exist
     tracemalloc.start()
@@ -149,17 +228,21 @@ def _steady_allocations(plan, inputs, steps: int, carry) -> int:
 def format_plan_bench(rows: Sequence[PlanTiming]) -> str:
     header = (
         f"{'benchmark':<12} {'shape':<12} {'steps':>5} {'per-sweep':>11} "
-        f"{'plan':>9} {'speedup':>8} {'µs/step':>9} {'tapes':>5} "
-        f"{'alloc/step':>10} {'match':>6}"
+        f"{'plan':>9} {'fused':>9} {'plan-x':>7} {'fuse-x':>7} "
+        f"{'µs/step':>9} {'regions':>7} {'tile':<16} {'match':>6}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         shape = "×".join(str(extent) for extent in row.shape)
+        tile = "auto" if row.tile is None else (
+            "off" if row.tile is False else
+            "×".join("*" if e is None else str(e) for e in row.tile))
         lines.append(
             f"{row.benchmark:<12} {shape:<12} {row.steps:>5} "
             f"{row.per_sweep_s:>9.4f} s {row.plan_steady_s:>7.4f} s "
-            f"{row.speedup:>7.2f}x {row.per_step_us:>9.1f} {row.tapes:>5} "
-            f"{row.allocations_per_step:>10.2f} "
+            f"{row.fused_steady_s:>7.4f} s {row.speedup:>6.2f}x "
+            f"{row.fused_speedup:>6.2f}x {row.fused_per_step_us:>9.1f} "
+            f"{row.fused_regions:>7} {tile:<16} "
             f"{'yes' if row.results_match else 'NO':>6}"
         )
     return "\n".join(lines)
@@ -169,8 +252,9 @@ def write_plan_bench(rows: Sequence[PlanTiming], path: str) -> None:
     payload = {
         "description": (
             "Iterative steady-state comparison: one generic run() per "
-            "timestep vs the double-buffered, buffer-pooled execution-plan "
-            "loop (bit-identical results required)"
+            "timestep vs the buffer-pooled execution-plan loop vs the "
+            "tape-optimized (ufunc-fused, cache-block tiled) plan loop "
+            "(bit-identical results required on every path)"
         ),
         "rows": [asdict(row) for row in rows],
     }
@@ -179,9 +263,54 @@ def write_plan_bench(rows: Sequence[PlanTiming], path: str) -> None:
         handle.write("\n")
 
 
+def compare_plan_bench(rows: Sequence[PlanTiming], baseline_path: str,
+                       threshold: float = COMPARE_THRESHOLD):
+    """Diff fresh rows against a recorded ``BENCH_plans.json``.
+
+    Compares the steady-state serving cost (``fused_steady_s`` when both
+    sides have it, else ``plan_steady_s``) per benchmark and flags any row
+    slower than ``baseline × (1 + threshold)``.  Returns ``(report_text,
+    regressions)`` — a non-empty ``regressions`` list means the caller
+    should exit non-zero.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    recorded = {row["benchmark"]: row for row in baseline.get("rows", [])}
+    lines = [f"steady-state vs {baseline_path} "
+             f"(fail above +{threshold * 100:.0f}%):"]
+    regressions: List[str] = []
+    for row in rows:
+        old = recorded.get(row.benchmark)
+        if old is None:
+            lines.append(f"  {row.benchmark:<12} no baseline row — skipped")
+            continue
+        if tuple(old.get("shape", ())) != tuple(row.shape) \
+                or old.get("steps") != row.steps:
+            lines.append(f"  {row.benchmark:<12} baseline ran "
+                         f"{old.get('shape')}×{old.get('steps')} steps — "
+                         "not comparable, skipped")
+            continue
+        old_steady = old.get("fused_steady_s") or old.get("plan_steady_s")
+        new_steady = row.fused_steady_s if old.get("fused_steady_s") \
+            else row.plan_steady_s
+        delta = new_steady / old_steady - 1.0
+        verdict = "REGRESSION" if delta > threshold else "ok"
+        lines.append(
+            f"  {row.benchmark:<12} {old_steady:.4f}s → {new_steady:.4f}s "
+            f"({delta:+.1%}) {verdict}"
+        )
+        if delta > threshold:
+            regressions.append(
+                f"{row.benchmark}: steady-state {delta:+.1%} over baseline"
+            )
+    return "\n".join(lines), regressions
+
+
 __all__ = [
+    "COMPARE_THRESHOLD",
     "PLAN_BENCH_SHAPES",
     "PlanTiming",
+    "compare_plan_bench",
     "format_plan_bench",
     "run_plan_bench",
     "write_plan_bench",

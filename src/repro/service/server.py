@@ -129,6 +129,7 @@ class StencilService:
         self.crosschecks_passed = 0
         self.background_tunes = 0
         self.request_errors = 0
+        self.plans_prewarmed = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "StencilService":
@@ -163,6 +164,71 @@ class StencilService:
 
     async def __aexit__(self, *exc) -> None:
         await self.stop()
+
+    # -- pre-warming -----------------------------------------------------------
+    def prewarm(self, requests: Sequence[ExecutionRequest],
+                batch_capacities: Sequence[int] = ()) -> Dict[str, int]:
+        """Capture execution plans for these requests off the request path.
+
+        For each request the routing decision is resolved through the tuned
+        registry exactly as admission would, the program's execution plan
+        (optimized, fused tape) is compiled into the plan cache and its tape
+        captured with one real sweep — so the first *single* live request
+        for the same (digest, shapes) pays a pure tape replay instead of
+        ``plan_build_s``.  ``batch_capacities`` additionally captures the
+        *batched* plans micro-batching routes groups through (capacities
+        are rounded up to the powers of two the batcher keys plans by), so
+        the first live micro-batch is warm too; it defaults to empty
+        because a capacity-``C`` plan holds ``C`` stacked copies of every
+        buffer — warm exactly the capacities your traffic reaches.  Pure
+        backend/registry work, safe to run from any thread before (or
+        while) the service loop is serving; typically invoked by ``repro
+        serve --prewarm`` between bind and listen.  Returns
+        ``{"prewarmed": n, "skipped": m}`` counting per (request ×
+        capacity) plan — skipped entries cannot be captured as plans (they
+        will be served by the generic path anyway).
+        """
+        prepared = 0
+        skipped = 0
+        capacities = []
+        for requested in batch_capacities:
+            capacity = 1
+            while capacity < max(1, int(requested)):
+                capacity *= 2
+            if capacity > 1 and capacity not in capacities:
+                capacities.append(capacity)
+        for request in requests:
+            try:
+                route = self.registry.plan_for(benchmark=request.benchmark,
+                                               program=request.program)
+                shape = tuple(request.inputs[0].shape) if request.inputs else ()
+                program, _variant, _source = route.program_for(shape)
+                size_env = request.size_env or None
+                if self.use_plans:
+                    plan = self.backend.plan(program, request.inputs, size_env)
+                    plan.run(request.inputs)  # capture: the tape, off-path
+                else:
+                    self.backend.run(program, request.inputs, size_env)
+                prepared += 1
+            except Exception:  # noqa: BLE001 - prewarm is best-effort
+                skipped += 1
+                continue
+            if not self.use_plans:
+                continue
+            for capacity in capacities:
+                try:
+                    signature = [
+                        ((capacity,) + tuple(grid.shape), str(grid.dtype))
+                        for grid in request.inputs
+                    ]
+                    plan = self.backend.plan(program, signature, size_env,
+                                             batched=True)
+                    plan.run_batched_parts([request.inputs] * capacity)
+                    prepared += 1
+                except Exception:  # noqa: BLE001 - prewarm is best-effort
+                    skipped += 1
+        self.plans_prewarmed += prepared
+        return {"prewarmed": prepared, "skipped": skipped}
 
     # -- the request path ------------------------------------------------------
     async def submit(self, request: ExecutionRequest) -> ExecutionResponse:
@@ -407,6 +473,7 @@ class StencilService:
             "crosschecks_passed": self.crosschecks_passed,
             "background_tunes": self.background_tunes,
             "request_errors": self.request_errors,
+            "plans_prewarmed": self.plans_prewarmed,
             "registry": self.registry.stats(),
             "plans": self.backend.plans.stats() if self.use_plans else None,
         }
@@ -588,6 +655,8 @@ def run_server(
     port: int = 7457,
     max_requests: Optional[int] = None,
     ready_event: Optional[threading.Event] = None,
+    prewarm: Optional[Sequence[ExecutionRequest]] = None,
+    prewarm_batch: Sequence[int] = (),
     **service_kwargs,
 ) -> Dict[str, object]:
     """Start a service + TCP endpoint and serve until done (blocking).
@@ -595,12 +664,23 @@ def run_server(
     Runs until ``max_requests`` execute ops were served (when given) or the
     loop is interrupted.  Returns the final stats report.  ``ready_event``
     is set once the socket is listening — used by in-process smoke tests.
+    ``prewarm`` requests have their plans captured *before* the endpoint
+    starts accepting connections (``prewarm_batch`` capacities warm the
+    batched plans too), so prewarmed traffic never pays a plan build.
     """
     stats: Dict[str, object] = {}
 
     async def main() -> None:
         service = StencilService(**service_kwargs)
         async with service:
+            if prewarm:
+                warmed = await asyncio.get_running_loop().run_in_executor(
+                    None, lambda: service.prewarm(
+                        list(prewarm), batch_capacities=prewarm_batch
+                    )
+                )
+                print(f"prewarmed {warmed['prewarmed']} plans "
+                      f"({warmed['skipped']} skipped)", flush=True)
             server = await serve_tcp(service, host, port,
                                      max_requests=max_requests)
             async with server:

@@ -94,6 +94,37 @@ class ParameterSpace:
                     yield candidate
 
 
+#: Row-block extents searched for the tape optimizer's tile parameter, per
+#: grid dimensionality.  2-D grids block rows (trailing axis stays whole and
+#: contiguous); 3-D grids block depth slabs.
+FUSE_TILE_BLOCKS = {2: (16, 32, 64), 3: (2, 4, 8)}
+
+
+def fuse_tile_candidates(ndims: int) -> List[object]:
+    """Tile-shape candidates for fused-plan replay at one dimensionality.
+
+    Returns specs in the form :func:`repro.backend.fuse.normalize_tile_spec`
+    accepts: ``False`` (unfused tape), ``"auto"`` (the cache-sized
+    heuristic — spelled as a string, not ``None``, so a winning heuristic
+    stays distinguishable from "no tile search ran" in
+    :attr:`~repro.tuning.tuner.TuningResult.tile_shape`) and explicit
+    leading-axis row/slab blocks with ``None`` (= whole-axis) entries for
+    the remaining axes.  This is the space
+    :meth:`~repro.tuning.tuner.AutoTuner` searches through its
+    ``measure_best`` hook and the engine's measured scorer times with warm
+    fused-plan replays.
+    """
+    blocks = FUSE_TILE_BLOCKS.get(min(max(ndims, 2), 3), FUSE_TILE_BLOCKS[3])
+    return [False, "auto"] + [
+        (block,) + (None,) * (max(ndims, 2) - 1) for block in blocks
+    ]
+
+
+def fuse_tile_parameter(ndims: int, name: str = "fuse_tile") -> Parameter:
+    """The tape-optimizer tile as a first-class tunable parameter."""
+    return Parameter(name, tuple(fuse_tile_candidates(ndims)))
+
+
 def opencl_constraints(
     max_workgroup_size: int,
     local_memory_bytes: int,
@@ -137,4 +168,13 @@ def opencl_constraints(
     return [fits_workgroup, fits_local_memory, workgroup_not_larger_than_output]
 
 
-__all__ = ["Parameter", "ParameterSpace", "Configuration", "Constraint", "opencl_constraints"]
+__all__ = [
+    "Configuration",
+    "Constraint",
+    "FUSE_TILE_BLOCKS",
+    "Parameter",
+    "ParameterSpace",
+    "fuse_tile_candidates",
+    "fuse_tile_parameter",
+    "opencl_constraints",
+]

@@ -31,6 +31,10 @@ class TuningResult:
     hook: the winner's *steady-state* wall-clock cost, measured through an
     allocation-free execution plan (warm tape replay), as opposed to the
     model- or first-call-based ``best_cost`` the search optimised.
+    ``tile_shape`` records the tape-optimizer tile the hook selected when it
+    additionally searched tile sizes over warm fused-plan replays (``False``
+    = the unfused tape won, ``"auto"`` = the cache-sized heuristic won,
+    ``None`` when no tile search ran).
     """
 
     best_configuration: Configuration
@@ -38,15 +42,21 @@ class TuningResult:
     evaluations: int
     history: List[Evaluation]
     steady_cost_s: Optional[float] = None
+    tile_shape: object = None
 
     def describe(self) -> str:
         steady = (
             f", steady {self.steady_cost_s * 1e3:.4f} ms"
             if self.steady_cost_s is not None else ""
         )
+        tile = (
+            f" [tile {self.tile_shape}]"
+            if self.steady_cost_s is not None and self.tile_shape is not None
+            else ""
+        )
         return (
             f"best cost {self.best_cost:.6g} after {self.evaluations} evaluations"
-            f"{steady}: {self.best_configuration}"
+            f"{steady}{tile}: {self.best_configuration}"
         )
 
 
@@ -72,7 +82,11 @@ class AutoTuner:
     cost in seconds — callers route this through an execution plan so the
     recorded number reflects the warm serving path, not first-call
     compilation and allocation noise.  The value is reported as
-    :attr:`TuningResult.steady_cost_s`.
+    :attr:`TuningResult.steady_cost_s`.  The callback may instead return a
+    ``(cost_s, tile_shape)`` pair — the contract of
+    :func:`repro.backend.fuse.measure_best_tile`, which times warm fused
+    replays across tape-optimizer tile shapes — in which case the winning
+    tile is reported as :attr:`TuningResult.tile_shape`.
     """
 
     STRATEGIES = ("exhaustive", "random", "hillclimb")
@@ -120,16 +134,21 @@ class AutoTuner:
             )
         if self.validate_best is not None:
             self.validate_best(outcome.best.configuration)
-        steady = (
-            self.measure_best(outcome.best.configuration)
-            if self.measure_best is not None else None
-        )
+        steady = None
+        tile_shape = None
+        if self.measure_best is not None:
+            measured = self.measure_best(outcome.best.configuration)
+            if isinstance(measured, tuple):
+                steady, tile_shape = measured
+            else:
+                steady = measured
         return TuningResult(
             best_configuration=outcome.best.configuration,
             best_cost=outcome.best.cost,
             evaluations=outcome.evaluations,
             history=outcome.history,
             steady_cost_s=steady,
+            tile_shape=tile_shape,
         )
 
 

@@ -175,6 +175,11 @@ class TestTunerSteadyMeasurement:
         assert result.steady_cost_s is not None
         assert 0.0 < result.steady_cost_s < 10.0
         assert "steady" in result.describe()
+        # The measurer searches the tape optimizer's tile space with warm
+        # fused replays and reports the winning spec.
+        from repro.tuning.parameters import fuse_tile_candidates
+
+        assert result.tile_shape in fuse_tile_candidates(bench.ndims)
 
     def test_functional_validator_checks_plan_bit_identity(self):
         from repro.apps.suite import get_benchmark
