@@ -120,14 +120,15 @@ class StencilBenchmark:
         return normalize_carry(self.carry, count)
 
     def run_plan(self, inputs: Sequence[np.ndarray], backend=None,
-                 tile_shape=None) -> np.ndarray:
+                 tile_shape=None, parallel_workers=None) -> np.ndarray:
         """Execute the Lift expression through an allocation-free plan.
 
         Bit-identical to :meth:`run_lift` on the compiled backend; the plan
         (pooled buffers + replayable ``out=`` tape, fused + tiled by the
         tape optimizer) is cached on the backend and reused across calls
         with the same input shapes.  ``tile_shape`` selects the optimizer's
-        tile (``None`` = heuristic, ``False`` = unfused, tuple = explicit).
+        tile (``None`` = heuristic, ``False`` = unfused, tuple = explicit);
+        ``parallel_workers`` replays fused regions N-way chunked.
         """
         from ..backend.base import NumpyBackend
 
@@ -136,19 +137,21 @@ class StencilBenchmark:
             return self.run_lift(inputs, backend=resolved)
         program = self.build_program()
         result = resolved.run_plan(program, list(inputs),
-                                   tile_shape=tile_shape)
+                                   tile_shape=tile_shape,
+                                   parallel_workers=parallel_workers)
         return squeeze_result(np.asarray(result, dtype=np.float64))
 
     def iterate(self, inputs: Sequence[np.ndarray], steps: int,
                 backend=None, use_plan: bool = True,
-                tile_shape=None) -> np.ndarray:
+                tile_shape=None, parallel_workers=None) -> np.ndarray:
         """Run ``steps`` timesteps, feeding outputs back per :attr:`carry`.
 
         ``use_plan`` selects the double-buffered execution-plan loop
         (default); ``use_plan=False`` drives the per-sweep generic ``run``
         path instead — the two are bit-identical, the plan path just does
         not allocate or re-dispatch in the steady state.  ``tile_shape``
-        picks the tape optimizer's tile for the plan path.
+        picks the tape optimizer's tile for the plan path and
+        ``parallel_workers`` its fused-region replay parallelism.
         """
         from ..backend.base import NumpyBackend
         from ..backend.plan import iterate_generic
@@ -158,7 +161,8 @@ class StencilBenchmark:
         spec = self.carry_spec()
         if use_plan and isinstance(resolved, NumpyBackend):
             result = resolved.iterate(program, list(inputs), steps, carry=spec,
-                                      tile_shape=tile_shape)
+                                      tile_shape=tile_shape,
+                                      parallel_workers=parallel_workers)
         else:
             result = iterate_generic(resolved, program, list(inputs), steps,
                                      carry=spec)

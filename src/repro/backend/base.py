@@ -143,6 +143,7 @@ class NumpyBackend:
         size_env: Optional[Mapping[str, int]] = None,
         batched: bool = False,
         tile_shape=None,
+        parallel_workers=None,
     ) -> ExecutionPlan:
         """The cached execution plan for this program + input shapes.
 
@@ -152,7 +153,9 @@ class NumpyBackend:
         through plans, and in batches still compiles exactly once.
         ``tile_shape`` selects the tape optimizer's tile (``None`` = auto
         heuristic, ``False`` = unfused, tuple = explicit trailing-axis
-        blocking); distinct tile shapes cache distinct plans.
+        blocking); ``parallel_workers`` selects N-way chunked replay of
+        fused regions (``None``/``1`` = serial).  Distinct tile shapes and
+        worker counts cache distinct plans.
         """
         kernel_resolver = None
         if self.cache is not None:
@@ -168,6 +171,7 @@ class NumpyBackend:
         return self.plans.get_or_compile(
             program, inputs_or_signature, size_env, batched=batched,
             kernel_resolver=kernel_resolver, tile_shape=tile_shape,
+            parallel_workers=parallel_workers,
         )
 
     def run_plan(
@@ -176,6 +180,7 @@ class NumpyBackend:
         inputs: Sequence,
         size_env: Optional[Mapping[str, int]] = None,
         tile_shape=None,
+        parallel_workers=None,
     ) -> np.ndarray:
         """Like :meth:`run`, through the plan path (bit-identical results).
 
@@ -186,7 +191,8 @@ class NumpyBackend:
         """
         try:
             return self.plan(program, inputs, size_env,
-                             tile_shape=tile_shape).run(inputs)
+                             tile_shape=tile_shape,
+                             parallel_workers=parallel_workers).run(inputs)
         except CompileError:
             return self.run(program, inputs, size_env)
 
@@ -198,6 +204,7 @@ class NumpyBackend:
         carry=None,
         size_env: Optional[Mapping[str, int]] = None,
         tile_shape=None,
+        parallel_workers=None,
     ) -> np.ndarray:
         """Run ``steps`` timesteps through the double-buffered plan loop.
 
@@ -207,7 +214,8 @@ class NumpyBackend:
         """
         try:
             return self.plan(program, inputs, size_env,
-                             tile_shape=tile_shape).iterate(
+                             tile_shape=tile_shape,
+                             parallel_workers=parallel_workers).iterate(
                 inputs, steps, carry=carry
             )
         except CompileError:

@@ -37,11 +37,30 @@ Tile shape is a first-class tuning parameter (see
 :func:`measure_best_tile`): ``None`` selects a cache-sized row-block
 heuristic, ``False`` disables fusion, and an explicit tuple blocks the
 trailing output axes (``None`` entries keep an axis un-blocked).
+
+**Parallel tiled replay.**  Tiles of a fused region are independent by
+construction: each tile writes a disjoint box of every written-through
+buffer, per-tile intermediates live in scratch, and the only overlapping
+writes — adjacent tiles refreshing a shared halo slab — copy *identical
+bytes* from the same source, so racing them is benign.  When a plan is
+built with ``parallel_workers=N`` (see :func:`normalize_workers`), the
+tile grid is partitioned into N contiguous chunks, each chunk gets its
+**own pooled scratch set** (preserving the zero-steady-allocation
+invariant — no sharing, no locking in the hot loop), and a persistent
+process-wide :class:`ReplayWorkerPool` of daemon threads replays the
+chunks concurrently.  Threads, not processes: NumPy ufuncs release the
+GIL over their inner loops, so bandwidth-bound tile chunks scale across
+cores without serialising on the interpreter.  The capture-time
+bit-identity check in :meth:`~repro.backend.plan.ExecutionPlan._capture`
+runs through this same parallel path, so an accepted parallel plan has
+already proven itself bit-identical to the generic backend.
 """
 
 from __future__ import annotations
 
 import itertools
+import queue
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -53,6 +72,11 @@ from .ufunc_trace import TracedArray
 #: should sit comfortably in L2: with the couple of buffers liveness reuse
 #: leaves live, 256 KiB per buffer keeps the fused loop cache-resident.
 TILE_TARGET_BYTES = 1 << 18
+
+#: Upper bound on parallel replay workers per fused region.  Scratch cost
+#: scales linearly with workers (one scratch set per chunk), so the cap
+#: keeps a mis-tuned ``parallel_workers`` from ballooning the pool.
+MAX_REPLAY_WORKERS = 16
 
 
 class FusionError(Exception):
@@ -82,6 +106,26 @@ def normalize_tile_spec(tile_shape):
         if entry is not None and entry < 1:
             raise ExecutionError(f"invalid tile extent {entry}")
     return spec
+
+
+def normalize_workers(parallel_workers) -> int:
+    """Canonicalise a parallel-replay worker spec to a concrete count.
+
+    ``None``, ``False``, ``0`` and ``1`` all mean *serial replay* (the
+    default, and the only useful setting on a single-core machine); an
+    integer ``N >= 2`` requests N-way chunked replay, clamped to
+    :data:`MAX_REPLAY_WORKERS`.  The canonical form is part of the
+    :class:`~repro.backend.plan.PlanCache` key, so ``None`` and ``1``
+    resolve to the same cached plan.
+    """
+    if parallel_workers is None or parallel_workers is False:
+        return 1
+    count = int(parallel_workers)
+    if count < 0:
+        raise ExecutionError(
+            f"invalid parallel_workers {parallel_workers!r}"
+        )
+    return min(max(count, 1), MAX_REPLAY_WORKERS)
 
 
 def auto_tile(shape: Sequence[int], itemsize: int = 8,
@@ -231,34 +275,155 @@ def _tile_view(array: np.ndarray, tile, region_shape) -> np.ndarray:
 _UFUNC, _COPY, _WHERE, _CLIP = 0, 1, 2, 3
 
 
+def _replay_steps(steps: Sequence[Tuple]) -> None:
+    """Replay one chunk's pre-resolved micro-ops — the fused hot loop."""
+    for step in steps:
+        kind = step[0]
+        if kind == _UFUNC:
+            step[1](*step[2], out=step[3])
+        elif kind == _COPY:
+            np.copyto(step[1], step[2])
+        elif kind == _WHERE:
+            np.copyto(step[4], step[3], casting="unsafe")
+            np.copyto(step[4], step[2], where=step[1], casting="unsafe")
+        else:  # _CLIP
+            np.clip(step[1], step[2], step[3], out=step[4])
+
+
+class _Latch:
+    """Countdown latch carrying the first worker error (if any)."""
+
+    __slots__ = ("_remaining", "error", "_cond")
+
+    def __init__(self, count: int) -> None:
+        self._remaining = count
+        self.error: Optional[BaseException] = None
+        self._cond = threading.Condition(threading.Lock())
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        with self._cond:
+            if error is not None and self.error is None:
+                self.error = error
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._remaining > 0:
+                self._cond.wait()
+
+
+class ReplayWorkerPool:
+    """Process-wide pool of daemon threads replaying fused tile chunks.
+
+    Threads (not processes) because NumPy ufuncs release the GIL over
+    their inner loops — bandwidth-bound chunks genuinely overlap.  The
+    pool is lazy and persistent: threads spawn on first parallel replay
+    and idle on a queue between runs, so the steady serving path pays no
+    thread-creation cost.  ``run_parts`` executes chunk 0 inline on the
+    caller (one fewer handoff; the caller is otherwise idle) and always
+    waits for every dispatched chunk before returning — even when a chunk
+    raises — so plan scratch is never touched after the call returns and
+    the first error propagates to the caller intact.
+    """
+
+    def __init__(self, max_threads: int = MAX_REPLAY_WORKERS) -> None:
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._spawn_lock = threading.Lock()
+        self._threads = 0
+        self._max_threads = max_threads
+
+    def _ensure_threads(self, needed: int) -> None:
+        target = min(needed, self._max_threads)
+        if self._threads >= target:
+            return
+        with self._spawn_lock:
+            while self._threads < target:
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-replay-{self._threads}",
+                    daemon=True,
+                )
+                worker.start()
+                self._threads += 1
+
+    def _worker_loop(self) -> None:
+        while True:
+            latch, steps = self._queue.get()
+            try:
+                _replay_steps(steps)
+            except BaseException as error:  # noqa: BLE001 - must reach caller
+                latch.finish(error)
+            else:
+                latch.finish()
+
+    def run_parts(self, parts: Sequence[Sequence[Tuple]]) -> None:
+        tail = parts[1:]
+        self._ensure_threads(len(tail))
+        latch = _Latch(len(tail))
+        for steps in tail:
+            self._queue.put((latch, steps))
+        inline_error: Optional[BaseException] = None
+        try:
+            _replay_steps(parts[0])
+        except BaseException as error:  # noqa: BLE001 - joined below
+            inline_error = error
+        latch.wait()  # never leave workers racing a returned-from replay
+        error = inline_error if inline_error is not None else latch.error
+        if error is not None:
+            raise error
+
+
+_REPLAY_POOL: Optional[ReplayWorkerPool] = None
+_REPLAY_POOL_LOCK = threading.Lock()
+
+
+def replay_pool() -> ReplayWorkerPool:
+    """The process-wide :class:`ReplayWorkerPool` (created on first use)."""
+    global _REPLAY_POOL
+    if _REPLAY_POOL is None:
+        with _REPLAY_POOL_LOCK:
+            if _REPLAY_POOL is None:
+                _REPLAY_POOL = ReplayWorkerPool()
+    return _REPLAY_POOL
+
+
 class FusedOp:
     """One fused region: pre-resolved tile micro-ops, replayed in order.
 
     Every operand/output view was resolved at build time, so a replay is a
     flat loop of NumPy calls over existing views — zero allocations.
+    ``parts`` holds one step list per worker chunk: serial plans have a
+    single part replayed inline; parallel plans hand parts 1..N-1 to the
+    :class:`ReplayWorkerPool` while part 0 runs on the caller.  Each part
+    was built against its own scratch set, so parts share no mutable state
+    beyond the benign identical-byte halo overlaps documented above.
     """
 
-    __slots__ = ("steps", "tiles", "schedules", "pads")
+    __slots__ = ("parts", "tiles", "schedules", "pads")
 
-    def __init__(self, steps: List[Tuple], tiles: int,
+    def __init__(self, parts: List[List[Tuple]], tiles: int,
                  schedules: int, pads: int) -> None:
-        self.steps = steps
+        self.parts = parts
         self.tiles = tiles
         self.schedules = schedules
         self.pads = pads
 
+    @property
+    def step_count(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    @property
+    def workers(self) -> int:
+        return len(self.parts)
+
     def run(self) -> None:
-        for step in self.steps:
-            kind = step[0]
-            if kind == _UFUNC:
-                step[1](*step[2], out=step[3])
-            elif kind == _COPY:
-                np.copyto(step[1], step[2])
-            elif kind == _WHERE:
-                np.copyto(step[4], step[3], casting="unsafe")
-                np.copyto(step[4], step[2], where=step[1], casting="unsafe")
-            else:  # _CLIP
-                np.clip(step[1], step[2], step[3], out=step[4])
+        parts = self.parts
+        if len(parts) == 1:
+            _replay_steps(parts[0])
+        else:
+            replay_pool().run_parts(parts)
 
 
 class FusionInfo:
@@ -429,9 +594,27 @@ def find_regions(entries: List[TapeEntry], out_buffer: np.ndarray):
 # Building the fused replay
 # ---------------------------------------------------------------------------
 
+def _partition_grid(grid: List, parts_count: int) -> List[List]:
+    """Split the tile grid into ``parts_count`` contiguous, balanced chunks.
+
+    Contiguity keeps each worker streaming adjacent tiles (prefetch- and
+    TLB-friendly); balance keeps the slowest chunk within one tile of the
+    fastest.
+    """
+    base, extra = divmod(len(grid), parts_count)
+    chunks: List[List] = []
+    start = 0
+    for index in range(parts_count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(grid[start:start + size])
+        start += size
+    return chunks
+
+
 def _build_region(entries: List[TapeEntry], region: _Region,
                   out_buffer: np.ndarray, tile_spec, pool,
-                  scratch: List[np.ndarray]) -> Optional[FusedOp]:
+                  scratch: List[np.ndarray],
+                  workers: int = 1) -> Optional[FusedOp]:
     schedules = [entries[k].schedule for k in range(region.start, region.end)]
     final_node = schedules[-1].nodes[-1]
     if final_node.buffer is None:
@@ -478,30 +661,34 @@ def _build_region(entries: List[TapeEntry], region: _Region,
         if not locations and not fed:
             raise FusionError("fused pad has no reader inside the region")
 
-    if len(schedules) < 2 and not pads:
-        return None  # a lone schedule gains nothing from tiling
-
     tiles = tile_extents(tile_spec, region_shape, final_node.buffer.itemsize)
     grid = _tile_grid(region_shape, tiles)
+    parts_count = 1 if workers <= 1 else max(1, min(workers, len(grid)))
 
-    # One tile-sized scratch buffer per internal (non-through) buffer,
-    # shared across tiles (tiles replay sequentially); edge tiles use
-    # pre-sliced sub-views.
-    scratch_for: Dict[int, np.ndarray] = {}
-    for key, buffer in internal.items():
-        if key in through:
-            continue
-        offset = len(region_shape) - buffer.ndim
-        shape = tuple(
-            1 if buffer.shape[axis] == 1
-            else min(buffer.shape[axis], tiles[offset + axis])
-            for axis in range(buffer.ndim)
-        )
-        tile_scratch = pool.acquire(shape, buffer.dtype)
-        scratch.append(tile_scratch)
-        scratch_for[key] = tile_scratch
+    if len(schedules) < 2 and not pads and parts_count < 2:
+        return None  # a lone schedule gains nothing from serial tiling
 
-    def buffer_tile(buffer: np.ndarray, tile) -> np.ndarray:
+    def allocate_scratch() -> Dict[int, np.ndarray]:
+        # One tile-sized scratch buffer per internal (non-through) buffer.
+        # Tiles *within* a chunk replay sequentially and share the set;
+        # each chunk gets its own set so parallel workers never share
+        # scratch.  Edge tiles use pre-sliced sub-views.
+        scratch_for: Dict[int, np.ndarray] = {}
+        for key, buffer in internal.items():
+            if key in through:
+                continue
+            offset = len(region_shape) - buffer.ndim
+            shape = tuple(
+                1 if buffer.shape[axis] == 1
+                else min(buffer.shape[axis], tiles[offset + axis])
+                for axis in range(buffer.ndim)
+            )
+            tile_scratch = pool.acquire(shape, buffer.dtype)
+            scratch.append(tile_scratch)
+            scratch_for[key] = tile_scratch
+        return scratch_for
+
+    def buffer_tile(buffer: np.ndarray, tile, scratch_for) -> np.ndarray:
         key = id(buffer)
         if key in through:
             return _tile_view(buffer, tile, region_shape)
@@ -514,21 +701,20 @@ def _build_region(entries: List[TapeEntry], region: _Region,
         )
         return base[selector]
 
-    def operand_tile(operand, tile):
+    def operand_tile(operand, tile, scratch_for):
         if isinstance(operand, TracedArray):
             if operand.node is not None:
-                return buffer_tile(operand.node.buffer, tile)
+                return buffer_tile(operand.node.buffer, tile, scratch_for)
             leaf = operand.concrete
             for buffer in internal.values():
                 if np.may_share_memory(leaf, buffer):
-                    return buffer_tile(buffer, tile)
+                    return buffer_tile(buffer, tile, scratch_for)
             return _tile_view(leaf, tile, region_shape)
         if isinstance(operand, np.ndarray):
             return _tile_view(operand, tile, region_shape)
         return operand
 
-    steps: List[Tuple] = []
-    for tile in grid:
+    def build_tile_steps(tile, scratch_for, steps: List[Tuple]) -> None:
         # Walk the fused pads backwards: each pad's required box is the
         # union of the region leaves' located reads and the restricted
         # gathers of every later pad chained onto its buffer.
@@ -578,35 +764,47 @@ def _build_region(entries: List[TapeEntry], region: _Region,
             steps.extend(tile_steps)
         for schedule in schedules:
             for node in schedule.nodes:
-                out = buffer_tile(node.buffer, tile)
+                out = buffer_tile(node.buffer, tile, scratch_for)
                 if node.kind == "ufunc":
                     steps.append((
                         _UFUNC, node.fn,
-                        tuple(operand_tile(op, tile) for op in node.operands),
+                        tuple(operand_tile(op, tile, scratch_for)
+                              for op in node.operands),
                         out,
                     ))
                 elif node.kind == "where":
-                    condition, x, y = (operand_tile(op, tile)
+                    condition, x, y = (operand_tile(op, tile, scratch_for)
                                        for op in node.operands)
                     steps.append((_WHERE, condition, x, y, out))
                 else:  # clip
-                    a, lo, hi = (operand_tile(op, tile)
+                    a, lo, hi = (operand_tile(op, tile, scratch_for)
                                  for op in node.operands)
                     steps.append((_CLIP, a, lo, hi, out))
 
-    return FusedOp(steps, tiles=len(grid), schedules=len(schedules),
+    parts: List[List[Tuple]] = []
+    for chunk in _partition_grid(grid, parts_count):
+        chunk_scratch = allocate_scratch()
+        chunk_steps: List[Tuple] = []
+        for tile in chunk:
+            build_tile_steps(tile, chunk_scratch, chunk_steps)
+        parts.append(chunk_steps)
+
+    return FusedOp(parts, tiles=len(grid), schedules=len(schedules),
                    pads=len(pads))
 
 
 def optimize_tape(entries: List[TapeEntry], out_buffer: np.ndarray,
-                  tile_spec, pool):
+                  tile_spec, pool, workers: int = 1):
     """Fuse every eligible region of a captured tape.
 
     Returns ``(ops, scratch_buffers, info)`` — the new op list with fused
     regions replaced by :class:`FusedOp` replays — or ``None`` when nothing
     fuses.  Raises :class:`FusionError` (after handing scratch back to the
     pool) when an analysis invariant fails; callers fall back to the
-    unfused tape either way.
+    unfused tape either way.  ``workers`` (already canonicalised through
+    :func:`normalize_workers`) selects N-way chunked parallel replay; each
+    chunk's scratch comes from the same ``pool``, so worker scratch is
+    released with the rest on fallback or plan release.
     """
     regions = find_regions(entries, out_buffer)
     scratch: List[np.ndarray] = []
@@ -615,7 +813,7 @@ def optimize_tape(entries: List[TapeEntry], out_buffer: np.ndarray,
     try:
         for region in regions:
             fused = _build_region(entries, region, out_buffer, tile_spec,
-                                  pool, scratch)
+                                  pool, scratch, workers=workers)
             if fused is None:
                 continue
             replacements.append((region, fused))
@@ -623,7 +821,7 @@ def optimize_tape(entries: List[TapeEntry], out_buffer: np.ndarray,
             info.tiles += fused.tiles
             info.fused_schedules += fused.schedules
             info.fused_pads += fused.pads
-            info.steps += len(fused.steps)
+            info.steps += fused.step_count
     except FusionError:
         pool.release_all(scratch)
         raise
@@ -652,40 +850,60 @@ def optimize_tape(entries: List[TapeEntry], out_buffer: np.ndarray,
 # ---------------------------------------------------------------------------
 
 def measure_best_tile(backend, program, inputs, candidates=None,
-                      runs: int = 3, size_env=None):
-    """Time warm fused-plan replays across tile specs; return the winner.
+                      runs: int = 3, size_env=None,
+                      worker_candidates=None):
+    """Time warm fused-plan replays across tile × worker specs; return the
+    winner.
 
     ``candidates`` defaults to
     :func:`repro.tuning.parameters.fuse_tile_candidates` for the input's
-    dimensionality.  Returns ``(steady_seconds, tile_spec)`` for the
+    dimensionality; ``worker_candidates`` defaults to
+    :func:`repro.tuning.parameters.replay_worker_candidates` (just
+    ``(1,)`` on a single-core machine, so the search stays serial there).
+    Returns ``(steady_seconds, tile_spec, parallel_workers)`` for the
     fastest warm replay — the tuner's ``measure_best`` protocol, and the
-    engine worker's measured-scoring primitive.
+    engine worker's measured-scoring primitive.  Worker counts above 1 are
+    only timed for specs that actually fuse (``False`` replays the unfused
+    tape, which has no tiles to parallelise).
     """
-    from ..tuning.parameters import fuse_tile_candidates
+    from ..tuning.parameters import (
+        fuse_tile_candidates,
+        replay_worker_candidates,
+    )
     from .plan import time_steady
 
     if candidates is None:
         ndims = max((np.ndim(grid) for grid in inputs), default=2)
         candidates = fuse_tile_candidates(ndims)
+    if worker_candidates is None:
+        worker_candidates = replay_worker_candidates()
     best_cost = float("inf")
     best_spec = False
+    best_workers = 1
     for spec in candidates:
-        plan = backend.plan(program, inputs, size_env, tile_shape=spec)
-        cost = time_steady(plan, inputs, runs=runs)
-        if cost < best_cost:
-            best_cost, best_spec = cost, spec
-    return best_cost, best_spec
+        workers_to_try = (1,) if spec is False else worker_candidates
+        for workers in workers_to_try:
+            plan = backend.plan(program, inputs, size_env, tile_shape=spec,
+                                parallel_workers=workers)
+            cost = time_steady(plan, inputs, runs=runs)
+            if cost < best_cost:
+                best_cost, best_spec, best_workers = cost, spec, workers
+    return best_cost, best_spec, best_workers
 
 
 __all__ = [
     "FusedOp",
     "FusionError",
     "FusionInfo",
+    "MAX_REPLAY_WORKERS",
+    "ReplayWorkerPool",
     "TILE_TARGET_BYTES",
     "auto_tile",
     "find_regions",
     "measure_best_tile",
     "normalize_tile_spec",
+    "normalize_workers",
     "optimize_tape",
+    "replay_pool",
     "tile_extents",
 ]

@@ -88,7 +88,11 @@ class PlanCaptureError(CompileError):
     reducing its array argument to a Python float) has no buffer to refresh
     through, so replays would silently freeze first-sweep data.  Callers
     treat this like any :class:`CompileError`: the plan path refuses and
-    the generic per-call path serves the program instead.
+    the generic per-call path serves the program instead.  The full
+    fallback chain is plan tape → generic compiled kernel → (when the
+    backend was built with ``fallback=True``) the reference interpreter —
+    every rung serves the exact program, each one trading speed for
+    generality, so no program ever loses coverage by asking for a plan.
     """
 
 

@@ -31,12 +31,17 @@ gathers included — are fused into regions replayed **tile by tile** over
 cache-blocked output slices with per-tile pooled scratch, verified
 bit-identical against the unfused tape at capture time and falling back to
 it for anything the analyzer cannot prove safe.  The tile shape is a plan
-parameter (``tile_shape``) the auto-tuner searches.
+parameter (``tile_shape``) the auto-tuner searches, and so is
+``parallel_workers``: with ``N >= 2`` each fused region's tile grid is
+chunked across a persistent worker-thread pool, every chunk replaying
+against its own pooled scratch set (see
+:class:`~repro.backend.fuse.ReplayWorkerPool`) — the capture-time
+verification exercises that same parallel replay before trusting it.
 
 Plans are shape-bound (buffers are sized at build time) and serialise their
 own execution with a lock; :class:`PlanCache` memoises them per (program
-structure, input shapes, size environment, batched, tile spec) the way the
-compilation cache memoises kernels.
+structure, input shapes, size environment, batched, tile spec, workers)
+the way the compilation cache memoises kernels.
 """
 
 from __future__ import annotations
@@ -47,7 +52,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from ..core.ir import Lambda, structural_key
-from .fuse import normalize_tile_spec, optimize_tape
+from .fuse import normalize_tile_spec, normalize_workers, optimize_tape
 from .numpy_backend import (
     Batched,
     CaptureArena,
@@ -220,6 +225,7 @@ class ExecutionPlan:
         batched: bool = False,
         kernel: Optional[CompiledKernel] = None,
         tile_shape=None,
+        parallel_workers=None,
     ) -> None:
         self.program = program
         self.size_env = dict(size_env or {})
@@ -227,6 +233,10 @@ class ExecutionPlan:
         #: Tape-optimizer tile spec: ``None`` = cache-sized heuristic,
         #: ``False`` = unfused tapes, a tuple = explicit trailing-axis tile.
         self.tile_shape = normalize_tile_spec(tile_shape)
+        #: Fused-region replay workers: 1 = serial (the default), ``N >= 2``
+        #: chunks each region's tile grid across the process-wide
+        #: :class:`~repro.backend.fuse.ReplayWorkerPool`.
+        self.parallel_workers = normalize_workers(parallel_workers)
         self.input_shapes = plan_signature(inputs_or_signature)
         if not self.input_shapes:
             raise ExecutionError("a plan needs at least one input")
@@ -363,7 +373,8 @@ class ExecutionPlan:
         """
         try:
             optimized = optimize_tape(entries, out_buffer, self.tile_shape,
-                                      self._pool)
+                                      self._pool,
+                                      workers=self.parallel_workers)
         except Exception:  # noqa: BLE001 - fusion must never break execution
             self.fusion_fallbacks += 1
             return tape
@@ -505,6 +516,7 @@ class ExecutionPlan:
                 "fused_pads": self.fused_pads,
                 "fusion_fallbacks": self.fusion_fallbacks,
                 "tile_shape": self.tile_shape,
+                "parallel_workers": self.parallel_workers,
             }
 
     def release(self) -> None:
@@ -525,11 +537,13 @@ def compile_plan(
     batched: bool = False,
     kernel: Optional[CompiledKernel] = None,
     tile_shape=None,
+    parallel_workers=None,
 ) -> ExecutionPlan:
     """Compile a program into an execution plan (no caching)."""
     return ExecutionPlan(program, inputs_or_signature, size_env,
                          pool=pool, batched=batched, kernel=kernel,
-                         tile_shape=tile_shape)
+                         tile_shape=tile_shape,
+                         parallel_workers=parallel_workers)
 
 
 # ---------------------------------------------------------------------------
@@ -539,13 +553,29 @@ def compile_plan(
 class PlanCache:
     """A thread-safe LRU of execution plans, keyed like the kernel cache.
 
-    The key combines the program's structural key, the input *shapes* (not
-    dtypes — plans bind-convert to ``float64``), the size environment,
-    whether the plan sweeps a leading batch axis, and the tape-optimizer
-    tile spec (distinct tile shapes are distinct plans — how the tuner
-    searches tile sizes over warm fused replays).  Evicted plans are simply
-    dropped: their buffers may still be mid-execution on another thread, so
-    they are left to the garbage collector rather than returned to a pool.
+    **Key composition** (see :meth:`key_for`) — six components, each
+    canonicalised before keying so spellings that mean the same plan hit
+    the same entry:
+
+    1. the program's *structural key* (:func:`~repro.core.ir.structural_key`
+       — alpha-renamed IR structure, so two builds of the same expression
+       share plans);
+    2. the input **shapes** (not dtypes — plans bind-convert every input to
+       ``float64``, exactly like the generic path);
+    3. the size environment, sorted into a tuple of items;
+    4. whether the plan sweeps a leading batch axis (``batched``);
+    5. the tape-optimizer tile spec, canonicalised through
+       :func:`~repro.backend.fuse.normalize_tile_spec` (``"auto"`` and
+       ``None`` coincide; distinct tile shapes are distinct plans — how the
+       tuner searches tile sizes over warm fused replays);
+    6. the ``parallel_workers`` count, canonicalised through
+       :func:`~repro.backend.fuse.normalize_workers` (``None``/``0``/``1``
+       all key the serial plan; each worker count owns its scratch layout,
+       so N-way plans are separate entries).
+
+    Evicted plans are simply dropped: their buffers may still be
+    mid-execution on another thread, so they are left to the garbage
+    collector rather than returned to a pool.
     """
 
     def __init__(self, max_entries: int = 64) -> None:
@@ -562,10 +592,12 @@ class PlanCache:
 
     def key_for(self, program: Lambda, inputs_or_signature,
                 size_env: Optional[Mapping[str, int]] = None,
-                batched: bool = False, tile_shape=None) -> Tuple:
+                batched: bool = False, tile_shape=None,
+                parallel_workers=None) -> Tuple:
         sizes = tuple(sorted((size_env or {}).items()))
         return (structural_key(program), plan_signature(inputs_or_signature),
-                sizes, batched, normalize_tile_spec(tile_shape))
+                sizes, batched, normalize_tile_spec(tile_shape),
+                normalize_workers(parallel_workers))
 
     def get_or_compile(
         self,
@@ -575,13 +607,14 @@ class PlanCache:
         batched: bool = False,
         kernel_resolver=None,
         tile_shape=None,
+        parallel_workers=None,
     ) -> ExecutionPlan:
         """The cached plan for this key; ``kernel_resolver`` (a zero-argument
         callable returning a :class:`CompiledKernel`) lets the backend route
         the plan's kernel through its compilation cache so kernels stay
         shared — and counted — across the generic and plan paths."""
         key = self.key_for(program, inputs_or_signature, size_env, batched,
-                           tile_shape)
+                           tile_shape, parallel_workers)
         with self._lock:
             plan = self._entries.get(key)
             if plan is not None:
@@ -593,7 +626,8 @@ class PlanCache:
         kernel = kernel_resolver() if kernel_resolver is not None else None
         plan = compile_plan(program, inputs_or_signature, size_env,
                             batched=batched, kernel=kernel,
-                            tile_shape=tile_shape)
+                            tile_shape=tile_shape,
+                            parallel_workers=parallel_workers)
         with self._lock:
             if key not in self._entries:
                 while len(self._entries) >= self.max_entries:

@@ -28,7 +28,26 @@ _Key = Tuple[Tuple[int, ...], str]
 
 
 class BufferPool:
-    """A pool of reusable ndarray buffers keyed by (shape, dtype)."""
+    """A pool of reusable ndarray buffers keyed by (shape, dtype).
+
+    **Thread safety.**  Every counter update and free-list mutation happens
+    under one internal lock, so plans on different service executor threads
+    (and the parallel replay workers underneath them) may acquire/release
+    concurrently.  The lock covers the *pool's* bookkeeping only: a buffer
+    handed out by ``acquire`` is owned by exactly one plan until released,
+    and each parallel replay chunk gets its own scratch set, so buffer
+    *contents* never need pool-level synchronisation.
+
+    **Release on abort.**  Acquirers are responsible for returning buffers
+    on every exit path, including failures: the plan capture arena releases
+    everything it acquired when a capture aborts mid-trace
+    (:class:`~repro.backend.numpy_backend.PlanCaptureError`), and the tape
+    optimizer releases a region's scratch when fusion falls back — which is
+    why the pool-hygiene tests can assert ``live_buffers`` returns to
+    baseline after repeated aborts instead of growing each time.  The pool
+    itself never reclaims: a buffer neither released nor referenced is a
+    leak the ``stats()`` counters are designed to expose.
+    """
 
     def __init__(self) -> None:
         self._free: Dict[_Key, List[np.ndarray]] = {}

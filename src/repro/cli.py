@@ -8,25 +8,31 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro kernel jacobi2d5pt --strategy tiled --tile 18 --size 64 64
     python -m repro verify [--benchmarks heat poisson] [--backend crosscheck]
     python -m repro bench-backend [--out BENCH_backend.json]
-    python -m repro bench-plans [--steps 64] [--out BENCH_plans.json]
+    python -m repro bench-plans [--steps 64] [--workers 4]
+                                [--out BENCH_plans.json]
                                 [--compare BENCH_plans.json] [--assert-fused]
     python -m repro explore stencil2d --workers 4 [--budget 200]
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
     python -m repro serve --port 7457 [--store .repro/engine.sqlite]
-                          [--prewarm suite]
+                          [--prewarm suite] [--shards 2]
     python -m repro submit stencil2d --port 7457 --shape 64 64
-    python -m repro loadgen [stencil2d] --requests 64 [--out BENCH_service.json]
+    python -m repro loadgen [stencil2d] --requests 64 [--shards 2]
+                            [--out BENCH_service.json]
     python -m repro stats [--store .repro/engine.sqlite]
 
 Every sub-command prints human-readable text; the figure commands emit the
 same rows the paper plots.  ``explore`` and ``tune`` run on the parallel
 search engine: evaluations fan out over worker processes and are memoised
 in a SQLite results store, so re-running (or ``--resume``-ing) a session
-skips every already-evaluated point.  ``serve`` exposes the asyncio
-micro-batching execution service over TCP (JSON lines); ``submit`` sends it
-requests; ``loadgen`` benchmarks batched serving against the per-request
-serial baseline; ``stats`` dumps the compilation-cache and results-store
-counters as one JSON blob.
+skips every already-evaluated point.  ``bench-plans --workers N`` adds a
+parallel-tiled-replay timing column per row.  ``serve`` exposes the asyncio
+micro-batching execution service over TCP (JSON lines) — ``--shards N``
+pre-forks N worker processes that sweep micro-batched groups concurrently;
+``submit`` sends it requests; ``loadgen`` benchmarks batched serving
+against the per-request serial baseline (``--shards N`` drives the
+multi-process service in-process); ``stats`` dumps the compilation-cache
+and results-store counters as one JSON blob.  ``docs/OPERATIONS.md``
+documents every verb, flag and emitted artifact in detail.
 """
 
 from __future__ import annotations
@@ -158,6 +164,7 @@ def _cmd_bench_plans(args: argparse.Namespace) -> int:
         shapes=shapes,
         repeats=args.repeats,
         tile=tile,
+        workers=args.workers,
     )
     print(format_plan_bench(rows))
     if args.out:
@@ -307,9 +314,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             benchmarks=keys,
             shape=tuple(args.prewarm_shape) if args.prewarm_shape else None,
         )
+    shard_text = f", shards {args.shards}" if args.shards else ""
     print(f"serving on {args.host}:{args.port} "
           f"(device {args.device}, store {store or '<none>'}, "
-          f"window {args.window_ms} ms, max batch {args.max_batch})",
+          f"window {args.window_ms} ms, max batch {args.max_batch}"
+          f"{shard_text})",
           flush=True)
     stats = run_server(
         host=args.host,
@@ -323,6 +332,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         crosscheck=args.crosscheck,
         auto_tune=args.auto_tune,
+        shards=args.shards,
     )
     if stats:
         import json as _json
@@ -372,7 +382,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .service.loadgen import check_batching, format_loadgen, run_loadgen
+    from .service.loadgen import (
+        check_batching,
+        check_sharding,
+        format_loadgen,
+        run_loadgen,
+    )
 
     connect = None
     if args.connect:
@@ -390,16 +405,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         device=args.device,
         connect=connect,
         repeats=args.repeats,
+        shards=args.shards,
     )
     print(format_loadgen(report))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             _json.dump(report, fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.out}")
+    problems = []
     if args.assert_batched:
-        problems = check_batching(report)
-        for problem in problems:
-            print(f"FAIL: {problem}", file=sys.stderr)
+        problems += check_batching(report)
+    if args.assert_sharded:
+        problems += check_sharding(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if args.assert_batched or args.assert_sharded:
         return 1 if problems else 0
     return 0
 
@@ -477,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="timesteps per benchmark run")
     bench_plans.add_argument("--repeats", type=int, default=3,
                              help="timing repetitions (best wall kept)")
+    bench_plans.add_argument("--workers", type=int, default=1,
+                             help="also time the fused plan with this many "
+                                  "parallel tile-replay workers (adds the "
+                                  "par/par-x columns; results must stay "
+                                  "bit-identical)")
     bench_plans.add_argument("--out", default=None,
                              help="write the rows as JSON to this path")
     bench_plans.add_argument("--shape", type=int, nargs="*", default=None,
@@ -560,6 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window-ms", type=float, default=2.0,
                        help="micro-batching window in milliseconds")
     serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--shards", type=int, default=0,
+                       help="pre-fork this many worker processes and "
+                            "dispatch micro-batched groups to them "
+                            "round-robin over shared memory (0 = execute "
+                            "in-process)")
     serve.add_argument("--crosscheck", action="store_true",
                        help="verify every batched result against "
                             "single-request execution (bit-identical)")
@@ -609,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--window-ms", type=float, default=5.0)
     loadgen.add_argument("--max-batch", type=int, default=64)
+    loadgen.add_argument("--shards", type=int, default=0,
+                         help="drive a sharded in-process service with this "
+                              "many pre-forked worker processes (ignored "
+                              "with --connect; the server chooses there)")
     loadgen.add_argument("--repeats", type=int, default=3,
                          help="timed stream repetitions (best wall kept)")
     loadgen.add_argument("--store", default=None,
@@ -622,7 +656,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the report as JSON to this path")
     loadgen.add_argument("--assert-batched", action="store_true",
                          help="exit non-zero unless batching occurred with "
-                              "exactly one compilation (CI smoke check)")
+                              "the expected compilation count — one, or one "
+                              "per traffic-serving shard (CI smoke check)")
+    loadgen.add_argument("--assert-sharded", action="store_true",
+                         help="exit non-zero unless every shard served "
+                              "traffic (CI sharded smoke check)")
 
     stats = sub.add_parser(
         "stats",

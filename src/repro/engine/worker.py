@@ -183,7 +183,7 @@ def _measured_cost(job: EvaluationJob, lowered: LoweredProgram) -> float:
     backend = get_backend("numpy")
     runs = max(1, job.measure_runs)
     try:
-        best, _tile = measure_best_tile(
+        best, _tile, _workers = measure_best_tile(
             backend, lowered.program, inputs,
             candidates=fuse_tile_candidates(benchmark.ndims), runs=runs,
         )

@@ -186,10 +186,12 @@ def _steady_measurer(benchmark: StencilBenchmark, variant: ExplorationResult,
     """A tuner ``measure_best`` hook timing the warm plan-replay sweep.
 
     Searches the tape optimizer's tile shapes (unfused tape, heuristic tile
-    and the row/slab-block candidates) with warm fused-plan replays and
-    returns ``(steady_seconds, tile_shape)`` for the winner — reported as
-    :attr:`~repro.tuning.tuner.TuningResult.steady_cost_s` /
-    :attr:`~repro.tuning.tuner.TuningResult.tile_shape`.
+    and the row/slab-block candidates) crossed with the machine's replay
+    worker counts, all with warm fused-plan replays, and returns
+    ``(steady_seconds, tile_shape, parallel_workers)`` for the winner —
+    reported as :attr:`~repro.tuning.tuner.TuningResult.steady_cost_s` /
+    :attr:`~repro.tuning.tuner.TuningResult.tile_shape` /
+    :attr:`~repro.tuning.tuner.TuningResult.parallel_workers`.
     """
     from ..backend import NumpyBackend
     from ..backend.fuse import measure_best_tile

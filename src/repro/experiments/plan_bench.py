@@ -15,7 +15,12 @@ top of them — buy on iterative workloads: every requested benchmark runs
   included) replayed tile by tile over cache-blocked output slices, with
   the tile shape picked by a warm-replay search over
   :func:`~repro.tuning.parameters.fuse_tile_candidates` (or fixed via
-  ``tile``).
+  ``tile``);
+* **parallel** (``--workers N``, optional): the same fused tape with its
+  independent tile chunks dispatched across the persistent replay worker
+  pool (``parallel_workers=N``) — the row's fourth timing, also required
+  bit-identical, quantifying what multi-threaded tiled replay buys on
+  this machine.
 
 All paths are warmed first, timings take the best of ``repeats`` runs, the
 final grids are required to be **bit-identical** across all three, and the
@@ -73,7 +78,10 @@ class PlanTiming:
     tapes: int                  # captured bindings (prologue + cycle)
     allocations_per_step: float  # net tracemalloc blocks per steady step
     pool_allocations: int       # fresh pool buffers during the timed loop
-    results_match: bool         # all three final grids bit-identical
+    results_match: bool         # every timed path's final grid bit-identical
+    parallel_workers: int = 1   # replay workers the parallel timing used
+    parallel_steady_s: Optional[float] = None  # parallel fused plan, whole loop
+    parallel_speedup: Optional[float] = None   # fused serial / parallel
 
 
 def run_plan_bench(
@@ -83,16 +91,21 @@ def run_plan_bench(
     repeats: int = 3,
     seed: int = 0,
     tile: object = "search",
+    workers: int = 1,
 ) -> List[PlanTiming]:
     """Time every requested benchmark on all three iterative paths.
 
     ``tile`` selects the fused plan's tile shape: ``"search"`` (default)
     times warm replays across the standard candidates and keeps the winner
     per benchmark; anything else is passed through as an explicit spec.
+    ``workers > 1`` adds a fourth timing per row: the fused plan replayed
+    with that many parallel tile workers, bit-identity folded into
+    ``results_match``.
     """
     keys = list(benchmarks or ITERATIVE_BENCHMARKS)
     shapes = dict(shapes or PLAN_BENCH_SHAPES)
     repeats = max(1, repeats)
+    workers = max(1, int(workers))
     backend = NumpyBackend()
 
     rows: List[PlanTiming] = []
@@ -129,6 +142,17 @@ def run_plan_bench(
             for _ in range(repeats)
         )
 
+        parallel_steady_s = None
+        parallel = None
+        if workers > 1:
+            parallel = backend.plan(program, inputs, tile_shape=tile_spec,
+                                    parallel_workers=workers)
+            parallel.iterate(inputs, max(steps, 8), carry=carry)  # warm
+            parallel_steady_s = min(
+                _timed(lambda: parallel.iterate(inputs, steps, carry=carry))
+                for _ in range(repeats)
+            )
+
         reference = iterate_generic(backend, program, inputs, steps, carry=carry)
         produced = plan.iterate(inputs, steps, carry=carry)
         optimized = fused.iterate(inputs, steps, carry=carry)
@@ -136,6 +160,10 @@ def run_plan_bench(
             np.array_equal(reference, produced)
             and np.array_equal(reference, optimized)
         )
+        if parallel is not None:
+            results_match = results_match and bool(np.array_equal(
+                reference, parallel.iterate(inputs, steps, carry=carry)
+            ))
 
         allocations = _steady_allocations(fused, inputs, steps, carry)
         pool_before = fused._pool.allocations
@@ -163,6 +191,12 @@ def run_plan_bench(
                 allocations_per_step=allocations / steps,
                 pool_allocations=pool_allocations,
                 results_match=results_match,
+                parallel_workers=workers,
+                parallel_steady_s=parallel_steady_s,
+                parallel_speedup=(
+                    fused_steady_s / parallel_steady_s
+                    if parallel_steady_s else None
+                ),
             )
         )
     return rows
@@ -226,18 +260,21 @@ def _steady_allocations(plan, inputs, steps: int, carry) -> int:
 
 
 def format_plan_bench(rows: Sequence[PlanTiming]) -> str:
+    parallel = any(row.parallel_steady_s is not None for row in rows)
     header = (
         f"{'benchmark':<12} {'shape':<12} {'steps':>5} {'per-sweep':>11} "
         f"{'plan':>9} {'fused':>9} {'plan-x':>7} {'fuse-x':>7} "
         f"{'µs/step':>9} {'regions':>7} {'tile':<16} {'match':>6}"
     )
+    if parallel:
+        header += f" {'par':>9} {'par-x':>7}"
     lines = [header, "-" * len(header)]
     for row in rows:
         shape = "×".join(str(extent) for extent in row.shape)
         tile = "auto" if row.tile is None else (
             "off" if row.tile is False else
             "×".join("*" if e is None else str(e) for e in row.tile))
-        lines.append(
+        line = (
             f"{row.benchmark:<12} {shape:<12} {row.steps:>5} "
             f"{row.per_sweep_s:>9.4f} s {row.plan_steady_s:>7.4f} s "
             f"{row.fused_steady_s:>7.4f} s {row.speedup:>6.2f}x "
@@ -245,6 +282,17 @@ def format_plan_bench(rows: Sequence[PlanTiming]) -> str:
             f"{row.fused_regions:>7} {tile:<16} "
             f"{'yes' if row.results_match else 'NO':>6}"
         )
+        if parallel:
+            if row.parallel_steady_s is not None:
+                line += (f" {row.parallel_steady_s:>7.4f} s "
+                         f"{row.parallel_speedup:>6.2f}x")
+            else:
+                line += f" {'-':>9} {'-':>7}"
+        lines.append(line)
+    if parallel:
+        workers = max(row.parallel_workers for row in rows)
+        lines.append(f"(par = fused plan replayed with {workers} tile "
+                     "workers; par-x vs serial fused)")
     return "\n".join(lines)
 
 
@@ -254,7 +302,11 @@ def write_plan_bench(rows: Sequence[PlanTiming], path: str) -> None:
             "Iterative steady-state comparison: one generic run() per "
             "timestep vs the buffer-pooled execution-plan loop vs the "
             "tape-optimized (ufunc-fused, cache-block tiled) plan loop "
-            "(bit-identical results required on every path)"
+            "(bit-identical results required on every path); parallel_* "
+            "fields time the fused replay across N worker threads when "
+            "the run was invoked with --workers N (speedups require a "
+            "multi-core recording machine — on a single core the "
+            "parallel column can only tie or lose)"
         ),
         "rows": [asdict(row) for row in rows],
     }
@@ -269,9 +321,13 @@ def compare_plan_bench(rows: Sequence[PlanTiming], baseline_path: str,
 
     Compares the steady-state serving cost (``fused_steady_s`` when both
     sides have it, else ``plan_steady_s``) per benchmark and flags any row
-    slower than ``baseline × (1 + threshold)``.  Returns ``(report_text,
-    regressions)`` — a non-empty ``regressions`` list means the caller
-    should exit non-zero.
+    slower than ``baseline × (1 + threshold)``.  Rows whose fused-region
+    count or winning tile spec changed against the baseline additionally
+    get a *non-blocking* ``note:`` line — an optimizer-behaviour drift is
+    worth a human look even when the timing stayed within threshold, but
+    it is machine- and search-noise-dependent, so it never fails the run
+    on its own.  Returns ``(report_text, regressions)`` — a non-empty
+    ``regressions`` list means the caller should exit non-zero.
     """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
@@ -303,7 +359,35 @@ def compare_plan_bench(rows: Sequence[PlanTiming], baseline_path: str,
             regressions.append(
                 f"{row.benchmark}: steady-state {delta:+.1%} over baseline"
             )
+        old_regions = old.get("fused_regions")
+        if old_regions is not None and old_regions != row.fused_regions:
+            lines.append(
+                f"    note: fused regions {old_regions} → "
+                f"{row.fused_regions} (non-blocking)"
+            )
+        if "tile" in old and _tile_text(old.get("tile")) != _tile_text(row.tile):
+            lines.append(
+                f"    note: winning tile {_tile_text(old.get('tile'))} → "
+                f"{_tile_text(row.tile)} (non-blocking)"
+            )
     return "\n".join(lines), regressions
+
+
+def _tile_text(tile: object) -> str:
+    """Canonical rendering of a tile spec for baseline comparison.
+
+    Baseline rows come back from JSON where tuples became lists and
+    ``None``-extents stayed ``None``; normalising both sides to one string
+    keeps the drift note about real tile changes, not encoding changes.
+    """
+    if tile is None:
+        return "auto"
+    if tile is False:
+        return "off"
+    if isinstance(tile, (list, tuple)):
+        return "×".join("*" if extent is None else str(extent)
+                        for extent in tile)
+    return str(tile)
 
 
 __all__ = [

@@ -15,19 +15,24 @@ subsystem:
 * :class:`ServiceClient` — the blocking in-process client;
   :func:`serve_tcp` / :func:`run_server` — the JSON-lines TCP endpoint
   behind ``repro serve`` / ``repro submit``;
+* :mod:`.shards` — the pre-forked worker processes behind
+  ``StencilService(shards=N)`` / ``repro serve --shards``: groups are
+  dispatched round-robin over shared-memory slabs so N sweeps run
+  concurrently on a multi-core machine (:class:`ShardedExecutor`);
 * :mod:`.loadgen` — the load generator behind ``repro loadgen`` and
   ``BENCH_service.json``;
 * :mod:`.metrics` — the shared ``/metrics``-style stats report, also
   printed by ``repro stats``.
 """
 
-from .loadgen import check_batching, format_loadgen, run_loadgen
+from .loadgen import check_batching, check_sharding, format_loadgen, run_loadgen
 from .metrics import stats_report
 # ExecutionPlan is the backwards-compatible alias of RoutingPlan (the class
 # was renamed when the backend gained its buffer-pooled ExecutionPlan).
 from .registry import ExecutionPlan, RoutingPlan, TunedKernelRegistry
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
 from .server import ServiceClient, StencilService, run_server, serve_tcp
+from .shards import ShardedExecutor, ShardError
 
 __all__ = [
     "ExecutionPlan",
@@ -36,9 +41,12 @@ __all__ = [
     "ExecutionResponse",
     "ServiceClient",
     "ServiceError",
+    "ShardError",
+    "ShardedExecutor",
     "StencilService",
     "TunedKernelRegistry",
     "check_batching",
+    "check_sharding",
     "format_loadgen",
     "run_loadgen",
     "run_server",

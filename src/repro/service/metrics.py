@@ -11,7 +11,7 @@ read the same shape everywhere.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..backend.cache import CompilationCache, default_cache
 from ..engine.store import ResultsStore
@@ -47,6 +47,30 @@ def store_section(store: Union[ResultsStore, str, None]) -> Dict[str, object]:
             opened.close()
 
 
+def shards_section(per_shard: List[Dict[str, object]]) -> Dict[str, object]:
+    """Roll per-shard executor stats into one summary block.
+
+    Totals (requests, groups, errors, compilations) are summed across the
+    fleet so dashboards get fleet-level numbers at the top, while the raw
+    ``per_shard`` rows stay attached for balance checks — a healthy
+    round-robin shows every shard with a similar ``groups`` count, and a
+    dead shard shows up as ``alive: false`` with its errors counter frozen.
+    """
+    totals = {"requests": 0, "groups": 0, "errors": 0, "compilations": 0}
+    alive = 0
+    for shard in per_shard:
+        for name in totals:
+            value = shard.get(name)
+            if isinstance(value, (int, float)):
+                totals[name] += int(value)
+        if shard.get("alive"):
+            alive += 1
+    section: Dict[str, object] = {"count": len(per_shard), "alive": alive}
+    section.update(totals)
+    section["per_shard"] = list(per_shard)
+    return section
+
+
 def stats_report(
     cache: Optional[CompilationCache] = None,
     store: Union[ResultsStore, str, None] = None,
@@ -62,4 +86,4 @@ def stats_report(
     return report
 
 
-__all__ = ["cache_section", "stats_report", "store_section"]
+__all__ = ["cache_section", "shards_section", "stats_report", "store_section"]

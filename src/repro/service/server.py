@@ -14,6 +14,13 @@ sessions is applied to incoming traffic automatically; cold digests are
 served by the default lowering and can enqueue a background tune on the
 engine.
 
+With ``shards=N`` the numeric work of each group is dispatched round-robin
+to N pre-forked worker processes (see :mod:`repro.service.shards`): request
+grids travel through shared-memory slabs (no pickling of arrays), programs
+cross the process boundary once per (digest, variant) per shard, and groups
+on different shards sweep concurrently on a multi-core machine while this
+process keeps only admission, batching and I/O.
+
 :class:`ServiceClient` wraps a service in a background event-loop thread and
 exposes blocking ``execute`` / ``execute_many`` calls — the in-process form
 used by tests, the experiment drivers and the load generator.
@@ -36,10 +43,12 @@ from ..apps.base import squeeze_result
 from ..backend.base import NumpyBackend
 from ..backend.cache import CompilationCache
 from ..backend.numpy_backend import CompileError
+from ..core.serialize import SerializationError, program_to_dict
 from ..engine.store import ResultsStore
-from .metrics import stats_report
+from .metrics import shards_section, stats_report
 from .registry import TunedKernelRegistry
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
+from .shards import ShardedExecutor
 
 
 @dataclass
@@ -91,6 +100,12 @@ class StencilService:
     auto_tune:
         Enqueue one background ``SearchEngine`` tune per cold benchmark
         digest (requires a persistent, file-backed store).
+    shards:
+        ``0`` (default) executes groups on this process's executor
+        threads.  ``N >= 1`` pre-forks N shard processes and dispatches
+        each group's numeric sweep to one of them round-robin; programs a
+        shard cannot receive (unserialisable, e.g. closure-captured
+        constant arrays) transparently fall back to in-process execution.
     """
 
     def __init__(
@@ -104,6 +119,7 @@ class StencilService:
         auto_tune: bool = False,
         tune_budget: int = 20,
         use_plans: bool = True,
+        shards: int = 0,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
@@ -117,8 +133,16 @@ class StencilService:
         self.auto_tune = auto_tune
         self.tune_budget = tune_budget
         self.device = device
+        self.shards = int(shards or 0)
+        self.executor: Optional[ShardedExecutor] = (
+            ShardedExecutor(self.shards, use_plans=use_plans)
+            if self.shards > 0 else None
+        )
+        self._wires: Dict[str, Dict] = {}      # (digest:variant) -> wire dict
+        self._unshardable: set = set()         # program keys that won't pickle
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[asyncio.Task] = None
+        self._inflight: set = set()
         self._tuning_digests: set = set()
         self._tune_tasks: List[asyncio.Future] = []
         # Serving counters (single-threaded: only the loop thread mutates).
@@ -130,6 +154,7 @@ class StencilService:
         self.background_tunes = 0
         self.request_errors = 0
         self.plans_prewarmed = 0
+        self.shard_fallbacks = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "StencilService":
@@ -147,6 +172,11 @@ class StencilService:
             except asyncio.CancelledError:
                 pass
             self._batcher = None
+        if self._inflight:
+            # Sharded groups are dispatched as tasks; let in-flight sweeps
+            # finish (their callers are still awaiting futures).
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
         if self._queue is not None:
             # Requests admitted but never executed must not hang their
             # callers: fail them in-band.
@@ -157,6 +187,12 @@ class StencilService:
         if self._tune_tasks:
             await asyncio.gather(*self._tune_tasks, return_exceptions=True)
         self._tune_tasks.clear()
+        if self.executor is not None:
+            # Blocking pipe shutdowns; keep them off the event loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.executor.close
+            )
+            self.executor = None
         self.registry.close()
 
     async def __aenter__(self) -> "StencilService":
@@ -186,7 +222,10 @@ class StencilService:
         serve --prewarm`` between bind and listen.  Returns
         ``{"prewarmed": n, "skipped": m}`` counting per (request ×
         capacity) plan — skipped entries cannot be captured as plans (they
-        will be served by the generic path anyway).
+        will be served by the generic path anyway).  In sharded mode the
+        same warm-up is forwarded to **every** shard process instead (each
+        shard owns its own plan cache), counting one prepared entry per
+        (request × capacity × shard).
         """
         prepared = 0
         skipped = 0
@@ -197,6 +236,8 @@ class StencilService:
                 capacity *= 2
             if capacity > 1 and capacity not in capacities:
                 capacities.append(capacity)
+        if self.executor is not None:
+            return self._prewarm_shards(requests, capacities)
         for request in requests:
             try:
                 route = self.registry.plan_for(benchmark=request.benchmark,
@@ -227,6 +268,39 @@ class StencilService:
                     prepared += 1
                 except Exception:  # noqa: BLE001 - prewarm is best-effort
                     skipped += 1
+        self.plans_prewarmed += prepared
+        return {"prewarmed": prepared, "skipped": skipped}
+
+    def _prewarm_shards(self, requests: Sequence[ExecutionRequest],
+                        capacities: List[int]) -> Dict[str, int]:
+        """Warm every shard's plan caches (single + batched capacities)."""
+        from .shards import ShardError
+
+        prepared = 0
+        skipped = 0
+        for request in requests:
+            try:
+                route = self.registry.plan_for(benchmark=request.benchmark,
+                                               program=request.program)
+                shape = tuple(request.inputs[0].shape) if request.inputs else ()
+                program, variant, _source = route.program_for(shape)
+                program_key = f"{route.digest}:{variant}"
+                wire = self._wires.get(program_key)
+                if wire is None:
+                    wire = program_to_dict(program)
+                    self._wires[program_key] = wire
+                size_env = request.size_env or None
+            except Exception:  # noqa: BLE001 - prewarm is best-effort
+                skipped += 1
+                continue
+            for shard in self.executor.handles:
+                for capacity in [1] + capacities:
+                    try:
+                        shard.execute(program_key, wire, size_env,
+                                      [request.inputs] * capacity)
+                        prepared += 1
+                    except ShardError:
+                        skipped += 1
         self.plans_prewarmed += prepared
         return {"prewarmed": prepared, "skipped": skipped}
 
@@ -297,8 +371,18 @@ class StencilService:
                 groups: Dict[Tuple, List[_Pending]] = {}
                 for item in pending:
                     groups.setdefault(item.key, []).append(item)
-                for group in groups.values():
-                    await self._execute_group(group)
+                if self.executor is not None:
+                    # Sharded: dispatch each group as its own task so this
+                    # loop returns to collecting the next micro-batch while
+                    # shards sweep — successive groups round-robin onto
+                    # different shard processes and overlap in time.
+                    for group in groups.values():
+                        task = loop.create_task(self._execute_group(group))
+                        self._inflight.add(task)
+                        task.add_done_callback(self._inflight.discard)
+                else:
+                    for group in groups.values():
+                        await self._execute_group(group)
             except asyncio.CancelledError:
                 # A half-collected batch must not strand its callers.
                 self._fail_group(pending, "service stopped")
@@ -353,6 +437,50 @@ class StencilService:
 
     def _compute_group(self, group: List[_Pending]) -> Tuple[List, int]:
         """The pure numeric part of a batch (runs on an executor thread)."""
+        if self.executor is not None:
+            sharded = self._compute_group_sharded(group)
+            if sharded is not None:
+                return sharded
+            self.shard_fallbacks += 1
+        return self._compute_group_local(group)
+
+    def _compute_group_sharded(
+        self, group: List[_Pending]
+    ) -> Optional[Tuple[List, int]]:
+        """Dispatch one group to a shard process; ``None`` = serve locally.
+
+        The program crosses the pipe once per (digest, variant) per shard as
+        a :func:`~repro.core.serialize.program_to_dict` wire dict; request
+        grids go through the shard's shared-memory input slabs.  Programs
+        the wire format cannot express (e.g. closure-captured constant
+        arrays) are remembered in ``_unshardable`` and served in-process.
+        """
+        head = group[0]
+        program_key = f"{head.digest}:{head.variant}"
+        if program_key in self._unshardable:
+            return None
+        wire = self._wires.get(program_key)
+        if wire is None:
+            try:
+                wire = program_to_dict(head.program)
+            except SerializationError:
+                self._unshardable.add(program_key)
+                return None
+            self._wires[program_key] = wire
+        shard = self.executor.pick()
+        parts = [item.request.inputs for item in group]
+        outputs = shard.execute(program_key, wire,
+                                head.request.size_env or None, parts)
+        crosschecked = 0
+        if self.crosscheck and len(group) > 1:
+            crosschecked = self._crosscheck_group(group, outputs)
+        return (
+            [squeeze_result(np.asarray(output, dtype=np.float64))
+             for output in outputs],
+            crosschecked,
+        )
+
+    def _compute_group_local(self, group: List[_Pending]) -> Tuple[List, int]:
         head = group[0]
         size_env = head.request.size_env or None
         if len(group) == 1:
@@ -474,8 +602,13 @@ class StencilService:
             "background_tunes": self.background_tunes,
             "request_errors": self.request_errors,
             "plans_prewarmed": self.plans_prewarmed,
+            "shard_fallbacks": self.shard_fallbacks,
             "registry": self.registry.stats(),
             "plans": self.backend.plans.stats() if self.use_plans else None,
+            "shards": (
+                shards_section(self.executor.stats())
+                if self.executor is not None else None
+            ),
         }
 
     def stats(self) -> Dict[str, object]:

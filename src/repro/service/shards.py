@@ -1,0 +1,406 @@
+"""Sharded batch execution: pre-forked worker processes behind the batcher.
+
+One :class:`~repro.service.server.StencilService` event loop keeps doing
+what it always did — accept requests, collect micro-batches, group them by
+routing key — but with ``shards=N`` the *numeric* work of each group is
+dispatched round-robin to one of N long-lived worker processes instead of
+running on the parent's executor thread.  A multi-core machine then runs N
+stacked sweeps concurrently while the asyncio loop stays free for
+admission and I/O.
+
+The request path stays zero-copy in the sense that matters: request grids
+are written once, straight into a per-(signature, capacity)
+``multiprocessing.shared_memory`` slab the shard maps into its address
+space — no pickling of arrays, no sockets, no per-request allocation of
+wire buffers.  Each shard writes its stacked result into a shared output
+slab the parent maps back.  Only tiny control messages (slab names, the
+routing digest, batch geometry) cross the pipe; programs cross **once**
+per (digest, variant) per shard, as :func:`~repro.core.serialize.program_to_dict`
+wire dicts, and are compiled into the shard's own caches — so in sharded
+mode the expected compilation count for one hot digest is one *per shard
+that served it*, not one per process tree.
+
+Shards are deliberately plain: each one owns a private
+:class:`~repro.backend.base.NumpyBackend` (compilation cache + plan cache
++ buffer pools) and replays exactly the plan/batched-plan logic of the
+in-process service, so a sharded service is bit-identical to an unsharded
+one.  A shard that dies mid-group fails that group in-band (the parent's
+``_fail_group`` path) and subsequent groups routed to it fail fast;
+respawning dead shards is left to the operator / supervisor.
+
+Start method is ``spawn``: the parent runs a threaded asyncio loop, and
+forking a threaded process inherits locks in undefined states.  Spawned
+children import :mod:`repro` fresh, which is why shard start-up is
+visible (~1 s per shard) and why ``serve --shards`` pre-forks before the
+socket starts listening.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .requests import ServiceError
+
+
+class ShardError(ServiceError):
+    """A shard process failed (or died) while executing a group."""
+
+
+def _create_slab(shape, dtype=np.float64):
+    size = max(1, int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize)
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    array = np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf)
+    return shm, array
+
+
+def _attach_slab(name: str, shape, dtype):
+    # On Python < 3.13 attaching re-registers the segment with the resource
+    # tracker; shard processes are spawned from the parent, so both sides
+    # share ONE tracker process and the re-registration is a harmless
+    # set-add — the creator's eventual unlink() balances it.  (Do not add
+    # the classic `resource_tracker.unregister` workaround here: with a
+    # shared tracker it *removes* the creator's registration and unlink()
+    # then trips a KeyError inside the tracker.)
+    shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+    return shm, array
+
+
+# ---------------------------------------------------------------------------
+# The shard process (child side)
+# ---------------------------------------------------------------------------
+
+def _shard_main(index: int, conn, use_plans: bool) -> None:
+    """One shard's serve loop: recv control message, sweep, reply.
+
+    Runs in a spawned child process.  Owns a private backend (compilation
+    cache, plan cache, buffer pools) plus caches of deserialized programs
+    (by the parent's ``(digest, variant)`` key), attached input slabs (by
+    name) and created output slabs (by geometry).
+    """
+    from ..backend.base import NumpyBackend
+    from ..backend.cache import CompilationCache
+    from ..backend.numpy_backend import CompileError
+    from ..core.serialize import program_from_dict
+
+    backend = NumpyBackend(cache=CompilationCache(), fallback=False)
+    programs: Dict[str, object] = {}
+    attached: Dict[str, tuple] = {}    # slab name -> (shm, array)
+    outputs: Dict[tuple, tuple] = {}   # (shape, dtype) -> (shm, array)
+    counters = {"requests": 0, "groups": 0, "single": 0, "batched": 0}
+
+    def input_array(spec: Dict) -> np.ndarray:
+        entry = attached.get(spec["name"])
+        if entry is None:
+            entry = _attach_slab(spec["name"], spec["shape"], spec["dtype"])
+            attached[spec["name"]] = entry
+        return entry[1]
+
+    def output_slab(shape, dtype) -> tuple:
+        key = (tuple(shape), str(dtype))
+        entry = outputs.get(key)
+        if entry is None:
+            shm, array = _create_slab(shape, dtype)
+            entry = outputs[key] = (shm, array)
+        return entry
+
+    def execute(message: Dict) -> Dict:
+        key = message["digest"]
+        if "program" in message:
+            programs[key] = program_from_dict(message["program"])
+        program = programs.get(key)
+        if program is None:
+            raise ShardError(f"shard {index} has no program for {key!r}")
+        size_env = message["size_env"] or None
+        n = int(message["n"])
+        capacity = int(message["capacity"])
+        slabs = [input_array(spec) for spec in message["inputs"]]
+        counters["groups"] += 1
+        counters["requests"] += n
+        if n == 1:
+            item = [slab[0] for slab in slabs]
+            if use_plans:
+                result = backend.run_plan(program, item, size_env)
+            else:
+                result = backend.run(program, item, size_env)
+            batch = np.asarray(result, dtype=np.float64)[None]
+            counters["single"] += 1
+        else:
+            # Mirror the in-process service: one cached batched plan per
+            # (program, shapes, capacity), request rows copied into its
+            # pooled stacked buffers; generic run_batched as the fallback
+            # for programs a plan cannot capture.
+            parts = [[slab[row] for slab in slabs] for row in range(capacity)]
+            batch = None
+            if use_plans:
+                signature = [
+                    (tuple(slab.shape), str(slab.dtype)) for slab in slabs
+                ]
+                try:
+                    plan = backend.plan(program, signature, size_env,
+                                        batched=True)
+                    batch = plan.run_batched_parts(parts)
+                except CompileError:
+                    batch = None
+            if batch is None:
+                stacked = [np.ascontiguousarray(slab) for slab in slabs]
+                batch = backend.run_batched(program, stacked, size_env)
+            batch = np.asarray(batch, dtype=np.float64)
+            counters["batched"] += n
+        shm, out = output_slab(batch.shape, batch.dtype)
+        np.copyto(out, batch)
+        return {
+            "ok": True,
+            "out": {"name": shm.name, "shape": out.shape,
+                    "dtype": str(out.dtype)},
+            "n": n,
+        }
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message.get("op")
+            if op == "shutdown":
+                conn.send({"ok": True})
+                break
+            if op == "ping":
+                conn.send({"ok": True, "pong": True, "shard": index})
+                continue
+            if op == "stats":
+                stats = dict(counters)
+                stats["shard"] = index
+                stats["compilations"] = backend.cache.stats().get("misses", 0)
+                stats["plans"] = backend.plans.stats()
+                conn.send({"ok": True, "stats": stats})
+                continue
+            if op != "execute":
+                conn.send({"ok": False, "error": f"unknown op {op!r}"})
+                continue
+            try:
+                conn.send(execute(message))
+            except Exception as error:  # noqa: BLE001 - reported in-band
+                conn.send({
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                })
+    finally:
+        for shm, _array in attached.values():
+            shm.close()
+        for shm, _array in outputs.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side handles
+# ---------------------------------------------------------------------------
+
+class ShardHandle:
+    """Parent-side proxy for one shard process.
+
+    Owns the control pipe, the input slabs (created here, mapped by the
+    shard) and attachments to the shard's output slabs.  ``execute`` is
+    blocking and internally locked — the service calls it from executor
+    threads, one group at a time per shard, while other shards execute
+    their own groups concurrently.
+    """
+
+    def __init__(self, index: int, ctx, use_plans: bool = True) -> None:
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_shard_main, args=(index, child_conn, use_plans),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        self._slabs: Dict[tuple, List[tuple]] = {}  # geometry -> [(shm, arr)]
+        self._outputs: Dict[str, tuple] = {}        # slab name -> (shm, arr)
+        self._sent_programs: set = set()
+        self.requests = 0
+        self.groups = 0
+        self.errors = 0
+
+    # -- wire helpers --------------------------------------------------------
+    def _roundtrip(self, message: Dict) -> Dict:
+        try:
+            self._conn.send(message)
+            return self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise ShardError(
+                f"shard {self.index} is not responding "
+                f"({type(error).__name__}); it may have died"
+            ) from error
+
+    def _input_slabs(self, head: Sequence[np.ndarray],
+                     capacity: int) -> List[tuple]:
+        key = (capacity,
+               tuple((tuple(grid.shape), str(grid.dtype)) for grid in head))
+        slabs = self._slabs.get(key)
+        if slabs is None:
+            slabs = [
+                _create_slab((capacity,) + tuple(grid.shape))
+                for grid in head
+            ]
+            self._slabs[key] = slabs
+        return slabs
+
+    def _attach_output(self, spec: Dict) -> np.ndarray:
+        entry = self._outputs.get(spec["name"])
+        if entry is None:
+            entry = _attach_slab(spec["name"], spec["shape"], spec["dtype"])
+            self._outputs[spec["name"]] = entry
+        return entry[1]
+
+    # -- the group path ------------------------------------------------------
+    def execute(self, program_key: str, program_wire: Dict,
+                size_env: Optional[Dict],
+                parts: Sequence[Sequence[np.ndarray]]) -> List[np.ndarray]:
+        """Run one routed group on this shard; returns per-request outputs.
+
+        Rows beyond ``len(parts)`` up to the power-of-two capacity are
+        padded with copies of row 0 (their result slots are discarded),
+        matching the in-process batcher's capacity policy so the shard's
+        plan-cache keys stay O(log max_batch) per program.
+        """
+        n = len(parts)
+        capacity = 1
+        while capacity < n:
+            capacity *= 2
+        with self._lock:
+            slabs = self._input_slabs(parts[0], capacity)
+            for row, item in enumerate(parts):
+                for (_shm, array), grid in zip(slabs, item):
+                    np.copyto(array[row], grid)  # casts to float64 once, here
+            for row in range(n, capacity):
+                for _shm, array in slabs:
+                    np.copyto(array[row], array[0])
+            message = {
+                "op": "execute",
+                "digest": program_key,
+                "size_env": dict(size_env or {}),
+                "n": n,
+                "capacity": capacity,
+                "inputs": [
+                    {"name": shm.name, "shape": array.shape,
+                     "dtype": str(array.dtype)}
+                    for shm, array in slabs
+                ],
+            }
+            if program_key not in self._sent_programs:
+                message["program"] = program_wire
+                self._sent_programs.add(program_key)
+            try:
+                reply = self._roundtrip(message)
+            except ShardError:
+                self.errors += 1
+                raise
+            if not reply.get("ok"):
+                self.errors += 1
+                raise ShardError(
+                    f"shard {self.index}: {reply.get('error')}"
+                )
+            out = self._attach_output(reply["out"])
+            self.requests += n
+            self.groups += 1
+            # Copy out of the shared slab before releasing the lock: the
+            # next group on this shard reuses the same output geometry.
+            return [np.array(out[row]) for row in range(n)]
+
+    # -- ops -----------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        section: Dict[str, object] = {
+            "shard": self.index,
+            "alive": self.process.is_alive(),
+            "requests": self.requests,
+            "groups": self.groups,
+            "errors": self.errors,
+        }
+        if self.process.is_alive():
+            try:
+                with self._lock:
+                    reply = self._roundtrip({"op": "stats"})
+                if reply.get("ok"):
+                    section.update(reply["stats"])
+            except ShardError:
+                section["alive"] = False
+        return section
+
+    def close(self) -> None:
+        with self._lock:
+            if self.process.is_alive():
+                try:
+                    self._roundtrip({"op": "shutdown"})
+                except ShardError:
+                    pass
+            self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=5)
+            self._conn.close()
+            for slabs in self._slabs.values():
+                for shm, _array in slabs:
+                    shm.close()
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:
+                        pass
+            self._slabs.clear()
+            for shm, _array in self._outputs.values():
+                shm.close()
+            self._outputs.clear()
+
+
+class ShardedExecutor:
+    """Round-robin dispatcher over N pre-forked shard processes.
+
+    Round-robin (not hash-by-digest) so a single hot digest — the common
+    serving profile — still spreads across every shard; shard-local plan
+    caches make the second group per (shard, digest) a warm replay.
+    """
+
+    def __init__(self, shards: int, use_plans: bool = True,
+                 start_method: str = "spawn") -> None:
+        if shards < 1:
+            raise ServiceError("shards must be >= 1")
+        ctx = mp.get_context(start_method)
+        self.handles = [
+            ShardHandle(index, ctx, use_plans=use_plans)
+            for index in range(shards)
+        ]
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def pick(self) -> ShardHandle:
+        return self.handles[next(self._counter) % len(self.handles)]
+
+    def stats(self) -> List[Dict[str, object]]:
+        return [handle.stats() for handle in self.handles]
+
+    def close(self) -> None:
+        for handle in self.handles:
+            handle.close()
+
+
+__all__ = [
+    "ShardError",
+    "ShardHandle",
+    "ShardedExecutor",
+]

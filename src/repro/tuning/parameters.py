@@ -11,6 +11,7 @@ OpenTuner.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
@@ -125,6 +126,36 @@ def fuse_tile_parameter(ndims: int, name: str = "fuse_tile") -> Parameter:
     return Parameter(name, tuple(fuse_tile_candidates(ndims)))
 
 
+#: Cap on the replay-worker counts the tuner searches.  Chunked replay is
+#: bandwidth-bound; past a handful of cores extra workers only contend on
+#: the memory bus, so the search space stays small and cheap.
+MAX_WORKER_CANDIDATE = 8
+
+
+def replay_worker_candidates(max_workers: int = None) -> Tuple[int, ...]:
+    """Parallel-replay worker counts worth searching *on this machine*.
+
+    Derived from the visible core count (overridable via ``max_workers``):
+    always ``1`` (serial), then powers of two up to
+    ``min(cores, MAX_WORKER_CANDIDATE)``.  On a single-core machine this is
+    just ``(1,)``, so tile searches and tuning runs stay serial there
+    instead of timing worker configurations that cannot win.
+    """
+    cores = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    candidates = [1]
+    workers = 2
+    while workers <= min(cores, MAX_WORKER_CANDIDATE):
+        candidates.append(workers)
+        workers *= 2
+    return tuple(candidates)
+
+
+def replay_workers_parameter(max_workers: int = None,
+                             name: str = "replay_workers") -> Parameter:
+    """Fused-region replay parallelism as a first-class tunable parameter."""
+    return Parameter(name, replay_worker_candidates(max_workers))
+
+
 def opencl_constraints(
     max_workgroup_size: int,
     local_memory_bytes: int,
@@ -172,9 +203,12 @@ __all__ = [
     "Configuration",
     "Constraint",
     "FUSE_TILE_BLOCKS",
+    "MAX_WORKER_CANDIDATE",
     "Parameter",
     "ParameterSpace",
     "fuse_tile_candidates",
     "fuse_tile_parameter",
     "opencl_constraints",
+    "replay_worker_candidates",
+    "replay_workers_parameter",
 ]

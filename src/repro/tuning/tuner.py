@@ -34,7 +34,9 @@ class TuningResult:
     ``tile_shape`` records the tape-optimizer tile the hook selected when it
     additionally searched tile sizes over warm fused-plan replays (``False``
     = the unfused tape won, ``"auto"`` = the cache-sized heuristic won,
-    ``None`` when no tile search ran).
+    ``None`` when no tile search ran).  ``parallel_workers`` likewise
+    records the fused-replay worker count the hook picked (``None`` when no
+    worker search ran, ``1`` = serial replay won).
     """
 
     best_configuration: Configuration
@@ -43,6 +45,7 @@ class TuningResult:
     history: List[Evaluation]
     steady_cost_s: Optional[float] = None
     tile_shape: object = None
+    parallel_workers: Optional[int] = None
 
     def describe(self) -> str:
         steady = (
@@ -54,9 +57,16 @@ class TuningResult:
             if self.steady_cost_s is not None and self.tile_shape is not None
             else ""
         )
+        workers = (
+            f" [workers {self.parallel_workers}]"
+            if self.steady_cost_s is not None
+            and self.parallel_workers is not None
+            and self.parallel_workers != 1
+            else ""
+        )
         return (
             f"best cost {self.best_cost:.6g} after {self.evaluations} evaluations"
-            f"{steady}{tile}: {self.best_configuration}"
+            f"{steady}{tile}{workers}: {self.best_configuration}"
         )
 
 
@@ -83,10 +93,12 @@ class AutoTuner:
     recorded number reflects the warm serving path, not first-call
     compilation and allocation noise.  The value is reported as
     :attr:`TuningResult.steady_cost_s`.  The callback may instead return a
-    ``(cost_s, tile_shape)`` pair — the contract of
+    ``(cost_s, tile_shape)`` pair or a ``(cost_s, tile_shape,
+    parallel_workers)`` triple — the contract of
     :func:`repro.backend.fuse.measure_best_tile`, which times warm fused
-    replays across tape-optimizer tile shapes — in which case the winning
-    tile is reported as :attr:`TuningResult.tile_shape`.
+    replays across tape-optimizer tile shapes and replay-worker counts — in
+    which case the winners are reported as :attr:`TuningResult.tile_shape`
+    and :attr:`TuningResult.parallel_workers`.
     """
 
     STRATEGIES = ("exhaustive", "random", "hillclimb")
@@ -136,10 +148,14 @@ class AutoTuner:
             self.validate_best(outcome.best.configuration)
         steady = None
         tile_shape = None
+        parallel_workers = None
         if self.measure_best is not None:
             measured = self.measure_best(outcome.best.configuration)
             if isinstance(measured, tuple):
-                steady, tile_shape = measured
+                if len(measured) >= 3:
+                    steady, tile_shape, parallel_workers = measured[:3]
+                else:
+                    steady, tile_shape = measured
             else:
                 steady = measured
         return TuningResult(
@@ -149,6 +165,7 @@ class AutoTuner:
             history=outcome.history,
             steady_cost_s=steady,
             tile_shape=tile_shape,
+            parallel_workers=parallel_workers,
         )
 
 

@@ -257,7 +257,20 @@ class TestTileSpecs:
         inputs = small_inputs(bench)
         backend = NumpyBackend(cache=None)
         candidates = [False, None, (4, None)]
-        cost, spec = measure_best_tile(backend, bench.build_program(),
-                                       inputs, candidates=candidates, runs=1)
+        cost, spec, workers = measure_best_tile(
+            backend, bench.build_program(), inputs,
+            candidates=candidates, runs=1,
+        )
         assert cost > 0.0
         assert spec in candidates
+        assert workers >= 1
+
+    def test_measure_best_tile_searches_worker_candidates(self):
+        bench = get_benchmark("jacobi2d5pt")
+        inputs = small_inputs(bench)
+        backend = NumpyBackend(cache=None)
+        cost, spec, workers = measure_best_tile(
+            backend, bench.build_program(), inputs,
+            candidates=[None], runs=1, worker_candidates=(1, 2),
+        )
+        assert cost > 0.0 and spec is None and workers in (1, 2)

@@ -1,0 +1,97 @@
+"""Docs health check: relative links resolve, documented CLI verbs exist.
+
+Two passes, run by the CI ``docs`` job (and locally via
+``python tools/check_links.py``):
+
+1. **Link check.** Every relative markdown link in ``README.md``,
+   ``ROADMAP.md`` and ``docs/*.md`` must point at a file that exists in
+   the repository (anchors are stripped; ``http(s)``/``mailto`` links are
+   out of scope — CI must not depend on external availability).
+2. **Verb smoke.** Every ``repro <verb>`` mentioned in
+   ``docs/OPERATIONS.md`` must answer ``python -m repro <verb> --help``
+   with exit status 0 — so the operations document cannot drift from the
+   actual CLI surface without failing CI.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "ROADMAP.md",
+    *sorted((REPO / "docs").glob("*.md")),
+]
+
+# [text](target) — excluding images; inline code spans are stripped first.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+# ``repro <verb>`` or ``python -m repro <verb>`` with a verb-shaped token.
+_VERB = re.compile(r"\brepro\s+([a-z][a-z0-9-]+)\b")
+_NOT_VERBS = {"bench", "cli", "core", "backend", "service", "tuning"}
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        text = _CODE_SPAN.sub("", doc.read_text(encoding="utf-8"))
+        for match in _LINK.finditer(text):
+            target = match.group(1).split("#", 1)[0]
+            if not target or "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {match.group(1)}"
+                )
+    return problems
+
+
+def documented_verbs() -> set[str]:
+    operations = REPO / "docs" / "OPERATIONS.md"
+    verbs = set(_VERB.findall(operations.read_text(encoding="utf-8")))
+    return verbs - _NOT_VERBS
+
+
+def check_verbs() -> list[str]:
+    problems = []
+    for verb in sorted(documented_verbs()):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", verb, "--help"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        if result.returncode != 0:
+            detail = (result.stderr or result.stdout).strip().splitlines()
+            problems.append(
+                f"docs/OPERATIONS.md documents `repro {verb}` but "
+                f"`--help` failed: {detail[-1] if detail else 'no output'}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_verbs()
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(
+            f"OK: {len(DOC_FILES)} docs link-checked, "
+            f"{len(documented_verbs())} CLI verbs answered --help"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
