@@ -170,4 +170,29 @@ class CompilationCache:
 default_cache = CompilationCache()
 
 
+# Live cache statistics as scrape-time gauges (no hot-path coupling).
+from ..telemetry import registry as _telemetry  # noqa: E402
+
+_telemetry.gauge(
+    "repro_compilation_cache_hits",
+    "Hits in the process-wide compilation cache.",
+    fn=lambda: default_cache.hits,
+)
+_telemetry.gauge(
+    "repro_compilation_cache_misses",
+    "Misses (compilations) in the process-wide compilation cache.",
+    fn=lambda: default_cache.misses,
+)
+_telemetry.gauge(
+    "repro_compilation_cache_evictions",
+    "LRU evictions from the process-wide compilation cache.",
+    fn=lambda: default_cache.evictions,
+)
+_telemetry.gauge(
+    "repro_compilation_cache_entries",
+    "Kernels currently memoised in the process-wide compilation cache.",
+    fn=lambda: len(default_cache),
+)
+
+
 __all__ = ["CompilationCache", "default_cache", "input_signature"]

@@ -61,10 +61,13 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..telemetry import registry as _telemetry
+from ..telemetry.registry import RATIO_BUCKETS, metrics_enabled as _metrics_on
 from .numpy_backend import ExecutionError, TapeEntry
 from .ufunc_trace import TracedArray
 
@@ -81,6 +84,24 @@ MAX_REPLAY_WORKERS = 16
 
 class FusionError(Exception):
     """The tape optimizer could not (safely) fuse — callers fall back."""
+
+
+# Fused-replay instruments.  All three sit on the steady path and are
+# guarded by ``_metrics_on()`` where the clocks are read; observations are
+# bucket increments, so the zero-allocation replay invariants survive.
+_REGION_REPLAY_SECONDS = _telemetry.histogram(
+    "repro_fused_region_replay_seconds",
+    "Wall time of one fused region replay (all chunks).",
+)
+_CHUNK_SECONDS = _telemetry.histogram(
+    "repro_replay_chunk_seconds",
+    "Wall time of one parallel replay chunk (inline chunk included).",
+)
+_CHUNK_IMBALANCE = _telemetry.histogram(
+    "repro_replay_chunk_imbalance",
+    "(max - min) / max chunk wall time per parallel region replay.",
+    buckets=RATIO_BUCKETS,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -291,19 +312,28 @@ def _replay_steps(steps: Sequence[Tuple]) -> None:
 
 
 class _Latch:
-    """Countdown latch carrying the first worker error (if any)."""
+    """Countdown latch carrying the first worker error (if any).
 
-    __slots__ = ("_remaining", "error", "_cond")
+    When built with ``collect_durations=True`` (telemetry enabled at
+    dispatch time) workers report their chunk wall time through
+    :meth:`finish`; the caller reads ``durations`` after :meth:`wait`.
+    """
 
-    def __init__(self, count: int) -> None:
+    __slots__ = ("_remaining", "error", "_cond", "durations")
+
+    def __init__(self, count: int, collect_durations: bool = False) -> None:
         self._remaining = count
         self.error: Optional[BaseException] = None
         self._cond = threading.Condition(threading.Lock())
+        self.durations: Optional[List[float]] = [] if collect_durations else None
 
-    def finish(self, error: Optional[BaseException] = None) -> None:
+    def finish(self, error: Optional[BaseException] = None,
+               duration: Optional[float] = None) -> None:
         with self._cond:
             if error is not None and self.error is None:
                 self.error = error
+            if duration is not None and self.durations is not None:
+                self.durations.append(duration)
             self._remaining -= 1
             if self._remaining <= 0:
                 self._cond.notify_all()
@@ -333,6 +363,10 @@ class ReplayWorkerPool:
         self._spawn_lock = threading.Lock()
         self._threads = 0
         self._max_threads = max_threads
+        #: Chunk wall times of the most recent timed run (telemetry only;
+        #: request traces copy these when their replay used this pool).
+        self.last_chunk_seconds: Tuple[float, ...] = ()
+        self.last_run_at = 0.0
 
     def _ensure_threads(self, needed: int) -> None:
         target = min(needed, self._max_threads)
@@ -351,28 +385,51 @@ class ReplayWorkerPool:
     def _worker_loop(self) -> None:
         while True:
             latch, steps = self._queue.get()
+            timed = latch.durations is not None
+            started = perf_counter() if timed else 0.0
             try:
                 _replay_steps(steps)
             except BaseException as error:  # noqa: BLE001 - must reach caller
-                latch.finish(error)
+                latch.finish(error,
+                             perf_counter() - started if timed else None)
             else:
-                latch.finish()
+                latch.finish(None,
+                             perf_counter() - started if timed else None)
 
     def run_parts(self, parts: Sequence[Sequence[Tuple]]) -> None:
         tail = parts[1:]
         self._ensure_threads(len(tail))
-        latch = _Latch(len(tail))
+        timed = _metrics_on()
+        latch = _Latch(len(tail), collect_durations=timed)
         for steps in tail:
             self._queue.put((latch, steps))
         inline_error: Optional[BaseException] = None
+        inline_started = perf_counter() if timed else 0.0
         try:
             _replay_steps(parts[0])
         except BaseException as error:  # noqa: BLE001 - joined below
             inline_error = error
+        inline_seconds = perf_counter() - inline_started if timed else 0.0
         latch.wait()  # never leave workers racing a returned-from replay
+        if timed:
+            self._record_chunks([inline_seconds] + (latch.durations or []))
         error = inline_error if inline_error is not None else latch.error
         if error is not None:
             raise error
+
+    def _record_chunks(self, durations: List[float]) -> None:
+        """File per-chunk wall times: histograms + the last-run snapshot
+        the request tracer copies into slow-request traces."""
+        self.last_chunk_seconds = tuple(durations)
+        self.last_run_at = perf_counter()
+        slowest = 0.0
+        fastest = float("inf")
+        for duration in durations:
+            _CHUNK_SECONDS.observe(duration)
+            slowest = max(slowest, duration)
+            fastest = min(fastest, duration)
+        if len(durations) > 1 and slowest > 0.0:
+            _CHUNK_IMBALANCE.observe((slowest - fastest) / slowest)
 
 
 _REPLAY_POOL: Optional[ReplayWorkerPool] = None
@@ -420,7 +477,14 @@ class FusedOp:
 
     def run(self) -> None:
         parts = self.parts
-        if len(parts) == 1:
+        if _metrics_on():
+            started = perf_counter()
+            if len(parts) == 1:
+                _replay_steps(parts[0])
+            else:
+                replay_pool().run_parts(parts)
+            _REGION_REPLAY_SECONDS.observe(perf_counter() - started)
+        elif len(parts) == 1:
             _replay_steps(parts[0])
         else:
             replay_pool().run_parts(parts)

@@ -47,11 +47,14 @@ the way the compilation cache memoises kernels.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.ir import Lambda, structural_key
+from ..telemetry import registry as _telemetry
+from ..telemetry.registry import metrics_enabled as _metrics_on
 from .fuse import normalize_tile_spec, normalize_workers, optimize_tape
 from .numpy_backend import (
     Batched,
@@ -66,6 +69,32 @@ from .pool import BufferPool
 
 #: Per-input carry specification entries (see module docstring).
 CarrySpec = Tuple[Union[str, int, None], ...]
+
+# Process-wide instruments, summed over every plan in the process.  The
+# replay pair sits on the steady serving path: both are guarded by
+# ``_metrics_on()`` at the call site so disabled telemetry skips the clock
+# reads entirely, and an enabled observation is bucket increments only —
+# the zero-allocation replay invariants hold either way.
+_CAPTURES_TOTAL = _telemetry.counter(
+    "repro_plan_captures_total", "Tape captures (first execution of a binding)."
+)
+_CAPTURE_SECONDS = _telemetry.histogram(
+    "repro_plan_capture_seconds", "Wall time of tape captures."
+)
+_REPLAYS_TOTAL = _telemetry.counter(
+    "repro_plan_replays_total", "Steady-state tape replays."
+)
+_REPLAY_SECONDS = _telemetry.histogram(
+    "repro_plan_replay_seconds", "Wall time of steady-state tape replays."
+)
+_FUSION_FALLBACKS_TOTAL = _telemetry.counter(
+    "repro_plan_fusion_fallbacks_total",
+    "Captured tapes kept unfused, by reason.", label="reason",
+)
+_FUSED_REGIONS_TOTAL = _telemetry.counter(
+    "repro_plan_fused_regions_total",
+    "Fused regions accepted after bit-exact verification.",
+)
 
 
 def normalize_carry(carry: Optional[Sequence], num_inputs: int) -> CarrySpec:
@@ -377,6 +406,7 @@ class ExecutionPlan:
                                       workers=self.parallel_workers)
         except Exception:  # noqa: BLE001 - fusion must never break execution
             self.fusion_fallbacks += 1
+            _FUSION_FALLBACKS_TOTAL.inc(label="analysis")
             return tape
         if optimized is None:
             return tape
@@ -391,9 +421,11 @@ class ExecutionPlan:
         if not accepted:
             self._pool.release_all(scratch)
             self.fusion_fallbacks += 1
+            _FUSION_FALLBACKS_TOTAL.inc(label="verification")
             tape.run()  # restore every buffer from the trusted unfused ops
             return tape
         self._buffers.extend(scratch)
+        _FUSED_REGIONS_TOTAL.inc(info.regions)
         self.fused_regions += info.regions
         self.fused_tiles += info.tiles
         self.fused_schedules += info.fused_schedules
@@ -404,8 +436,20 @@ class ExecutionPlan:
         key = (tuple(id(buffer) for buffer in state), slot)
         tape = self._tapes.get(key)
         if tape is None:
-            tape = self._capture(state, slot)
+            if _metrics_on():
+                started = perf_counter()
+                tape = self._capture(state, slot)
+                _CAPTURE_SECONDS.observe(perf_counter() - started)
+                _CAPTURES_TOTAL.inc()
+            else:
+                tape = self._capture(state, slot)
             self._tapes[key] = tape
+        elif _metrics_on():
+            started = perf_counter()
+            tape.run()
+            _REPLAY_SECONDS.observe(perf_counter() - started)
+            _REPLAYS_TOTAL.inc()
+            self.replays += 1
         else:
             tape.run()
             self.replays += 1

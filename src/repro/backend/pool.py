@@ -20,11 +20,23 @@ at a time (plans serialise their own execution with a per-plan lock).
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..telemetry import registry as _telemetry
+
 _Key = Tuple[Tuple[int, ...], str]
+
+#: Every live pool, so the process-wide telemetry gauges can sum over them.
+#: Weak references: a pool dropped with its backend must not be pinned (or
+#: double-counted) by observability plumbing.
+_POOLS: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
+def _sum_over_pools(attribute: str) -> int:
+    return sum(getattr(pool, attribute, 0) for pool in list(_POOLS))
 
 
 class BufferPool:
@@ -56,6 +68,8 @@ class BufferPool:
         self.reuses = 0
         self.live_buffers = 0
         self.live_bytes = 0
+        self.high_water_bytes = 0
+        _POOLS.add(self)
 
     @staticmethod
     def _key(shape: Tuple[int, ...], dtype) -> _Key:
@@ -74,6 +88,8 @@ class BufferPool:
                 self.allocations += 1
             self.live_buffers += 1
             self.live_bytes += buffer.nbytes
+            if self.live_bytes > self.high_water_bytes:
+                self.high_water_bytes = self.live_bytes
         return buffer
 
     def release(self, buffer: np.ndarray) -> None:
@@ -97,9 +113,33 @@ class BufferPool:
                 "reuses": self.reuses,
                 "live_buffers": self.live_buffers,
                 "live_bytes": self.live_bytes,
+                "high_water_bytes": self.high_water_bytes,
                 "free_buffers": free_buffers,
                 "free_bytes": free_bytes,
             }
+
+
+# Sampled at scrape time only — pool hot paths never touch telemetry.
+_telemetry.gauge(
+    "repro_pool_live_bytes",
+    "Bytes currently checked out of all buffer pools.",
+    fn=lambda: _sum_over_pools("live_bytes"),
+)
+_telemetry.gauge(
+    "repro_pool_high_water_bytes",
+    "Peak bytes simultaneously checked out, summed over pools.",
+    fn=lambda: _sum_over_pools("high_water_bytes"),
+)
+_telemetry.gauge(
+    "repro_pool_allocations",
+    "Fresh np.empty allocations performed by all buffer pools.",
+    fn=lambda: _sum_over_pools("allocations"),
+)
+_telemetry.gauge(
+    "repro_pool_reuses",
+    "Acquisitions served from pool free lists.",
+    fn=lambda: _sum_over_pools("reuses"),
+)
 
 
 __all__ = ["BufferPool"]

@@ -15,9 +15,11 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
     python -m repro serve --port 7457 [--store .repro/engine.sqlite]
                           [--prewarm suite] [--shards 2]
+                          [--metrics-port 9464] [--log-level info] [--log-json]
     python -m repro submit stencil2d --port 7457 --shape 64 64
     python -m repro loadgen [stencil2d] --requests 64 [--shards 2]
                             [--out BENCH_service.json]
+    python -m repro trace --port 7457 [--slow] [--limit 20] [--json]
     python -m repro stats [--store .repro/engine.sqlite]
 
 Every sub-command prints human-readable text; the figure commands emit the
@@ -302,7 +304,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import run_server
+    from .telemetry.logs import configure_logging
 
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     store = None if args.no_store else args.store
     prewarm = None
     if args.prewarm is not None:
@@ -315,10 +319,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shape=tuple(args.prewarm_shape) if args.prewarm_shape else None,
         )
     shard_text = f", shards {args.shards}" if args.shards else ""
+    metrics_text = (
+        f", metrics http://{args.host}:{args.metrics_port}/metrics"
+        if args.metrics_port is not None else ""
+    )
     print(f"serving on {args.host}:{args.port} "
           f"(device {args.device}, store {store or '<none>'}, "
           f"window {args.window_ms} ms, max batch {args.max_batch}"
-          f"{shard_text})",
+          f"{shard_text}{metrics_text})",
           flush=True)
     stats = run_server(
         host=args.host,
@@ -326,6 +334,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_requests=args.max_requests,
         prewarm=prewarm,
         prewarm_batch=tuple(args.prewarm_batch or ()),
+        metrics_port=args.metrics_port,
         device=args.device,
         store=store,
         batch_window=args.window_ms / 1e3,
@@ -338,6 +347,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         import json as _json
 
         print(_json.dumps(stats.get("service", {}), indent=2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from .telemetry.trace import format_trace
+
+    async def fetch() -> dict:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        message = {"op": "trace", "slow": bool(args.slow)}
+        if args.limit is not None:
+            message["limit"] = args.limit
+        writer.write((_json.dumps(message) + "\n").encode("utf-8"))
+        await writer.drain()
+        reply = _json.loads(await reader.readline())
+        writer.close()
+        return reply
+
+    reply = asyncio.run(fetch())
+    if not reply.get("ok"):
+        print(f"error: {reply.get('error')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    ring = reply.get("ring") or {}
+    traces = reply.get("traces") or []
+    print(f"trace ring: {ring.get('retained')}/{ring.get('capacity')} retained "
+          f"({ring.get('recorded')} recorded, {ring.get('slow_recorded')} slow "
+          f"at >= {ring.get('slow_ms')} ms)")
+    if not traces:
+        print("no traces recorded" + (" above the slow threshold" if args.slow
+                                      else ""))
+        return 0
+    for trace in traces:
+        print(format_trace(trace))
     return 0
 
 
@@ -612,6 +659,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also capture the batched plans for these "
                             "micro-batch capacities (rounded up to the "
                             "batcher's powers of two)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="expose a telemetry HTTP sidecar on this port "
+                            "(/metrics Prometheus text, /healthz liveness, "
+                            "/trace recent request traces); 0 picks a free "
+                            "port; default: disabled")
+    serve.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="stdlib logging level for the 'repro' logger")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit log records as JSON lines (one object "
+                            "per line) instead of human-readable text")
 
     submit = sub.add_parser("submit", help="send requests to a running service")
     submit.add_argument("benchmark", nargs="?", default="stencil2d")
@@ -668,6 +726,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--store", default=DEFAULT_STORE_PATH)
 
+    trace = sub.add_parser(
+        "trace",
+        help="fetch recent request-lifecycle traces from a running service",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=7457)
+    trace.add_argument("--slow", action="store_true",
+                       help="only traces over the service's slow-request "
+                            "threshold")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="at most this many traces (most recent first)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw JSON reply instead of the "
+                            "per-stage breakdown")
+
     return parser
 
 
@@ -688,6 +761,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _cmd_submit,
         "loadgen": _cmd_loadgen,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

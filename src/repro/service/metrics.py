@@ -11,6 +11,8 @@ read the same shape everywhere.
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Dict, List, Optional, Union
 
 from ..backend.cache import CompilationCache, default_cache
@@ -22,29 +24,41 @@ def cache_section(cache: Optional[CompilationCache] = None) -> Dict[str, int]:
     return cache.stats()
 
 
+# One read handle per store path, reused across stats/scrape calls.  A
+# /metrics scrape every few seconds used to open and close a fresh SQLite
+# connection per call; connections are check_same_thread=False, so a single
+# cached handle per path serves every scraping thread.
+_STORE_HANDLES: Dict[str, ResultsStore] = {}
+_STORE_HANDLES_LOCK = threading.Lock()
+
+
+def _store_handle(path: str) -> ResultsStore:
+    key = os.path.abspath(path) if path != ":memory:" else path
+    with _STORE_HANDLES_LOCK:
+        handle = _STORE_HANDLES.get(key)
+        if handle is None:
+            handle = _STORE_HANDLES[key] = ResultsStore(path)
+        return handle
+
+
 def store_section(store: Union[ResultsStore, str, None]) -> Dict[str, object]:
     """Results-store counters plus a per-benchmark best summary."""
     if store is None:
         return {"available": False}
-    owns = isinstance(store, str)
-    opened = ResultsStore(store) if owns else store
-    try:
-        section: Dict[str, object] = {"available": True}
-        section.update(opened.stats())
-        section["sessions"] = len(opened.sessions())
-        section["best"] = {
-            name: {
-                "variant": result.variant.describe(),
-                "config": dict(result.config),
-                "cost_s": result.cost,
-                "device": result.device,
-            }
-            for name, result in sorted(opened.best_per_benchmark().items())
+    opened = _store_handle(store) if isinstance(store, str) else store
+    section: Dict[str, object] = {"available": True}
+    section.update(opened.stats())
+    section["sessions"] = len(opened.sessions())
+    section["best"] = {
+        name: {
+            "variant": result.variant.describe(),
+            "config": dict(result.config),
+            "cost_s": result.cost,
+            "device": result.device,
         }
-        return section
-    finally:
-        if owns:
-            opened.close()
+        for name, result in sorted(opened.best_per_benchmark().items())
+    }
+    return section
 
 
 def shards_section(per_shard: List[Dict[str, object]]) -> Dict[str, object]:
@@ -58,16 +72,21 @@ def shards_section(per_shard: List[Dict[str, object]]) -> Dict[str, object]:
     """
     totals = {"requests": 0, "groups": 0, "errors": 0, "compilations": 0}
     alive = 0
+    rows = []
     for shard in per_shard:
+        # The raw registry snapshot rides the stats op for /metrics merging;
+        # it is bulky and belongs to the telemetry surface, not this report.
+        row = {k: v for k, v in shard.items() if k != "telemetry"}
+        rows.append(row)
         for name in totals:
-            value = shard.get(name)
+            value = row.get(name)
             if isinstance(value, (int, float)):
                 totals[name] += int(value)
-        if shard.get("alive"):
+        if row.get("alive"):
             alive += 1
     section: Dict[str, object] = {"count": len(per_shard), "alive": alive}
     section.update(totals)
-    section["per_shard"] = list(per_shard)
+    section["per_shard"] = rows
     return section
 
 

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,13 +44,51 @@ import numpy as np
 from ..apps.base import squeeze_result
 from ..backend.base import NumpyBackend
 from ..backend.cache import CompilationCache
+from ..backend.fuse import replay_pool
 from ..backend.numpy_backend import CompileError
 from ..core.serialize import SerializationError, program_to_dict
 from ..engine.store import ResultsStore
+from ..telemetry import registry as _telemetry
+from ..telemetry.registry import BATCH_BUCKETS
+from ..telemetry.trace import TraceRing
 from .metrics import shards_section, stats_report
 from .registry import TunedKernelRegistry
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
 from .shards import ShardedExecutor
+
+log = logging.getLogger("repro.service")
+
+# Request-path instruments (process-wide; shard processes run their own and
+# the /metrics route merges the snapshots).
+_REQUESTS_TOTAL = _telemetry.counter(
+    "repro_requests_total", "Requests served to completion."
+)
+_REQUEST_ERRORS_TOTAL = _telemetry.counter(
+    "repro_request_errors_total", "Requests answered with an in-band error."
+)
+_BATCHES_TOTAL = _telemetry.counter(
+    "repro_batches_total", "Micro-batch groups executed."
+)
+_BATCHED_REQUESTS_TOTAL = _telemetry.counter(
+    "repro_batched_requests_total",
+    "Requests served inside a batch of two or more.",
+)
+_SHARD_FALLBACKS_TOTAL = _telemetry.counter(
+    "repro_shard_fallbacks_total",
+    "Groups served in-process because their program cannot cross a shard pipe.",
+)
+_REQUEST_LATENCY_SECONDS = _telemetry.histogram(
+    "repro_request_latency_seconds",
+    "End-to-end request latency (enqueue to response).",
+)
+_BATCH_SIZE = _telemetry.histogram(
+    "repro_batch_size", "Requests per executed micro-batch group.",
+    buckets=BATCH_BUCKETS,
+)
+_SHARD_ROUNDTRIP_SECONDS = _telemetry.histogram(
+    "repro_shard_roundtrip_seconds",
+    "Wall time of one group's shard dispatch (slab copy, sweep, reply).",
+)
 
 
 @dataclass
@@ -64,6 +104,7 @@ class _Pending:
     key: Tuple
     future: "asyncio.Future[ExecutionResponse]"
     enqueued_at: float = field(default_factory=time.perf_counter)
+    admit_ms: float = 0.0
 
 
 class StencilService:
@@ -120,6 +161,8 @@ class StencilService:
         tune_budget: int = 20,
         use_plans: bool = True,
         shards: int = 0,
+        trace_capacity: int = 256,
+        trace_slow_ms: float = 50.0,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
@@ -155,6 +198,48 @@ class StencilService:
         self.request_errors = 0
         self.plans_prewarmed = 0
         self.shard_fallbacks = 0
+        #: Request-lifecycle traces (``repro trace`` / the /trace route).
+        self.tracer = TraceRing(capacity=trace_capacity, slow_ms=trace_slow_ms)
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Point the live service gauges at this instance (scrape-time only).
+
+        Gauge callbacks live in the process-wide registry, so they hold the
+        service through a weakref — a stopped, dropped service reads as
+        zero rather than being pinned alive by observability plumbing.
+        When several services coexist (tests), the newest registration
+        wins, matching the "one serving loop per process" deployment shape.
+        """
+        service_ref = weakref.ref(self)
+
+        def from_service(read):
+            def sample() -> float:
+                service = service_ref()
+                return float(read(service)) if service is not None else 0.0
+            return sample
+
+        _telemetry.gauge(
+            "repro_queue_depth", "Requests admitted but not yet batch-formed.",
+            fn=from_service(
+                lambda s: s._queue.qsize() if s._queue is not None else 0
+            ),
+        )
+        for stat in ("hits", "misses", "evictions", "entries"):
+            _telemetry.gauge(
+                f"repro_service_compilation_cache_{stat}",
+                f"Service compilation cache {stat}.",
+                fn=from_service(
+                    lambda s, stat=stat: s.cache.stats()[stat]
+                ),
+            )
+            _telemetry.gauge(
+                f"repro_plan_cache_{stat}",
+                f"Service plan cache {stat}.",
+                fn=from_service(
+                    lambda s, stat=stat: s.backend.plans.stats()[stat]
+                ),
+            )
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "StencilService":
@@ -314,12 +399,14 @@ class StencilService:
             pending = self._admit(request)
         except Exception as error:  # bad request: respond in-band
             self.request_errors += 1
+            _REQUEST_ERRORS_TOTAL.inc()
             return ExecutionResponse(
                 result=None, benchmark=request.benchmark, digest="",
                 variant="", plan_source="", batch_size=0, batched=False,
                 latency_s=time.perf_counter() - started,
                 error=f"{type(error).__name__}: {error}",
             )
+        pending.admit_ms = (time.perf_counter() - started) * 1e3
         await self._queue.put(pending)
         return await pending.future
 
@@ -403,17 +490,22 @@ class StencilService:
         """
         size = len(group)
         loop = asyncio.get_running_loop()
+        formed_at = time.perf_counter()
         try:
-            outputs, crosschecked = await loop.run_in_executor(
+            outputs, crosschecked, timings = await loop.run_in_executor(
                 None, self._compute_group, group
             )
         except Exception as error:  # noqa: BLE001 - reported in-band per request
             self._fail_group(group, f"{type(error).__name__}: {error}")
             return
+        executed_at = time.perf_counter()
         self.batches_formed += 1
+        _BATCHES_TOTAL.inc()
+        _BATCH_SIZE.observe(size)
         self.largest_batch = max(self.largest_batch, size)
         if size > 1:
             self.batched_requests += size
+            _BATCHED_REQUESTS_TOTAL.inc(size)
         self.crosschecks_passed += crosschecked
         now = time.perf_counter()
         for item, output in zip(group, outputs):
@@ -434,19 +526,60 @@ class StencilService:
                 )
             )
             self.requests_served += 1
+            _REQUESTS_TOTAL.inc()
+            _REQUEST_LATENCY_SECONDS.observe(
+                (now - item.enqueued_at) + item.admit_ms * 1e-3
+            )
+            self._record_trace(item, size, timings, formed_at, executed_at)
 
-    def _compute_group(self, group: List[_Pending]) -> Tuple[List, int]:
-        """The pure numeric part of a batch (runs on an executor thread)."""
+    def _record_trace(self, item: _Pending, size: int,
+                      timings: Dict[str, object], formed_at: float,
+                      executed_at: float,
+                      error: Optional[str] = None) -> None:
+        """File one request's per-stage breakdown into the trace ring."""
+        done = time.perf_counter()
+        stages: List[Tuple[str, float]] = [
+            ("admit", item.admit_ms),
+            ("queue", (formed_at - item.enqueued_at) * 1e3),
+        ]
+        for stage in ("plan_resolve", "replay", "shard_roundtrip"):
+            value = timings.get(f"{stage}_ms")
+            if value is not None:
+                stages.append((stage, float(value)))  # type: ignore[arg-type]
+        stages.append(("respond", (done - executed_at) * 1e3))
+        self.tracer.record({
+            "benchmark": item.benchmark,
+            "digest": item.digest,
+            "variant": item.variant,
+            "batch_size": size,
+            "total_ms": item.admit_ms + (done - item.enqueued_at) * 1e3,
+            "stages": stages,
+            "shard": timings.get("shard"),
+            "replay_chunks_ms": timings.get("replay_chunks_ms"),
+            "error": error,
+        })
+
+    def _compute_group(
+        self, group: List[_Pending]
+    ) -> Tuple[List, int, Dict[str, object]]:
+        """The pure numeric part of a batch (runs on an executor thread).
+
+        Returns ``(outputs, crosschecked, timings)`` — the timings dict
+        carries the execute-phase breakdown (``plan_resolve_ms`` /
+        ``replay_ms`` locally, ``shard_roundtrip_ms`` + ``shard`` when
+        dispatched) the trace ring files per request.
+        """
         if self.executor is not None:
             sharded = self._compute_group_sharded(group)
             if sharded is not None:
                 return sharded
             self.shard_fallbacks += 1
+            _SHARD_FALLBACKS_TOTAL.inc()
         return self._compute_group_local(group)
 
     def _compute_group_sharded(
         self, group: List[_Pending]
-    ) -> Optional[Tuple[List, int]]:
+    ) -> Optional[Tuple[List, int, Dict[str, object]]]:
         """Dispatch one group to a shard process; ``None`` = serve locally.
 
         The program crosses the pipe once per (digest, variant) per shard as
@@ -469,8 +602,11 @@ class StencilService:
             self._wires[program_key] = wire
         shard = self.executor.pick()
         parts = [item.request.inputs for item in group]
+        dispatched = time.perf_counter()
         outputs = shard.execute(program_key, wire,
                                 head.request.size_env or None, parts)
+        roundtrip = time.perf_counter() - dispatched
+        _SHARD_ROUNDTRIP_SECONDS.observe(roundtrip)
         crosschecked = 0
         if self.crosscheck and len(group) > 1:
             crosschecked = self._crosscheck_group(group, outputs)
@@ -478,15 +614,39 @@ class StencilService:
             [squeeze_result(np.asarray(output, dtype=np.float64))
              for output in outputs],
             crosschecked,
+            {"shard_roundtrip_ms": roundtrip * 1e3, "shard": shard.index},
         )
 
-    def _compute_group_local(self, group: List[_Pending]) -> Tuple[List, int]:
+    def _compute_group_local(
+        self, group: List[_Pending]
+    ) -> Tuple[List, int, Dict[str, object]]:
         head = group[0]
         size_env = head.request.size_env or None
+        resolve_started = time.perf_counter()
+        replay_started = resolve_started
         if len(group) == 1:
             if self.use_plans:
-                swept = [self.backend.run_plan(head.program,
-                                               head.request.inputs, size_env)]
+                # The run_plan split, inlined so the trace can separate
+                # plan lookup/capture from the replay itself (identical
+                # semantics: CompileError at either stage falls back to
+                # the generic compiled path).
+                plan = None
+                try:
+                    plan = self.backend.plan(head.program,
+                                             head.request.inputs, size_env)
+                except CompileError:
+                    pass
+                replay_started = time.perf_counter()
+                if plan is not None:
+                    try:
+                        swept = [plan.run(head.request.inputs)]
+                    except CompileError:
+                        swept = [self.backend.run(head.program,
+                                                  head.request.inputs,
+                                                  size_env)]
+                else:
+                    swept = [self.backend.run(head.program,
+                                              head.request.inputs, size_env)]
             else:
                 swept = [self.backend.run(head.program, head.request.inputs,
                                           size_env)]
@@ -507,17 +667,29 @@ class StencilService:
             ]
             parts = [item.request.inputs for item in group]
             parts += [head.request.inputs] * (capacity - len(group))
-            try:
-                plan = self.backend.plan(head.program, signature, size_env,
-                                         batched=True)
-                batch = plan.run_batched_parts(parts)
-            except CompileError:
+
+            def stacked_fallback() -> np.ndarray:
                 stacked = [
                     np.stack([item[i] for item in parts])
                     for i in range(len(head.request.inputs))
                 ]
-                batch = self.backend.run_batched(head.program, stacked,
-                                                 size_env)
+                return self.backend.run_batched(head.program, stacked,
+                                                size_env)
+
+            plan = None
+            try:
+                plan = self.backend.plan(head.program, signature, size_env,
+                                         batched=True)
+            except CompileError:
+                pass
+            replay_started = time.perf_counter()
+            if plan is not None:
+                try:
+                    batch = plan.run_batched_parts(parts)
+                except CompileError:
+                    batch = stacked_fallback()
+            else:
+                batch = stacked_fallback()
             swept = [batch[index] for index in range(len(group))]
         else:
             stacked = [
@@ -528,6 +700,19 @@ class StencilService:
                 head.program, stacked, size_env
             )
             swept = [batch[index] for index in range(len(group))]
+        replay_done = time.perf_counter()
+        timings: Dict[str, object] = {
+            "plan_resolve_ms": (replay_started - resolve_started) * 1e3,
+            "replay_ms": (replay_done - replay_started) * 1e3,
+        }
+        # If the sweep's fused regions replayed in parallel chunks, copy
+        # that run's per-chunk wall times into the trace (the pool stamps
+        # last_run_at only on timed runs — telemetry enabled).
+        pool = replay_pool()
+        if pool.last_run_at >= replay_started and pool.last_chunk_seconds:
+            timings["replay_chunks_ms"] = [
+                seconds * 1e3 for seconds in pool.last_chunk_seconds
+            ]
         crosschecked = 0
         if self.crosscheck and len(group) > 1:
             crosschecked = self._crosscheck_group(group, swept)
@@ -535,6 +720,7 @@ class StencilService:
             [squeeze_result(np.asarray(output, dtype=np.float64))
              for output in swept],
             crosschecked,
+            timings,
         )
 
     def _crosscheck_group(self, group: List[_Pending], outputs: List) -> int:
@@ -554,6 +740,9 @@ class StencilService:
         for item in group:
             if not item.future.done():
                 self.request_errors += 1
+                _REQUEST_ERRORS_TOTAL.inc()
+                self._record_trace(item, len(group), {}, now, now,
+                                   error=reason)
                 item.future.set_result(
                     ExecutionResponse(
                         result=None, benchmark=item.benchmark,
@@ -687,6 +876,16 @@ async def _handle_message(service: StencilService,
         return {"ok": True, "pong": True}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
+    if op == "trace":
+        limit = message.get("limit")
+        return {
+            "ok": True,
+            "traces": service.tracer.snapshot(
+                slow_only=bool(message.get("slow")),
+                limit=int(limit) if limit is not None else None,
+            ),
+            "ring": service.tracer.stats(),
+        }
     if op == "execute":
         # Payload conversion (JSON grids ↔ ndarrays, input generation) can
         # be arbitrarily large; keep it off the event loop so one fat
@@ -790,6 +989,7 @@ def run_server(
     ready_event: Optional[threading.Event] = None,
     prewarm: Optional[Sequence[ExecutionRequest]] = None,
     prewarm_batch: Sequence[int] = (),
+    metrics_port: Optional[int] = None,
     **service_kwargs,
 ) -> Dict[str, object]:
     """Start a service + TCP endpoint and serve until done (blocking).
@@ -800,25 +1000,35 @@ def run_server(
     ``prewarm`` requests have their plans captured *before* the endpoint
     starts accepting connections (``prewarm_batch`` capacities warm the
     batched plans too), so prewarmed traffic never pays a plan build.
+    ``metrics_port`` additionally binds the telemetry HTTP sidecar
+    (``/metrics`` + ``/healthz`` + ``/trace``) on the same host.
     """
     stats: Dict[str, object] = {}
 
     async def main() -> None:
+        from ..telemetry.httpd import TelemetryHTTP
+
         service = StencilService(**service_kwargs)
         async with service:
+            telemetry_http = None
+            if metrics_port is not None:
+                telemetry_http = await TelemetryHTTP(service).start(
+                    host, metrics_port
+                )
             if prewarm:
                 warmed = await asyncio.get_running_loop().run_in_executor(
                     None, lambda: service.prewarm(
                         list(prewarm), batch_capacities=prewarm_batch
                     )
                 )
-                print(f"prewarmed {warmed['prewarmed']} plans "
-                      f"({warmed['skipped']} skipped)", flush=True)
+                log.info("prewarmed %d plans (%d skipped)",
+                         warmed["prewarmed"], warmed["skipped"])
             server = await serve_tcp(service, host, port,
                                      max_requests=max_requests)
             async with server:
                 if ready_event is not None:
                     ready_event.set()
+                log.info("serving on %s:%d", host, port)
                 if max_requests is not None:
                     await server.served_done  # type: ignore[attr-defined]
                     # Drain: clients may still pipeline trailing non-execute
@@ -833,6 +1043,8 @@ def run_server(
                         await asyncio.sleep(0.05)
                 else:
                     await asyncio.Event().wait()  # serve forever
+            if telemetry_http is not None:
+                await telemetry_http.stop()
             stats.update(service.stats())
 
     try:

@@ -38,6 +38,7 @@ socket starts listening.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing as mp
 import threading
 from multiprocessing import shared_memory
@@ -46,6 +47,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .requests import ServiceError
+
+log = logging.getLogger("repro.service.shards")
 
 
 class ShardError(ServiceError):
@@ -180,6 +183,11 @@ def _shard_main(index: int, conn, use_plans: bool) -> None:
                 stats["shard"] = index
                 stats["compilations"] = backend.cache.stats().get("misses", 0)
                 stats["plans"] = backend.plans.stats()
+                # This shard's registry snapshot rides along so the parent's
+                # /metrics scrape can merge fleet-wide counters/histograms.
+                from ..telemetry.registry import get_registry
+
+                stats["telemetry"] = get_registry().snapshot()
                 conn.send({"ok": True, "stats": stats})
                 continue
             if op != "execute":
@@ -226,6 +234,7 @@ class ShardHandle:
             name=f"repro-shard-{index}", daemon=True,
         )
         self.process.start()
+        log.debug("spawned shard %d (pid %s)", index, self.process.pid)
         child_conn.close()
         self._conn = parent_conn
         self._lock = threading.Lock()
@@ -242,6 +251,8 @@ class ShardHandle:
             self._conn.send(message)
             return self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as error:
+            log.warning("shard %d is not responding (%s); it may have died",
+                        self.index, type(error).__name__)
             raise ShardError(
                 f"shard {self.index} is not responding "
                 f"({type(error).__name__}); it may have died"

@@ -1,0 +1,70 @@
+"""Logging setup for the serving stack (``repro serve --log-level``).
+
+Everything under the ``repro`` logger namespace (``repro.service``,
+``repro.service.shards``, ``repro.service.loadgen``, ``repro.telemetry``)
+is configured here: one stream handler, either a human-readable line
+format or JSON lines (``--log-json``) for log shippers.  The root logger
+is left alone so embedding applications keep control of their own output.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+#: The namespace every serving-stack logger hangs off.
+ROOT_LOGGER = "repro"
+
+_HUMAN_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HUMAN_DATEFMT = "%H:%M:%S"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg (+ exc_info)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_logging(level: str = "info", json_lines: bool = False,
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: replaces any handler a previous call installed, so tests
+    and repeated ``serve`` invocations in one process do not stack
+    duplicate handlers.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(_HUMAN_FORMAT, datefmt=_HUMAN_DATEFMT)
+        )
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger
+
+
+__all__ = ["JsonLineFormatter", "ROOT_LOGGER", "configure_logging"]

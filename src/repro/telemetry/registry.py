@@ -1,0 +1,457 @@
+"""The low-overhead metrics registry: counters, gauges, streaming histograms.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  The steady tape-replay loop calls ``observe`` per
+   replay (and per parallel chunk).  An observation is one lock acquire,
+   one :func:`bisect.bisect_left` into a fixed bounds tuple and a handful
+   of scalar updates — no list growth, no per-sample retention, so the
+   zero-allocation invariants of :mod:`repro.backend.plan` survive
+   instrumentation.  When a registry is *disabled* every instrument
+   returns immediately, and call sites additionally guard their
+   ``perf_counter`` pairs with :func:`metrics_enabled`, so disabled
+   telemetry costs one attribute read per site.
+2. **Mergeability.**  Shard processes run their own default registry; the
+   parent fetches :meth:`MetricsRegistry.snapshot` blobs over the existing
+   shard ``stats`` pipe op and folds them in with
+   :func:`merge_snapshots` — counters and histogram buckets sum, so
+   fleet-level p99 comes out of bucket arithmetic, not sample shipping.
+3. **Scrapeability.**  :meth:`MetricsRegistry.render` emits the Prometheus
+   text exposition format (``# HELP``/``# TYPE``, cumulative
+   ``_bucket{le=...}`` rows, ``_sum``/``_count``), which is what the
+   ``/metrics`` HTTP route serves.
+
+Histograms use fixed log-spaced buckets (:func:`log_buckets`): quantile
+estimates are exact to within one bucket — a factor of 2 for the default
+:data:`LATENCY_BUCKETS` — which is the advertised contract the loadgen
+report asserts against ``numpy.percentile``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` geometric bucket upper bounds: start, start*factor, ..."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("log_buckets needs start > 0, factor > 1, count >= 1")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: Default latency bounds: 1 µs … ~67 s in factor-2 steps (28 buckets incl.
+#: the +Inf overflow).  One-bucket quantile accuracy therefore means
+#: "within 2×" — plenty for serving dashboards, cheap to merge.
+LATENCY_BUCKETS = log_buckets(1e-6, 2.0, 27)
+
+#: Micro-batch size bounds: the batcher rounds capacities to powers of two.
+BATCH_BUCKETS = tuple(float(1 << i) for i in range(11))
+
+#: Bounds for 0..1 ratios (e.g. parallel chunk imbalance).
+RATIO_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+
+class Counter:
+    """A monotonic counter, optionally keyed by one label (e.g. a reason)."""
+
+    def __init__(self, name: str, help: str = "", label: Optional[str] = None,
+                 registry: Optional["MetricsRegistry"] = None) -> None:
+        self.name = name
+        self.help = help
+        self.label = label
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.value = 0
+        self.values: Dict[str, int] = {}
+
+    def inc(self, amount: int = 1, label: Optional[str] = None) -> None:
+        if self._registry is not None and not self._registry.enabled:
+            return
+        with self._lock:
+            if label is None:
+                self.value += amount
+            else:
+                self.values[label] = self.values.get(label, 0) + amount
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            entry: Dict[str, object] = {
+                "type": "counter", "help": self.help, "value": self.value,
+            }
+            if self.label is not None:
+                entry["label"] = self.label
+                entry["values"] = dict(self.values)
+            return entry
+
+
+class Gauge:
+    """A point-in-time value: either set directly or sampled via callback.
+
+    Callback gauges (``fn=lambda: cache.stats()["hits"]``) are the way
+    live cache/pool statistics surface without touching their hot paths —
+    the callable runs only at snapshot/scrape time.
+    """
+
+    def __init__(self, name: str, help: str = "",
+                 fn: Optional[Callable[[], float]] = None,
+                 registry: Optional["MetricsRegistry"] = None) -> None:
+        self.name = name
+        self.help = help
+        self.fn = fn
+        self._registry = registry
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._registry is not None and not self._registry.enabled:
+            return
+        self._value = float(value)
+
+    def read(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:  # noqa: BLE001 - a dead callback must not kill a scrape
+                return float("nan")
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "help": self.help, "value": self.read()}
+
+
+class Histogram:
+    """A fixed-bucket streaming histogram (no per-sample retention).
+
+    ``bounds`` are ascending bucket *upper* bounds; one implicit overflow
+    bucket catches everything above the last bound.  ``observe`` is the
+    hot call: one bisect, one bucket increment, scalar sum/min/max
+    updates.  :meth:`quantile` walks the cumulative counts and linearly
+    interpolates inside the selected bucket, so the estimate always lands
+    in the same bucket as the true order statistic.
+    """
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = LATENCY_BUCKETS,
+                 registry: Optional["MetricsRegistry"] = None) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be ascending and unique")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._registry = registry
+        self._lock = threading.Lock()
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value falls into (``len(bounds)`` = overflow)."""
+        return bisect_left(self.bounds, float(value))
+
+    def observe(self, value: float) -> None:
+        if self._registry is not None and not self._registry.enabled:
+            return
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (``0 <= q <= 100``) from buckets."""
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+            low = self.min
+            high = self.max
+        return _bucket_quantile(self.bounds, counts, total, q, low, high)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "type": "histogram", "help": self.help,
+                "bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max,
+            }
+
+
+def _bucket_quantile(bounds: Sequence[float], counts: Sequence[int],
+                     total: int, q: float,
+                     low: Optional[float], high: Optional[float]) -> float:
+    if total <= 0:
+        return 0.0
+    q = min(max(float(q), 0.0), 100.0)
+    # The rank of the order statistic numpy's default (linear) percentile
+    # targets; we resolve it to a bucket and interpolate within.
+    rank = q / 100.0 * (total - 1) + 1.0
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index < len(bounds):
+                upper = bounds[index]
+                lower = bounds[index - 1] if index > 0 else 0.0
+            else:  # overflow bucket: bounded by the observed maximum
+                lower = bounds[-1]
+                upper = high if high is not None else lower
+            # Clamp to the observed extremes so tiny samples do not report
+            # a bucket edge no observation ever reached.
+            if low is not None:
+                lower = max(lower, min(low, upper))
+            if high is not None:
+                upper = min(upper, high)
+            if bucket_count == 1 or upper <= lower:
+                return float(upper)
+            fraction = (rank - previous) / bucket_count
+            return float(lower + (upper - lower) * fraction)
+    return float(high if high is not None else bounds[-1])
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics.
+
+    ``enabled`` gates every instrument created by this registry: flipping
+    it off turns each ``inc``/``observe``/``set`` into an early return (and
+    call sites skip their clock reads via :func:`metrics_enabled`), which
+    is the "compiled out to no-ops" mode the overhead tests measure.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, object]" = {}
+
+    def counter(self, name: str, help: str = "",
+                label: Optional[str] = None) -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help, label=label,
+                                           registry=self))
+
+    def gauge(self, name: str, help: str = "",
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._get_or_create(
+            name, Gauge, lambda: Gauge(name, help, fn=fn, registry=self))
+        if fn is not None:
+            gauge.fn = fn  # re-registration points the gauge at the newest source
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, help, buckets=buckets,
+                                               registry=self))
+
+    def _get_or_create(self, name, kind, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests only — instruments hold no buffers)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON/pickle-able dump of every instrument (shard merge unit)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
+
+    def render(self, extra: Sequence[Dict[str, Dict[str, object]]] = ()) -> str:
+        """Prometheus text exposition of this registry + foreign snapshots."""
+        merged = merge_snapshots(self.snapshot(), *extra)
+        return render_snapshot(merged)
+
+
+def merge_snapshots(*snapshots: Dict[str, Dict[str, object]]
+                    ) -> Dict[str, Dict[str, object]]:
+    """Fold registry snapshots together: counters/gauges/buckets sum.
+
+    Histograms only merge when their bounds agree (same bucket scheme
+    process-wide — which holds, the schemes are module constants); a
+    foreign histogram with different bounds is kept under the first
+    snapshot's entry untouched rather than corrupting bucket math.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, entry in (snapshot or {}).items():
+            ours = merged.get(name)
+            if ours is None:
+                merged[name] = _copy_entry(entry)
+                continue
+            if ours["type"] != entry["type"]:
+                continue
+            if entry["type"] == "counter":
+                ours["value"] = int(ours.get("value", 0)) + int(entry.get("value", 0))
+                if entry.get("values"):
+                    values = dict(ours.get("values") or {})
+                    for key, value in entry["values"].items():
+                        values[key] = values.get(key, 0) + int(value)
+                    ours["values"] = values
+                    ours.setdefault("label", entry.get("label"))
+            elif entry["type"] == "gauge":
+                ours["value"] = float(ours.get("value", 0.0)) + float(entry.get("value", 0.0))
+            else:  # histogram
+                if list(ours["bounds"]) != list(entry["bounds"]):
+                    continue
+                ours["counts"] = [
+                    a + b for a, b in zip(ours["counts"], entry["counts"])
+                ]
+                ours["count"] = int(ours["count"]) + int(entry["count"])
+                ours["sum"] = float(ours["sum"]) + float(entry["sum"])
+                for key, pick in (("min", min), ("max", max)):
+                    values = [v for v in (ours.get(key), entry.get(key))
+                              if v is not None]
+                    ours[key] = pick(values) if values else None
+    return merged
+
+
+def _copy_entry(entry: Dict[str, object]) -> Dict[str, object]:
+    copied = dict(entry)
+    for key in ("values", "bounds", "counts"):
+        if key in copied and copied[key] is not None:
+            container = copied[key]
+            copied[key] = dict(container) if isinstance(container, dict) \
+                else list(container)
+    return copied
+
+
+def snapshot_quantile(entry: Dict[str, object], q: float) -> float:
+    """Quantile estimate straight from a histogram snapshot entry."""
+    return _bucket_quantile(
+        tuple(entry["bounds"]), entry["counts"], int(entry["count"]), q,
+        entry.get("min"), entry.get("max"),
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render a (possibly merged) snapshot as Prometheus text format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["type"]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "counter":
+            if entry.get("label") is not None:
+                label = entry["label"]
+                for key in sorted(entry.get("values") or {}):
+                    lines.append(
+                        f'{name}{{{label}="{key}"}} '
+                        f"{_format_value(entry['values'][key])}"
+                    )
+                if entry.get("value"):
+                    lines.append(f"{name} {_format_value(entry['value'])}")
+            else:
+                lines.append(f"{name} {_format_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"{name} {_format_value(entry['value'])}")
+        else:  # histogram: cumulative le buckets + sum + count
+            cumulative = 0
+            for bound, count in zip(entry["bounds"], entry["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            cumulative += entry["counts"][len(entry["bounds"])]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(entry['sum'])}")
+            lines.append(f"{name}_count {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default registry (what instrumented modules bind to)
+# ---------------------------------------------------------------------------
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every built-in instrument registers in."""
+    return _DEFAULT
+
+
+def metrics_enabled() -> bool:
+    """Hot-path guard: skip clock reads entirely when telemetry is off."""
+    return _DEFAULT.enabled
+
+
+def set_metrics_enabled(enabled: bool) -> bool:
+    """Toggle process-wide telemetry; returns the previous setting."""
+    previous = _DEFAULT.enabled
+    _DEFAULT.enabled = bool(enabled)
+    return previous
+
+
+def counter(name: str, help: str = "", label: Optional[str] = None) -> Counter:
+    return _DEFAULT.counter(name, help, label=label)
+
+
+def gauge(name: str, help: str = "",
+          fn: Optional[Callable[[], float]] = None) -> Gauge:
+    return _DEFAULT.gauge(name, help, fn=fn)
+
+
+def histogram(name: str, help: str = "",
+              buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+    return _DEFAULT.histogram(name, help, buckets=buckets)
+
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "RATIO_BUCKETS",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "log_buckets",
+    "merge_snapshots",
+    "metrics_enabled",
+    "render_snapshot",
+    "set_metrics_enabled",
+    "snapshot_quantile",
+]

@@ -1,0 +1,205 @@
+"""The /metrics, /healthz and /trace HTTP sidecar against stub services."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from types import SimpleNamespace
+
+from repro.telemetry.httpd import TelemetryHTTP
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import TraceRing
+
+
+async def _fetch(port: int, target: str, method: str = "GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {target} HTTP/1.1\r\nHost: localhost\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body.decode("utf-8")
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _shard(index: int, alive: bool = True) -> SimpleNamespace:
+    return SimpleNamespace(
+        index=index, process=SimpleNamespace(is_alive=lambda: alive)
+    )
+
+
+class TestMetricsRoute:
+    def test_metrics_renders_registry(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            registry.counter("repro_requests_total").inc(5)
+            server = await TelemetryHTTP(registry=registry).start(port=0)
+            try:
+                status, body = await _fetch(server.port, "/metrics")
+            finally:
+                await server.stop()
+            return status, body
+
+        status, body = _run(scenario())
+        assert status == 200
+        assert "repro_requests_total 5" in body
+
+    def test_metrics_merges_shard_snapshots(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            registry.counter("repro_requests_total").inc(3)
+            shard_registry = MetricsRegistry()
+            shard_registry.counter("repro_requests_total").inc(4)
+            shard_registry.counter("repro_plan_captures_total").inc(2)
+            rows = [{"shard": 0, "telemetry": shard_registry.snapshot()},
+                    {"shard": 1}]  # a shard with no telemetry must not crash
+            service = SimpleNamespace(
+                executor=SimpleNamespace(handles=[_shard(0), _shard(1)],
+                                         stats=lambda: rows),
+                requests_served=7,
+            )
+            server = await TelemetryHTTP(service, registry=registry).start(
+                port=0)
+            try:
+                status, body = await _fetch(server.port, "/metrics")
+            finally:
+                await server.stop()
+            return status, body
+
+        status, body = _run(scenario())
+        assert status == 200
+        assert "repro_requests_total 7" in body  # 3 local + 4 shard
+        assert "repro_plan_captures_total 2" in body
+
+
+class TestHealthzRoute:
+    def test_healthy_service(self):
+        async def scenario():
+            service = SimpleNamespace(
+                executor=SimpleNamespace(handles=[_shard(0), _shard(1)],
+                                         stats=lambda: []),
+                requests_served=42,
+            )
+            server = await TelemetryHTTP(service).start(port=0)
+            try:
+                status, body = await _fetch(server.port, "/healthz")
+            finally:
+                await server.stop()
+            return status, json.loads(body)
+
+        status, payload = _run(scenario())
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["shards_alive"] == 2
+        assert payload["requests_served"] == 42
+        assert payload["event_loop_lag_ms"] >= 0.0
+
+    def test_dead_shard_flips_503(self):
+        async def scenario():
+            service = SimpleNamespace(
+                executor=SimpleNamespace(
+                    handles=[_shard(0), _shard(1, alive=False)],
+                    stats=lambda: [],
+                ),
+                requests_served=0,
+            )
+            server = await TelemetryHTTP(service).start(port=0)
+            try:
+                status, body = await _fetch(server.port, "/healthz")
+            finally:
+                await server.stop()
+            return status, json.loads(body)
+
+        status, payload = _run(scenario())
+        assert status == 503
+        assert payload["status"] == "unhealthy"
+        assert payload["shards_alive"] == 1
+        assert payload["shards"] == [{"shard": 0, "alive": True},
+                                     {"shard": 1, "alive": False}]
+
+    def test_unsharded_service_is_healthy(self):
+        async def scenario():
+            server = await TelemetryHTTP(SimpleNamespace(
+                requests_served=1)).start(port=0)
+            try:
+                status, body = await _fetch(server.port, "/healthz")
+            finally:
+                await server.stop()
+            return status, json.loads(body)
+
+        status, payload = _run(scenario())
+        assert status == 200
+        assert payload["shards"] == []
+
+
+class TestTraceRoute:
+    def test_trace_payload_and_filters(self):
+        async def scenario():
+            tracer = TraceRing(capacity=16, slow_ms=50.0)
+            for total in (1.0, 120.0, 2.0):
+                tracer.record({"benchmark": "stencil2d", "batch_size": 1,
+                               "total_ms": total, "stages": []})
+            service = SimpleNamespace(tracer=tracer)
+            server = await TelemetryHTTP(service).start(port=0)
+            try:
+                _, all_body = await _fetch(server.port, "/trace")
+                _, slow_body = await _fetch(server.port, "/trace?slow=1")
+                _, one_body = await _fetch(server.port, "/trace?limit=1")
+            finally:
+                await server.stop()
+            return (json.loads(all_body), json.loads(slow_body),
+                    json.loads(one_body))
+
+        all_payload, slow_payload, one_payload = _run(scenario())
+        assert len(all_payload["traces"]) == 3
+        assert all_payload["ring"]["recorded"] == 3
+        assert [t["total_ms"] for t in slow_payload["traces"]] == [120.0]
+        assert len(one_payload["traces"]) == 1
+        assert one_payload["traces"][0]["total_ms"] == 2.0  # most recent
+
+    def test_trace_without_tracer_is_404(self):
+        async def scenario():
+            server = await TelemetryHTTP().start(port=0)
+            try:
+                status, _ = await _fetch(server.port, "/trace")
+            finally:
+                await server.stop()
+            return status
+
+        assert _run(scenario()) == 404
+
+
+class TestHttpPlumbing:
+    def test_unknown_path_404_and_bad_method_405(self):
+        async def scenario():
+            server = await TelemetryHTTP().start(port=0)
+            try:
+                missing, _ = await _fetch(server.port, "/nope")
+                post, _ = await _fetch(server.port, "/metrics", method="POST")
+            finally:
+                await server.stop()
+            return missing, post
+
+        missing, post = _run(scenario())
+        assert missing == 404
+        assert post == 405
+
+    def test_double_start_refused(self):
+        async def scenario():
+            server = await TelemetryHTTP().start(port=0)
+            try:
+                try:
+                    await server.start(port=0)
+                except RuntimeError:
+                    return True
+                return False
+            finally:
+                await server.stop()
+
+        assert _run(scenario()) is True

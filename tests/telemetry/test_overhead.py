@@ -1,0 +1,122 @@
+"""The instrumentation overhead guard: steady replay stays allocation-free.
+
+Instrumenting the plan/fuse hot paths must not break the zero-allocation
+invariants those layers advertise (and test themselves): a histogram
+observation is a bisect into fixed bounds plus scalar updates, never
+sample retention.  With telemetry disabled, every instrument early-returns
+and the call sites skip their clock reads entirely.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from time import perf_counter
+
+import pytest
+
+from repro.apps.suite import get_benchmark
+from repro.backend.base import NumpyBackend
+from repro.telemetry.registry import (
+    Histogram,
+    get_registry,
+    metrics_enabled,
+    set_metrics_enabled,
+)
+
+SMALL_SHAPES = {2: (13, 11), 3: (5, 7, 9)}
+
+
+@pytest.fixture
+def metrics_on():
+    previous = set_metrics_enabled(True)
+    yield
+    set_metrics_enabled(previous)
+
+
+@pytest.fixture
+def metrics_off():
+    previous = set_metrics_enabled(False)
+    yield
+    set_metrics_enabled(previous)
+
+
+def _steady_plan(key="hotspot2d"):
+    bench = get_benchmark(key)
+    inputs = bench.make_inputs(SMALL_SHAPES[bench.ndims], 7)
+    plan = NumpyBackend(cache=None).plan(bench.build_program(), inputs)
+    carry = bench.carry_spec()
+    plan.iterate(inputs, 12, carry=carry)  # warm every ping-pong binding
+    return plan, inputs, carry
+
+
+class TestZeroAllocationWithTelemetry:
+    def test_instrumented_steady_loop_does_not_allocate(self, metrics_on):
+        plan, inputs, carry = _steady_plan()
+        replays = get_registry().counter("repro_plan_replays_total")
+        replays_before = replays.value
+        tapes_before = plan.stats()["tapes"]
+        pool_before = plan._pool.allocations
+
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            plan.iterate(inputs, 64, carry=carry, copy=False)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+
+        assert plan.stats()["tapes"] == tapes_before
+        assert plan._pool.allocations == pool_before
+        assert replays.value > replays_before  # instrumentation was live
+        delta = after.compare_to(before, "filename")
+        grown = sum(max(0, entry.size_diff) for entry in delta)
+        assert grown < 64 * 1024, (
+            f"instrumented steady loop grew {grown} bytes"
+        )
+
+    def test_histogram_observe_is_fixed_size(self, metrics_on):
+        hist = Histogram("overhead_probe")
+        counts_id = id(hist.counts)
+        for i in range(10_000):
+            hist.observe(1e-6 * (i + 1))
+        assert id(hist.counts) == counts_id
+        assert hist.count == 10_000
+
+
+class TestDisabledTelemetryIsInert:
+    def test_disabled_instruments_do_not_move(self, metrics_off):
+        registry = get_registry()
+        replays = registry.counter("repro_plan_replays_total")
+        replay_seconds = registry.histogram("repro_plan_replay_seconds")
+        counter_before = replays.value
+        observations_before = replay_seconds.count
+
+        plan, inputs, carry = _steady_plan("stencil2d")
+        plan.iterate(inputs, 16, carry=carry, copy=False)
+
+        assert not metrics_enabled()
+        assert replays.value == counter_before
+        assert replay_seconds.count == observations_before
+        assert plan.replays > 0  # the plan's own counter still ticks
+
+    def test_toggle_restores_previous_state(self):
+        original = metrics_enabled()
+        previous = set_metrics_enabled(False)
+        assert previous == original
+        assert set_metrics_enabled(original) is False
+        assert metrics_enabled() == original
+
+
+class TestObserveLatencyBudget:
+    def test_observe_stays_cheap(self, metrics_on):
+        # Generous bound (50 µs/observe, min over repeats) — this catches a
+        # regression to per-sample retention or lock contention pathology,
+        # not micro-variance between CI machines.
+        hist = Histogram("latency_budget_probe")
+        best = float("inf")
+        for _ in range(5):
+            started = perf_counter()
+            for i in range(2_000):
+                hist.observe(1e-5 * (i + 1))
+            best = min(best, (perf_counter() - started) / 2_000)
+        assert best < 50e-6, f"observe took {best * 1e6:.1f} µs"

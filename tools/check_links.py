@@ -11,6 +11,9 @@ Two passes, run by the CI ``docs`` job (and locally via
    ``docs/OPERATIONS.md`` must answer ``python -m repro <verb> --help``
    with exit status 0 — so the operations document cannot drift from the
    actual CLI surface without failing CI.
+3. **Coverage.** The reverse direction: every subcommand the CLI parser
+   actually registers must appear in ``docs/OPERATIONS.md`` — adding a
+   verb without documenting it fails CI too.
 
 Exits non-zero with one line per problem.
 """
@@ -81,14 +84,40 @@ def check_verbs() -> list[str]:
     return problems
 
 
+def registered_verbs() -> set[str]:
+    """The subcommands the argparse parser actually registers."""
+    import argparse
+
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    return set()
+
+
+def check_verb_coverage() -> list[str]:
+    documented = documented_verbs()
+    return [
+        f"CLI registers `repro {verb}` but docs/OPERATIONS.md "
+        f"never mentions it"
+        for verb in sorted(registered_verbs() - documented)
+    ]
+
+
 def main() -> int:
-    problems = check_links() + check_verbs()
+    problems = check_links() + check_verbs() + check_verb_coverage()
     for problem in problems:
         print(f"FAIL: {problem}")
     if not problems:
         print(
             f"OK: {len(DOC_FILES)} docs link-checked, "
-            f"{len(documented_verbs())} CLI verbs answered --help"
+            f"{len(documented_verbs())} CLI verbs answered --help, "
+            f"{len(registered_verbs())} registered subcommands documented"
         )
     return 1 if problems else 0
 
