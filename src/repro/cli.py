@@ -323,6 +323,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f", metrics http://{args.host}:{args.metrics_port}/metrics"
         if args.metrics_port is not None else ""
     )
+    if args.http_port is not None:
+        metrics_text += f", http http://{args.host}:{args.http_port}/v1"
+    if args.auth_key:
+        metrics_text += ", auth required"
     print(f"serving on {args.host}:{args.port} "
           f"(device {args.device}, store {store or '<none>'}, "
           f"window {args.window_ms} ms, max batch {args.max_batch}"
@@ -335,6 +339,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         prewarm=prewarm,
         prewarm_batch=tuple(args.prewarm_batch or ()),
         metrics_port=args.metrics_port,
+        http_port=args.http_port,
+        auth_key=args.auth_key,
+        drain_timeout=args.drain_timeout,
+        max_request_bytes=args.max_request_bytes,
         device=args.device,
         store=store,
         batch_window=args.window_ms / 1e3,
@@ -342,6 +350,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         crosscheck=args.crosscheck,
         auto_tune=args.auto_tune,
         shards=args.shards,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_digest=args.max_inflight_per_digest,
     )
     if stats:
         import json as _json
@@ -431,15 +441,48 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     from .service.loadgen import (
         check_batching,
+        check_no_high_shed,
         check_sharding,
         format_loadgen,
+        format_mixed_loadgen,
+        parse_mix,
         run_loadgen,
+        run_mixed_loadgen,
     )
 
     connect = None
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         connect = (host or "127.0.0.1", int(port))
+    if args.mix is not None:
+        report = run_mixed_loadgen(
+            benchmark=args.benchmark,
+            requests=args.requests,
+            mix=parse_mix(args.mix),
+            shape=tuple(args.shape) if args.shape else None,
+            seed=args.seed,
+            deadline_ms=args.deadline_ms,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            store=args.store,
+            device=args.device,
+            connect=connect,
+            transport=args.transport,
+            auth_key=args.auth_key,
+            concurrency=args.concurrency,
+            max_queue_depth=args.max_queue_depth,
+        )
+        print(format_mixed_loadgen(report))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.out}")
+        if args.assert_no_high_shed:
+            problems = check_no_high_shed(report)
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1 if problems else 0
+        return 0
     report = run_loadgen(
         benchmark=args.benchmark,
         requests=args.requests,
@@ -664,6 +707,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "(/metrics Prometheus text, /healthz liveness, "
                             "/trace recent request traces); 0 picks a free "
                             "port; default: disabled")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="also expose the HTTP transport on this port "
+                            "(POST /v1/execute and /v1/iterate, JSON or "
+                            "binary grid bodies) sharing the same batcher; "
+                            "default: TCP only")
+    serve.add_argument("--auth-key", default=None,
+                       help="require this shared key on every request "
+                            "(HTTP 'Authorization: Bearer', TCP 'auth' "
+                            "field); default: no authentication")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="reject new work in-band (AdmissionRejected + "
+                            "retry_after_ms) once this many requests are "
+                            "queued; arriving higher-priority work evicts "
+                            "queued lower-priority work instead; default: "
+                            "unbounded")
+    serve.add_argument("--max-inflight-per-digest", type=int, default=None,
+                       help="per-digest admission limit: at most this many "
+                            "admitted-but-unfinished requests per "
+                            "structural digest; default: unbounded")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for open connections at "
+                            "shutdown before shedding still-queued requests "
+                            "with DeadlineExceeded (default 10)")
+    serve.add_argument("--max-request-bytes", type=int,
+                       default=32 * 1024 * 1024,
+                       help="reject a TCP request line or HTTP body larger "
+                            "than this with an in-band RequestTooLarge "
+                            "error (default 32 MiB)")
     serve.add_argument("--log-level", default="info",
                        choices=["debug", "info", "warning", "error"],
                        help="stdlib logging level for the 'repro' logger")
@@ -719,6 +790,33 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--assert-sharded", action="store_true",
                          help="exit non-zero unless every shard served "
                               "traffic (CI sharded smoke check)")
+    loadgen.add_argument("--mix", default=None, metavar="SPEC",
+                         help="mixed-priority replay mode: priority weights "
+                              "like high:1,normal:8,batch:4 — reports "
+                              "per-priority p50/p99 and shed/reject counts "
+                              "instead of the serial-baseline comparison")
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="server-side freshness bound stamped on every "
+                              "mixed-mode request; stale queued work is "
+                              "shed with DeadlineExceeded")
+    loadgen.add_argument("--transport", default="tcp",
+                         choices=["tcp", "http"],
+                         help="wire protocol for --connect in mixed mode "
+                              "(http drives the /v1/execute endpoint "
+                              "through the client library)")
+    loadgen.add_argument("--auth-key", default=None,
+                         help="shared key for an authenticated endpoint "
+                              "(mixed mode with --connect)")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="client worker threads in mixed mode with "
+                              "--connect (default 8)")
+    loadgen.add_argument("--max-queue-depth", type=int, default=None,
+                         help="admission queue-depth cap for the in-process "
+                              "mixed-mode service")
+    loadgen.add_argument("--assert-no-high-shed", action="store_true",
+                         help="exit non-zero if any high-priority request "
+                              "was shed, rejected or failed (CI check; "
+                              "mixed mode only)")
 
     stats = sub.add_parser(
         "stats",

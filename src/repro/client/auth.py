@@ -1,0 +1,29 @@
+"""Shared-key authentication, kept apart from transport mechanics.
+
+The service authenticates with one pre-shared key per deployment: HTTP
+requests carry it as ``Authorization: Bearer <key>``, JSON-lines TCP
+messages as an ``"auth"`` field.  Both sides compare with
+:func:`hmac.compare_digest`, so lookups are constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def auth_headers(auth_key: Optional[str]) -> Dict[str, str]:
+    """The HTTP headers carrying the shared key (empty when auth is off)."""
+    if not auth_key:
+        return {}
+    return {"Authorization": f"Bearer {auth_key}"}
+
+
+def attach_auth(message: Dict[str, object],
+                auth_key: Optional[str]) -> Dict[str, object]:
+    """Stamp the shared key onto one JSON-lines TCP message, in place."""
+    if auth_key:
+        message["auth"] = auth_key
+    return message
+
+
+__all__ = ["attach_auth", "auth_headers"]

@@ -1,0 +1,151 @@
+""":class:`StencilClient` — the production client for the stencil service.
+
+One client object, one configured endpoint, blocking calls:
+
+.. code-block:: python
+
+    from repro.client import ClientConfig, StencilClient
+
+    with StencilClient(ClientConfig(transport="http", port=7458,
+                                    auth_key="s3cret")) as client:
+        response = client.execute_benchmark("stencil2d", shape=(512, 512),
+                                            priority="high", deadline_ms=50)
+
+The client owns deadlines and retries so callers do not reimplement them:
+
+* every call has a *transport* deadline (``timeout_s``, per call or from
+  the config) and every request may carry a *server-side* ``deadline_ms``
+  freshness bound (the service sheds it once stale);
+* failed calls are retried with bounded exponential backoff + jitter, but
+  **only** when the transport reports the failure as provably-unexecuted
+  (connect error, or timeout before a single response byte) — a failure
+  after response bytes arrived is surfaced, never replayed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional, Sequence
+
+from ..service.requests import ExecutionRequest, ExecutionResponse
+from .config import ClientConfig
+from .transport import HttpTransport, TcpTransport, Transport, TransportError
+
+
+class StencilClient:
+    """A blocking client over one pluggable transport (TCP or HTTP)."""
+
+    def __init__(self, config: Optional[ClientConfig] = None,
+                 transport: Optional[Transport] = None,
+                 rng: Optional[random.Random] = None, **overrides) -> None:
+        if config is None:
+            config = ClientConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass a ClientConfig or keyword overrides, "
+                             "not both")
+        self.config = config
+        self._rng = rng if rng is not None else random.Random()
+        self.retries_attempted = 0
+        if transport is not None:
+            self.transport = transport
+        elif config.transport == "http":
+            self.transport = HttpTransport(
+                config.host, config.port, auth_key=config.auth_key,
+                chunk_bytes=config.chunk_bytes,
+                binary_threshold_bytes=config.binary_threshold_bytes,
+            )
+        else:
+            self.transport = TcpTransport(
+                config.host, config.port, auth_key=config.auth_key,
+                chunk_bytes=config.chunk_bytes,
+            )
+
+    # -- calls ---------------------------------------------------------------
+    def execute(self, request: ExecutionRequest,
+                timeout_s: Optional[float] = None) -> ExecutionResponse:
+        """Execute one request (the request's own priority/deadline apply)."""
+        return self._call(self._stamp(request), timeout_s)
+
+    def execute_benchmark(self, key: str, shape=None, seed: int = 0,
+                          priority: Optional[str] = None,
+                          deadline_ms: Optional[float] = None,
+                          steps: int = 1,
+                          timeout_s: Optional[float] = None,
+                          ) -> ExecutionResponse:
+        """Execute a registered benchmark with generated inputs."""
+        request = ExecutionRequest.for_benchmark(
+            key, shape=shape, seed=seed,
+            priority=priority if priority is not None else self.config.priority,
+            deadline_ms=(deadline_ms if deadline_ms is not None
+                         else self.config.deadline_ms),
+            steps=steps,
+        )
+        return self._call(request, timeout_s)
+
+    def iterate(self, request: ExecutionRequest, steps: int,
+                timeout_s: Optional[float] = None) -> ExecutionResponse:
+        """Run ``steps`` timesteps of one request (``POST /v1/iterate``)."""
+        request.steps = int(steps)
+        if request.steps < 1:
+            raise ValueError("steps must be >= 1")
+        return self._call(self._stamp(request), timeout_s)
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        return self.transport.ping(timeout_s)
+
+    def stats(self, timeout_s: Optional[float] = None
+              ) -> Optional[Dict[str, object]]:
+        return self.transport.stats(timeout_s if timeout_s is not None
+                                    else self.config.timeout_s)
+
+    # -- mechanics -----------------------------------------------------------
+    def _stamp(self, request: ExecutionRequest) -> ExecutionRequest:
+        """Apply the config's default server-side deadline when unset."""
+        if request.deadline_ms is None and self.config.deadline_ms is not None:
+            request.deadline_ms = float(self.config.deadline_ms)
+        return request
+
+    def _call(self, request: ExecutionRequest,
+              timeout_s: Optional[float]) -> ExecutionResponse:
+        """One logical call: attempts = 1 + retries, safe failures only."""
+        timeout = timeout_s if timeout_s is not None else self.config.timeout_s
+        policy = self.config.retry
+        call_deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            remaining = call_deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError("call deadline exhausted before "
+                                     f"attempt {attempt + 1}")
+            try:
+                return self.transport.submit(request, remaining)
+            except TransportError as error:
+                if not error.retryable or attempt >= policy.retries:
+                    raise
+                delay = min(policy.delay_s(attempt, self._rng.random()),
+                            max(0.0, call_deadline - time.monotonic()))
+                attempt += 1
+                self.retries_attempted += 1
+                if delay > 0:
+                    time.sleep(delay)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "StencilClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def execute_many(client: StencilClient,
+                 requests: Sequence[ExecutionRequest],
+                 timeout_s: Optional[float] = None) -> list:
+    """Convenience: execute a sequence of requests through one client."""
+    return [client.execute(request, timeout_s) for request in requests]
+
+
+__all__ = ["StencilClient", "execute_many"]

@@ -1,0 +1,359 @@
+"""Pluggable transports: JSON-lines TCP and HTTP, with pooled connections.
+
+Both transports expose the same blocking surface — ``submit`` one
+:class:`~repro.service.requests.ExecutionRequest`, get one
+:class:`~repro.service.requests.ExecutionResponse` — and both keep a pool
+of idle connections so sequential and multi-threaded callers reuse sockets
+instead of reconnecting per request.
+
+Failure classification is the load-bearing part: :class:`TransportError`
+carries ``retryable``, and it is ``True`` **only** for connect failures and
+timeouts observed before a single response byte arrived.  Once any byte of
+a response has been read the server may have executed the request, so the
+error is final — the retry loop in :mod:`repro.client.client` refuses to
+replay it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..service.requests import ExecutionRequest, ExecutionResponse
+from ..service.wire import (
+    CONTENT_TYPE_GRIDS,
+    CONTENT_TYPE_JSON,
+    DEFAULT_CHUNK_BYTES,
+    decode_grid_payload,
+    encode_grid_payload,
+    iter_chunks,
+)
+from .auth import attach_auth, auth_headers
+from .config import DEFAULT_BINARY_THRESHOLD_BYTES
+
+
+class TransportError(Exception):
+    """A transport-level failure (vs. an in-band service error).
+
+    ``retryable`` marks failures that are provably safe to replay: the
+    connection never opened, or it timed out before one response byte.
+    """
+
+    def __init__(self, message: str, retryable: bool = False,
+                 code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+        self.code = code
+
+
+class _Pool:
+    """A tiny LIFO pool of reusable connections (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._idle: List[object] = []
+        self._lock = threading.Lock()
+        self.closed = False
+
+    def acquire(self) -> Optional[object]:
+        with self._lock:
+            if self.closed:
+                raise TransportError("transport is closed")
+            return self._idle.pop() if self._idle else None
+
+    def release(self, connection: object) -> None:
+        with self._lock:
+            if self.closed:
+                self._close_one(connection)
+            else:
+                self._idle.append(connection)
+
+    def close_all(self) -> None:
+        with self._lock:
+            self.closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            self._close_one(connection)
+
+    @staticmethod
+    def _close_one(connection: object) -> None:
+        try:
+            connection.close()  # type: ignore[attr-defined]
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+
+
+class Transport:
+    """The transport surface :class:`StencilClient` drives."""
+
+    def submit(self, request: ExecutionRequest,
+               timeout_s: float) -> ExecutionResponse:
+        raise NotImplementedError
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        raise NotImplementedError
+
+    def stats(self, timeout_s: float = 30.0) -> Optional[Dict[str, object]]:
+        """Server-side stats, when the protocol exposes them (else None)."""
+        return None
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class _TcpConnection:
+    """One JSON-lines socket with its own read buffer + byte accounting."""
+
+    def __init__(self, host: str, port: int, timeout_s: float) -> None:
+        try:
+            self.sock = socket.create_connection((host, port),
+                                                 timeout=timeout_s)
+        except OSError as error:
+            raise TransportError(f"connect to {host}:{port} failed: {error}",
+                                 retryable=True)
+        self.buffer = b""
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def roundtrip(self, message: Dict[str, object],
+                  timeout_s: float,
+                  chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Dict[str, object]:
+        self.sock.settimeout(timeout_s)
+        line = (json.dumps(message) + "\n").encode("utf-8")
+        got_response_byte = bool(self.buffer)
+        try:
+            for start in range(0, len(line), chunk_bytes):
+                self.sock.sendall(line[start:start + chunk_bytes])
+        except socket.timeout:
+            raise TransportError("send timed out", retryable=True)
+        except OSError as error:
+            # A dead keep-alive socket: nothing was executed, safe to retry
+            # on a fresh connection.
+            raise TransportError(f"send failed: {error}", retryable=True)
+        while b"\n" not in self.buffer:
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                raise TransportError(
+                    "response timed out", retryable=not got_response_byte
+                )
+            except OSError as error:
+                raise TransportError(f"receive failed: {error}",
+                                     retryable=not got_response_byte)
+            if not chunk:
+                raise TransportError("connection closed by server",
+                                     retryable=not got_response_byte)
+            got_response_byte = True
+            self.buffer += chunk
+        raw, _, self.buffer = self.buffer.partition(b"\n")
+        try:
+            reply = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TransportError(f"malformed response line: {error}")
+        if not isinstance(reply, dict):
+            raise TransportError("response line is not a JSON object")
+        return reply
+
+
+class TcpTransport(Transport):
+    """The JSON-lines TCP endpoint of ``repro serve``, with pooled sockets."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7457,
+                 auth_key: Optional[str] = None,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.auth_key = auth_key
+        self.chunk_bytes = chunk_bytes
+        self._pool = _Pool()
+
+    def _roundtrip(self, message: Dict[str, object],
+                   timeout_s: float) -> Dict[str, object]:
+        attach_auth(message, self.auth_key)
+        connection = self._pool.acquire()
+        if connection is None:
+            connection = _TcpConnection(self.host, self.port, timeout_s)
+        try:
+            reply = connection.roundtrip(message, timeout_s,
+                                         chunk_bytes=self.chunk_bytes)
+        except TransportError:
+            connection.close()
+            raise
+        self._pool.release(connection)
+        return reply
+
+    def submit(self, request: ExecutionRequest,
+               timeout_s: float) -> ExecutionResponse:
+        message = request.to_wire()
+        message["op"] = "execute"
+        reply = self._roundtrip(message, timeout_s)
+        return self._shape(reply)
+
+    @staticmethod
+    def _shape(reply: Dict[str, object]) -> ExecutionResponse:
+        if not reply.get("ok", False) and "digest" not in reply:
+            # A transport-level in-band refusal (auth, oversized line):
+            # shape it like an ExecutionResponse so callers see one type.
+            return ExecutionResponse(
+                result=None, benchmark=None, digest="", variant="",
+                plan_source="", batch_size=0, batched=False, latency_s=0.0,
+                error=str(reply.get("error", "request refused")),
+                code=reply.get("code"),
+            )
+        return ExecutionResponse.from_wire(reply)
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        reply = self._roundtrip({"op": "ping"}, timeout_s)
+        return bool(reply.get("pong"))
+
+    def stats(self, timeout_s: float = 30.0) -> Optional[Dict[str, object]]:
+        reply = self._roundtrip({"op": "stats"}, timeout_s)
+        stats = reply.get("stats")
+        return stats if isinstance(stats, dict) else None
+
+    def close(self) -> None:
+        self._pool.close_all()
+
+
+class HttpTransport(Transport):
+    """The ``/v1/*`` HTTP endpoint, with keep-alive connection reuse.
+
+    Small requests travel as JSON; once the grids exceed
+    ``binary_threshold_bytes`` the request switches to the binary
+    ``application/x-repro-grids`` body, uploaded in bounded chunks
+    (``Transfer-Encoding: chunked`` via a generator body) and downloaded as
+    raw little-endian buffers — a 1024² float64 grid never exists as one
+    JSON string on either side of the socket.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7458,
+                 auth_key: Optional[str] = None,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 binary_threshold_bytes: int =
+                 DEFAULT_BINARY_THRESHOLD_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.auth_key = auth_key
+        self.chunk_bytes = chunk_bytes
+        self.binary_threshold_bytes = binary_threshold_bytes
+        self._pool = _Pool()
+
+    # -- request encoding ----------------------------------------------------
+    def _encode(self, request: ExecutionRequest):
+        """Returns (headers, body) — body is bytes or a chunk generator."""
+        headers = {"Accept": CONTENT_TYPE_GRIDS,
+                   **auth_headers(self.auth_key)}
+        grid_bytes = sum(grid.nbytes for grid in request.inputs)
+        if grid_bytes < self.binary_threshold_bytes:
+            body = json.dumps(request.to_wire()).encode("utf-8")
+            headers["Content-Type"] = CONTENT_TYPE_JSON
+            headers["Content-Length"] = str(len(body))
+            return headers, body
+        meta = request.to_wire()
+        meta.pop("inputs", None)
+        prefix, buffers = encode_grid_payload(meta, request.inputs)
+        headers["Content-Type"] = CONTENT_TYPE_GRIDS
+        # No Content-Length: the generator body makes http.client send
+        # Transfer-Encoding: chunked, one bounded piece at a time.
+        return headers, iter_chunks(prefix, buffers,
+                                    chunk_bytes=self.chunk_bytes)
+
+    @staticmethod
+    def _decode(content_type: str, body: bytes) -> ExecutionResponse:
+        media = content_type.split(";")[0].strip().lower()
+        if media == CONTENT_TYPE_GRIDS:
+            meta, grids = decode_grid_payload(body)
+            if grids:
+                meta["result"] = grids[0]
+            response = ExecutionResponse.from_wire(
+                {key: value for key, value in meta.items() if key != "result"}
+            )
+            if grids:
+                response.result = np.asarray(grids[0], dtype=np.float64)
+            return response
+        return ExecutionResponse.from_wire(json.loads(body.decode("utf-8")))
+
+    # -- the wire ------------------------------------------------------------
+    def _roundtrip(self, method: str, path: str, headers: Dict[str, str],
+                   body, timeout_s: float):
+        """One HTTP exchange; returns (status, content type, body bytes)."""
+        connection = self._pool.acquire()
+        fresh = connection is None
+        if fresh:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout_s
+            )
+        else:
+            connection.timeout = timeout_s
+            if connection.sock is not None:
+                connection.sock.settimeout(timeout_s)
+        try:
+            try:
+                connection.request(method, path, body=body, headers=headers)
+            except (ConnectionError, socket.timeout, socket.gaierror,
+                    OSError) as error:
+                # Connect failure, or a dead pooled keep-alive socket: the
+                # request never reached a live server, safe to retry.
+                raise TransportError(f"request failed: {error}",
+                                     retryable=True)
+            try:
+                response = connection.getresponse()
+            except socket.timeout:
+                raise TransportError("response timed out", retryable=True)
+            except (http.client.RemoteDisconnected, ConnectionError) as error:
+                raise TransportError(
+                    f"server closed the connection: {error}", retryable=True
+                )
+            try:
+                payload = response.read()
+            except (socket.timeout, OSError) as error:
+                # Bytes of the response were consumed; never replay.
+                raise TransportError(f"response truncated: {error}",
+                                     retryable=False)
+            content_type = response.headers.get("Content-Type", "")
+            keep_alive = not response.will_close
+        except TransportError:
+            _Pool._close_one(connection)
+            raise
+        if keep_alive:
+            self._pool.release(connection)
+        else:
+            _Pool._close_one(connection)
+        return response.status, content_type, payload
+
+    def submit(self, request: ExecutionRequest,
+               timeout_s: float) -> ExecutionResponse:
+        headers, body = self._encode(request)
+        path = "/v1/iterate" if request.steps > 1 else "/v1/execute"
+        _status, content_type, payload = self._roundtrip(
+            "POST", path, headers, body, timeout_s
+        )
+        try:
+            return self._decode(content_type, payload)
+        except Exception as error:  # noqa: BLE001 - malformed server reply
+            raise TransportError(f"malformed response body: {error}")
+
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        status, _content_type, _payload = self._roundtrip(
+            "GET", "/healthz", auth_headers(self.auth_key), None, timeout_s
+        )
+        return status == 200
+
+    def close(self) -> None:
+        self._pool.close_all()
+
+
+__all__ = [
+    "HttpTransport",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+]

@@ -25,11 +25,21 @@ subsystem:
   printed by ``repro stats``.
 """
 
-from .loadgen import check_batching, check_sharding, format_loadgen, run_loadgen
+from .loadgen import (
+    check_batching,
+    check_no_high_shed,
+    check_sharding,
+    format_loadgen,
+    format_mixed_loadgen,
+    parse_mix,
+    run_loadgen,
+    run_mixed_loadgen,
+)
 from .metrics import stats_report
 # ExecutionPlan is the backwards-compatible alias of RoutingPlan (the class
 # was renamed when the backend gained its buffer-pooled ExecutionPlan).
 from .registry import ExecutionPlan, RoutingPlan, TunedKernelRegistry
+from .http import serve_http
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
 from .server import ServiceClient, StencilService, run_server, serve_tcp
 from .shards import ShardedExecutor, ShardError
@@ -46,10 +56,15 @@ __all__ = [
     "StencilService",
     "TunedKernelRegistry",
     "check_batching",
+    "check_no_high_shed",
     "check_sharding",
     "format_loadgen",
+    "format_mixed_loadgen",
+    "parse_mix",
     "run_loadgen",
+    "run_mixed_loadgen",
     "run_server",
+    "serve_http",
     "serve_tcp",
     "stats_report",
 ]

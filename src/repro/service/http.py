@@ -1,0 +1,383 @@
+"""The HTTP transport: ``POST /v1/execute`` and ``POST /v1/iterate``.
+
+A small asyncio HTTP/1.1 endpoint (same zero-dependency style as the
+telemetry sidecar, plus keep-alive and request bodies) that feeds the
+**same** :class:`~repro.service.server.StencilService` batcher as the
+JSON-lines TCP endpoint — an HTTP request and a TCP request for the same
+digest land in the same micro-batch.
+
+Content negotiation, both directions:
+
+* ``Content-Type: application/json`` — the TCP wire form as an HTTP body.
+* ``Content-Type: application/x-repro-grids`` — the binary grid framing of
+  :mod:`repro.service.wire`: JSON header (everything except grids) followed
+  by raw little-endian buffers.  ``Accept: application/x-repro-grids``
+  selects the same framing for the response, written buffer-by-buffer so a
+  1024² float64 result streams out without ever being one JSON string.
+
+Admission outcomes map onto status codes: ``DeadlineExceeded`` → 504,
+``AdmissionRejected`` → 429 (with a ``Retry-After`` header from
+``retry_after_ms``), bad auth → 401, an oversized body → 413, a malformed
+request → 400.  The response body always carries the structured
+:class:`~repro.service.requests.ExecutionResponse` wire form, so HTTP and
+TCP clients see identical in-band information.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import json
+import logging
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.serialize import program_from_dict
+from ..telemetry import registry as _telemetry
+from .requests import (
+    ADMISSION_REJECTED,
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    REQUEST_TOO_LARGE,
+    UNAUTHORIZED,
+    ExecutionRequest,
+    ExecutionResponse,
+)
+from .wire import (
+    CONTENT_TYPE_GRIDS,
+    CONTENT_TYPE_JSON,
+    DEFAULT_CHUNK_BYTES,
+    WireFormatError,
+    decode_grid_payload,
+    encode_grid_payload,
+    payload_length,
+)
+
+log = logging.getLogger("repro.service.http")
+
+_REJECTS_TOTAL = _telemetry.counter(
+    "repro_rejects_total",
+    "Requests pushed back by admission control (429-style), by reason.",
+    label="reason",
+)
+_HTTP_REQUESTS_TOTAL = _telemetry.counter(
+    "repro_http_requests_total", "HTTP requests answered, by status class.",
+    label="status",
+)
+
+_REASONS = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 504: "Gateway Timeout"}
+
+#: ``ExecutionResponse.code`` → HTTP status.
+_CODE_STATUS = {
+    DEADLINE_EXCEEDED: 504,
+    ADMISSION_REJECTED: 429,
+    UNAUTHORIZED: 401,
+    REQUEST_TOO_LARGE: 413,
+    BAD_REQUEST: 400,
+}
+
+
+class _HTTPError(Exception):
+    """An HTTP-level refusal answered before the request reaches the batcher."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 close: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.close = close
+
+
+def _status_for(response: ExecutionResponse) -> int:
+    if response.ok:
+        return 200
+    return _CODE_STATUS.get(response.code or "", 500)
+
+
+def request_from_body(content_type: str, body: bytes,
+                      steps_required: bool = False) -> ExecutionRequest:
+    """Decode one HTTP body into an :class:`ExecutionRequest`.
+
+    ``steps_required`` is the ``/v1/iterate`` contract: the body must name
+    ``steps`` explicitly (an iterate call without a step count is a client
+    bug, not a 1-step job).
+    """
+    media = content_type.split(";")[0].strip().lower()
+    if media == CONTENT_TYPE_GRIDS:
+        try:
+            meta, grids = decode_grid_payload(body)
+        except WireFormatError as error:
+            raise _HTTPError(400, BAD_REQUEST, str(error))
+        if steps_required and "steps" not in meta:
+            raise _HTTPError(400, BAD_REQUEST,
+                             "/v1/iterate requires 'steps' in the header")
+        if not grids:
+            # Generated-inputs form: benchmark + shape/seed in the header.
+            return ExecutionRequest.from_wire(meta)
+        program = meta.get("program")
+        deadline_ms = meta.get("deadline_ms")
+        return ExecutionRequest(
+            inputs=list(grids),
+            benchmark=(None if meta.get("benchmark") is None
+                       else str(meta["benchmark"])),
+            program=None if program is None else program_from_dict(program),
+            size_env={str(k): int(v)
+                      for k, v in dict(meta.get("size_env") or {}).items()},
+            return_result=bool(meta.get("return_result", True)),
+            priority=str(meta.get("priority", "normal")),
+            deadline_ms=None if deadline_ms is None else float(deadline_ms),
+            steps=int(meta.get("steps", 1)),
+        )
+    if media in (CONTENT_TYPE_JSON, ""):
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPError(400, BAD_REQUEST, f"body is not JSON: {error}")
+        if not isinstance(message, dict):
+            raise _HTTPError(400, BAD_REQUEST, "body must be a JSON object")
+        if steps_required and "steps" not in message:
+            raise _HTTPError(400, BAD_REQUEST,
+                             "/v1/iterate requires 'steps' in the body")
+        return ExecutionRequest.from_wire(message)
+    raise _HTTPError(400, BAD_REQUEST,
+                     f"unsupported content type {media!r}")
+
+
+def response_body(response: ExecutionResponse,
+                  accept: str) -> Tuple[str, bytes, List[memoryview]]:
+    """Encode one response as (content type, prefix bytes, grid buffers).
+
+    The JSON form returns everything in the prefix; the binary form keeps
+    the result grid as a raw buffer so the writer can stream it.
+    """
+    if CONTENT_TYPE_GRIDS in accept.lower():
+        wire = response.to_wire()
+        wire.pop("result", None)
+        grids: List[np.ndarray] = []
+        if response.result is not None:
+            grids.append(np.asarray(response.result, dtype=np.float64))
+        prefix, buffers = encode_grid_payload(wire, grids)
+        return CONTENT_TYPE_GRIDS, prefix, buffers
+    payload = json.dumps(response.to_wire()).encode("utf-8")
+    return CONTENT_TYPE_JSON, payload, []
+
+
+async def _read_body(reader: asyncio.StreamReader,
+                     headers: Dict[str, str],
+                     max_request_bytes: int) -> bytes:
+    """Read one request body (Content-Length or chunked), bounded."""
+    encoding = headers.get("transfer-encoding", "").lower()
+    if "chunked" in encoding:
+        chunks: List[bytes] = []
+        total = 0
+        while True:
+            size_line = await reader.readline()
+            try:
+                size = int(size_line.split(b";")[0].strip() or b"0", 16)
+            except ValueError:
+                raise _HTTPError(400, BAD_REQUEST, "malformed chunk size",
+                                 close=True)
+            if size == 0:
+                while True:  # trailers, then the final blank line
+                    trailer = await reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                return b"".join(chunks)
+            total += size
+            if total > max_request_bytes:
+                raise _HTTPError(
+                    413, REQUEST_TOO_LARGE,
+                    f"request body exceeds {max_request_bytes} bytes",
+                    close=True,
+                )
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # the chunk's trailing CRLF
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_request_bytes:
+        raise _HTTPError(
+            413, REQUEST_TOO_LARGE,
+            f"request body exceeds {max_request_bytes} bytes", close=True,
+        )
+    if length <= 0:
+        return b""
+    return await reader.readexactly(length)
+
+
+def _authorized(headers: Dict[str, str], auth_key: Optional[str]) -> bool:
+    if auth_key is None:
+        return True
+    supplied = headers.get("authorization", "")
+    if supplied.lower().startswith("bearer "):
+        supplied = supplied[7:].strip()
+    else:
+        supplied = headers.get("x-repro-auth", "")
+    return hmac.compare_digest(supplied, auth_key)
+
+
+async def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 7458,
+    auth_key: Optional[str] = None,
+    max_request_bytes: int = 32 * 1024 * 1024,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    on_served=None,
+) -> "asyncio.AbstractServer":
+    """Expose a started service as the ``/v1/*`` HTTP endpoint.
+
+    Connections are keep-alive: one client can pump many requests through
+    one socket (the client library's pooling counterpart).  Responses are
+    written prefix-then-buffers in bounded chunks, so large binary results
+    stream instead of being joined into one object.  ``on_served`` is
+    called after each answered execute/iterate request — ``repro serve``
+    points it at the shared ``--max-requests`` gate.
+    """
+
+    async def write_response(writer: asyncio.StreamWriter, status: int,
+                             content_type: str, prefix: bytes,
+                             buffers: List[memoryview],
+                             extra_headers: Optional[Dict[str, str]] = None,
+                             close: bool = False) -> None:
+        reason = _REASONS.get(status, "OK")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {payload_length(prefix, buffers)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
+        writer.write(prefix)
+        await writer.drain()
+        for buffer in buffers:
+            for start in range(0, buffer.nbytes, chunk_bytes):
+                writer.write(bytes(buffer[start:start + chunk_bytes]))
+                await writer.drain()
+        _HTTP_REQUESTS_TOTAL.inc(label=f"{status // 100}xx")
+
+    async def write_error(writer: asyncio.StreamWriter, status: int,
+                          code: str, message: str, accept: str,
+                          close: bool = False) -> None:
+        shaped = ExecutionResponse(
+            result=None, benchmark=None, digest="", variant="",
+            plan_source="", batch_size=0, batched=False, latency_s=0.0,
+            error=message, code=code,
+        )
+        content_type, prefix, buffers = response_body(shaped, accept)
+        await write_response(writer, status, content_type, prefix, buffers,
+                             close=close)
+
+    async def handle_one(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Serve one request; returns False when the connection should close."""
+        request_line = await reader.readline()
+        if not request_line:
+            return False
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return False
+        method, target = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        accept = headers.get("accept", "")
+        keep_alive = headers.get("connection", "").lower() != "close"
+        path = target.split("?")[0].rstrip("/")
+        if method == "GET" and path == "/healthz":
+            body = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
+            await write_response(writer, 200, CONTENT_TYPE_JSON, body, [],
+                                 close=not keep_alive)
+            return keep_alive
+        if path not in ("/v1/execute", "/v1/iterate"):
+            await write_error(writer, 404, BAD_REQUEST,
+                              f"unknown path {path!r}", accept)
+            return keep_alive
+        if method != "POST":
+            await write_error(writer, 405, BAD_REQUEST,
+                              "execute/iterate require POST", accept)
+            return keep_alive
+        try:
+            body = await _read_body(reader, headers, max_request_bytes)
+        except _HTTPError as error:
+            if error.code == REQUEST_TOO_LARGE:
+                _REJECTS_TOTAL.inc(label="too_large")
+            # The unread body is still in the socket; close to resync.
+            await write_error(writer, error.status, error.code, str(error),
+                              accept, close=True)
+            return False
+        if not _authorized(headers, auth_key):
+            _REJECTS_TOTAL.inc(label="unauthorized")
+            await write_error(writer, 401, UNAUTHORIZED,
+                              "missing or invalid auth key", accept)
+            return keep_alive
+        loop = asyncio.get_running_loop()
+        try:
+            # Body decode can be arbitrarily large; keep it off the loop so
+            # one fat request does not stall the batch window.
+            request = await loop.run_in_executor(
+                None, request_from_body, headers.get("content-type", ""),
+                body, path == "/v1/iterate",
+            )
+        except _HTTPError as error:
+            await write_error(writer, error.status, error.code, str(error),
+                              accept)
+            return keep_alive
+        except Exception as error:  # noqa: BLE001 - malformed request payload
+            await write_error(writer, 400, BAD_REQUEST,
+                              f"{type(error).__name__}: {error}", accept)
+            return keep_alive
+        response = await service.submit(request)
+        content_type, prefix, buffers = await loop.run_in_executor(
+            None, response_body, response, accept
+        )
+        extra: Dict[str, str] = {}
+        if response.retry_after_ms is not None:
+            extra["Retry-After"] = str(
+                max(1, int(round(response.retry_after_ms / 1e3)))
+            )
+        await write_response(writer, _status_for(response), content_type,
+                             prefix, buffers, extra_headers=extra,
+                             close=not keep_alive)
+        if on_served is not None:
+            on_served()
+        return keep_alive
+
+    async def handle(reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while await handle_one(reader, writer):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while parked on readline (keep-alive idle):
+            # close the connection quietly instead of logging a cancel.
+            pass
+        except Exception:  # noqa: BLE001 - one connection must not leak up
+            log.exception("http connection handler failed")
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
+
+    # The stream limit only bounds readline/readuntil (request/header/chunk
+    # lines); bodies are bounded explicitly in _read_body.
+    return await asyncio.start_server(handle, host, port, limit=1024 * 1024)
+
+
+__all__ = [
+    "request_from_body",
+    "response_body",
+    "serve_http",
+]

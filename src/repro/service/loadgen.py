@@ -30,7 +30,7 @@ from ..apps.suite import get_benchmark
 from ..backend.base import NumpyBackend
 from ..backend.cache import CompilationCache
 from ..telemetry.registry import LATENCY_BUCKETS, Histogram
-from .requests import ExecutionRequest
+from .requests import PRIORITIES, ExecutionRequest
 from .server import ServiceClient, StencilService
 
 log = logging.getLogger("repro.service.loadgen")
@@ -374,6 +374,327 @@ def check_batching(report: Dict[str, object]) -> List[str]:
     return problems
 
 
+def parse_mix(spec: str) -> Dict[str, int]:
+    """Parse ``high:1,normal:8,batch:4`` into priority weights."""
+    weights: Dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        priority, _, weight = part.partition(":")
+        priority = priority.strip().lower()
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r} in mix (one of {PRIORITIES})"
+            )
+        try:
+            weights[priority] = int(weight.strip() or "1")
+        except ValueError:
+            raise ValueError(f"mix weight for {priority!r} is not an integer")
+        if weights[priority] < 0:
+            raise ValueError(f"mix weight for {priority!r} must be >= 0")
+    if not weights or not any(weights.values()):
+        raise ValueError(f"mix {spec!r} selects no traffic")
+    return weights
+
+
+def build_mixed_requests(
+    benchmark: str,
+    requests: int,
+    mix: Dict[str, int],
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+) -> List[ExecutionRequest]:
+    """An interleaved mixed-priority stream (weights → round-robin pattern).
+
+    The pattern repeats one request per unit of weight — ``high:1,batch:4``
+    yields ``high, batch, batch, batch, batch, high, …`` — so every window
+    of traffic carries the configured ratio (no long single-priority runs
+    that would make priority draining trivially easy).
+    """
+    bench = get_benchmark(benchmark)
+    shape = tuple(shape
+                  or tuple(min(extent, 64) for extent in bench.default_shape))
+    first = ExecutionRequest.for_benchmark(benchmark, shape=shape, seed=seed,
+                                           return_result=False)
+    pattern = [priority for priority in PRIORITIES
+               for _ in range(mix.get(priority, 0))]
+    out: List[ExecutionRequest] = []
+    for index in range(requests):
+        out.append(
+            ExecutionRequest(
+                inputs=[np.array(grid) for grid in first.inputs],
+                benchmark=first.benchmark,
+                return_result=False,
+                priority=pattern[index % len(pattern)],
+                deadline_ms=deadline_ms,
+            )
+        )
+    return out
+
+
+def _mixed_summary(stream: Sequence[ExecutionRequest],
+                   responses: Sequence[object],
+                   wall: float) -> Dict[str, object]:
+    """Per-priority latency percentiles + shed/reject/error accounting."""
+    per_priority: Dict[str, Dict[str, object]] = {}
+    for priority in PRIORITIES:
+        indices = [i for i, request in enumerate(stream)
+                   if request.priority == priority]
+        if not indices:
+            continue
+        rows = [responses[i] for i in indices]
+        ok = [row for row in rows if row is not None and row.ok]
+        shed = sum(1 for row in rows if row is not None and row.shed)
+        rejected = sum(1 for row in rows
+                       if row is not None and row.rejected)
+        errors = sum(1 for row in rows if row is None
+                     or (not row.ok and not row.shed and not row.rejected))
+        latencies = [row.latency_s for row in ok]
+        per_priority[priority] = {
+            "requests": len(rows),
+            "served": len(ok),
+            "shed": shed,
+            "rejected": rejected,
+            "errors": errors,
+            "p50_ms": _percentile(latencies, 50) * 1e3,
+            "p99_ms": _percentile(latencies, 99) * 1e3,
+        }
+    return {
+        "wall_s": wall,
+        "requests_per_s": len(stream) / wall if wall else 0.0,
+        "per_priority": per_priority,
+        "sheds_total": sum(int(row["shed"]) for row in per_priority.values()),
+        "rejects_total": sum(int(row["rejected"])
+                             for row in per_priority.values()),
+    }
+
+
+def _drive_mixed_in_process(
+    stream: Sequence[ExecutionRequest],
+    window_ms: float,
+    max_batch: int,
+    store: Optional[str],
+    device: str,
+    max_queue_depth: Optional[int] = None,
+    max_inflight_per_digest: Optional[int] = None,
+    warmup: bool = True,
+) -> Tuple[Sequence[object], float, Dict[str, object]]:
+    service = StencilService(
+        device=device, store=store, batch_window=window_ms / 1e3,
+        max_batch=max_batch, max_queue_depth=max_queue_depth,
+        max_inflight_per_digest=max_inflight_per_digest,
+    )
+    with ServiceClient(service) as client:
+        if warmup and stream:
+            head = stream[0]
+            client.execute(ExecutionRequest(
+                inputs=[np.array(grid) for grid in head.inputs],
+                benchmark=head.benchmark, return_result=False,
+            ))
+        started = time.perf_counter()
+        # Sheds and rejects are the measurement here, not failures.
+        responses = client.execute_many(list(stream), raise_on_error=False)
+        wall = time.perf_counter() - started
+        stats = client.stats()
+    return responses, wall, stats
+
+
+def _drive_mixed_remote(
+    stream: Sequence[ExecutionRequest],
+    host: str,
+    port: int,
+    transport: str = "tcp",
+    auth_key: Optional[str] = None,
+    concurrency: int = 8,
+    warmup: bool = True,
+) -> Tuple[Sequence[object], float, Dict[str, object]]:
+    """Drive a remote endpoint through the client library, concurrently.
+
+    ``concurrency`` worker threads share one :class:`StencilClient` (its
+    transports pool connections), so the stream arrives as genuinely
+    concurrent traffic — the saturating shape admission control exists for.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..client import ClientConfig, StencilClient, TransportError
+
+    client = StencilClient(ClientConfig(host=host, port=port,
+                                        transport=transport,
+                                        auth_key=auth_key))
+    responses: List[object] = [None] * len(stream)
+
+    def fire(index: int) -> None:
+        try:
+            responses[index] = client.execute(stream[index])
+        except TransportError as error:
+            log.warning("request %d failed in transport: %s", index, error)
+
+    try:
+        if warmup and stream:
+            head = stream[0]
+            client.execute(ExecutionRequest(
+                inputs=[np.array(grid) for grid in head.inputs],
+                benchmark=head.benchmark, return_result=False,
+            ))
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=max(1, concurrency)) as pool:
+            list(pool.map(fire, range(len(stream))))
+        wall = time.perf_counter() - started
+        stats = client.stats() or {}
+    finally:
+        client.close()
+    return responses, wall, stats
+
+
+def run_mixed_loadgen(
+    benchmark: str = "stencil2d",
+    requests: int = 64,
+    mix: Optional[Dict[str, int]] = None,
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    deadline_ms: Optional[float] = None,
+    window_ms: float = 2.0,
+    max_batch: int = 8,
+    store: Optional[str] = None,
+    device: str = "nvidia",
+    connect: Optional[Tuple[str, int]] = None,
+    transport: str = "tcp",
+    auth_key: Optional[str] = None,
+    concurrency: int = 8,
+    max_queue_depth: Optional[int] = None,
+    max_inflight_per_digest: Optional[int] = None,
+    warmup: bool = True,
+) -> Dict[str, object]:
+    """The mixed-priority replay: saturate, then report who got served.
+
+    An interleaved stream (``mix`` weights, all carrying ``deadline_ms``)
+    is fired concurrently at the service; the report breaks p50/p99 and
+    shed/reject counts out per priority, and measures an *unloaded*
+    high-priority baseline first so the tail-latency contract — loaded
+    high-priority p99 within 2x of unloaded — is checked in one run.
+    """
+    mix = dict(mix or {"high": 1, "normal": 8, "batch": 4})
+    stream = build_mixed_requests(benchmark, requests, mix, shape=shape,
+                                  seed=seed, deadline_ms=deadline_ms)
+    log.info(
+        "mixed loadgen: %d requests (%s) for %s (%s)", requests,
+        ",".join(f"{k}:{v}" for k, v in mix.items()), benchmark,
+        f"{transport} {connect[0]}:{connect[1]}" if connect else "in-process",
+    )
+    # The unloaded baseline: a short, sequential, high-priority stream with
+    # no deadline — what one isolated caller sees from the same service.
+    baseline_stream = [
+        ExecutionRequest(
+            inputs=[np.array(grid) for grid in stream[0].inputs],
+            benchmark=stream[0].benchmark, return_result=False,
+            priority="high",
+        )
+        for _ in range(min(8, max(2, requests // 8)))
+    ]
+    if connect is not None:
+        base_responses, base_wall, _ = _drive_mixed_remote(
+            baseline_stream, connect[0], connect[1], transport=transport,
+            auth_key=auth_key, concurrency=1, warmup=warmup,
+        )
+        responses, wall, stats = _drive_mixed_remote(
+            stream, connect[0], connect[1], transport=transport,
+            auth_key=auth_key, concurrency=concurrency, warmup=False,
+        )
+    else:
+        max_batch = min(max_batch, requests)
+        base_responses, base_wall, _ = _drive_mixed_in_process(
+            baseline_stream, window_ms, max_batch, store, device,
+            warmup=warmup,
+        )
+        responses, wall, stats = _drive_mixed_in_process(
+            stream, window_ms, max_batch, store, device,
+            max_queue_depth=max_queue_depth,
+            max_inflight_per_digest=max_inflight_per_digest, warmup=warmup,
+        )
+    baseline = _mixed_summary(baseline_stream, base_responses, base_wall)
+    mixed = _mixed_summary(stream, responses, wall)
+    unloaded_high = dict(baseline["per_priority"].get("high") or {})
+    loaded_high = dict(mixed["per_priority"].get("high") or {})
+    unloaded_p99 = float(unloaded_high.get("p99_ms") or 0.0)
+    loaded_p99 = float(loaded_high.get("p99_ms") or 0.0)
+    service_section = dict((stats or {}).get("service") or {})
+    admission = dict(service_section.get("admission") or {})
+    return {
+        "benchmark": benchmark,
+        "requests": requests,
+        "mix": mix,
+        "deadline_ms": deadline_ms,
+        "mode": (f"{transport}" if connect is not None else "in-process"),
+        "shape": list(shape) if shape else None,
+        "wall_s": mixed["wall_s"],
+        "requests_per_s": mixed["requests_per_s"],
+        "per_priority": mixed["per_priority"],
+        "sheds_total": mixed["sheds_total"],
+        "rejects_total": mixed["rejects_total"],
+        "high_shed": int((mixed["per_priority"].get("high") or {})
+                         .get("shed", 0)),
+        "unloaded_high_p99_ms": unloaded_p99,
+        "loaded_high_p99_ms": loaded_p99,
+        "high_p99_ratio": (loaded_p99 / unloaded_p99) if unloaded_p99
+        else None,
+        "server_admission": admission,
+        "service_stats": stats,
+    }
+
+
+def format_mixed_loadgen(report: Dict[str, object]) -> str:
+    """Human-readable (and CI-greppable) mixed-priority report."""
+    mix = report["mix"]
+    lines = [
+        f"mixed loadgen {report['benchmark']}: {report['requests']} requests "
+        f"({','.join(f'{k}:{v}' for k, v in mix.items())}, "
+        f"deadline {report['deadline_ms']} ms, {report['mode']})",
+    ]
+    for priority, row in (report.get("per_priority") or {}).items():
+        lines.append(
+            f"  {priority:>6}: {row['served']}/{row['requests']} served, "
+            f"shed={row['shed']} rejected={row['rejected']} "
+            f"errors={row['errors']}, p50 {row['p50_ms']:.2f} ms, "
+            f"p99 {row['p99_ms']:.2f} ms"
+        )
+    ratio = report.get("high_p99_ratio")
+    lines.append(
+        f"  high p99: {report['loaded_high_p99_ms']:.2f} ms loaded vs "
+        f"{report['unloaded_high_p99_ms']:.2f} ms unloaded"
+        + (f" ({ratio:.2f}x)" if ratio else "")
+    )
+    lines.append(
+        f"  pressure: sheds_total={report['sheds_total']} "
+        f"rejects_total={report['rejects_total']} "
+        f"high_shed={report['high_shed']}"
+    )
+    return "\n".join(lines)
+
+
+def check_no_high_shed(report: Dict[str, object]) -> List[str]:
+    """The ``--assert-no-high-shed`` CI contract (empty = pass)."""
+    problems: List[str] = []
+    high = dict((report.get("per_priority") or {}).get("high") or {})
+    if not high:
+        problems.append("report carries no high-priority traffic")
+        return problems
+    if int(high.get("shed", 0)) > 0:
+        problems.append(
+            f"{high['shed']} high-priority request(s) were shed"
+        )
+    if int(high.get("rejected", 0)) > 0:
+        problems.append(
+            f"{high['rejected']} high-priority request(s) were rejected"
+        )
+    if int(high.get("errors", 0)) > 0:
+        problems.append(
+            f"{high['errors']} high-priority request(s) failed"
+        )
+    return problems
+
+
 def check_sharding(report: Dict[str, object]) -> List[str]:
     """Sharded-run checks: every shard must actually have served traffic."""
     problems: List[str] = []
@@ -388,9 +709,14 @@ def check_sharding(report: Dict[str, object]) -> List[str]:
 
 
 __all__ = [
+    "build_mixed_requests",
     "build_requests",
     "check_batching",
+    "check_no_high_shed",
     "check_sharding",
     "format_loadgen",
+    "format_mixed_loadgen",
+    "parse_mix",
     "run_loadgen",
+    "run_mixed_loadgen",
 ]

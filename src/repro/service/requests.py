@@ -26,6 +26,19 @@ class ServiceError(Exception):
     """A request could not be served (bad request, plan, or execution)."""
 
 
+#: Admission classes, in drain order: ``high`` is served before ``normal``
+#: before ``batch`` whenever more work is queued than one micro-batch holds.
+PRIORITIES = ("high", "normal", "batch")
+
+#: Structured error codes carried by :attr:`ExecutionResponse.code`.
+DEADLINE_EXCEEDED = "DeadlineExceeded"
+ADMISSION_REJECTED = "AdmissionRejected"
+UNAUTHORIZED = "Unauthorized"
+REQUEST_TOO_LARGE = "RequestTooLarge"
+BAD_REQUEST = "BadRequest"
+UNAVAILABLE = "Unavailable"
+
+
 @dataclass
 class ExecutionRequest:
     """One stencil-execution request.
@@ -33,6 +46,14 @@ class ExecutionRequest:
     Exactly one of ``benchmark`` (a registry key such as ``"stencil2d"``)
     or ``program`` (a closed Lift lambda) must be set.  ``inputs`` are the
     concrete input grids, one per program parameter.
+
+    ``priority`` places the request in one of the admission classes of
+    :data:`PRIORITIES`; ``deadline_ms`` is the server-side freshness bound —
+    a request still queued when its deadline expires is *shed* with a
+    structured :data:`DEADLINE_EXCEEDED` response instead of occupying a
+    batch slot.  ``steps > 1`` asks for an iterative job: the output is fed
+    back through the benchmark's carry specification for that many
+    timesteps (the ``/v1/iterate`` HTTP verb).
     """
 
     inputs: List[np.ndarray]
@@ -40,17 +61,32 @@ class ExecutionRequest:
     program: Optional[Lambda] = None
     size_env: Dict[str, int] = field(default_factory=dict)
     return_result: bool = True
+    priority: str = "normal"
+    deadline_ms: Optional[float] = None
+    steps: int = 1
 
     def __post_init__(self) -> None:
         if (self.benchmark is None) == (self.program is None):
             raise ServiceError(
                 "a request names exactly one of: a benchmark key, a program"
             )
+        if self.priority not in PRIORITIES:
+            raise ServiceError(
+                f"priority must be one of {PRIORITIES}, got {self.priority!r}"
+            )
+        if int(self.steps) < 1:
+            raise ServiceError("steps must be >= 1")
+        self.steps = int(self.steps)
+        if self.deadline_ms is not None:
+            self.deadline_ms = float(self.deadline_ms)
         self.inputs = [np.asarray(grid, dtype=np.float64) for grid in self.inputs]
 
     @staticmethod
     def for_benchmark(key: str, shape=None, seed: int = 0,
-                      return_result: bool = True) -> "ExecutionRequest":
+                      return_result: bool = True,
+                      priority: str = "normal",
+                      deadline_ms: Optional[float] = None,
+                      steps: int = 1) -> "ExecutionRequest":
         """A request for a registered benchmark with generated inputs."""
         from ..apps.suite import get_benchmark
 
@@ -60,6 +96,9 @@ class ExecutionRequest:
             inputs=benchmark.make_inputs(shape, seed),
             benchmark=key.lower(),
             return_result=return_result,
+            priority=priority,
+            deadline_ms=deadline_ms,
+            steps=steps,
         )
 
     @staticmethod
@@ -84,6 +123,12 @@ class ExecutionRequest:
             wire["benchmark"] = self.benchmark
         else:
             wire["program"] = program_to_dict(self.program)
+        if self.priority != "normal":
+            wire["priority"] = self.priority
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
+        if self.steps != 1:
+            wire["steps"] = self.steps
         return wire
 
     @staticmethod
@@ -91,6 +136,12 @@ class ExecutionRequest:
         program = data.get("program")
         benchmark = data.get("benchmark")
         inputs = data.get("inputs")
+        deadline_ms = data.get("deadline_ms")
+        extras = {
+            "priority": str(data.get("priority", "normal")),
+            "deadline_ms": None if deadline_ms is None else float(deadline_ms),
+            "steps": int(data.get("steps", 1)),
+        }
         if inputs is None:
             # Generated inputs: the client sends a shape + seed instead of
             # grids — the cheap form the load generator uses.
@@ -101,6 +152,7 @@ class ExecutionRequest:
                 shape=data.get("shape"),
                 seed=int(data.get("seed", 0)),
                 return_result=bool(data.get("return_result", True)),
+                **extras,
             )
         return ExecutionRequest(
             inputs=[np.asarray(grid, dtype=np.float64) for grid in inputs],
@@ -109,12 +161,21 @@ class ExecutionRequest:
             size_env={str(k): int(v)
                       for k, v in dict(data.get("size_env") or {}).items()},
             return_result=bool(data.get("return_result", True)),
+            **extras,
         )
 
 
 @dataclass
 class ExecutionResponse:
-    """The service's answer to one request."""
+    """The service's answer to one request.
+
+    ``code`` structures in-band failures: :data:`DEADLINE_EXCEEDED` for
+    work shed past its deadline, :data:`ADMISSION_REJECTED` for 429-style
+    backpressure (then ``retry_after_ms`` suggests when to come back),
+    :data:`UNAUTHORIZED` / :data:`REQUEST_TOO_LARGE` / :data:`BAD_REQUEST`
+    for transport-level refusals, ``None`` for success or unclassified
+    execution errors.
+    """
 
     result: Optional[np.ndarray]
     benchmark: Optional[str]
@@ -125,10 +186,22 @@ class ExecutionResponse:
     batched: bool                # True when batch_size > 1
     latency_s: float
     error: Optional[str] = None
+    code: Optional[str] = None
+    retry_after_ms: Optional[float] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def shed(self) -> bool:
+        """True when the service shed this request past its deadline."""
+        return self.code == DEADLINE_EXCEEDED
+
+    @property
+    def rejected(self) -> bool:
+        """True when admission control pushed this request back (429-style)."""
+        return self.code == ADMISSION_REJECTED
 
     def to_wire(self) -> Dict[str, object]:
         wire: Dict[str, object] = {
@@ -145,11 +218,16 @@ class ExecutionResponse:
             wire["result"] = np.asarray(self.result).tolist()
         if self.error is not None:
             wire["error"] = self.error
+        if self.code is not None:
+            wire["code"] = self.code
+        if self.retry_after_ms is not None:
+            wire["retry_after_ms"] = round(float(self.retry_after_ms), 3)
         return wire
 
     @staticmethod
     def from_wire(data: Dict[str, object]) -> "ExecutionResponse":
         result = data.get("result")
+        retry_after = data.get("retry_after_ms")
         return ExecutionResponse(
             result=None if result is None else np.asarray(result, dtype=np.float64),
             benchmark=data.get("benchmark"),
@@ -160,7 +238,20 @@ class ExecutionResponse:
             batched=bool(data.get("batched", False)),
             latency_s=float(data.get("latency_ms", 0.0)) / 1e3,
             error=data.get("error"),
+            code=data.get("code"),
+            retry_after_ms=None if retry_after is None else float(retry_after),
         )
 
 
-__all__ = ["ExecutionRequest", "ExecutionResponse", "ServiceError"]
+__all__ = [
+    "ADMISSION_REJECTED",
+    "BAD_REQUEST",
+    "DEADLINE_EXCEEDED",
+    "PRIORITIES",
+    "REQUEST_TOO_LARGE",
+    "UNAUTHORIZED",
+    "UNAVAILABLE",
+    "ExecutionRequest",
+    "ExecutionResponse",
+    "ServiceError",
+]

@@ -31,11 +31,13 @@ used by tests, the experiment drivers and the load generator.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import logging
 import threading
 import time
 import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -53,7 +55,18 @@ from ..telemetry.registry import BATCH_BUCKETS
 from ..telemetry.trace import TraceRing
 from .metrics import shards_section, stats_report
 from .registry import TunedKernelRegistry
-from .requests import ExecutionRequest, ExecutionResponse, ServiceError
+from .requests import (
+    DEADLINE_EXCEEDED,
+    PRIORITIES,
+    REQUEST_TOO_LARGE,
+    UNAUTHORIZED,
+    UNAVAILABLE,
+    ADMISSION_REJECTED,
+    BAD_REQUEST,
+    ExecutionRequest,
+    ExecutionResponse,
+    ServiceError,
+)
 from .shards import ShardedExecutor
 
 log = logging.getLogger("repro.service")
@@ -89,6 +102,19 @@ _SHARD_ROUNDTRIP_SECONDS = _telemetry.histogram(
     "repro_shard_roundtrip_seconds",
     "Wall time of one group's shard dispatch (slab copy, sweep, reply).",
 )
+_SHEDS_TOTAL = _telemetry.counter(
+    "repro_sheds_total",
+    "Requests shed past their deadline instead of executing, by priority.",
+    label="priority",
+)
+_REJECTS_TOTAL = _telemetry.counter(
+    "repro_rejects_total",
+    "Requests pushed back by admission control (429-style), by reason.",
+    label="reason",
+)
+
+#: Upper bound on one TCP request line / HTTP body unless overridden.
+DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
 
 
 @dataclass
@@ -105,6 +131,78 @@ class _Pending:
     future: "asyncio.Future[ExecutionResponse]"
     enqueued_at: float = field(default_factory=time.perf_counter)
     admit_ms: float = 0.0
+    priority: str = "normal"
+    expires_at: Optional[float] = None    # perf_counter deadline, or None
+
+
+class _PriorityQueues:
+    """Three FIFO lanes drained strictly ``high`` → ``normal`` → ``batch``.
+
+    A single wake event replaces ``asyncio.Queue``'s internals: the batcher
+    is the only consumer and runs on the loop thread, so pops never race.
+    Under pressure (more queued work than one micro-batch can hold) the
+    drain order *is* the priority policy — high-class work always reaches a
+    batch slot before batch-class work does.
+    """
+
+    def __init__(self) -> None:
+        self.lanes: Dict[str, deque] = {p: deque() for p in PRIORITIES}
+        self._event = asyncio.Event()
+
+    def put(self, item: _Pending) -> None:
+        self.lanes[item.priority].append(item)
+        self._event.set()
+
+    def get_nowait(self) -> _Pending:
+        for priority in PRIORITIES:
+            lane = self.lanes[priority]
+            if lane:
+                item = lane.popleft()
+                if self.qsize() == 0:
+                    self._event.clear()
+                return item
+        raise asyncio.QueueEmpty
+
+    async def get(self) -> _Pending:
+        while True:
+            try:
+                return self.get_nowait()
+            except asyncio.QueueEmpty:
+                self._event.clear()
+                await self._event.wait()
+
+    def qsize(self) -> int:
+        return sum(len(lane) for lane in self.lanes.values())
+
+    def depth(self, priority: str) -> int:
+        return len(self.lanes[priority])
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+    def evict_below(self, priority: str) -> Optional[_Pending]:
+        """Pop one queued item of a class strictly below ``priority``.
+
+        Victims come from the lowest-priority non-empty lane, oldest first
+        (the entry closest to its deadline anyway) — this is how a full
+        queue makes room for arriving high-priority work instead of
+        bouncing it.
+        """
+        rank = PRIORITIES.index(priority)
+        for lower in reversed(PRIORITIES[rank + 1:]):
+            lane = self.lanes[lower]
+            if lane:
+                return lane.popleft()
+        return None
+
+    def drain(self) -> List[_Pending]:
+        items: List[_Pending] = []
+        for priority in PRIORITIES:
+            lane = self.lanes[priority]
+            items.extend(lane)
+            lane.clear()
+        self._event.clear()
+        return items
 
 
 class StencilService:
@@ -147,6 +245,18 @@ class StencilService:
         each group's numeric sweep to one of them round-robin; programs a
         shard cannot receive (unserialisable, e.g. closure-captured
         constant arrays) transparently fall back to in-process execution.
+    max_queue_depth:
+        Global admission cap: when this many requests are already queued,
+        new work is rejected in-band with :data:`ADMISSION_REJECTED` and a
+        ``retry_after_ms`` hint instead of queueing unboundedly — except
+        that an arriving *higher*-priority request evicts one queued
+        lower-priority request to claim its slot.  ``None`` = unbounded
+        (the pre-admission-control behaviour).
+    max_inflight_per_digest:
+        Per-digest admission limit: at most this many requests for one
+        structural digest may be admitted-but-unfinished at a time; the
+        excess is rejected with ``retry_after_ms``.  Protects the batcher
+        from one hot key starving every other digest.  ``None`` = no limit.
     """
 
     def __init__(
@@ -163,9 +273,15 @@ class StencilService:
         shards: int = 0,
         trace_capacity: int = 256,
         trace_slow_ms: float = 50.0,
+        max_queue_depth: Optional[int] = None,
+        max_inflight_per_digest: Optional[int] = None,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError("max_queue_depth must be >= 1 (or None)")
+        if max_inflight_per_digest is not None and max_inflight_per_digest < 1:
+            raise ServiceError("max_inflight_per_digest must be >= 1 (or None)")
         self.registry = TunedKernelRegistry(store=store, device=device)
         self.cache = cache if cache is not None else CompilationCache()
         self.backend = NumpyBackend(cache=self.cache, fallback=False)
@@ -181,9 +297,12 @@ class StencilService:
             ShardedExecutor(self.shards, use_plans=use_plans)
             if self.shards > 0 else None
         )
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_digest = max_inflight_per_digest
         self._wires: Dict[str, Dict] = {}      # (digest:variant) -> wire dict
         self._unshardable: set = set()         # program keys that won't pickle
-        self._queue: Optional[asyncio.Queue] = None
+        self._queues: Optional[_PriorityQueues] = None
+        self._digest_inflight: Dict[str, int] = {}
         self._batcher: Optional[asyncio.Task] = None
         self._inflight: set = set()
         self._tuning_digests: set = set()
@@ -198,6 +317,10 @@ class StencilService:
         self.request_errors = 0
         self.plans_prewarmed = 0
         self.shard_fallbacks = 0
+        #: Admission-control outcomes (separate from request_errors so the
+        #: PR 7 error accounting keeps meaning "execution failed").
+        self.sheds: Dict[str, int] = {priority: 0 for priority in PRIORITIES}
+        self.rejects: Dict[str, int] = {}
         #: Request-lifecycle traces (``repro trace`` / the /trace route).
         self.tracer = TraceRing(capacity=trace_capacity, slow_ms=trace_slow_ms)
         self._register_gauges()
@@ -222,9 +345,20 @@ class StencilService:
         _telemetry.gauge(
             "repro_queue_depth", "Requests admitted but not yet batch-formed.",
             fn=from_service(
-                lambda s: s._queue.qsize() if s._queue is not None else 0
+                lambda s: s._queues.qsize() if s._queues is not None else 0
             ),
         )
+        for priority in PRIORITIES:
+            _telemetry.gauge(
+                f"repro_queue_depth_{priority}",
+                f"Queued {priority}-priority requests awaiting a batch slot.",
+                fn=from_service(
+                    lambda s, priority=priority: (
+                        s._queues.depth(priority)
+                        if s._queues is not None else 0
+                    )
+                ),
+            )
         for stat in ("hits", "misses", "evictions", "entries"):
             _telemetry.gauge(
                 f"repro_service_compilation_cache_{stat}",
@@ -245,7 +379,7 @@ class StencilService:
     async def start(self) -> "StencilService":
         if self._batcher is not None:
             raise ServiceError("service already started")
-        self._queue = asyncio.Queue()
+        self._queues = _PriorityQueues()
         self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
         return self
 
@@ -262,13 +396,11 @@ class StencilService:
             # finish (their callers are still awaiting futures).
             await asyncio.gather(*list(self._inflight),
                                  return_exceptions=True)
-        if self._queue is not None:
+        if self._queues is not None:
             # Requests admitted but never executed must not hang their
             # callers: fail them in-band.
-            leftovers = []
-            while not self._queue.empty():
-                leftovers.append(self._queue.get_nowait())
-            self._fail_group(leftovers, "service stopped")
+            self._fail_group(self._queues.drain(), "service stopped",
+                             code=UNAVAILABLE)
         if self._tune_tasks:
             await asyncio.gather(*self._tune_tasks, return_exceptions=True)
         self._tune_tasks.clear()
@@ -391,8 +523,15 @@ class StencilService:
 
     # -- the request path ------------------------------------------------------
     async def submit(self, request: ExecutionRequest) -> ExecutionResponse:
-        """Serve one request (awaits its micro-batch's execution)."""
-        if self._queue is None:
+        """Serve one request (awaits its micro-batch's execution).
+
+        Admission order: resolve the routing plan, then apply admission
+        control — an already-expired deadline is shed, a full queue or a
+        saturated digest is rejected with a ``retry_after_ms`` hint (a
+        high-priority arrival instead evicts one queued lower-priority
+        request) — and only then does the request join its priority lane.
+        """
+        if self._queues is None:
             raise ServiceError("service is not started")
         started = time.perf_counter()
         try:
@@ -405,9 +544,14 @@ class StencilService:
                 variant="", plan_source="", batch_size=0, batched=False,
                 latency_s=time.perf_counter() - started,
                 error=f"{type(error).__name__}: {error}",
+                code=BAD_REQUEST,
             )
         pending.admit_ms = (time.perf_counter() - started) * 1e3
-        await self._queue.put(pending)
+        rejection = self._admission_control(pending)
+        if rejection is not None:
+            return rejection
+        self._track_inflight(pending)
+        self._queues.put(pending)
         return await pending.future
 
     def _admit(self, request: ExecutionRequest) -> _Pending:
@@ -418,7 +562,8 @@ class StencilService:
         signature = tuple(
             (grid.shape, str(grid.dtype)) for grid in request.inputs
         )
-        key = (plan.digest, signature, tuple(sorted(request.size_env.items())))
+        key = (plan.digest, signature, tuple(sorted(request.size_env.items())),
+               request.steps)
         if (
             self.auto_tune
             and plan.tuned is None
@@ -427,34 +572,168 @@ class StencilService:
         ):
             self._start_background_tune(plan.digest, plan.benchmark)
         loop = asyncio.get_running_loop()
-        return _Pending(
+        pending = _Pending(
             request=request, program=program, variant=variant,
             plan_source=source, digest=plan.digest, benchmark=plan.benchmark,
-            key=key, future=loop.create_future(),
+            key=key, future=loop.create_future(), priority=request.priority,
         )
+        if request.deadline_ms is not None:
+            pending.expires_at = pending.enqueued_at + request.deadline_ms / 1e3
+        return pending
+
+    # -- admission control -----------------------------------------------------
+    def _admission_control(
+        self, pending: _Pending
+    ) -> Optional[ExecutionResponse]:
+        """Shed/reject before queueing; ``None`` admits the request."""
+        if self._expired(pending):
+            # A dead-on-arrival deadline can never be served; don't let it
+            # occupy a queue slot at all.
+            self._shed(pending)
+            return pending.future.result()
+        if (
+            self.max_inflight_per_digest is not None
+            and self._digest_inflight.get(pending.digest, 0)
+            >= self.max_inflight_per_digest
+        ):
+            self._reject(pending, "digest_limit")
+            return pending.future.result()
+        if (
+            self.max_queue_depth is not None
+            and self._queues.qsize() >= self.max_queue_depth
+        ):
+            victim = self._queues.evict_below(pending.priority)
+            if victim is None:
+                self._reject(pending, "queue_full")
+                return pending.future.result()
+            # Backpressure with priority: the queued lower-class request is
+            # pushed back (it can retry) so the higher-class arrival gets
+            # the slot.  High work is therefore never the eviction victim
+            # while any lower-class work remains queued.
+            self._reject(victim, "evicted")
+        return None
+
+    def _expired(self, pending: _Pending) -> bool:
+        return (pending.expires_at is not None
+                and time.perf_counter() >= pending.expires_at)
+
+    def _retry_after_ms(self) -> float:
+        """A backoff hint scaled by how far behind the batcher is."""
+        depth = self._queues.qsize() if self._queues is not None else 0
+        backlog_batches = 1 + depth / max(1, self.max_batch)
+        return max(1.0, self.batch_window * 1e3 * backlog_batches)
+
+    def _shed(self, pending: _Pending, reason: Optional[str] = None) -> None:
+        """Resolve one request with the structured DeadlineExceeded form."""
+        if pending.future.done():
+            return
+        now = time.perf_counter()
+        self.sheds[pending.priority] = self.sheds.get(pending.priority, 0) + 1
+        _SHEDS_TOTAL.inc(label=pending.priority)
+        waited_ms = (now - pending.enqueued_at) * 1e3
+        deadline_ms = pending.request.deadline_ms
+        reason = reason or (
+            f"deadline of {deadline_ms:.0f} ms exceeded after "
+            f"{waited_ms:.1f} ms in queue" if deadline_ms is not None
+            else "shed before execution"
+        )
+        self._record_trace(pending, 0, {}, now, now, error=reason)
+        pending.future.set_result(
+            ExecutionResponse(
+                result=None, benchmark=pending.benchmark,
+                digest=pending.digest, variant=pending.variant,
+                plan_source=pending.plan_source, batch_size=0, batched=False,
+                latency_s=now - pending.enqueued_at, error=reason,
+                code=DEADLINE_EXCEEDED,
+            )
+        )
+
+    def _reject(self, pending: _Pending, reason: str) -> None:
+        """Resolve one request with 429-style backpressure (+ retry hint)."""
+        if pending.future.done():
+            return
+        now = time.perf_counter()
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+        _REJECTS_TOTAL.inc(label=reason)
+        retry_after = self._retry_after_ms()
+        detail = {
+            "queue_full": f"queue depth cap {self.max_queue_depth} reached",
+            "digest_limit": (
+                f"per-digest admission limit {self.max_inflight_per_digest} "
+                f"reached for {pending.digest[:12]}"
+            ),
+            "evicted": (
+                f"evicted from a full queue (depth cap {self.max_queue_depth})"
+                " by higher-priority work"
+            ),
+        }.get(reason, reason)
+        self._record_trace(pending, 0, {}, now, now, error=detail)
+        pending.future.set_result(
+            ExecutionResponse(
+                result=None, benchmark=pending.benchmark,
+                digest=pending.digest, variant=pending.variant,
+                plan_source=pending.plan_source, batch_size=0, batched=False,
+                latency_s=now - pending.enqueued_at, error=detail,
+                code=ADMISSION_REJECTED, retry_after_ms=retry_after,
+            )
+        )
+
+    def _track_inflight(self, pending: _Pending) -> None:
+        self._digest_inflight[pending.digest] = (
+            self._digest_inflight.get(pending.digest, 0) + 1
+        )
+        digest = pending.digest
+        pending.future.add_done_callback(
+            lambda _future: self._release_inflight(digest)
+        )
+
+    def _release_inflight(self, digest: str) -> None:
+        count = self._digest_inflight.get(digest, 0) - 1
+        if count <= 0:
+            self._digest_inflight.pop(digest, None)
+        else:
+            self._digest_inflight[digest] = count
+
+    def shed_queued(self, reason: str = "drain deadline reached") -> int:
+        """Shed every still-queued request with DeadlineExceeded (drain)."""
+        if self._queues is None:
+            return 0
+        items = self._queues.drain()
+        for item in items:
+            self._shed(item, reason=reason)
+        return len(items)
 
     # -- the batcher -----------------------------------------------------------
     async def _batch_loop(self) -> None:
-        assert self._queue is not None
+        assert self._queues is not None
         while True:
             pending: List[_Pending] = []
             try:
-                pending.append(await self._queue.get())
+                pending.append(await self._queues.get())
                 loop = asyncio.get_running_loop()
                 deadline = loop.time() + self.batch_window
                 while len(pending) < self.max_batch:
-                    if not self._queue.empty():
-                        pending.append(self._queue.get_nowait())
+                    if not self._queues.empty():
+                        pending.append(self._queues.get_nowait())
                         continue
                     timeout = deadline - loop.time()
                     if timeout <= 0:
                         break
                     try:
                         pending.append(
-                            await asyncio.wait_for(self._queue.get(), timeout)
+                            await asyncio.wait_for(self._queues.get(), timeout)
                         )
                     except asyncio.TimeoutError:
                         break
+                # Shed work whose deadline expired while queued — an expired
+                # request never occupies a batch slot, let alone executes.
+                live = []
+                for item in pending:
+                    if self._expired(item):
+                        self._shed(item)
+                    else:
+                        live.append(item)
+                pending = live
                 groups: Dict[Tuple, List[_Pending]] = {}
                 for item in pending:
                     groups.setdefault(item.key, []).append(item)
@@ -488,6 +767,15 @@ class StencilService:
         — stays responsive while a batch executes.  Counters and futures
         are only touched back on the loop.
         """
+        # Last line of defence: a deadline may expire between batch
+        # formation and this dispatch (sharded groups run as tasks).
+        expired = [item for item in group if self._expired(item)]
+        if expired:
+            for item in expired:
+                self._shed(item)
+            group = [item for item in group if not item.future.done()]
+            if not group:
+                return
         size = len(group)
         loop = asyncio.get_running_loop()
         formed_at = time.perf_counter()
@@ -569,7 +857,10 @@ class StencilService:
         ``replay_ms`` locally, ``shard_roundtrip_ms`` + ``shard`` when
         dispatched) the trace ring files per request.
         """
-        if self.executor is not None:
+        if self.executor is not None and group[0].request.steps == 1:
+            # Iterative jobs (steps > 1) run locally: the shard wire
+            # protocol ships single sweeps, and a T-step job is one long
+            # replay loop anyway.
             sharded = self._compute_group_sharded(group)
             if sharded is not None:
                 return sharded
@@ -617,6 +908,21 @@ class StencilService:
             {"shard_roundtrip_ms": roundtrip * 1e3, "shard": shard.index},
         )
 
+    def _carry_spec(self, item: _Pending):
+        """The iterate() carry specification for one request's benchmark.
+
+        Program-only requests use the default (output feeds input 0, the
+        rest stay static) — the same convention ``plan.iterate`` applies.
+        """
+        if item.benchmark:
+            try:
+                from ..apps.suite import get_benchmark
+
+                return get_benchmark(item.benchmark).carry_spec()
+            except Exception:  # noqa: BLE001 - unknown key: default carry
+                pass
+        return None
+
     def _compute_group_local(
         self, group: List[_Pending]
     ) -> Tuple[List, int, Dict[str, object]]:
@@ -624,6 +930,38 @@ class StencilService:
         size_env = head.request.size_env or None
         resolve_started = time.perf_counter()
         replay_started = resolve_started
+        if head.request.steps > 1:
+            # Iterative jobs: one double-buffered plan replay loop per
+            # request (grouped by key so they share the cached plan, but
+            # each request's T-step trajectory is its own).  Crosschecked
+            # against the generic per-sweep loop when enabled.
+            carry = self._carry_spec(head)
+            steps = head.request.steps
+            swept = [
+                self.backend.iterate(item.program, item.request.inputs,
+                                     steps, carry=carry,
+                                     size_env=item.request.size_env or None)
+                for item in group
+            ]
+            replay_done = time.perf_counter()
+            crosschecked = 0
+            if self.crosscheck:
+                for item, output in zip(group, swept):
+                    generic = self.backend.iterate_generic(
+                        item.program, item.request.inputs, steps,
+                        carry=carry, size_env=item.request.size_env or None)
+                    if not np.array_equal(np.asarray(output), generic):
+                        raise ServiceError(
+                            f"iterate plan result diverges from the generic "
+                            f"loop for digest {item.digest[:12]}"
+                        )
+                    crosschecked += 1
+            return (
+                [squeeze_result(np.asarray(output, dtype=np.float64))
+                 for output in swept],
+                crosschecked,
+                {"replay_ms": (replay_done - resolve_started) * 1e3},
+            )
         if len(group) == 1:
             if self.use_plans:
                 # The run_plan split, inlined so the trace can separate
@@ -735,7 +1073,8 @@ class StencilService:
                 )
         return len(group)
 
-    def _fail_group(self, group: List[_Pending], reason: str) -> None:
+    def _fail_group(self, group: List[_Pending], reason: str,
+                    code: Optional[str] = None) -> None:
         now = time.perf_counter()
         for item in group:
             if not item.future.done():
@@ -750,6 +1089,7 @@ class StencilService:
                         plan_source=item.plan_source, batch_size=len(group),
                         batched=len(group) > 1,
                         latency_s=now - item.enqueued_at, error=reason,
+                        code=code,
                     )
                 )
 
@@ -792,6 +1132,18 @@ class StencilService:
             "request_errors": self.request_errors,
             "plans_prewarmed": self.plans_prewarmed,
             "shard_fallbacks": self.shard_fallbacks,
+            "admission": {
+                "sheds": dict(self.sheds),
+                "rejects": dict(self.rejects),
+                "queue_depth": {
+                    priority: (self._queues.depth(priority)
+                               if self._queues is not None else 0)
+                    for priority in PRIORITIES
+                },
+                "inflight_digests": len(self._digest_inflight),
+                "max_queue_depth": self.max_queue_depth,
+                "max_inflight_per_digest": self.max_inflight_per_digest,
+            },
             "registry": self.registry.stats(),
             "plans": self.backend.plans.stats() if self.use_plans else None,
             "shards": (
@@ -899,11 +1251,37 @@ async def _handle_message(service: StencilService,
     return {"ok": False, "error": f"unknown op {op!r}"}
 
 
+class ServedGate:
+    """Counts answered requests across endpoints; resolves at ``max``.
+
+    One gate is shared by the TCP and HTTP endpoints so ``--max-requests``
+    bounds *total* traffic regardless of which transport carried it.
+    ``None`` max never resolves (serve forever).
+    """
+
+    def __init__(self, max_requests: Optional[int] = None) -> None:
+        self.max_requests = max_requests
+        self.count = 0
+        self.done: "asyncio.Future[None]" = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    def mark(self) -> None:
+        self.count += 1
+        if (self.max_requests is not None
+                and self.count >= self.max_requests
+                and not self.done.done()):
+            self.done.set_result(None)
+
+
 async def serve_tcp(
     service: StencilService,
     host: str = "127.0.0.1",
     port: int = 7457,
     max_requests: Optional[int] = None,
+    auth_key: Optional[str] = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    gate: Optional[ServedGate] = None,
 ) -> "asyncio.AbstractServer":
     """Expose a started service as a JSON-lines TCP endpoint.
 
@@ -912,42 +1290,67 @@ async def serve_tcp(
     (responses may arrive out of submission order).  ``max_requests``
     closes the server after that many ``execute`` ops — used by smoke
     tests to bound a ``repro serve`` process.
+
+    ``auth_key`` (when set) requires every non-ping message to carry a
+    matching ``"auth"`` field; ``max_request_bytes`` bounds one request
+    line — an oversized line gets an in-band ``RequestTooLarge`` error and
+    the connection closes (a JSON-lines stream cannot resync mid-line).
     """
-    served = 0
-    done = asyncio.get_running_loop().create_future()
+    if gate is None:
+        gate = ServedGate(max_requests)
     connections: set = set()
 
     async def handle(reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
-        nonlocal served
         write_lock = asyncio.Lock()
         # Only in-flight answer tasks are retained; completed ones discard
         # themselves so a long-lived pipelined connection stays O(in-flight).
         tasks: set = set()
 
         async def answer(message: Dict[str, object]) -> None:
-            nonlocal served
-            try:
-                reply = await _handle_message(service, message)
-            except Exception as error:  # noqa: BLE001 - wire-level error report
-                reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            if (auth_key is not None
+                    and str(message.get("op", "execute")) != "ping"
+                    and not hmac.compare_digest(
+                        str(message.get("auth") or ""), auth_key)):
+                _REJECTS_TOTAL.inc(label="unauthorized")
+                reply: Dict[str, object] = {
+                    "ok": False, "code": UNAUTHORIZED,
+                    "error": "missing or invalid auth key",
+                }
+            else:
+                try:
+                    reply = await _handle_message(service, message)
+                except Exception as error:  # noqa: BLE001 - wire-level error report
+                    reply = {"ok": False,
+                             "error": f"{type(error).__name__}: {error}"}
             if "id" in message:
                 reply["id"] = message["id"]
             async with write_lock:
                 writer.write((json.dumps(reply) + "\n").encode("utf-8"))
                 await writer.drain()
             if str(message.get("op", "execute")) == "execute":
-                served += 1
-                if max_requests is not None and served >= max_requests \
-                        and not done.done():
-                    done.set_result(None)
+                gate.mark()
 
         connection = asyncio.current_task()
         if connection is not None:
             connections.add(connection)
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # One line exceeded max_request_bytes.  Report in-band
+                    # and close: the rest of the oversized line is still in
+                    # the socket, so the stream cannot be resynchronised.
+                    _REJECTS_TOTAL.inc(label="too_large")
+                    async with write_lock:
+                        writer.write((json.dumps({
+                            "ok": False, "code": REQUEST_TOO_LARGE,
+                            "error": ("request line exceeds "
+                                      f"{max_request_bytes} bytes"),
+                        }) + "\n").encode("utf-8"))
+                        await writer.drain()
+                    break
                 if not line:
                     break
                 text = line.decode("utf-8").strip()
@@ -976,8 +1379,9 @@ async def serve_tcp(
             if connection is not None:
                 connections.discard(connection)
 
-    server = await asyncio.start_server(handle, host, port)
-    server.served_done = done  # type: ignore[attr-defined]
+    server = await asyncio.start_server(handle, host, port,
+                                        limit=max_request_bytes)
+    server.served_done = gate.done  # type: ignore[attr-defined]
     server.connections = connections  # type: ignore[attr-defined]
     return server
 
@@ -990,6 +1394,10 @@ def run_server(
     prewarm: Optional[Sequence[ExecutionRequest]] = None,
     prewarm_batch: Sequence[int] = (),
     metrics_port: Optional[int] = None,
+    http_port: Optional[int] = None,
+    auth_key: Optional[str] = None,
+    drain_timeout: float = 10.0,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     **service_kwargs,
 ) -> Dict[str, object]:
     """Start a service + TCP endpoint and serve until done (blocking).
@@ -1001,12 +1409,18 @@ def run_server(
     starts accepting connections (``prewarm_batch`` capacities warm the
     batched plans too), so prewarmed traffic never pays a plan build.
     ``metrics_port`` additionally binds the telemetry HTTP sidecar
-    (``/metrics`` + ``/healthz`` + ``/trace``) on the same host.
+    (``/metrics`` + ``/healthz`` + ``/trace``) on the same host;
+    ``http_port`` binds the ``/v1/execute``·``/v1/iterate`` HTTP endpoint
+    sharing the same batcher.  ``auth_key`` guards both transports.
+    ``drain_timeout`` bounds the shutdown drain; requests still queued
+    when it expires are shed with ``DeadlineExceeded`` responses instead
+    of the connection being dropped mid-flight.
     """
     stats: Dict[str, object] = {}
 
     async def main() -> None:
         from ..telemetry.httpd import TelemetryHTTP
+        from .http import serve_http
 
         service = StencilService(**service_kwargs)
         async with service:
@@ -1023,8 +1437,21 @@ def run_server(
                 )
                 log.info("prewarmed %d plans (%d skipped)",
                          warmed["prewarmed"], warmed["skipped"])
+            # One gate across both endpoints: --max-requests bounds total
+            # traffic no matter which transport carried it.
+            gate = ServedGate(max_requests)
+            http_server = None
+            if http_port is not None:
+                http_server = await serve_http(
+                    service, host, http_port, auth_key=auth_key,
+                    max_request_bytes=max_request_bytes,
+                    on_served=gate.mark,
+                )
+                log.info("http endpoint on %s:%d", host, http_port)
             server = await serve_tcp(service, host, port,
-                                     max_requests=max_requests)
+                                     auth_key=auth_key,
+                                     max_request_bytes=max_request_bytes,
+                                     gate=gate)
             async with server:
                 if ready_event is not None:
                     ready_event.set()
@@ -1035,14 +1462,35 @@ def run_server(
                     # ops (e.g. the load generator's final stats fetch), so
                     # wait — bounded — for open connections to finish before
                     # the listening socket and the service are torn down.
-                    drain_deadline = asyncio.get_running_loop().time() + 10.0
+                    loop_time = asyncio.get_running_loop().time
+                    drain_deadline = loop_time() + max(0.0, drain_timeout)
                     while (
                         server.connections  # type: ignore[attr-defined]
-                        and asyncio.get_running_loop().time() < drain_deadline
+                        and loop_time() < drain_deadline
                     ):
                         await asyncio.sleep(0.05)
+                    if server.connections:  # type: ignore[attr-defined]
+                        # Past the drain deadline: answer what is still
+                        # queued with structured sheds so connected clients
+                        # see DeadlineExceeded, not a dropped socket, then
+                        # give the writes a short grace window to flush.
+                        shed = service.shed_queued(
+                            "shutdown drain deadline reached"
+                        )
+                        if shed:
+                            log.info("drain deadline: shed %d queued "
+                                     "requests", shed)
+                        grace_deadline = loop_time() + 1.0
+                        while (
+                            server.connections  # type: ignore[attr-defined]
+                            and loop_time() < grace_deadline
+                        ):
+                            await asyncio.sleep(0.05)
                 else:
                     await asyncio.Event().wait()  # serve forever
+            if http_server is not None:
+                http_server.close()
+                await http_server.wait_closed()
             if telemetry_http is not None:
                 await telemetry_http.stop()
             stats.update(service.stats())

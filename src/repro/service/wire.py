@@ -1,0 +1,152 @@
+"""The binary grid wire format shared by the HTTP endpoint and the client.
+
+JSON works for small grids, but a 1024² float64 grid rendered as nested
+JSON lists is ~19 MB of text (and a giant intermediate string on both
+sides).  The ``application/x-repro-grids`` body avoids that entirely:
+
+.. code-block:: text
+
+    magic   b"RPG1"                      (4 bytes)
+    hlen    little-endian uint32          (4 bytes)
+    header  UTF-8 JSON of hlen bytes      (request/response metadata +
+                                           per-grid {"shape", "dtype"})
+    grids   raw little-endian buffers, concatenated in header order
+
+The header carries everything the JSON wire form does *except* the grids
+(``benchmark``/``program``, ``size_env``, ``priority``, ``deadline_ms``,
+``steps``, …) so the two content types are interchangeable; only the grid
+payload changes representation.  Encoders yield the raw array buffers as
+memoryviews — :func:`iter_chunks` turns them into bounded-size chunks for
+chunked HTTP upload, so neither side ever materialises the full body as
+one string or list.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+MAGIC = b"RPG1"
+
+#: Content type of the binary grid body (requests and responses).
+CONTENT_TYPE_GRIDS = "application/x-repro-grids"
+#: Content type of the JSON body (the TCP wire form, over HTTP).
+CONTENT_TYPE_JSON = "application/json"
+
+#: Default chunk size for chunked uploads / streamed downloads.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+
+class WireFormatError(ValueError):
+    """A binary grid payload did not parse."""
+
+
+def encode_grid_payload(
+    meta: Dict[str, object], grids: Sequence[np.ndarray]
+) -> Tuple[bytes, List[memoryview]]:
+    """Frame ``meta`` + ``grids`` as (prefix bytes, raw grid buffers).
+
+    The prefix is ``MAGIC + hlen + header``; the buffers are the grids'
+    little-endian contiguous bytes, *not copied* when the array already is
+    little-endian contiguous.  Callers concatenate (or chunk-stream) the
+    prefix followed by each buffer in order.
+    """
+    descriptors = []
+    buffers: List[memoryview] = []
+    for grid in grids:
+        array = np.ascontiguousarray(grid)
+        if array.dtype.byteorder == ">":  # normalise to little-endian
+            array = array.astype(array.dtype.newbyteorder("<"))
+        descriptors.append({
+            "shape": list(array.shape),
+            "dtype": array.dtype.str.lstrip("<=|"),
+        })
+        buffers.append(memoryview(array).cast("B"))
+    header = dict(meta)
+    header["grids"] = descriptors
+    header_bytes = json.dumps(header).encode("utf-8")
+    prefix = MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes
+    return prefix, buffers
+
+
+def payload_length(prefix: bytes, buffers: Sequence[memoryview]) -> int:
+    """Total body size in bytes (for ``Content-Length``)."""
+    return len(prefix) + sum(buffer.nbytes for buffer in buffers)
+
+
+def iter_chunks(prefix: bytes, buffers: Sequence[memoryview],
+                chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Iterator[bytes]:
+    """Yield the framed payload as chunks of at most ``chunk_bytes``.
+
+    This is the chunked-upload driver: each yielded chunk is a plain
+    ``bytes`` slice, so a 1024² grid crosses the socket in ~32 pieces
+    without ever being joined into one object.
+    """
+    chunk_bytes = max(1, int(chunk_bytes))
+    pieces: Iterable[memoryview] = [memoryview(prefix), *buffers]
+    for piece in pieces:
+        for start in range(0, piece.nbytes, chunk_bytes):
+            yield bytes(piece[start:start + chunk_bytes])
+
+
+def decode_grid_header(data: bytes) -> Tuple[Dict[str, object], int]:
+    """Parse the framed header; returns (header dict, body offset)."""
+    if len(data) < 8 or data[:4] != MAGIC:
+        raise WireFormatError("not a repro grid payload (bad magic)")
+    (header_length,) = struct.unpack("<I", data[4:8])
+    if len(data) < 8 + header_length:
+        raise WireFormatError("truncated grid payload header")
+    try:
+        header = json.loads(data[8:8 + header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireFormatError(f"grid payload header is not JSON: {error}")
+    if not isinstance(header, dict):
+        raise WireFormatError("grid payload header must be a JSON object")
+    return header, 8 + header_length
+
+
+def decode_grid_payload(
+    data: bytes,
+) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """Decode a full framed payload into (meta, writable grids).
+
+    Grid bytes are interpreted in place via ``np.frombuffer`` and then
+    copied once into writable arrays — one buffer copy per grid, never a
+    textual intermediate.
+    """
+    header, offset = decode_grid_header(data)
+    grids: List[np.ndarray] = []
+    for descriptor in header.get("grids") or []:
+        shape = tuple(int(extent) for extent in descriptor["shape"])
+        dtype = np.dtype(str(descriptor["dtype"])).newbyteorder("<")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if offset + nbytes > len(data):
+            raise WireFormatError("truncated grid payload body")
+        flat = np.frombuffer(data, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)),
+                             offset=offset)
+        grids.append(flat.reshape(shape).astype(dtype.newbyteorder("="),
+                                                copy=True))
+        offset += nbytes
+    if offset != len(data):
+        raise WireFormatError(
+            f"grid payload has {len(data) - offset} trailing bytes"
+        )
+    meta = {key: value for key, value in header.items() if key != "grids"}
+    return meta, grids
+
+
+__all__ = [
+    "CONTENT_TYPE_GRIDS",
+    "CONTENT_TYPE_JSON",
+    "DEFAULT_CHUNK_BYTES",
+    "MAGIC",
+    "WireFormatError",
+    "decode_grid_header",
+    "decode_grid_payload",
+    "encode_grid_payload",
+    "iter_chunks",
+    "payload_length",
+]

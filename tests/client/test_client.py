@@ -1,0 +1,215 @@
+"""The client library: retry semantics, config, auth, pooling."""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import (
+    ClientConfig,
+    RetryPolicy,
+    StencilClient,
+    TcpTransport,
+    Transport,
+    TransportError,
+    attach_auth,
+    auth_headers,
+)
+from repro.service import ExecutionRequest, ExecutionResponse
+
+
+def _response(**overrides):
+    fields = dict(result=None, benchmark="stencil2d", digest="d", variant="v",
+                  plan_source="default", batch_size=1, batched=False,
+                  latency_s=0.001)
+    fields.update(overrides)
+    return ExecutionResponse(**fields)
+
+
+class ScriptedTransport(Transport):
+    """Raises the scripted errors in order, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        self.attempts = 0
+
+    def submit(self, request, timeout_s):
+        self.attempts += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return _response()
+
+    def close(self):
+        pass
+
+
+class FixedRandom:
+    def random(self):
+        return 0.0
+
+
+def _client(transport, retries=2):
+    config = ClientConfig(retry=RetryPolicy(
+        retries=retries, backoff_base_s=0.0, backoff_max_s=0.0))
+    return StencilClient(config, transport=transport, rng=FixedRandom())
+
+
+def _request():
+    return ExecutionRequest.for_benchmark("stencil2d", shape=(6, 6),
+                                          return_result=False)
+
+
+class TestRetrySemantics:
+    def test_retries_connect_class_failures_until_success(self):
+        transport = ScriptedTransport([
+            TransportError("connect refused", retryable=True),
+            TransportError("timed out before response", retryable=True),
+        ])
+        client = _client(transport, retries=2)
+        response = client.execute(_request())
+        assert response.ok
+        assert transport.attempts == 3
+        assert client.retries_attempted == 2
+
+    def test_never_retries_after_a_response_byte(self):
+        """Property (iv): a non-retryable failure is surfaced immediately."""
+        transport = ScriptedTransport([
+            TransportError("connection lost mid-response", retryable=False),
+        ])
+        client = _client(transport, retries=5)
+        with pytest.raises(TransportError):
+            client.execute(_request())
+        assert transport.attempts == 1
+        assert client.retries_attempted == 0
+
+    def test_retry_budget_is_bounded(self):
+        transport = ScriptedTransport([
+            TransportError("connect refused", retryable=True)
+            for _ in range(10)
+        ])
+        client = _client(transport, retries=2)
+        with pytest.raises(TransportError):
+            client.execute(_request())
+        assert transport.attempts == 3  # 1 try + 2 retries, never more
+
+    @settings(max_examples=30, deadline=None)
+    @given(script=st.lists(st.booleans(), min_size=0, max_size=6),
+           retries=st.integers(min_value=0, max_value=4))
+    def test_attempt_accounting_for_any_failure_script(self, script, retries):
+        """For any sequence of retryable/final failures: one extra attempt
+        per leading retryable failure (within budget), none after a final
+        failure."""
+        failures = [TransportError("e", retryable=flag) for flag in script]
+        transport = ScriptedTransport(failures)
+        client = _client(transport, retries=retries)
+        leading_retryable = 0
+        for flag in script:
+            if not flag:
+                break
+            leading_retryable += 1
+        try:
+            response = client.execute(_request())
+            succeeded = True
+        except TransportError:
+            succeeded = False
+        if leading_retryable == len(script) and leading_retryable <= retries:
+            assert succeeded
+            assert transport.attempts == len(script) + 1
+        elif leading_retryable >= retries:
+            # Budget exhausted among the retryable prefix.
+            assert not succeeded
+            assert transport.attempts == retries + 1
+        else:
+            # A final failure inside the budget stops everything.
+            assert not succeeded
+            assert transport.attempts == leading_retryable + 1
+
+    def test_connect_refused_is_retryable_for_real_sockets(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        transport = TcpTransport("127.0.0.1", free_port)
+        with pytest.raises(TransportError) as excinfo:
+            transport.submit(_request(), timeout_s=2.0)
+        assert excinfo.value.retryable
+        transport.close()
+
+    def test_close_before_any_byte_is_retryable(self):
+        """A server that accepts and drops the socket never sent a byte —
+        the request provably did not execute, so the failure is retryable."""
+        accepted = threading.Event()
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def drop_first_connection():
+            conn, _ = listener.accept()
+            conn.close()
+            accepted.set()
+
+        thread = threading.Thread(target=drop_first_connection, daemon=True)
+        thread.start()
+        transport = TcpTransport("127.0.0.1", port)
+        try:
+            with pytest.raises(TransportError) as excinfo:
+                transport.submit(_request(), timeout_s=2.0)
+            assert excinfo.value.retryable
+        finally:
+            transport.close()
+            listener.close()
+            thread.join(timeout=5)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(retries=5, backoff_base_s=0.1, backoff_max_s=0.5)
+        bare = [policy.delay_s(attempt, jitter=0.0) for attempt in range(5)]
+        assert bare == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_extends_but_never_shrinks(self):
+        policy = RetryPolicy(backoff_base_s=0.1)
+        assert policy.delay_s(0, jitter=0.99) == pytest.approx(0.199)
+        assert policy.delay_s(0, jitter=0.0) == pytest.approx(0.1)
+
+
+class TestConfigAndAuth:
+    def test_unknown_transport_is_rejected(self):
+        with pytest.raises(ValueError):
+            ClientConfig(transport="carrier-pigeon")
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(ValueError):
+            StencilClient(ClientConfig(), port=1234)
+
+    def test_overrides_build_a_config(self):
+        client = StencilClient(transport=ScriptedTransport([]), port=9999,
+                               deadline_ms=25.0)
+        assert client.config.port == 9999
+        assert client.config.deadline_ms == 25.0
+
+    def test_config_default_deadline_is_stamped_onto_requests(self):
+        class Capture(ScriptedTransport):
+            def submit(self, request, timeout_s):
+                self.last = request
+                return super().submit(request, timeout_s)
+
+        transport = Capture([])
+        client = StencilClient(ClientConfig(deadline_ms=75.0),
+                               transport=transport)
+        client.execute(_request())
+        assert transport.last.deadline_ms == 75.0
+        explicit = _request()
+        explicit.deadline_ms = 10.0
+        client.execute(explicit)
+        assert transport.last.deadline_ms == 10.0  # per-request wins
+
+    def test_auth_helpers(self):
+        assert auth_headers("k") == {"Authorization": "Bearer k"}
+        assert auth_headers(None) == {}
+        message = {"benchmark": "stencil2d"}
+        assert attach_auth(dict(message), None) == message
+        stamped = attach_auth(dict(message), "k")
+        assert stamped["auth"] == "k"

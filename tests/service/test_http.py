@@ -1,0 +1,277 @@
+"""The HTTP endpoint: wire codec, transport parity with TCP, status codes."""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.suite import execution_requests
+from repro.client import ClientConfig, StencilClient
+from repro.service import ExecutionRequest, StencilService, serve_http, serve_tcp
+from repro.service.requests import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    REQUEST_TOO_LARGE,
+    UNAUTHORIZED,
+)
+from repro.service.wire import (
+    CONTENT_TYPE_GRIDS,
+    WireFormatError,
+    decode_grid_payload,
+    encode_grid_payload,
+    iter_chunks,
+    payload_length,
+)
+
+AUTH_KEY = "test-http-key"
+
+
+class TestWireCodec:
+    def test_round_trip_preserves_bits_and_meta(self):
+        rng = np.random.default_rng(7)
+        grids = [rng.random((5, 7)), rng.random((3, 4, 2))]
+        meta = {"benchmark": "stencil2d", "priority": "high", "steps": 3}
+        prefix, buffers = encode_grid_payload(meta, grids)
+        body = prefix + b"".join(buffers)
+        assert payload_length(prefix, buffers) == len(body)
+        decoded_meta, decoded = decode_grid_payload(body)
+        assert decoded_meta == meta
+        assert len(decoded) == 2
+        for original, copy in zip(grids, decoded):
+            assert copy.shape == original.shape
+            assert copy.dtype == original.dtype
+            assert copy.tobytes() == original.tobytes()
+            assert copy.flags.writeable
+
+    def test_iter_chunks_reassembles_exactly_and_bounds_chunks(self):
+        grids = [np.arange(1000, dtype=np.float64).reshape(25, 40)]
+        prefix, buffers = encode_grid_payload({"benchmark": "x"}, grids)
+        chunks = list(iter_chunks(prefix, buffers, chunk_bytes=512))
+        assert all(len(chunk) <= 512 for chunk in chunks)
+        assert len(chunks) > 1  # an 8000-byte grid must actually be split
+        assert b"".join(chunks) == prefix + b"".join(buffers)
+
+    def test_bad_magic_and_truncation_raise(self):
+        prefix, buffers = encode_grid_payload(
+            {}, [np.ones((2, 2))]
+        )
+        body = prefix + b"".join(buffers)
+        with pytest.raises(WireFormatError):
+            decode_grid_payload(b"NOPE" + body[4:])
+        with pytest.raises(WireFormatError):
+            decode_grid_payload(body[:-3])
+        with pytest.raises(WireFormatError):
+            decode_grid_payload(body + b"\x00")
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One service exposed over both transports with shared-key auth."""
+    started = threading.Event()
+    holder = {}
+
+    def serve():
+        async def main():
+            service = StencilService(batch_window=0.01)
+            async with service:
+                tcp = await serve_tcp(service, "127.0.0.1", 0,
+                                      auth_key=AUTH_KEY)
+                web = await serve_http(service, "127.0.0.1", 0,
+                                       auth_key=AUTH_KEY,
+                                       max_request_bytes=1024 * 1024)
+                holder["tcp_port"] = tcp.sockets[0].getsockname()[1]
+                holder["http_port"] = web.sockets[0].getsockname()[1]
+                async with tcp:
+                    started.set()
+                    await holder["stop"]
+                web.close()
+                await web.wait_closed()
+                await asyncio.sleep(0.05)
+
+        loop = asyncio.new_event_loop()
+        holder["loop"] = loop
+        holder["stop"] = loop.create_future()
+        loop.run_until_complete(main())
+        loop.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(10)
+    yield holder
+    holder["loop"].call_soon_threadsafe(holder["stop"].set_result, None)
+    thread.join(timeout=10)
+
+
+def _raw_http(holder, method, path, body=b"", headers=None):
+    """One raw request, returning (status, headers dict, body bytes)."""
+    conn = http.client.HTTPConnection("127.0.0.1", holder["http_port"],
+                                      timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=dict(headers or {}))
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+def _auth_headers(extra=None):
+    headers = {"Authorization": f"Bearer {AUTH_KEY}",
+               "Content-Type": "application/json"}
+    headers.update(extra or {})
+    return headers
+
+
+class TestTransportParity:
+    def test_http_and_tcp_results_are_bit_identical_for_the_suite(
+            self, live_server):
+        """Property (iii): every benchmark's grid is bit-identical over
+        HTTP (binary body both ways) and TCP (JSON lists both ways)."""
+        http_client = StencilClient(ClientConfig(
+            port=live_server["http_port"], transport="http",
+            auth_key=AUTH_KEY, binary_threshold_bytes=0,  # force binary
+        ))
+        tcp_client = StencilClient(ClientConfig(
+            port=live_server["tcp_port"], transport="tcp", auth_key=AUTH_KEY,
+        ))
+        checked = 0
+        with http_client, tcp_client:
+            for request in execution_requests():
+                over_http = http_client.execute(request)
+                over_tcp = tcp_client.execute(request)
+                assert over_http.ok, over_http.error
+                assert over_tcp.ok, over_tcp.error
+                assert over_http.result is not None
+                assert over_http.result.dtype == over_tcp.result.dtype
+                assert over_http.result.shape == over_tcp.result.shape
+                assert (over_http.result.tobytes()
+                        == over_tcp.result.tobytes()), (
+                    f"{request.benchmark}: HTTP and TCP grids differ"
+                )
+                checked += 1
+        assert checked >= 6  # the whole suite, not a subset
+
+    def test_json_body_and_binary_body_agree(self, live_server):
+        request = ExecutionRequest.for_benchmark("jacobi2d5pt",
+                                                 shape=(12, 10), seed=5)
+        json_client = StencilClient(ClientConfig(
+            port=live_server["http_port"], transport="http",
+            auth_key=AUTH_KEY, binary_threshold_bytes=1 << 30,  # force JSON
+        ))
+        binary_client = StencilClient(ClientConfig(
+            port=live_server["http_port"], transport="http",
+            auth_key=AUTH_KEY, binary_threshold_bytes=0,
+        ))
+        with json_client, binary_client:
+            via_json = json_client.execute(request)
+            via_binary = binary_client.execute(request)
+        assert via_json.ok and via_binary.ok
+        assert via_json.result.tobytes() == via_binary.result.tobytes()
+
+    def test_iterate_runs_steps_and_matches_over_both_transports(
+            self, live_server):
+        request = ExecutionRequest.for_benchmark("jacobi2d5pt",
+                                                 shape=(10, 9), seed=2)
+        with StencilClient(ClientConfig(
+            port=live_server["http_port"], transport="http",
+            auth_key=AUTH_KEY,
+        )) as client:
+            one = client.execute(ExecutionRequest.for_benchmark(
+                "jacobi2d5pt", shape=(10, 9), seed=2))
+            stepped = client.iterate(request, steps=4)
+        assert stepped.ok, stepped.error
+        assert stepped.result.shape == one.result.shape
+        assert stepped.result.tobytes() != one.result.tobytes()
+        with StencilClient(ClientConfig(
+            port=live_server["tcp_port"], transport="tcp", auth_key=AUTH_KEY,
+        )) as tcp_client:
+            tcp_stepped = tcp_client.iterate(
+                ExecutionRequest.for_benchmark("jacobi2d5pt", shape=(10, 9),
+                                               seed=2),
+                steps=4,
+            )
+        assert tcp_stepped.ok, tcp_stepped.error
+        assert tcp_stepped.result.tobytes() == stepped.result.tobytes()
+
+    def test_ping_and_stats_over_http(self, live_server):
+        with StencilClient(ClientConfig(
+            port=live_server["http_port"], transport="http",
+            auth_key=AUTH_KEY,
+        )) as client:
+            assert client.ping()
+            assert client.stats() is None  # HTTP does not expose op=stats
+        with StencilClient(ClientConfig(
+            port=live_server["tcp_port"], transport="tcp", auth_key=AUTH_KEY,
+        )) as tcp_client:
+            stats = tcp_client.stats()
+        assert stats["service"]["requests_served"] >= 1
+
+
+class TestStatusMapping:
+    @staticmethod
+    def _wire(**kwargs):
+        request = ExecutionRequest.for_benchmark(
+            "stencil2d", shape=(6, 6), **kwargs)
+        return json.dumps(request.to_wire()).encode()
+
+    def test_healthz_needs_no_auth(self, live_server):
+        status, _, body = _raw_http(live_server, "GET", "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_missing_or_wrong_auth_is_401(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute", body=self._wire(),
+            headers={"Content-Type": "application/json"})
+        assert status == 401
+        assert json.loads(body)["code"] == UNAUTHORIZED
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute", body=self._wire(),
+            headers=_auth_headers({"Authorization": "Bearer wrong"}))
+        assert status == 401
+
+    def test_expired_deadline_is_504_with_structured_body(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute",
+            body=self._wire(deadline_ms=0.0001),
+            headers=_auth_headers())
+        assert status == 504
+        decoded = json.loads(body)
+        assert decoded["ok"] is False
+        assert decoded["code"] == DEADLINE_EXCEEDED
+
+    def test_malformed_json_is_400(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute", body=b"{nope",
+            headers=_auth_headers())
+        assert status == 400
+        assert json.loads(body)["code"] == BAD_REQUEST
+
+    def test_iterate_without_steps_is_400(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/iterate", body=self._wire(),
+            headers=_auth_headers())
+        assert status == 400
+        assert json.loads(body)["code"] == BAD_REQUEST
+
+    def test_unknown_path_is_404(self, live_server):
+        status, _, _ = _raw_http(live_server, "GET", "/v1/nope",
+                                 headers=_auth_headers())
+        assert status == 404
+
+    def test_oversized_body_is_413(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute", body=b"x" * 16,
+            headers=_auth_headers({"Content-Length": str(64 * 1024 * 1024)}))
+        assert status == 413
+        assert json.loads(body)["code"] == REQUEST_TOO_LARGE
+
+    def test_binary_garbage_is_400(self, live_server):
+        status, _, body = _raw_http(
+            live_server, "POST", "/v1/execute", body=b"NOTAGRIDPAYLOAD",
+            headers=_auth_headers({"Content-Type": CONTENT_TYPE_GRIDS}))
+        assert status == 400
+        assert json.loads(body)["code"] == BAD_REQUEST
