@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults as _faults
 from ..telemetry import registry as _telemetry
 from ..telemetry.registry import RATIO_BUCKETS, metrics_enabled as _metrics_on
 from .numpy_backend import ExecutionError, TapeEntry
@@ -476,6 +477,8 @@ class FusedOp:
         return len(self.parts)
 
     def run(self) -> None:
+        if _faults.ARMED and _faults.should_fail("replay.chunk_error"):
+            raise ExecutionError("fault injected: replay.chunk_error")
         parts = self.parts
         if _metrics_on():
             started = perf_counter()

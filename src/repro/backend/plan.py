@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from .. import faults as _faults
 from ..core.ir import Lambda, structural_key
 from ..telemetry import registry as _telemetry
 from ..telemetry.registry import metrics_enabled as _metrics_on
@@ -61,6 +62,7 @@ from .numpy_backend import (
     CaptureArena,
     CompiledKernel,
     ExecutionError,
+    PlanCaptureError,
     TapeEntry,
     _align_leaf,
     compile_program,
@@ -667,6 +669,12 @@ class PlanCache:
                 self._entries[key] = plan  # LRU: refresh recency
                 return plan
             self.misses += 1
+        if _faults.ARMED and _faults.should_fail("plan.capture_fail"):
+            # A CompileError here exercises the same fallback the service
+            # takes for genuinely uncapturable programs: the group is
+            # served on the generic compiled path (and the digest breaker
+            # accumulates the failure).
+            raise PlanCaptureError("fault injected: plan.capture_fail")
         kernel = kernel_resolver() if kernel_resolver is not None else None
         plan = compile_plan(program, inputs_or_signature, size_env,
                             batched=batched, kernel=kernel,

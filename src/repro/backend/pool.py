@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .. import faults as _faults
 from ..telemetry import registry as _telemetry
 
 _Key = Tuple[Tuple[int, ...], str]
@@ -77,6 +78,8 @@ class BufferPool:
 
     def acquire(self, shape, dtype=np.float64) -> np.ndarray:
         """A writable buffer of exactly this shape and dtype."""
+        if _faults.ARMED and _faults.should_fail("pool.alloc_fail"):
+            raise MemoryError("fault injected: pool.alloc_fail")
         key = self._key(tuple(shape), dtype)
         with self._lock:
             free = self._free.get(key)

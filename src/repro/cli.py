@@ -15,10 +15,14 @@ Usage (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
     python -m repro tune [stencil2d] --workers 2 --budget 20 [--resume SESSION]
     python -m repro serve --port 7457 [--store .repro/engine.sqlite]
                           [--prewarm suite] [--shards 2]
+                          [--shard-timeout-s 30] [--max-respawns 5]
+                          [--inject shard.crash_before_reply:p=0.02:seed=7]
                           [--metrics-port 9464] [--log-level info] [--log-json]
     python -m repro submit stencil2d --port 7457 --shape 64 64
     python -m repro loadgen [stencil2d] --requests 64 [--shards 2]
                             [--out BENCH_service.json]
+    python -m repro loadgen [stencil2d] --chaos kill-shard:t=2,hang-shard:t=4
+                            [--duration-s 6] [--assert-chaos]
     python -m repro trace --port 7457 [--slow] [--limit 20] [--json]
     python -m repro stats [--store .repro/engine.sqlite]
 
@@ -32,8 +36,11 @@ micro-batching execution service over TCP (JSON lines) — ``--shards N``
 pre-forks N worker processes that sweep micro-batched groups concurrently;
 ``submit`` sends it requests; ``loadgen`` benchmarks batched serving
 against the per-request serial baseline (``--shards N`` drives the
-multi-process service in-process); ``stats`` dumps the compilation-cache
-and results-store counters as one JSON blob.  ``docs/OPERATIONS.md``
+multi-process service in-process) and, with ``--chaos``, kills or hangs
+real shard processes mid-load to prove the supervisor heals the fleet
+with zero failed requests; ``serve --inject`` arms deterministic fault
+injection for drills; ``stats`` dumps the compilation-cache and
+results-store counters as one JSON blob.  ``docs/OPERATIONS.md``
 documents every verb, flag and emitted artifact in detail.
 """
 
@@ -307,6 +314,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .telemetry.logs import configure_logging
 
     configure_logging(level=args.log_level, json_lines=args.log_json)
+    if args.inject:
+        from . import faults
+
+        # export=True: spawned shard processes arm the same schedule from
+        # the environment when they import the package.
+        faults.arm(args.inject, export=True)
+        print(f"fault injection armed: {args.inject}", flush=True)
     store = None if args.no_store else args.store
     prewarm = None
     if args.prewarm is not None:
@@ -352,6 +366,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_queue_depth=args.max_queue_depth,
         max_inflight_per_digest=args.max_inflight_per_digest,
+        shard_timeout_s=args.shard_timeout_s,
+        supervise=not args.no_supervise,
+        max_respawns=args.max_respawns,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
     )
     if stats:
         import json as _json
@@ -454,6 +473,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         connect = (host or "127.0.0.1", int(port))
+    if args.chaos is not None:
+        from .service.loadgen import (
+            check_chaos,
+            format_chaos_loadgen,
+            parse_chaos,
+            run_chaos_loadgen,
+        )
+
+        report = run_chaos_loadgen(
+            benchmark=args.benchmark,
+            chaos=parse_chaos(args.chaos),
+            duration_s=args.duration_s,
+            shards=args.shards or 2,
+            shape=tuple(args.shape) if args.shape else None,
+            seed=args.seed,
+            window_ms=args.window_ms,
+            max_batch=args.max_batch,
+            shard_timeout_s=args.shard_timeout_s,
+            max_respawns=args.max_respawns,
+            recovery_timeout_s=args.recovery_timeout_s,
+            connect=connect,
+            transport=args.transport,
+            auth_key=args.auth_key,
+            store=args.store,
+            device=args.device,
+        )
+        print(format_chaos_loadgen(report))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.out}")
+        if args.assert_chaos:
+            problems = check_chaos(report, p99_ms=args.chaos_p99_ms)
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1 if problems else 0
+        return 0
     if args.mix is not None:
         report = run_mixed_loadgen(
             benchmark=args.benchmark,
@@ -726,6 +782,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-digest admission limit: at most this many "
                             "admitted-but-unfinished requests per "
                             "structural digest; default: unbounded")
+    serve.add_argument("--shard-timeout-s", type=float, default=30.0,
+                       help="per-round-trip shard watchdog: a shard that "
+                            "neither answers nor dies within this window is "
+                            "failed out of rotation and respawned")
+    serve.add_argument("--max-respawns", type=int, default=5,
+                       help="respawn budget per shard before the supervisor "
+                            "gives up on it (exponential backoff between "
+                            "attempts)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="disable the shard supervisor (failed shards "
+                            "stay down; groups fall back to the local path)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive per-digest failures before the "
+                            "circuit breaker quarantines the digest to the "
+                            "generic local path (0 disables)")
+    serve.add_argument("--breaker-cooldown-s", type=float, default=5.0,
+                       help="seconds a quarantined digest waits before a "
+                            "half-open probe is allowed through")
+    serve.add_argument("--inject", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection, e.g. "
+                            "'shard.crash_before_reply:p=0.02:seed=7' or "
+                            "'plan.capture_fail:at=3' (comma-separate "
+                            "points; exported to shard processes)")
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for open connections at "
                             "shutdown before shedding still-queued requests "
@@ -813,6 +892,28 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--max-queue-depth", type=int, default=None,
                          help="admission queue-depth cap for the in-process "
                               "mixed-mode service")
+    loadgen.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="run the chaos gate instead of the benchmark "
+                              "comparison: a schedule of real shard "
+                              "failures, e.g. 'kill-shard:t=2,hang-shard:"
+                              "t=4' (optionally 'shard=N' to pick the "
+                              "victim)")
+    loadgen.add_argument("--duration-s", type=float, default=6.0,
+                         help="chaos mode: seconds of sustained load")
+    loadgen.add_argument("--shard-timeout-s", type=float, default=1.0,
+                         help="chaos mode: shard watchdog round-trip bound")
+    loadgen.add_argument("--max-respawns", type=int, default=5,
+                         help="chaos mode: supervisor respawn budget")
+    loadgen.add_argument("--recovery-timeout-s", type=float, default=20.0,
+                         help="chaos mode: how long to wait for every "
+                              "victim shard to rejoin and serve again")
+    loadgen.add_argument("--assert-chaos", action="store_true",
+                         help="exit nonzero unless the chaos contract held: "
+                              "zero failed/lost requests, every victim "
+                              "respawned, fleet recovered (CI gate)")
+    loadgen.add_argument("--chaos-p99-ms", type=float, default=None,
+                         help="with --assert-chaos, also bound the "
+                              "high-priority p99 latency (ms)")
     loadgen.add_argument("--assert-no-high-shed", action="store_true",
                          help="exit non-zero if any high-priority request "
                               "was shed, rejected or failed (CI check; "

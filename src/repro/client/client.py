@@ -19,7 +19,10 @@ The client owns deadlines and retries so callers do not reimplement them:
 * failed calls are retried with bounded exponential backoff + jitter, but
   **only** when the transport reports the failure as provably-unexecuted
   (connect error, or timeout before a single response byte) — a failure
-  after response bytes arrived is surfaced, never replayed.
+  after response bytes arrived is surfaced, never replayed;
+* admission rejections (429-style) are retried the same way — a rejected
+  request never executed — waiting at least the server's
+  ``retry_after_ms`` hint before the next attempt.
 """
 
 from __future__ import annotations
@@ -108,7 +111,14 @@ class StencilClient:
 
     def _call(self, request: ExecutionRequest,
               timeout_s: Optional[float]) -> ExecutionResponse:
-        """One logical call: attempts = 1 + retries, safe failures only."""
+        """One logical call: attempts = 1 + retries, safe failures only.
+
+        Admission rejections (429-style, in-band) are retried too — a
+        rejected request was provably not executed — honouring the server's
+        ``retry_after_ms`` hint: the wait is the *larger* of the hint and
+        the policy's backoff, clipped to the call deadline.  The last
+        rejection is returned (not raised) once retries are exhausted.
+        """
         timeout = timeout_s if timeout_s is not None else self.config.timeout_s
         policy = self.config.retry
         call_deadline = time.monotonic() + timeout
@@ -119,16 +129,25 @@ class StencilClient:
                 raise TransportError("call deadline exhausted before "
                                      f"attempt {attempt + 1}")
             try:
-                return self.transport.submit(request, remaining)
+                response = self.transport.submit(request, remaining)
             except TransportError as error:
                 if not error.retryable or attempt >= policy.retries:
                     raise
-                delay = min(policy.delay_s(attempt, self._rng.random()),
-                            max(0.0, call_deadline - time.monotonic()))
-                attempt += 1
-                self.retries_attempted += 1
-                if delay > 0:
-                    time.sleep(delay)
+                delay = policy.delay_s(attempt, self._rng.random())
+            else:
+                if not response.rejected or attempt >= policy.retries:
+                    return response
+                hint_s = (response.retry_after_ms or 0.0) / 1e3
+                delay = max(hint_s, policy.delay_s(attempt, self._rng.random()))
+                if delay > call_deadline - time.monotonic():
+                    # Honouring the hint would blow the call deadline:
+                    # hand the rejection back instead of a doomed retry.
+                    return response
+            delay = min(delay, max(0.0, call_deadline - time.monotonic()))
+            attempt += 1
+            self.retries_attempted += 1
+            if delay > 0:
+                time.sleep(delay)
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:

@@ -14,18 +14,25 @@ original command-line flags and skip every already-evaluated point.
 Only the driver process touches the database; worker processes receive job
 specs and return costs, which keeps the store free of cross-process locking
 concerns (SQLite's own file lock covers concurrent *driver* invocations).
+The store opens in WAL mode with a bounded ``busy_timeout`` so readers and
+a concurrent writer coexist, and a corrupt database file is moved aside
+(``<path>.corrupt``) and recreated rather than wedging every caller.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from .jobs import EvaluationJob, VariantSpec
+
+log = logging.getLogger("repro.engine.store")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -94,20 +101,66 @@ class ResultsStore:
     require a fresh evaluation) since it was opened.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:",
+                 busy_timeout_s: float = 5.0) -> None:
         self.path = path
+        self.busy_timeout_s = busy_timeout_s
         if path != ":memory:":
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError as error:
+            # A truncated or garbage file ("file is not a database",
+            # "database disk image is malformed").  OperationalError —
+            # locked/busy, permissions — is *not* corruption and must
+            # propagate: moving a healthy database aside loses data.
+            if (isinstance(error, sqlite3.OperationalError)
+                    or path == ":memory:"):
+                raise
+            aside = self._move_corrupt_aside(error)
+            log.warning(
+                "results store %s is corrupt (%s); moved it to %s and "
+                "starting a fresh database", path, error, aside)
+            self._conn = self._open()
+        self.hits = 0
+        self.misses = 0
+
+    def _open(self) -> sqlite3.Connection:
         # The execution service reads best-result rows from its event-loop
         # thread while the store was opened by the constructing thread;
         # reads are safe under the GIL and writes stay driver-only.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
-        self.hits = 0
-        self.misses = 0
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            conn.row_factory = sqlite3.Row
+            # A bounded wait instead of an instant "database is locked"
+            # when another driver invocation holds the write lock.
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(self.busy_timeout_s * 1000)}")
+            if self.path != ":memory:":
+                # WAL lets the service's stats/metrics scrapes read while a
+                # tune session writes, and survives crashes without the
+                # rollback journal's whole-file lock.
+                conn.execute("PRAGMA journal_mode = WAL")
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _move_corrupt_aside(self, error: Exception) -> str:
+        """Park an unreadable database file (plus WAL droppings) aside."""
+        aside = self.path + ".corrupt"
+        if os.path.exists(aside):
+            aside = "%s.corrupt.%d" % (self.path, int(time.time()))
+        os.replace(self.path, aside)
+        for suffix in ("-wal", "-shm"):
+            try:
+                os.remove(self.path + suffix)
+            except FileNotFoundError:
+                pass
+        return aside
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
@@ -150,6 +203,8 @@ class ResultsStore:
     def put(self, job: EvaluationJob, cost: float,
             session: Optional[str] = None,
             fingerprint: Optional[str] = None) -> str:
+        if _faults.ARMED and _faults.should_fail("store.locked"):
+            raise sqlite3.OperationalError("database is locked [injected]")
         fingerprint = fingerprint or job.fingerprint()
         self._conn.execute(
             "INSERT OR REPLACE INTO results "
@@ -175,6 +230,8 @@ class ResultsStore:
     def put_many(self, entries: Iterable[Tuple[EvaluationJob, float, str]],
                  session: Optional[str] = None) -> None:
         """Persist ``(job, cost, fingerprint)`` triples in one transaction."""
+        if _faults.ARMED and _faults.should_fail("store.locked"):
+            raise sqlite3.OperationalError("database is locked [injected]")
         rows = [
             (
                 fingerprint,

@@ -27,24 +27,31 @@ subsystem:
 
 from .loadgen import (
     check_batching,
+    check_chaos,
     check_no_high_shed,
     check_sharding,
+    format_chaos_loadgen,
     format_loadgen,
     format_mixed_loadgen,
+    parse_chaos,
     parse_mix,
+    run_chaos_loadgen,
     run_loadgen,
     run_mixed_loadgen,
 )
 from .metrics import stats_report
 # ExecutionPlan is the backwards-compatible alias of RoutingPlan (the class
 # was renamed when the backend gained its buffer-pooled ExecutionPlan).
-from .registry import ExecutionPlan, RoutingPlan, TunedKernelRegistry
+from .registry import (DigestCircuitBreaker, ExecutionPlan, RoutingPlan,
+                       TunedKernelRegistry)
 from .http import serve_http
 from .requests import ExecutionRequest, ExecutionResponse, ServiceError
 from .server import ServiceClient, StencilService, run_server, serve_tcp
-from .shards import ShardedExecutor, ShardError
+from .shards import ShardedExecutor, ShardError, ShardUnavailable
+from .supervisor import ShardSupervisor
 
 __all__ = [
+    "DigestCircuitBreaker",
     "ExecutionPlan",
     "RoutingPlan",
     "ExecutionRequest",
@@ -52,15 +59,21 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ShardError",
+    "ShardSupervisor",
+    "ShardUnavailable",
     "ShardedExecutor",
     "StencilService",
     "TunedKernelRegistry",
     "check_batching",
+    "check_chaos",
     "check_no_high_shed",
     "check_sharding",
+    "format_chaos_loadgen",
     "format_loadgen",
     "format_mixed_loadgen",
+    "parse_chaos",
     "parse_mix",
+    "run_chaos_loadgen",
     "run_loadgen",
     "run_mixed_loadgen",
     "run_server",

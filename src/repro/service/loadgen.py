@@ -20,6 +20,9 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
+import signal
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -708,15 +711,466 @@ def check_sharding(report: Dict[str, object]) -> List[str]:
     return problems
 
 
+# ---------------------------------------------------------------------------
+# Chaos mode: inject real failures mid-run, assert the self-healing contract
+# ---------------------------------------------------------------------------
+
+CHAOS_ACTIONS = ("kill-shard", "hang-shard")
+
+_CHAOS_SIGNALS = {
+    # SIGKILL: the shard dies instantly, the parent sees EOF on the pipe.
+    "kill-shard": signal.SIGKILL,
+    # SIGSTOP: the shard wedges without dying — only the per-round-trip
+    # watchdog timeout can notice it.  (The supervisor's respawn SIGKILLs
+    # it, which works on stopped processes.)
+    "hang-shard": signal.SIGSTOP,
+}
+
+
+def parse_chaos(spec: str) -> List[Dict[str, object]]:
+    """Parse ``kill-shard:t=2,hang-shard:t=4[:shard=1]`` into chaos events."""
+    events: List[Dict[str, object]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        action = fields[0].strip()
+        if action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {action!r} (one of {CHAOS_ACTIONS})")
+        event: Dict[str, object] = {"action": action, "t": 1.0, "shard": None}
+        for field in fields[1:]:
+            key, _, value = field.partition("=")
+            key = key.strip()
+            try:
+                if key == "t":
+                    event["t"] = float(value)
+                elif key == "shard":
+                    event["shard"] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown chaos qualifier {key!r} in {part!r}")
+            except ValueError as error:
+                if "unknown chaos" in str(error):
+                    raise
+                raise ValueError(
+                    f"bad value for {key!r} in {part!r}: {value!r}")
+        events.append(event)
+    if not events:
+        raise ValueError(f"empty chaos spec: {spec!r}")
+    return sorted(events, key=lambda event: float(event["t"]))  # type: ignore[arg-type]
+
+
+def _chaos_wave(first: ExecutionRequest, size: int) -> List[ExecutionRequest]:
+    """One wave of concurrent traffic: request 0 is high priority (so the
+    tail-latency contract is measured under chaos), the rest normal."""
+    return [
+        ExecutionRequest(
+            inputs=[np.array(grid) for grid in first.inputs],
+            benchmark=first.benchmark,
+            return_result=False,
+            priority="high" if index == 0 else "normal",
+        )
+        for index in range(size)
+    ]
+
+
+def _summarize_chaos_responses(
+    responses: Sequence[object], priorities: Sequence[str]
+) -> Dict[str, object]:
+    served = shed = rejected = failed = lost = 0
+    high_latencies: List[float] = []
+    for response, priority in zip(responses, priorities):
+        if response is None:
+            lost += 1
+        elif response.ok:
+            served += 1
+            if priority == "high":
+                high_latencies.append(response.latency_s)
+        elif response.shed:
+            shed += 1
+        elif response.rejected:
+            rejected += 1
+        else:
+            failed += 1
+    return {
+        "requests": len(responses),
+        "served": served,
+        "shed": shed,
+        "rejected": rejected,
+        "failed": failed,
+        "lost": lost,
+        "high_p99_ms": _percentile(high_latencies, 99) * 1e3,
+    }
+
+
+def run_chaos_loadgen(
+    benchmark: str = "stencil2d",
+    chaos: Optional[List[Dict[str, object]]] = None,
+    duration_s: float = 6.0,
+    shards: int = 2,
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    window_ms: float = 2.0,
+    max_batch: int = 8,
+    wave_size: int = 8,
+    wave_gap_s: float = 0.02,
+    shard_timeout_s: float = 1.0,
+    max_respawns: int = 5,
+    recovery_timeout_s: float = 20.0,
+    connect: Optional[Tuple[str, int]] = None,
+    transport: str = "tcp",
+    auth_key: Optional[str] = None,
+    store: Optional[str] = None,
+    device: str = "nvidia",
+) -> Dict[str, object]:
+    """Sustained load with real mid-run failures; report the survival story.
+
+    Waves of concurrent requests (one high-priority each) are fired for
+    ``duration_s`` while the chaos schedule sends real signals to shard
+    processes — ``kill-shard`` SIGKILLs one, ``hang-shard`` SIGSTOPs one.
+    The contract under test: **zero failed requests and zero lost replies**
+    (dead-shard groups are redispatched; the reply never arrived, so
+    re-execution is idempotent), the supervisor respawns every victim
+    (``shard_restarts >= len(chaos)``), and the killed shard serves again
+    (its request count grows past its value at the moment it was hit).
+
+    In ``--connect`` mode the victim PIDs come from the server's per-shard
+    stats, so the loadgen must run on the same host as the server.
+    """
+    chaos = list(chaos or [])
+    bench = get_benchmark(benchmark)
+    shape = tuple(shape
+                  or tuple(min(extent, 64) for extent in bench.default_shape))
+    first = ExecutionRequest.for_benchmark(benchmark, shape=shape, seed=seed,
+                                           return_result=False)
+    log.info("chaos loadgen: %s for %.1fs over %d shards, events: %s",
+             benchmark, duration_s, shards,
+             ",".join(f"{e['action']}:t={e['t']}" for e in chaos) or "none")
+
+    responses: List[object] = []
+    priorities: List[str] = []
+    applied: List[Dict[str, object]] = []
+    stop_load = threading.Event()
+
+    if connect is not None:
+        return _run_chaos_remote(
+            first, chaos, duration_s, connect, transport=transport,
+            auth_key=auth_key, wave_size=wave_size, wave_gap_s=wave_gap_s,
+            recovery_timeout_s=recovery_timeout_s)
+
+    service = StencilService(
+        device=device, store=store, batch_window=window_ms / 1e3,
+        max_batch=max_batch, shards=shards,
+        shard_timeout_s=shard_timeout_s, max_respawns=max_respawns,
+    )
+    with ServiceClient(service) as client:
+        client.execute(_chaos_wave(first, 1)[0])  # warm the hot digest
+        handles = service.executor.handles if service.executor else []
+
+        def load() -> None:
+            while not stop_load.is_set():
+                wave = _chaos_wave(first, wave_size)
+                rows = client.execute_many(wave, raise_on_error=False)
+                responses.extend(rows)
+                priorities.extend(request.priority for request in wave)
+                if stop_load.wait(wave_gap_s):
+                    break
+
+        loader = threading.Thread(target=load, name="chaos-load", daemon=True)
+        started = time.perf_counter()
+        loader.start()
+        try:
+            victim_rotation = 0
+            for event in chaos:
+                delay = float(event["t"]) - (time.perf_counter() - started)
+                if delay > 0:
+                    time.sleep(delay)
+                target = event.get("shard")
+                if target is None:
+                    # Next available shard, round-robin over events, so
+                    # kill+hang hit different shards by default.
+                    candidates = [h for h in handles if h.available]
+                    if not candidates:
+                        candidates = handles
+                    handle = candidates[victim_rotation % len(candidates)]
+                    victim_rotation += 1
+                else:
+                    handle = handles[int(target)]
+                record = {
+                    "action": event["action"],
+                    "t": float(event["t"]),
+                    "shard": handle.index,
+                    "pid": handle.process.pid,
+                    "requests_at_event": handle.requests,
+                }
+                log.info("chaos: %s -> shard %d (pid %s) at t=%.2fs",
+                         event["action"], handle.index, handle.process.pid,
+                         time.perf_counter() - started)
+                os.kill(handle.process.pid,
+                        _CHAOS_SIGNALS[str(event["action"])])
+                applied.append(record)
+            remaining = duration_s - (time.perf_counter() - started)
+            if remaining > 0:
+                time.sleep(remaining)
+        finally:
+            stop_load.set()
+            loader.join(timeout=60)
+        # Recovery settle: keep trickling traffic until every victim's
+        # shard is back in rotation and has served past its at-event count.
+        deadline = time.monotonic() + recovery_timeout_s
+
+        def recovered() -> bool:
+            return all(
+                handles[int(rec["shard"])].available
+                and handles[int(rec["shard"])].requests
+                > int(rec["requests_at_event"])
+                for rec in applied
+            )
+        while not recovered() and time.monotonic() < deadline:
+            wave = _chaos_wave(first, wave_size)
+            rows = client.execute_many(wave, raise_on_error=False)
+            responses.extend(rows)
+            priorities.extend(request.priority for request in wave)
+            time.sleep(0.05)
+        wall = time.perf_counter() - started
+        # Take the verdict while the fleet is still up: after the ``with``
+        # block the client shuts the shards down and nothing is "available".
+        fleet_recovered = recovered()
+        stats = client.stats()
+
+    summary = _summarize_chaos_responses(responses, priorities)
+    service_section = dict(stats.get("service") or {})
+    shard_section = dict(service_section.get("shards") or {})
+    per_shard = list(shard_section.get("per_shard") or [])
+    report: Dict[str, object] = {
+        "benchmark": benchmark,
+        "mode": "in-process",
+        "duration_s": duration_s,
+        "chaos": applied,
+        "wall_s": wall,
+        "requests_per_s": (summary["requests"] / wall) if wall else 0.0,
+        **summary,
+        "shards": len(per_shard),
+        "shard_requests": [int(row.get("requests") or 0)
+                           for row in per_shard],
+        "shard_restarts": int(service_section.get("shard_restarts") or 0),
+        "shard_redispatches": int(
+            service_section.get("shard_redispatches") or 0),
+        "recovered": fleet_recovered,
+        "service_stats": stats,
+    }
+    return report
+
+
+def _run_chaos_remote(
+    first: ExecutionRequest,
+    chaos: List[Dict[str, object]],
+    duration_s: float,
+    connect: Tuple[str, int],
+    transport: str = "tcp",
+    auth_key: Optional[str] = None,
+    wave_size: int = 8,
+    wave_gap_s: float = 0.02,
+    recovery_timeout_s: float = 20.0,
+) -> Dict[str, object]:
+    """Chaos against a running ``repro serve`` on the *same host*: victim
+    PIDs come from the server's per-shard stats rows."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..client import ClientConfig, StencilClient, TransportError
+
+    client = StencilClient(ClientConfig(host=connect[0], port=connect[1],
+                                        transport=transport,
+                                        auth_key=auth_key))
+    responses: List[object] = []
+    priorities: List[str] = []
+    applied: List[Dict[str, object]] = []
+    stop_load = threading.Event()
+    lock = threading.Lock()
+
+    def per_shard_rows() -> List[Dict[str, object]]:
+        service_section = dict((client.stats() or {}).get("service") or {})
+        shard_section = dict(service_section.get("shards") or {})
+        return list(shard_section.get("per_shard") or [])
+
+    def fire(request: ExecutionRequest) -> None:
+        try:
+            row = client.execute(request)
+        except TransportError as error:
+            log.warning("chaos request failed in transport: %s", error)
+            row = None
+        with lock:
+            responses.append(row)
+            priorities.append(request.priority)
+
+    try:
+        client.execute(_chaos_wave(first, 1)[0])  # warm the hot digest
+        pool = ThreadPoolExecutor(max_workers=max(2, wave_size))
+
+        def load() -> None:
+            while not stop_load.is_set():
+                wave = _chaos_wave(first, wave_size)
+                list(pool.map(fire, wave))
+                if stop_load.wait(wave_gap_s):
+                    break
+
+        loader = threading.Thread(target=load, name="chaos-load", daemon=True)
+        started = time.perf_counter()
+        loader.start()
+        try:
+            victim_rotation = 0
+            for event in chaos:
+                delay = float(event["t"]) - (time.perf_counter() - started)
+                if delay > 0:
+                    time.sleep(delay)
+                rows = per_shard_rows()
+                target = event.get("shard")
+                if target is None:
+                    candidates = [row for row in rows if row.get("alive")]
+                    if not candidates:
+                        candidates = rows
+                    row = candidates[victim_rotation % len(candidates)]
+                    victim_rotation += 1
+                else:
+                    row = next(r for r in rows
+                               if int(r.get("shard", -1)) == int(target))
+                pid = int(row["pid"])
+                record = {
+                    "action": event["action"],
+                    "t": float(event["t"]),
+                    "shard": int(row["shard"]),
+                    "pid": pid,
+                    "requests_at_event": int(row.get("requests") or 0),
+                }
+                log.info("chaos: %s -> shard %s (pid %d)",
+                         event["action"], row["shard"], pid)
+                os.kill(pid, _CHAOS_SIGNALS[str(event["action"])])
+                applied.append(record)
+            remaining = duration_s - (time.perf_counter() - started)
+            if remaining > 0:
+                time.sleep(remaining)
+        finally:
+            stop_load.set()
+            loader.join(timeout=60)
+
+        def recovered_now(rows: List[Dict[str, object]]) -> bool:
+            # A respawned shard restarts its child-side counters, so
+            # "serves again" is: alive and served at least one request
+            # since the respawn.
+            by_index = {int(row.get("shard", -1)): row for row in rows}
+            return all(
+                (by_index.get(int(rec["shard"])) or {}).get("alive")
+                and int((by_index.get(int(rec["shard"])) or {})
+                        .get("requests") or 0) >= 1
+                and int((by_index.get(int(rec["shard"])) or {})
+                        .get("respawns") or 0) >= 1
+                for rec in applied
+            )
+
+        deadline = time.monotonic() + recovery_timeout_s
+        rows = per_shard_rows()
+        while not recovered_now(rows) and time.monotonic() < deadline:
+            wave = _chaos_wave(first, wave_size)
+            list(pool.map(fire, wave))
+            time.sleep(0.1)
+            rows = per_shard_rows()
+        pool.shutdown(wait=True)
+        wall = time.perf_counter() - started
+        stats = client.stats() or {}
+    finally:
+        client.close()
+
+    summary = _summarize_chaos_responses(responses, priorities)
+    service_section = dict(stats.get("service") or {})
+    shard_section = dict(service_section.get("shards") or {})
+    per_shard = list(shard_section.get("per_shard") or [])
+    return {
+        "benchmark": first.benchmark,
+        "mode": transport,
+        "duration_s": duration_s,
+        "chaos": applied,
+        "wall_s": wall,
+        "requests_per_s": (summary["requests"] / wall) if wall else 0.0,
+        **summary,
+        "shards": len(per_shard),
+        "shard_requests": [int(row.get("requests") or 0)
+                           for row in per_shard],
+        "shard_restarts": int(service_section.get("shard_restarts") or 0),
+        "shard_redispatches": int(
+            service_section.get("shard_redispatches") or 0),
+        "recovered": recovered_now(per_shard),
+        "service_stats": stats,
+    }
+
+
+def format_chaos_loadgen(report: Dict[str, object]) -> str:
+    """Human-readable (and CI-greppable) chaos report."""
+    lines = [
+        f"chaos loadgen {report['benchmark']}: {report['requests']} requests "
+        f"over {report['wall_s']:.1f}s ({report['mode']}, "
+        f"{report['shards']} shards)",
+        "  events: " + (", ".join(
+            f"{e['action']} shard {e['shard']} (pid {e['pid']}) "
+            f"at t={e['t']:g}s" for e in report.get("chaos") or []
+        ) or "none"),
+        f"  outcome: served={report['served']} failed={report['failed']} "
+        f"lost={report['lost']} shed={report['shed']} "
+        f"rejected={report['rejected']}",
+        f"  high p99: {report['high_p99_ms']:.2f} ms",
+        f"  healing: shard_restarts={report['shard_restarts']} "
+        f"shard_redispatches={report['shard_redispatches']} "
+        f"recovered={report['recovered']}",
+        f"  per-shard requests: {report.get('shard_requests')}",
+    ]
+    return "\n".join(lines)
+
+
+def check_chaos(report: Dict[str, object],
+                p99_ms: Optional[float] = None) -> List[str]:
+    """The chaos contract (empty = pass): nothing user-visible broke.
+
+    * zero failed requests and zero lost replies;
+    * every chaos victim was respawned (``shard_restarts >= len(chaos)``)
+      and the fleet recovered (victims alive and serving again);
+    * optionally, high-priority p99 stayed within ``p99_ms``.
+    """
+    problems: List[str] = []
+    if int(report.get("failed") or 0) > 0:
+        problems.append(f"{report['failed']} request(s) failed")
+    if int(report.get("lost") or 0) > 0:
+        problems.append(f"{report['lost']} reply(ies) were lost")
+    events = list(report.get("chaos") or [])
+    if events:
+        restarts = int(report.get("shard_restarts") or 0)
+        if restarts < len(events):
+            problems.append(
+                f"expected >= {len(events)} shard restart(s), got {restarts}")
+        if not report.get("recovered"):
+            problems.append(
+                "fleet did not recover (a victim shard is dead or idle)")
+    if p99_ms is not None and float(report.get("high_p99_ms") or 0.0) > p99_ms:
+        problems.append(
+            f"high-priority p99 {report['high_p99_ms']:.2f} ms exceeds "
+            f"bound {p99_ms:g} ms")
+    return problems
+
+
 __all__ = [
+    "CHAOS_ACTIONS",
     "build_mixed_requests",
     "build_requests",
     "check_batching",
+    "check_chaos",
     "check_no_high_shed",
     "check_sharding",
+    "format_chaos_loadgen",
     "format_loadgen",
     "format_mixed_loadgen",
+    "parse_chaos",
     "parse_mix",
+    "run_chaos_loadgen",
     "run_loadgen",
     "run_mixed_loadgen",
 ]

@@ -70,7 +70,8 @@ def shards_section(per_shard: List[Dict[str, object]]) -> Dict[str, object]:
     round-robin shows every shard with a similar ``groups`` count, and a
     dead shard shows up as ``alive: false`` with its errors counter frozen.
     """
-    totals = {"requests": 0, "groups": 0, "errors": 0, "compilations": 0}
+    totals = {"requests": 0, "groups": 0, "errors": 0, "compilations": 0,
+              "respawns": 0}
     alive = 0
     rows = []
     for shard in per_shard:

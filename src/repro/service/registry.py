@@ -299,4 +299,134 @@ class TunedKernelRegistry:
 #: to keep the two concepts distinct.
 ExecutionPlan = RoutingPlan
 
-__all__ = ["ExecutionPlan", "RoutingPlan", "TunedKernelRegistry"]
+
+# ---------------------------------------------------------------------------
+# Digest circuit breakers
+# ---------------------------------------------------------------------------
+
+class _BreakerEntry:
+    __slots__ = ("state", "failures", "opened_at", "opens", "probe_inflight",
+                 "last_reason")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.opens = 0
+        self.probe_inflight = False
+        self.last_reason = ""
+
+
+class DigestCircuitBreaker:
+    """Per-digest circuit breaker over the serving fast path.
+
+    A digest whose fast path keeps failing — plan capture raises on every
+    request, or its groups keep taking shards down — re-pays that failure
+    on every request.  The breaker caps the bill: after ``threshold``
+    *consecutive* failures the digest is **quarantined** (state ``open``)
+    and its groups are served on the generic unfused local path, which
+    skips plan capture and shard dispatch entirely.  After ``cooldown_s``
+    the breaker goes ``half_open`` and lets exactly **one** group (the
+    probe) through the fast path: success closes the breaker, failure
+    re-opens it for another cooldown.
+
+    ``threshold=0`` disables the breaker (``allow`` is always True).  The
+    clock is injectable so the state machine is unit-testable without
+    sleeping.  Thread-safe: ``allow`` runs on executor threads while
+    ``record_*`` runs on the event loop.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 5.0,
+                 clock=None) -> None:
+        import time as _time
+
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock if clock is not None else _time.monotonic
+        self._entries: Dict[str, _BreakerEntry] = {}
+        self._lock = threading.Lock()
+        self.opens = 0
+        self.closes = 0
+
+    def allow(self, digest: str) -> bool:
+        """May this group take the fast path?  ``False`` = quarantined."""
+        if self.threshold <= 0:
+            return True
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None or entry.state == "closed":
+                return True
+            if entry.state == "open":
+                if self._clock() - entry.opened_at < self.cooldown_s:
+                    return False
+                entry.state = "half_open"
+                entry.probe_inflight = False
+            # half_open: exactly one concurrent probe takes the fast path.
+            if entry.probe_inflight:
+                return False
+            entry.probe_inflight = True
+            return True
+
+    def record_failure(self, digest: str, reason: str = "") -> None:
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            entry = self._entries.setdefault(digest, _BreakerEntry())
+            entry.failures += 1
+            entry.last_reason = reason
+            entry.probe_inflight = False
+            if (entry.state == "half_open"
+                    or (entry.state == "closed"
+                        and entry.failures >= self.threshold)):
+                entry.state = "open"
+                entry.opened_at = self._clock()
+                entry.opens += 1
+                self.opens += 1
+
+    def record_success(self, digest: str) -> None:
+        if self.threshold <= 0:
+            return
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return
+            if entry.state != "closed":
+                self.closes += 1
+            del self._entries[digest]
+
+    def state(self, digest: str) -> str:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return "closed"
+            if (entry.state == "open"
+                    and self._clock() - entry.opened_at >= self.cooldown_s):
+                return "half_open"
+            return entry.state
+
+    def open_count(self) -> int:
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if entry.state == "open")
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "opens": self.opens,
+                "closes": self.closes,
+                "digests": {
+                    digest[:16]: {
+                        "state": entry.state,
+                        "failures": entry.failures,
+                        "opens": entry.opens,
+                        "last_reason": entry.last_reason,
+                    }
+                    for digest, entry in self._entries.items()
+                },
+            }
+
+
+__all__ = ["DigestCircuitBreaker", "ExecutionPlan", "RoutingPlan",
+           "TunedKernelRegistry"]

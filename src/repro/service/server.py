@@ -34,6 +34,7 @@ import asyncio
 import hmac
 import json
 import logging
+import signal
 import threading
 import time
 import weakref
@@ -54,7 +55,7 @@ from ..telemetry import registry as _telemetry
 from ..telemetry.registry import BATCH_BUCKETS
 from ..telemetry.trace import TraceRing
 from .metrics import shards_section, stats_report
-from .registry import TunedKernelRegistry
+from .registry import DigestCircuitBreaker, TunedKernelRegistry
 from .requests import (
     DEADLINE_EXCEEDED,
     PRIORITIES,
@@ -67,7 +68,8 @@ from .requests import (
     ExecutionResponse,
     ServiceError,
 )
-from .shards import ShardedExecutor
+from .shards import ShardedExecutor, ShardUnavailable
+from .supervisor import ShardSupervisor
 
 log = logging.getLogger("repro.service")
 
@@ -89,6 +91,19 @@ _BATCHED_REQUESTS_TOTAL = _telemetry.counter(
 _SHARD_FALLBACKS_TOTAL = _telemetry.counter(
     "repro_shard_fallbacks_total",
     "Groups served in-process because their program cannot cross a shard pipe.",
+)
+_SHARD_REDISPATCHES_TOTAL = _telemetry.counter(
+    "repro_shard_redispatches_total",
+    "Groups redispatched away from a dead or unresponsive shard.",
+)
+_BREAKER_OPENS_TOTAL = _telemetry.counter(
+    "repro_breaker_opens_total",
+    "Digest circuit breakers tripped open (incl. half-open probes failing).",
+)
+_BREAKER_QUARANTINED_TOTAL = _telemetry.counter(
+    "repro_breaker_quarantined_requests_total",
+    "Requests served on the generic local path because their digest is "
+    "quarantined by an open circuit breaker.",
 )
 _REQUEST_LATENCY_SECONDS = _telemetry.histogram(
     "repro_request_latency_seconds",
@@ -257,6 +272,26 @@ class StencilService:
         structural digest may be admitted-but-unfinished at a time; the
         excess is rejected with ``retry_after_ms``.  Protects the batcher
         from one hot key starving every other digest.  ``None`` = no limit.
+    shard_timeout_s:
+        Per-round-trip watchdog on shard dispatches: a shard that neither
+        replies nor dies within this window is declared failed, its group
+        is redispatched, and the supervisor respawns it.  ``None``
+        disables the watchdog (dead shards are still detected via pipe
+        errors and process liveness).
+    supervise:
+        Run a :class:`~repro.service.supervisor.ShardSupervisor` alongside
+        a sharded service: dead/failed shards are respawned in the
+        background (bounded exponential backoff, ``max_respawns`` per
+        shard) and re-warmed from the program registry before rejoining
+        the rotation.  Ignored when ``shards == 0``.
+    max_respawns:
+        Per-shard respawn budget for the supervisor.
+    breaker_threshold:
+        Digest circuit breaker: after this many *consecutive* fast-path
+        failures (plan capture, shard dispatch, execution) for one digest,
+        quarantine it to the generic unfused local path for
+        ``breaker_cooldown_s``, then let a single half-open probe try the
+        fast path again.  ``0`` disables the breaker.
     """
 
     def __init__(
@@ -275,6 +310,11 @@ class StencilService:
         trace_slow_ms: float = 50.0,
         max_queue_depth: Optional[int] = None,
         max_inflight_per_digest: Optional[int] = None,
+        shard_timeout_s: Optional[float] = 30.0,
+        supervise: bool = True,
+        max_respawns: int = 5,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
@@ -293,10 +333,17 @@ class StencilService:
         self.tune_budget = tune_budget
         self.device = device
         self.shards = int(shards or 0)
+        self.shard_timeout_s = shard_timeout_s
         self.executor: Optional[ShardedExecutor] = (
-            ShardedExecutor(self.shards, use_plans=use_plans)
+            ShardedExecutor(self.shards, use_plans=use_plans,
+                            timeout_s=shard_timeout_s)
             if self.shards > 0 else None
         )
+        self.supervise = bool(supervise)
+        self.max_respawns = int(max_respawns)
+        self.supervisor: Optional[ShardSupervisor] = None
+        self.breakers = DigestCircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s)
         self.max_queue_depth = max_queue_depth
         self.max_inflight_per_digest = max_inflight_per_digest
         self._wires: Dict[str, Dict] = {}      # (digest:variant) -> wire dict
@@ -317,6 +364,8 @@ class StencilService:
         self.request_errors = 0
         self.plans_prewarmed = 0
         self.shard_fallbacks = 0
+        self.shard_redispatches = 0
+        self.quarantined_requests = 0
         #: Admission-control outcomes (separate from request_errors so the
         #: PR 7 error accounting keeps meaning "execution failed").
         self.sheds: Dict[str, int] = {priority: 0 for priority in PRIORITIES}
@@ -381,9 +430,16 @@ class StencilService:
             raise ServiceError("service already started")
         self._queues = _PriorityQueues()
         self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
+        if self.executor is not None and self.supervise:
+            self.supervisor = ShardSupervisor(
+                self.executor, self._wires, max_respawns=self.max_respawns)
+            self.supervisor.start()
         return self
 
     async def stop(self) -> None:
+        if self.supervisor is not None:
+            await self.supervisor.stop()
+            self.supervisor = None
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -784,8 +840,18 @@ class StencilService:
                 None, self._compute_group, group
             )
         except Exception as error:  # noqa: BLE001 - reported in-band per request
+            self._breaker_outcome(group[0].digest,
+                                  failure=f"{type(error).__name__}: {error}")
             self._fail_group(group, f"{type(error).__name__}: {error}")
             return
+        if timings.get("quarantined"):
+            pass  # served on the quarantine route: no breaker evidence
+        elif timings.get("plan_fallback"):
+            self._breaker_outcome(group[0].digest, failure="plan capture")
+        elif timings.get("redispatches"):
+            self._breaker_outcome(group[0].digest, failure="shard dispatch")
+        else:
+            self._breaker_outcome(group[0].digest, failure=None)
         executed_at = time.perf_counter()
         self.batches_formed += 1
         _BATCHES_TOTAL.inc()
@@ -820,6 +886,20 @@ class StencilService:
             )
             self._record_trace(item, size, timings, formed_at, executed_at)
 
+    def _breaker_outcome(self, digest: str,
+                         failure: Optional[str]) -> None:
+        """Feed one group's fast-path outcome to the digest breaker."""
+        before = self.breakers.opens
+        if failure is None:
+            self.breakers.record_success(digest)
+        else:
+            self.breakers.record_failure(digest, reason=failure)
+        tripped = self.breakers.opens - before
+        if tripped:
+            _BREAKER_OPENS_TOTAL.inc(tripped)
+            log.warning("circuit breaker opened for digest %s (%s)",
+                        digest[:12], failure)
+
     def _record_trace(self, item: _Pending, size: int,
                       timings: Dict[str, object], formed_at: float,
                       executed_at: float,
@@ -844,6 +924,8 @@ class StencilService:
             "stages": stages,
             "shard": timings.get("shard"),
             "replay_chunks_ms": timings.get("replay_chunks_ms"),
+            "redispatches": timings.get("redispatches"),
+            "quarantined": timings.get("quarantined"),
             "error": error,
         })
 
@@ -857,6 +939,17 @@ class StencilService:
         ``replay_ms`` locally, ``shard_roundtrip_ms`` + ``shard`` when
         dispatched) the trace ring files per request.
         """
+        if not self.breakers.allow(group[0].digest):
+            # Quarantined digest: skip plan capture and shard dispatch
+            # entirely — the generic unfused local path is the one thing
+            # that has not been failing for it.  The breaker's half-open
+            # probe (which `allow` admits) is what retries the fast path.
+            self.quarantined_requests += len(group)
+            _BREAKER_QUARANTINED_TOTAL.inc(len(group))
+            outputs, crosschecked, timings = self._compute_group_local(
+                group, use_plans=False)
+            timings["quarantined"] = True
+            return outputs, crosschecked, timings
         if self.executor is not None and group[0].request.steps == 1:
             # Iterative jobs (steps > 1) run locally: the shard wire
             # protocol ships single sweeps, and a T-step job is one long
@@ -891,21 +984,48 @@ class StencilService:
                 self._unshardable.add(program_key)
                 return None
             self._wires[program_key] = wire
-        shard = self.executor.pick()
         parts = [item.request.inputs for item in group]
+        redispatches = 0
         dispatched = time.perf_counter()
-        outputs = shard.execute(program_key, wire,
-                                head.request.size_env or None, parts)
+        while True:
+            shard = self.executor.pick()
+            if shard is None:
+                # Whole fleet down: the local path absorbs the group while
+                # the supervisor restores capacity.
+                return None
+            try:
+                outputs = shard.execute(program_key, wire,
+                                        head.request.size_env or None, parts)
+                break
+            except ShardUnavailable as error:
+                # The reply never arrived, so nothing was delivered for
+                # this group — re-executing it on a surviving shard (or
+                # locally) is idempotent.  `execute` already marked the
+                # shard failed; the supervisor respawns it in the
+                # background.
+                redispatches += 1
+                self.shard_redispatches += 1
+                _SHARD_REDISPATCHES_TOTAL.inc()
+                log.warning(
+                    "redispatching group (digest %s, %d requests): %s",
+                    head.digest[:12], len(group), error)
+                if redispatches > len(self.executor.handles):
+                    return None
         roundtrip = time.perf_counter() - dispatched
         _SHARD_ROUNDTRIP_SECONDS.observe(roundtrip)
         crosschecked = 0
         if self.crosscheck and len(group) > 1:
             crosschecked = self._crosscheck_group(group, outputs)
+        timings: Dict[str, object] = {
+            "shard_roundtrip_ms": roundtrip * 1e3, "shard": shard.index,
+        }
+        if redispatches:
+            timings["redispatches"] = redispatches
         return (
             [squeeze_result(np.asarray(output, dtype=np.float64))
              for output in outputs],
             crosschecked,
-            {"shard_roundtrip_ms": roundtrip * 1e3, "shard": shard.index},
+            timings,
         )
 
     def _carry_spec(self, item: _Pending):
@@ -924,8 +1044,16 @@ class StencilService:
         return None
 
     def _compute_group_local(
-        self, group: List[_Pending]
+        self, group: List[_Pending], use_plans: Optional[bool] = None
     ) -> Tuple[List, int, Dict[str, object]]:
+        """Serve one group in-process.
+
+        ``use_plans=False`` forces the generic unfused path regardless of
+        the service configuration — the circuit breaker's quarantine route.
+        """
+        force_generic = use_plans is not None and not use_plans
+        use_plans = self.use_plans if use_plans is None else use_plans
+        plan_fallback = False
         head = group[0]
         size_env = head.request.size_env or None
         resolve_started = time.perf_counter()
@@ -937,12 +1065,20 @@ class StencilService:
             # against the generic per-sweep loop when enabled.
             carry = self._carry_spec(head)
             steps = head.request.steps
-            swept = [
-                self.backend.iterate(item.program, item.request.inputs,
-                                     steps, carry=carry,
-                                     size_env=item.request.size_env or None)
-                for item in group
-            ]
+            if force_generic:
+                swept = [
+                    self.backend.iterate_generic(
+                        item.program, item.request.inputs, steps,
+                        carry=carry, size_env=item.request.size_env or None)
+                    for item in group
+                ]
+            else:
+                swept = [
+                    self.backend.iterate(item.program, item.request.inputs,
+                                         steps, carry=carry,
+                                         size_env=item.request.size_env or None)
+                    for item in group
+                ]
             replay_done = time.perf_counter()
             crosschecked = 0
             if self.crosscheck:
@@ -963,7 +1099,7 @@ class StencilService:
                 {"replay_ms": (replay_done - resolve_started) * 1e3},
             )
         if len(group) == 1:
-            if self.use_plans:
+            if use_plans:
                 # The run_plan split, inlined so the trace can separate
                 # plan lookup/capture from the replay itself (identical
                 # semantics: CompileError at either stage falls back to
@@ -973,12 +1109,13 @@ class StencilService:
                     plan = self.backend.plan(head.program,
                                              head.request.inputs, size_env)
                 except CompileError:
-                    pass
+                    plan_fallback = True
                 replay_started = time.perf_counter()
                 if plan is not None:
                     try:
                         swept = [plan.run(head.request.inputs)]
                     except CompileError:
+                        plan_fallback = True
                         swept = [self.backend.run(head.program,
                                                   head.request.inputs,
                                                   size_env)]
@@ -988,7 +1125,7 @@ class StencilService:
             else:
                 swept = [self.backend.run(head.program, head.request.inputs,
                                           size_env)]
-        elif self.use_plans:
+        elif use_plans:
             # One cached batched plan per (program, shapes, capacity):
             # request grids are copied straight into its pooled stacked
             # buffer set — no np.stack allocation, one tape replay.  Group
@@ -1019,12 +1156,13 @@ class StencilService:
                 plan = self.backend.plan(head.program, signature, size_env,
                                          batched=True)
             except CompileError:
-                pass
+                plan_fallback = True
             replay_started = time.perf_counter()
             if plan is not None:
                 try:
                     batch = plan.run_batched_parts(parts)
                 except CompileError:
+                    plan_fallback = True
                     batch = stacked_fallback()
             else:
                 batch = stacked_fallback()
@@ -1043,6 +1181,8 @@ class StencilService:
             "plan_resolve_ms": (replay_started - resolve_started) * 1e3,
             "replay_ms": (replay_done - replay_started) * 1e3,
         }
+        if plan_fallback:
+            timings["plan_fallback"] = True
         # If the sweep's fused regions replayed in parallel chunks, copy
         # that run's per-chunk wall times into the trace (the pool stamps
         # last_run_at only on timed runs — telemetry enabled).
@@ -1132,6 +1272,15 @@ class StencilService:
             "request_errors": self.request_errors,
             "plans_prewarmed": self.plans_prewarmed,
             "shard_fallbacks": self.shard_fallbacks,
+            "shard_redispatches": self.shard_redispatches,
+            "shard_restarts": (self.supervisor.restarts
+                               if self.supervisor is not None else 0),
+            "supervisor": (self.supervisor.stats()
+                           if self.supervisor is not None else None),
+            "breakers": {
+                "quarantined_requests": self.quarantined_requests,
+                **self.breakers.stats(),
+            },
             "admission": {
                 "sheds": dict(self.sheds),
                 "rejects": dict(self.rejects),
@@ -1271,6 +1420,11 @@ class ServedGate:
         if (self.max_requests is not None
                 and self.count >= self.max_requests
                 and not self.done.done()):
+            self.done.set_result(None)
+
+    def resolve(self) -> None:
+        """Resolve the gate early (graceful-shutdown signal path)."""
+        if not self.done.done():
             self.done.set_result(None)
 
 
@@ -1456,38 +1610,66 @@ def run_server(
                 if ready_event is not None:
                     ready_event.set()
                 log.info("serving on %s:%d", host, port)
-                if max_requests is not None:
+                # SIGTERM/SIGINT resolve the gate instead of killing the
+                # process mid-batch: the same bounded drain that follows
+                # --max-requests runs, so in-flight work is answered and
+                # stragglers are shed in-band.  Handler installation fails
+                # off the main thread (in-process smoke tests) — fine, the
+                # gate then only resolves via mark().
+                loop = asyncio.get_running_loop()
+
+                def request_drain(signame: str) -> None:
+                    log.info("received %s; draining and shutting down",
+                             signame)
+                    gate.resolve()
+
+                installed: List[int] = []
+                for signame in ("SIGTERM", "SIGINT"):
+                    signum = getattr(signal, signame, None)
+                    if signum is None:
+                        continue
+                    try:
+                        loop.add_signal_handler(
+                            int(signum), request_drain, signame)
+                        installed.append(int(signum))
+                    except (NotImplementedError, RuntimeError, ValueError):
+                        pass
+                try:
+                    # With --max-requests the gate resolves at the quota;
+                    # without it, only a shutdown signal resolves it
+                    # (serve forever).
                     await server.served_done  # type: ignore[attr-defined]
-                    # Drain: clients may still pipeline trailing non-execute
-                    # ops (e.g. the load generator's final stats fetch), so
-                    # wait — bounded — for open connections to finish before
-                    # the listening socket and the service are torn down.
-                    loop_time = asyncio.get_running_loop().time
-                    drain_deadline = loop_time() + max(0.0, drain_timeout)
+                finally:
+                    for signum in installed:
+                        loop.remove_signal_handler(signum)
+                # Drain: clients may still pipeline trailing non-execute
+                # ops (e.g. the load generator's final stats fetch), so
+                # wait — bounded — for open connections to finish before
+                # the listening socket and the service are torn down.
+                loop_time = loop.time
+                drain_deadline = loop_time() + max(0.0, drain_timeout)
+                while (
+                    server.connections  # type: ignore[attr-defined]
+                    and loop_time() < drain_deadline
+                ):
+                    await asyncio.sleep(0.05)
+                if server.connections:  # type: ignore[attr-defined]
+                    # Past the drain deadline: answer what is still
+                    # queued with structured sheds so connected clients
+                    # see DeadlineExceeded, not a dropped socket, then
+                    # give the writes a short grace window to flush.
+                    shed = service.shed_queued(
+                        "shutdown drain deadline reached"
+                    )
+                    if shed:
+                        log.info("drain deadline: shed %d queued "
+                                 "requests", shed)
+                    grace_deadline = loop_time() + 1.0
                     while (
                         server.connections  # type: ignore[attr-defined]
-                        and loop_time() < drain_deadline
+                        and loop_time() < grace_deadline
                     ):
                         await asyncio.sleep(0.05)
-                    if server.connections:  # type: ignore[attr-defined]
-                        # Past the drain deadline: answer what is still
-                        # queued with structured sheds so connected clients
-                        # see DeadlineExceeded, not a dropped socket, then
-                        # give the writes a short grace window to flush.
-                        shed = service.shed_queued(
-                            "shutdown drain deadline reached"
-                        )
-                        if shed:
-                            log.info("drain deadline: shed %d queued "
-                                     "requests", shed)
-                        grace_deadline = loop_time() + 1.0
-                        while (
-                            server.connections  # type: ignore[attr-defined]
-                            and loop_time() < grace_deadline
-                        ):
-                            await asyncio.sleep(0.05)
-                else:
-                    await asyncio.Event().wait()  # serve forever
             if http_server is not None:
                 http_server.close()
                 await http_server.wait_closed()

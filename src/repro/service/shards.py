@@ -24,9 +24,16 @@ Shards are deliberately plain: each one owns a private
 :class:`~repro.backend.base.NumpyBackend` (compilation cache + plan cache
 + buffer pools) and replays exactly the plan/batched-plan logic of the
 in-process service, so a sharded service is bit-identical to an unsharded
-one.  A shard that dies mid-group fails that group in-band (the parent's
-``_fail_group`` path) and subsequent groups routed to it fail fast;
-respawning dead shards is left to the operator / supervisor.
+one.  Failure handling is layered: a round-trip that breaks (``EOFError``,
+watchdog timeout) raises :class:`ShardUnavailable` and marks the handle
+failed so :meth:`ShardedExecutor.pick` skips it; the service *redispatches*
+the group to a surviving shard (safe — the reply never arrived, so nothing
+was delivered twice) and the :class:`~repro.service.supervisor.ShardSupervisor`
+respawns the dead process in the background (:meth:`ShardHandle.respawn`)
+and re-warms its program cache before it rejoins the rotation.  An
+*in-band* error reply (the shard is alive but the program failed) stays a
+plain :class:`ShardError` and is **not** redispatched — a deterministic
+failure would fail everywhere.
 
 Start method is ``spawn``: the parent runs a threaded asyncio loop, and
 forking a threaded process inherits locks in undefined states.  Spawned
@@ -40,12 +47,15 @@ from __future__ import annotations
 import itertools
 import logging
 import multiprocessing as mp
+import os
 import threading
+import time
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import faults as _faults
 from .requests import ServiceError
 
 log = logging.getLogger("repro.service.shards")
@@ -53,6 +63,14 @@ log = logging.getLogger("repro.service.shards")
 
 class ShardError(ServiceError):
     """A shard process failed (or died) while executing a group."""
+
+
+class ShardUnavailable(ShardError):
+    """The shard did not answer (died, or tripped the watchdog timeout).
+
+    Distinct from an in-band :class:`ShardError` reply: the group's reply
+    never arrived, so the service may safely redispatch it elsewhere.
+    """
 
 
 def _create_slab(shape, dtype=np.float64):
@@ -190,11 +208,35 @@ def _shard_main(index: int, conn, use_plans: bool) -> None:
                 stats["telemetry"] = get_registry().snapshot()
                 conn.send({"ok": True, "stats": stats})
                 continue
+            if op == "load":
+                # Supervisor rewarm: cache the program so a respawned shard
+                # rejoins the rotation warm (no first-group program resend).
+                try:
+                    programs[message["digest"]] = program_from_dict(
+                        message["program"])
+                    conn.send({"ok": True, "loaded": message["digest"]})
+                except Exception as error:  # noqa: BLE001 - reported in-band
+                    conn.send({
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    })
+                continue
             if op != "execute":
                 conn.send({"ok": False, "error": f"unknown op {op!r}"})
                 continue
             try:
-                conn.send(execute(message))
+                reply = execute(message)
+                if _faults.ARMED:
+                    if _faults.should_fail("shard.crash_before_reply"):
+                        # Hard crash with the reply computed but unsent: the
+                        # parent sees EOF, never a reply — the redispatch
+                        # idempotency case.
+                        os._exit(17)
+                    if _faults.should_fail("shard.hang"):
+                        # Wedge without dying: only the parent's watchdog
+                        # timeout can notice this.
+                        time.sleep(3600)
+                conn.send(reply)
             except Exception as error:  # noqa: BLE001 - reported in-band
                 conn.send({
                     "ok": False,
@@ -226,17 +268,12 @@ class ShardHandle:
     their own groups concurrently.
     """
 
-    def __init__(self, index: int, ctx, use_plans: bool = True) -> None:
+    def __init__(self, index: int, ctx, use_plans: bool = True,
+                 timeout_s: Optional[float] = None) -> None:
         self.index = index
-        parent_conn, child_conn = ctx.Pipe()
-        self.process = ctx.Process(
-            target=_shard_main, args=(index, child_conn, use_plans),
-            name=f"repro-shard-{index}", daemon=True,
-        )
-        self.process.start()
-        log.debug("spawned shard %d (pid %s)", index, self.process.pid)
-        child_conn.close()
-        self._conn = parent_conn
+        self._ctx = ctx
+        self._use_plans = use_plans
+        self.timeout_s = timeout_s
         self._lock = threading.Lock()
         self._slabs: Dict[tuple, List[tuple]] = {}  # geometry -> [(shm, arr)]
         self._outputs: Dict[str, tuple] = {}        # slab name -> (shm, arr)
@@ -244,16 +281,52 @@ class ShardHandle:
         self.requests = 0
         self.groups = 0
         self.errors = 0
+        self.failed = False
+        self.respawns = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=_shard_main, args=(self.index, child_conn, self._use_plans),
+            name=f"repro-shard-{self.index}", daemon=True,
+        )
+        self.process.start()
+        log.debug("spawned shard %d (pid %s)", self.index, self.process.pid)
+        child_conn.close()
+        self._conn = parent_conn
+
+    @property
+    def available(self) -> bool:
+        """Eligible for the round-robin rotation."""
+        return not self.failed and self.process.is_alive()
+
+    def mark_failed(self, reason: str) -> None:
+        """Take this shard out of rotation (the supervisor respawns it)."""
+        if not self.failed:
+            self.failed = True
+            log.warning("shard %d failed: %s", self.index, reason)
 
     # -- wire helpers --------------------------------------------------------
-    def _roundtrip(self, message: Dict) -> Dict:
+    def _roundtrip(self, message: Dict,
+                   timeout_s: Optional[float] = None) -> Dict:
+        """Send one control message and wait (bounded) for its reply.
+
+        ``timeout_s`` is the per-round-trip watchdog: a shard that neither
+        answers nor dies within it is declared failed — the only way a
+        wedged (e.g. ``SIGSTOP``-ed, or livelocked) worker is ever noticed.
+        """
         try:
             self._conn.send(message)
+            if timeout_s is not None and not self._conn.poll(timeout_s):
+                self.mark_failed(f"watchdog: no reply within {timeout_s:g}s")
+                raise ShardUnavailable(
+                    f"shard {self.index} did not reply within {timeout_s:g}s "
+                    "(watchdog timeout)")
             return self._conn.recv()
         except (EOFError, BrokenPipeError, OSError) as error:
-            log.warning("shard %d is not responding (%s); it may have died",
-                        self.index, type(error).__name__)
-            raise ShardError(
+            self.mark_failed(f"pipe error {type(error).__name__}")
+            raise ShardUnavailable(
                 f"shard {self.index} is not responding "
                 f"({type(error).__name__}); it may have died"
             ) from error
@@ -317,7 +390,7 @@ class ShardHandle:
                 message["program"] = program_wire
                 self._sent_programs.add(program_key)
             try:
-                reply = self._roundtrip(message)
+                reply = self._roundtrip(message, timeout_s=self.timeout_s)
             except ShardError:
                 self.errors += 1
                 raise
@@ -333,19 +406,71 @@ class ShardHandle:
             # next group on this shard reuses the same output geometry.
             return [np.array(out[row]) for row in range(n)]
 
+    # -- supervision ---------------------------------------------------------
+    def respawn(self) -> None:
+        """Replace a dead/failed shard process with a fresh one.
+
+        Reaps the old process (``SIGKILL`` — works on stopped processes
+        too), drops its output-slab attachments (the parent unlinks them;
+        a ``SIGKILL``-ed child never ran its cleanup), clears the
+        program-sent set (the new process has empty caches), and spawns.
+        Input slabs are parent-owned and name-attached lazily, so they
+        carry over.  The caller (supervisor) re-warms programs via
+        :meth:`load_program` before clearing ``failed``.
+        """
+        with self._lock:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=10)
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            for shm, _array in self._outputs.values():
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+            self._outputs.clear()
+            self._sent_programs.clear()
+            self._spawn()
+            self.respawns += 1
+            log.info("shard %d respawned (pid %s, respawn #%d)",
+                     self.index, self.process.pid, self.respawns)
+
+    def load_program(self, program_key: str, program_wire: Dict,
+                     timeout_s: Optional[float] = None) -> None:
+        """Pre-load one program into the shard (supervisor rewarm)."""
+        with self._lock:
+            reply = self._roundtrip(
+                {"op": "load", "digest": program_key, "program": program_wire},
+                timeout_s=timeout_s if timeout_s is not None else self.timeout_s)
+            if not reply.get("ok"):
+                raise ShardError(
+                    f"shard {self.index} rewarm failed: {reply.get('error')}")
+            self._sent_programs.add(program_key)
+
     # -- ops -----------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         section: Dict[str, object] = {
             "shard": self.index,
-            "alive": self.process.is_alive(),
+            "alive": self.available,
+            "pid": self.process.pid,
             "requests": self.requests,
             "groups": self.groups,
             "errors": self.errors,
+            "respawns": self.respawns,
         }
-        if self.process.is_alive():
+        if self.available:
             try:
                 with self._lock:
-                    reply = self._roundtrip({"op": "stats"})
+                    # Bounded even without a configured watchdog: a wedged
+                    # shard must not hang the stats/metrics scrape.
+                    reply = self._roundtrip(
+                        {"op": "stats"},
+                        timeout_s=self.timeout_s
+                        if self.timeout_s is not None else 5.0)
                 if reply.get("ok"):
                     section.update(reply["stats"])
             except ShardError:
@@ -356,12 +481,13 @@ class ShardHandle:
         with self._lock:
             if self.process.is_alive():
                 try:
-                    self._roundtrip({"op": "shutdown"})
+                    # Bounded: a wedged shard must not hang shutdown.
+                    self._roundtrip({"op": "shutdown"}, timeout_s=5.0)
                 except ShardError:
                     pass
             self.process.join(timeout=5)
             if self.process.is_alive():
-                self.process.terminate()
+                self.process.kill()
                 self.process.join(timeout=5)
             self._conn.close()
             for slabs in self._slabs.values():
@@ -386,12 +512,13 @@ class ShardedExecutor:
     """
 
     def __init__(self, shards: int, use_plans: bool = True,
-                 start_method: str = "spawn") -> None:
+                 start_method: str = "spawn",
+                 timeout_s: Optional[float] = None) -> None:
         if shards < 1:
             raise ServiceError("shards must be >= 1")
         ctx = mp.get_context(start_method)
         self.handles = [
-            ShardHandle(index, ctx, use_plans=use_plans)
+            ShardHandle(index, ctx, use_plans=use_plans, timeout_s=timeout_s)
             for index in range(shards)
         ]
         self._counter = itertools.count()
@@ -399,8 +526,15 @@ class ShardedExecutor:
     def __len__(self) -> int:
         return len(self.handles)
 
-    def pick(self) -> ShardHandle:
-        return self.handles[next(self._counter) % len(self.handles)]
+    def pick(self) -> Optional[ShardHandle]:
+        """Next available shard in rotation, or ``None`` if the whole fleet
+        is down (the service then runs the group on the local path)."""
+        n = len(self.handles)
+        for _attempt in range(n):
+            handle = self.handles[next(self._counter) % n]
+            if handle.available:
+                return handle
+        return None
 
     def stats(self) -> List[Dict[str, object]]:
         return [handle.stats() for handle in self.handles]
@@ -413,5 +547,6 @@ class ShardedExecutor:
 __all__ = [
     "ShardError",
     "ShardHandle",
+    "ShardUnavailable",
     "ShardedExecutor",
 ]

@@ -163,6 +163,78 @@ class TestRetrySemantics:
             thread.join(timeout=5)
 
 
+class RespondingTransport(Transport):
+    """Returns the scripted responses in order (the last one repeats)."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.attempts = 0
+
+    def submit(self, request, timeout_s):
+        self.attempts += 1
+        if len(self.responses) > 1:
+            return self.responses.pop(0)
+        return self.responses[0]
+
+    def close(self):
+        pass
+
+
+def _rejection(retry_after_ms=20.0):
+    from repro.service.requests import ADMISSION_REJECTED
+
+    return _response(error="admission rejected", code=ADMISSION_REJECTED,
+                     retry_after_ms=retry_after_ms)
+
+
+class TestAdmissionRetry:
+    """429-style rejections are retried honouring ``retry_after_ms``."""
+
+    def test_rejection_is_retried_until_admitted(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.client.client.time.sleep", sleeps.append)
+        transport = RespondingTransport([_rejection(retry_after_ms=20.0),
+                                         _response()])
+        client = _client(transport, retries=2)
+        response = client.execute(_request())
+        assert response.ok
+        assert transport.attempts == 2
+        assert client.retries_attempted == 1
+        # Zero-backoff policy: the wait is exactly the server's hint.
+        assert sleeps == [pytest.approx(0.02)]
+
+    def test_wait_is_the_larger_of_hint_and_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.client.client.time.sleep", sleeps.append)
+        config = ClientConfig(retry=RetryPolicy(
+            retries=1, backoff_base_s=0.5, backoff_max_s=0.5))
+        transport = RespondingTransport([_rejection(retry_after_ms=20.0),
+                                         _response()])
+        client = StencilClient(config, transport=transport, rng=FixedRandom())
+        assert client.execute(_request()).ok
+        assert sleeps == [pytest.approx(0.5)]  # backoff dominates the hint
+
+    def test_exhausted_retries_return_the_rejection_not_raise(self,
+                                                              monkeypatch):
+        monkeypatch.setattr("repro.client.client.time.sleep", lambda s: None)
+        transport = RespondingTransport([_rejection()])
+        client = _client(transport, retries=2)
+        response = client.execute(_request())
+        assert response.rejected
+        assert transport.attempts == 3  # 1 try + 2 retries, never more
+
+    def test_hint_past_the_call_deadline_returns_immediately(self,
+                                                             monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.client.client.time.sleep", sleeps.append)
+        transport = RespondingTransport([_rejection(retry_after_ms=60_000.0)])
+        client = _client(transport, retries=3)
+        response = client.execute(_request(), timeout_s=0.5)
+        assert response.rejected
+        assert transport.attempts == 1  # a doomed retry is never attempted
+        assert sleeps == []
+
+
 class TestRetryPolicy:
     def test_backoff_grows_and_caps(self):
         policy = RetryPolicy(retries=5, backoff_base_s=0.1, backoff_max_s=0.5)

@@ -119,5 +119,61 @@ class TestSessions:
         assert math.isinf(store.get(job.fingerprint()).cost)
 
 
+class TestDurability:
+    def test_opens_in_wal_mode_with_busy_timeout(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        with ResultsStore(path, busy_timeout_s=2.5) as store:
+            conn = store._conn
+            assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 2500
+
+    def test_corrupt_file_is_moved_aside_and_recreated(self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        with ResultsStore(path) as store:
+            store.put(make_job(), 1.0)
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a sqlite file" * 64)
+        with ResultsStore(path) as store:
+            assert store.count() == 0  # fresh schema, usable again
+            store.put(make_job(), 2.0)
+            assert store.count() == 1
+        assert (tmp_path / "store.sqlite.corrupt").exists()
+
+    def test_second_corruption_does_not_clobber_the_first_parked_file(
+            self, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        for _ in range(2):
+            with open(path, "wb") as fh:
+                fh.write(b"garbage" * 64)
+            ResultsStore(path).close()
+        parked = [p.name for p in tmp_path.iterdir()
+                  if ".corrupt" in p.name]
+        assert len(parked) == 2, parked
+
+    def test_missing_parent_directory_is_still_created(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "store.sqlite")
+        with ResultsStore(path) as store:
+            store.put(make_job(), 1.0)
+        with ResultsStore(path) as store:
+            assert store.count() == 1
+
+    def test_injected_lock_surfaces_as_operational_error(self):
+        import sqlite3
+
+        from repro import faults
+
+        faults.disarm()
+        try:
+            faults.arm("store.locked:at=1")
+            store = ResultsStore(":memory:")
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.put(make_job(), 1.0)
+            # The schedule fired once; the store itself is unharmed.
+            store.put(make_job(), 1.0)
+            assert store.count() == 1
+        finally:
+            faults.disarm()
+
+
 if __name__ == "__main__":
     pytest.main([__file__, "-q"])

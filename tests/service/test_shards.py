@@ -65,18 +65,30 @@ class TestShardedService:
             for row in shards["per_shard"]:
                 assert row.get("compilations") == 1, row
 
-    def test_dead_shard_fails_requests_in_band_not_by_hanging(self):
-        service = StencilService(store=None, shards=1, max_batch=4)
+    def test_dead_shard_falls_back_locally_without_failing_requests(self):
+        # Supervision off: with the only shard dead, pick() returns None and
+        # the service must serve the group on the local path, in-band and
+        # bit-identical — requests never observe the crash.
+        requests = _stream(count=2)
+        with ServiceClient(StencilService(store=None)) as client:
+            reference = [
+                np.asarray(response.result)
+                for response in client.execute_many(requests)
+            ]
+        service = StencilService(store=None, shards=1, max_batch=4,
+                                 supervise=False)
         with ServiceClient(service) as client:
-            client.execute_many(_stream(count=2))
+            client.execute_many(requests)
             handle = service.executor.handles[0]
             handle.process.terminate()
             handle.process.join(timeout=5)
-            responses = client.execute_many(_stream(count=2),
-                                            raise_on_error=False)
-            assert all(not response.ok for response in responses)
-            assert all("shard" in str(response.error).lower()
-                       for response in responses)
+            responses = client.execute_many(requests, raise_on_error=False)
+            assert all(response.ok for response in responses)
+            for got, expected in zip(responses, reference):
+                assert np.array_equal(np.asarray(got.result), expected)
+            stats = client.stats()["service"]
+            assert stats["shard_fallbacks"] >= 1
+            assert stats["shard_restarts"] == 0
 
 
 class TestShardStatsRollup:

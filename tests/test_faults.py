@@ -1,0 +1,133 @@
+"""Deterministic fault injection: parsing, schedules, arming, zero overhead."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tracemalloc
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestParsing:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match="unknown injection"):
+            faults.parse_schedule("shard.crash_after_reply:at=1")
+
+    def test_unknown_qualifier_is_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match="unknown qualifier"):
+            faults.parse_schedule("shard.hang:after=3")
+
+    def test_bad_value_is_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match="bad value"):
+            faults.parse_schedule("shard.hang:at=soon")
+
+    def test_empty_schedule_is_rejected(self):
+        with pytest.raises(faults.FaultSpecError, match="empty"):
+            faults.parse_schedule(" , ")
+
+    def test_multi_point_schedule(self):
+        schedules = faults.parse_schedule(
+            "shard.hang:at=3,pool.alloc_fail:p=0.5:seed=9")
+        assert [s.point for s in schedules] == ["shard.hang",
+                                                "pool.alloc_fail"]
+        assert schedules[0].at == 3 and schedules[0].times == 1
+        assert schedules[1].p == 0.5 and schedules[1].seed == 9
+
+
+class TestSchedules:
+    def test_bare_point_fires_on_every_hit(self):
+        faults.arm("store.locked")
+        assert all(faults.should_fail("store.locked") for _ in range(5))
+
+    def test_at_fires_exactly_once_on_the_nth_hit(self):
+        faults.arm("shard.hang:at=3")
+        fires = [faults.should_fail("shard.hang") for _ in range(6)]
+        assert fires == [False, False, True, False, False, False]
+        assert faults.hits("shard.hang") == 6
+        assert faults.fired("shard.hang") == 1
+
+    def test_times_bounds_repeated_fires(self):
+        faults.arm("store.locked:at=2:times=2")
+        fires = [faults.should_fail("store.locked") for _ in range(5)]
+        assert fires == [False, True, True, False, False]
+
+    def test_probabilistic_schedule_replays_exactly_under_one_seed(self):
+        faults.arm("pool.alloc_fail:p=0.3:seed=7")
+        first = [faults.should_fail("pool.alloc_fail") for _ in range(64)]
+        faults.arm("pool.alloc_fail:p=0.3:seed=7")
+        second = [faults.should_fail("pool.alloc_fail") for _ in range(64)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_unarmed_point_never_fires(self):
+        faults.arm("shard.hang:at=1")
+        assert not faults.should_fail("pool.alloc_fail")
+
+    def test_snapshot_describes_armed_schedules(self):
+        faults.arm("shard.hang:at=2")
+        faults.should_fail("shard.hang")
+        (described,) = faults.snapshot()
+        assert described["point"] == "shard.hang"
+        assert described["hits"] == 1 and described["fires"] == 0
+
+
+class TestArming:
+    def test_disarm_restores_the_cold_state(self):
+        faults.arm("store.locked")
+        assert faults.ARMED
+        faults.disarm()
+        assert not faults.ARMED
+        assert faults.snapshot() == []
+
+    def test_arm_with_export_sets_the_env_var(self, monkeypatch):
+        import os
+
+        faults.arm("shard.hang:at=1", export=True)
+        assert os.environ[faults.ENV_VAR] == "shard.hang:at=1"
+        faults.disarm()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_spawned_interpreter_arms_from_the_environment(self):
+        # Exactly how shard children inherit a schedule: the env var is
+        # read at import time.
+        code = ("import repro.faults as f; "
+                "print(f.ARMED and f.should_fail('store.locked'))")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**__import__('os').environ,
+                 faults.ENV_VAR: "store.locked"},
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == "True"
+
+
+class TestZeroOverheadWhenDisarmed:
+    def test_disarmed_guard_allocates_nothing(self):
+        # The production guard is `faults.ARMED and faults.should_fail(...)`;
+        # disarmed it must short-circuit on the module bool with zero
+        # allocations — the serving hot path runs it per group.
+        def guard():
+            return faults.ARMED and faults.should_fail("pool.alloc_fail")
+
+        guard()  # warm anything lazy
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(10_000):
+            guard()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        grew = sum(stat.size_diff
+                   for stat in after.compare_to(before, "lineno")
+                   if stat.size_diff > 0)
+        # tracemalloc's own bookkeeping shows up as a few small blocks;
+        # 10k guarded checks must not add per-iteration allocations.
+        assert grew < 64 * 1024, grew
