@@ -499,6 +499,41 @@ class ExecutionPlan:
                 state = _rebind(state, out, spec)
             return self._result(out, copy)
 
+    def iterate_state(
+        self, inputs: Sequence, steps: int,
+        carry: Optional[Sequence] = None,
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Like :meth:`iterate`, but also return the post-rebind carry state.
+
+        Returns ``(out, state)`` where ``out`` is a copy of the final
+        step's output and ``state`` is a copy of the full input binding
+        for the *next* step (the state after the final carry rebind).
+        Feeding ``state`` back as ``inputs`` of a further
+        ``iterate_state``/``iterate`` call continues the trajectory bit
+        for bit: ``_bind`` copies the values into the same pooled input
+        buffers a fresh trajectory would use, and every step is the same
+        deterministic elementwise tape, so
+
+            iterate(x, a + b)  ==  iterate(iterate_state(x, a).state, b)
+
+        exactly.  This is the primitive the durable-jobs layer
+        (:mod:`repro.service.jobs`) checkpoints between segments.
+        """
+        if self.batched:
+            raise ExecutionError("iterate is not supported on batched plans")
+        if steps < 1:
+            raise ExecutionError("iterate needs steps >= 1")
+        spec = normalize_carry(carry, len(self._in_bufs))
+        with self._lock:
+            self._bind(inputs)
+            state = list(self._in_bufs)
+            out: Optional[np.ndarray] = None
+            for _ in range(steps):
+                out = self._step(state, self._pick_slot(state))
+                state = _rebind(state, out, spec)
+            assert out is not None
+            return out.copy(), [buffer.copy() for buffer in state]
+
     def run_batched(self, stacked_inputs: Sequence,
                     copy: bool = True) -> np.ndarray:
         """One stacked sweep over the leading request-batch axis."""
@@ -769,12 +804,41 @@ def iterate_generic(
     return out
 
 
+def iterate_state_generic(
+    backend,
+    program: Lambda,
+    inputs: Sequence,
+    steps: int,
+    carry: Optional[Sequence] = None,
+    size_env: Optional[Mapping[str, int]] = None,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """:func:`iterate_generic` that also returns the post-rebind state.
+
+    The generic counterpart of :meth:`ExecutionPlan.iterate_state` — the
+    fallback the durable-jobs layer uses for programs a plan cannot
+    capture.  Resuming from the returned ``state`` continues the
+    trajectory bit for bit.
+    """
+    if steps < 1:
+        raise ExecutionError("iterate needs steps >= 1")
+    state = [np.asarray(value, dtype=np.float64) for value in inputs]
+    spec = normalize_carry(carry, len(state))
+    out: Optional[np.ndarray] = None
+    for _ in range(steps):
+        out = np.asarray(backend.run(program, state, size_env),
+                         dtype=np.float64)
+        state = _rebind(state, out, spec)
+    assert out is not None
+    return out.copy(), [np.array(buffer, copy=True) for buffer in state]
+
+
 __all__ = [
     "CarrySpec",
     "ExecutionPlan",
     "PlanCache",
     "compile_plan",
     "iterate_generic",
+    "iterate_state_generic",
     "normalize_carry",
     "plan_signature",
 ]

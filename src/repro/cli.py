@@ -371,6 +371,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_respawns=args.max_respawns,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown_s,
+        job_dir=args.job_dir,
+        checkpoint_every=args.checkpoint_every,
+        job_ttl_s=args.job_ttl_s,
+        max_resident_jobs=args.max_resident_jobs,
     )
     if stats:
         import json as _json
@@ -473,6 +477,35 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         connect = (host or "127.0.0.1", int(port))
+    if args.job_drill:
+        from .service.loadgen import (
+            check_job_drill,
+            format_job_drill,
+            run_job_drill,
+        )
+
+        report = run_job_drill(
+            benchmark=args.benchmark,
+            steps=args.steps,
+            checkpoint_every=args.checkpoint_every,
+            shape=tuple(args.shape) if args.shape else None,
+            seed=args.seed,
+            job_dir=args.job_dir,
+            auth_key=args.auth_key or "drill-key",
+            kill_after_steps=args.kill_after_steps,
+            timeout_s=args.drill_timeout_s,
+        )
+        print(format_job_drill(report))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.out}")
+        if args.assert_job_drill:
+            problems = check_job_drill(report)
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1 if problems else 0
+        return 0
     if args.chaos is not None:
         from .service.loadgen import (
             check_chaos,
@@ -800,6 +833,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-cooldown-s", type=float, default=5.0,
                        help="seconds a quarantined digest waits before a "
                             "half-open probe is allowed through")
+    serve.add_argument("--job-dir", default=None, metavar="DIR",
+                       help="durable-job state directory: multi-timestep "
+                            "jobs checkpoint here and are resumed from it "
+                            "on restart (default: a per-process temp dir, "
+                            "durable for the process only)")
+    serve.add_argument("--checkpoint-every", type=int, default=16,
+                       metavar="STEPS",
+                       help="default checkpoint segment length for durable "
+                            "jobs — a crash loses at most this many steps "
+                            "(default 16; per-job override on submission)")
+    serve.add_argument("--job-ttl-s", type=float, default=3600.0,
+                       help="retention for finished jobs: terminal job "
+                            "state and results older than this are purged "
+                            "from memory and disk (default 3600)")
+    serve.add_argument("--max-resident-jobs", type=int, default=64,
+                       help="in-memory result cap: only this many completed "
+                            "results stay resident, the rest reload from "
+                            "their result file on demand (default 64)")
     serve.add_argument("--inject", default=None, metavar="SPEC",
                        help="arm deterministic fault injection, e.g. "
                             "'shard.crash_before_reply:p=0.02:seed=7' or "
@@ -918,6 +969,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero if any high-priority request "
                               "was shed, rejected or failed (CI check; "
                               "mixed mode only)")
+    loadgen.add_argument("--job-drill", action="store_true",
+                         help="run the job-durability drill instead: spawn "
+                              "a serve subprocess with --job-dir, submit a "
+                              "long checkpointed job over authenticated "
+                              "HTTP, SIGKILL the server mid-trajectory, "
+                              "restart it, and verify the job resumes and "
+                              "finishes bit-identically")
+    loadgen.add_argument("--steps", type=int, default=512,
+                         help="job-drill mode: trajectory length of the "
+                              "durable job (default 512)")
+    loadgen.add_argument("--checkpoint-every", type=int, default=8,
+                         help="job-drill mode: checkpoint segment length "
+                              "(default 8)")
+    loadgen.add_argument("--job-dir", default=None, metavar="DIR",
+                         help="job-drill mode: durable state directory "
+                              "shared by both server incarnations (default: "
+                              "a temp dir, removed on success)")
+    loadgen.add_argument("--kill-after-steps", type=int, default=None,
+                         help="job-drill mode: SIGKILL once this many steps "
+                              "are checkpointed (default: one segment)")
+    loadgen.add_argument("--drill-timeout-s", type=float, default=180.0,
+                         help="job-drill mode: bound on each wait (server "
+                              "ready, first checkpoint, job completion)")
+    loadgen.add_argument("--assert-job-drill", action="store_true",
+                         help="exit non-zero unless the durability contract "
+                              "held: resumed once, completed, bit-identical "
+                              "result, checkpoint/resume counters visible "
+                              "in /metrics (CI gate)")
 
     stats = sub.add_parser(
         "stats",

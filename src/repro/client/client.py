@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, Optional, Sequence
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..service.jobs import TERMINAL
 from ..service.requests import ExecutionRequest, ExecutionResponse
 from .config import ClientConfig
 from .transport import HttpTransport, TcpTransport, Transport, TransportError
@@ -94,6 +98,89 @@ class StencilClient:
             raise ValueError("steps must be >= 1")
         return self._call(self._stamp(request), timeout_s)
 
+    # -- durable jobs --------------------------------------------------------
+    def submit_job(self, request: ExecutionRequest,
+                   job_key: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   timeout_s: Optional[float] = None) -> Dict[str, object]:
+        """Submit a checkpointed multi-timestep job; returns its descriptor.
+
+        When the caller supplies no ``job_key``, one is generated *before*
+        the first network attempt, so a retried submission (connect error,
+        timeout before a response byte) lands on the server's idempotency
+        map and returns the already-created job instead of a duplicate.
+        """
+        if job_key is None:
+            job_key = uuid.uuid4().hex
+        return self._job_call(
+            lambda remaining: self.transport.job_submit(
+                self._stamp(request), job_key=job_key,
+                checkpoint_every=checkpoint_every, timeout_s=remaining,
+            ),
+            timeout_s,
+        )
+
+    def job_status(self, job_id: str,
+                   timeout_s: Optional[float] = None) -> Dict[str, object]:
+        return self._job_call(
+            lambda remaining: self.transport.job_status(job_id, remaining),
+            timeout_s,
+        )
+
+    def job_result(self, job_id: str, timeout_s: Optional[float] = None
+                   ) -> Tuple[Dict[str, object], np.ndarray]:
+        """The ``(descriptor, final grid)`` of a completed job."""
+        return self._job_call(
+            lambda remaining: self.transport.job_result(job_id, remaining),
+            timeout_s,
+        )
+
+    def cancel_job(self, job_id: str,
+                   timeout_s: Optional[float] = None) -> Dict[str, object]:
+        return self._job_call(
+            lambda remaining: self.transport.job_cancel(job_id, remaining),
+            timeout_s,
+        )
+
+    def list_jobs(self, timeout_s: Optional[float] = None
+                  ) -> List[Dict[str, object]]:
+        return self._job_call(
+            lambda remaining: self.transport.job_list(remaining), timeout_s,
+        )
+
+    def wait_job(self, job_id: str, timeout_s: float = 60.0,
+                 poll_s: float = 0.1) -> Dict[str, object]:
+        """Poll until the job reaches a terminal status; returns it.
+
+        Raises :class:`TransportError` if the job is still running when
+        ``timeout_s`` elapses (the job itself keeps running server-side).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job_status(job_id)
+            if job.get("status") in TERMINAL:
+                return job
+            if time.monotonic() + poll_s >= deadline:
+                raise TransportError(
+                    f"job {job_id} still {job.get('status')!r} after "
+                    f"{timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def run_job(self, request: ExecutionRequest,
+                checkpoint_every: Optional[int] = None,
+                timeout_s: float = 60.0) -> np.ndarray:
+        """Submit + wait + fetch: the blocking convenience for one job."""
+        job = self.submit_job(request, checkpoint_every=checkpoint_every)
+        done = self.wait_job(job["job_id"], timeout_s=timeout_s)
+        if done.get("status") != "completed":
+            raise TransportError(
+                f"job {job['job_id']} ended {done.get('status')!r}: "
+                f"{done.get('error')}"
+            )
+        _job, result = self.job_result(job["job_id"])
+        return result
+
     def ping(self, timeout_s: float = 5.0) -> bool:
         return self.transport.ping(timeout_s)
 
@@ -143,6 +230,38 @@ class StencilClient:
                     # Honouring the hint would blow the call deadline:
                     # hand the rejection back instead of a doomed retry.
                     return response
+            delay = min(delay, max(0.0, call_deadline - time.monotonic()))
+            attempt += 1
+            self.retries_attempted += 1
+            if delay > 0:
+                time.sleep(delay)
+
+    def _job_call(self, attempt_fn, timeout_s: Optional[float]):
+        """One job operation under the same retry policy as :meth:`_call`.
+
+        Job ops are idempotent server-side (submission dedups on its
+        ``job_key``; status/result/list are reads; cancel is at-most-once),
+        so *any* retryable transport failure is safe to replay — the
+        provably-unexecuted restriction that guards ``execute`` is not
+        needed here.  In-band refusals arrive as non-retryable
+        :class:`TransportError` with a structured ``code`` and surface
+        immediately.
+        """
+        timeout = timeout_s if timeout_s is not None else self.config.timeout_s
+        policy = self.config.retry
+        call_deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            remaining = call_deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError("call deadline exhausted before "
+                                     f"attempt {attempt + 1}")
+            try:
+                return attempt_fn(remaining)
+            except TransportError as error:
+                if not error.retryable or attempt >= policy.retries:
+                    raise
+                delay = policy.delay_s(attempt, self._rng.random())
             delay = min(delay, max(0.0, call_deadline - time.monotonic()))
             attempt += 1
             self.retries_attempted += 1

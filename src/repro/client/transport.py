@@ -101,8 +101,43 @@ class Transport:
         """Server-side stats, when the protocol exposes them (else None)."""
         return None
 
+    # -- durable jobs --------------------------------------------------------
+    # All job ops are idempotent on the server (submission dedups on
+    # ``job_key``; the rest are reads or at-most-once cancels), so every
+    # in-band failure below surfaces as a non-retryable TransportError
+    # carrying the server's structured ``code`` — the caller decides.
+    def job_submit(self, request: ExecutionRequest,
+                   job_key: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        """Submit a checkpointed multi-timestep job; returns its descriptor."""
+        raise NotImplementedError
+
+    def job_status(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def job_result(self, job_id: str, timeout_s: float = 30.0):
+        """The final grid of a completed job: ``(descriptor, ndarray)``."""
+        raise NotImplementedError
+
+    def job_cancel(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def job_list(self, timeout_s: float = 30.0) -> List[Dict[str, object]]:
+        raise NotImplementedError
+
     def close(self) -> None:
         raise NotImplementedError
+
+
+def _job_refused(reply: Dict[str, object]) -> TransportError:
+    """An in-band job-op refusal shaped as a (non-retryable) error."""
+    return TransportError(
+        str(reply.get("error", "job operation refused")),
+        retryable=False, code=reply.get("code"),
+    )
 
 
 class _TcpConnection:
@@ -219,6 +254,47 @@ class TcpTransport(Transport):
         stats = reply.get("stats")
         return stats if isinstance(stats, dict) else None
 
+    # -- durable jobs --------------------------------------------------------
+    def _job_roundtrip(self, message: Dict[str, object],
+                       timeout_s: float) -> Dict[str, object]:
+        reply = self._roundtrip(message, timeout_s)
+        if not reply.get("ok", False):
+            raise _job_refused(reply)
+        return reply
+
+    def job_submit(self, request: ExecutionRequest,
+                   job_key: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        message = request.to_wire()
+        message["op"] = "job_submit"
+        if job_key is not None:
+            message["job_key"] = job_key
+        if checkpoint_every is not None:
+            message["checkpoint_every"] = int(checkpoint_every)
+        return self._job_roundtrip(message, timeout_s)["job"]
+
+    def job_status(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        return self._job_roundtrip(
+            {"op": "job_status", "job_id": job_id}, timeout_s
+        )["job"]
+
+    def job_result(self, job_id: str, timeout_s: float = 30.0):
+        reply = self._job_roundtrip(
+            {"op": "job_result", "job_id": job_id}, timeout_s
+        )
+        return reply["job"], np.asarray(reply["result"], dtype=np.float64)
+
+    def job_cancel(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        return self._job_roundtrip(
+            {"op": "job_cancel", "job_id": job_id}, timeout_s
+        )["job"]
+
+    def job_list(self, timeout_s: float = 30.0) -> List[Dict[str, object]]:
+        return self._job_roundtrip({"op": "job_list"}, timeout_s)["jobs"]
+
     def close(self) -> None:
         self._pool.close_all()
 
@@ -247,18 +323,27 @@ class HttpTransport(Transport):
         self._pool = _Pool()
 
     # -- request encoding ----------------------------------------------------
-    def _encode(self, request: ExecutionRequest):
-        """Returns (headers, body) — body is bytes or a chunk generator."""
+    def _encode(self, request: ExecutionRequest,
+                extra: Optional[Dict[str, object]] = None):
+        """Returns (headers, body) — body is bytes or a chunk generator.
+
+        ``extra`` merges additional wire fields into the request meta
+        (e.g. ``job_key`` for durable-job submission) on both the JSON
+        and the binary-grids encodings.
+        """
         headers = {"Accept": CONTENT_TYPE_GRIDS,
                    **auth_headers(self.auth_key)}
         grid_bytes = sum(grid.nbytes for grid in request.inputs)
         if grid_bytes < self.binary_threshold_bytes:
-            body = json.dumps(request.to_wire()).encode("utf-8")
+            wire = request.to_wire()
+            wire.update(extra or {})
+            body = json.dumps(wire).encode("utf-8")
             headers["Content-Type"] = CONTENT_TYPE_JSON
             headers["Content-Length"] = str(len(body))
             return headers, body
         meta = request.to_wire()
         meta.pop("inputs", None)
+        meta.update(extra or {})
         prefix, buffers = encode_grid_payload(meta, request.inputs)
         headers["Content-Type"] = CONTENT_TYPE_GRIDS
         # No Content-Length: the generator body makes http.client send
@@ -346,6 +431,77 @@ class HttpTransport(Transport):
             "GET", "/healthz", auth_headers(self.auth_key), None, timeout_s
         )
         return status == 200
+
+    # -- durable jobs --------------------------------------------------------
+    def _job_json(self, method: str, path: str, headers, body,
+                  timeout_s: float) -> Dict[str, object]:
+        """One job-route exchange that must come back 200 + JSON."""
+        status, _content_type, payload = self._roundtrip(
+            method, path, headers, body, timeout_s
+        )
+        try:
+            reply = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TransportError(f"malformed job response: {error}")
+        if status != 200 or not reply.get("ok", False):
+            raise _job_refused(reply)
+        return reply
+
+    def _job_headers(self) -> Dict[str, str]:
+        return {"Accept": CONTENT_TYPE_JSON, **auth_headers(self.auth_key)}
+
+    def job_submit(self, request: ExecutionRequest,
+                   job_key: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        extra: Dict[str, object] = {}
+        if job_key is not None:
+            extra["job_key"] = job_key
+        if checkpoint_every is not None:
+            extra["checkpoint_every"] = int(checkpoint_every)
+        headers, body = self._encode(request, extra=extra)
+        headers["Accept"] = CONTENT_TYPE_JSON
+        return self._job_json("POST", "/v1/jobs", headers, body,
+                              timeout_s)["job"]
+
+    def job_status(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        return self._job_json("GET", f"/v1/jobs/{job_id}",
+                              self._job_headers(), None, timeout_s)["job"]
+
+    def job_result(self, job_id: str, timeout_s: float = 30.0):
+        # Ask for the binary grids framing: the final grid travels as raw
+        # little-endian bytes with a per-buffer checksum, never as JSON.
+        headers = {"Accept": CONTENT_TYPE_GRIDS,
+                   **auth_headers(self.auth_key)}
+        status, content_type, payload = self._roundtrip(
+            "GET", f"/v1/jobs/{job_id}/result", headers, None, timeout_s
+        )
+        media = content_type.split(";")[0].strip().lower()
+        if status != 200 or media != CONTENT_TYPE_GRIDS:
+            # Refusals mirror the request's Accept: a grids-framed error
+            # meta when we asked for grids, JSON otherwise.
+            try:
+                if media == CONTENT_TYPE_GRIDS:
+                    reply, _grids = decode_grid_payload(payload)
+                else:
+                    reply = json.loads(payload.decode("utf-8"))
+            except Exception as error:  # noqa: BLE001 - malformed reply
+                raise TransportError(f"malformed job response: {error}")
+            raise _job_refused(reply)
+        meta, grids = decode_grid_payload(payload)
+        if not grids:
+            raise TransportError("job result carried no grid")
+        return meta.get("job", {}), np.asarray(grids[0], dtype=np.float64)
+
+    def job_cancel(self, job_id: str,
+                   timeout_s: float = 30.0) -> Dict[str, object]:
+        return self._job_json("DELETE", f"/v1/jobs/{job_id}",
+                              self._job_headers(), None, timeout_s)["job"]
+
+    def job_list(self, timeout_s: float = 30.0) -> List[Dict[str, object]]:
+        return self._job_json("GET", "/v1/jobs", self._job_headers(), None,
+                              timeout_s)["jobs"]
 
     def close(self) -> None:
         self._pool.close_all()

@@ -71,6 +71,9 @@ POINTS = (
     "plan.capture_fail",
     "replay.chunk_error",
     "store.locked",
+    "job.crash_after_checkpoint",
+    "job.checkpoint_corrupt",
+    "wire.payload_corrupt",
 )
 
 #: The hot-path guard.  ``False`` unless a schedule is armed.

@@ -1,4 +1,4 @@
-"""The HTTP transport: ``POST /v1/execute`` and ``POST /v1/iterate``.
+"""The HTTP transport: ``/v1/execute``, ``/v1/iterate``, and ``/v1/jobs``.
 
 A small asyncio HTTP/1.1 endpoint (same zero-dependency style as the
 telemetry sidecar, plus keep-alive and request bodies) that feeds the
@@ -18,9 +18,15 @@ Content negotiation, both directions:
 Admission outcomes map onto status codes: ``DeadlineExceeded`` → 504,
 ``AdmissionRejected`` → 429 (with a ``Retry-After`` header from
 ``retry_after_ms``), bad auth → 401, an oversized body → 413, a malformed
-request → 400.  The response body always carries the structured
+request → 400, an unknown job id → 404, a result requested before the job
+completed → 409.  The response body always carries the structured
 :class:`~repro.service.requests.ExecutionResponse` wire form, so HTTP and
 TCP clients see identical in-band information.
+
+The durable-job surface (:mod:`repro.service.jobs`): ``POST /v1/jobs``
+submits a checkpointed multi-timestep job (idempotent on ``job_key``),
+``GET /v1/jobs/<id>`` polls, ``GET /v1/jobs/<id>/result`` fetches the
+final grid, ``DELETE /v1/jobs/<id>`` cancels at the next segment boundary.
 """
 
 from __future__ import annotations
@@ -35,10 +41,13 @@ import numpy as np
 
 from ..core.serialize import program_from_dict
 from ..telemetry import registry as _telemetry
+from .jobs import JobError, JobNotFound
 from .requests import (
     ADMISSION_REJECTED,
     BAD_REQUEST,
+    CANCELLED,
     DEADLINE_EXCEEDED,
+    NOT_FOUND,
     REQUEST_TOO_LARGE,
     UNAUTHORIZED,
     ExecutionRequest,
@@ -68,8 +77,9 @@ _HTTP_REQUESTS_TOTAL = _telemetry.counter(
 
 _REASONS = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
             404: "Not Found", 405: "Method Not Allowed",
-            413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error", 504: "Gateway Timeout"}
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            504: "Gateway Timeout"}
 
 #: ``ExecutionResponse.code`` → HTTP status.
 _CODE_STATUS = {
@@ -78,6 +88,8 @@ _CODE_STATUS = {
     UNAUTHORIZED: 401,
     REQUEST_TOO_LARGE: 413,
     BAD_REQUEST: 400,
+    NOT_FOUND: 404,
+    CANCELLED: 409,
 }
 
 
@@ -98,13 +110,17 @@ def _status_for(response: ExecutionResponse) -> int:
     return _CODE_STATUS.get(response.code or "", 500)
 
 
-def request_from_body(content_type: str, body: bytes,
-                      steps_required: bool = False) -> ExecutionRequest:
-    """Decode one HTTP body into an :class:`ExecutionRequest`.
+def request_and_meta_from_body(
+    content_type: str, body: bytes, steps_required: bool = False
+) -> Tuple[ExecutionRequest, Dict[str, object]]:
+    """Decode one HTTP body into (request, raw metadata dict).
 
-    ``steps_required`` is the ``/v1/iterate`` contract: the body must name
-    ``steps`` explicitly (an iterate call without a step count is a client
-    bug, not a 1-step job).
+    The metadata dict is the JSON message (or binary header) as sent —
+    job routes read their extra fields (``job_key``, ``checkpoint_every``)
+    from it without those keys having to exist on
+    :class:`ExecutionRequest`.  ``steps_required`` is the ``/v1/iterate``
+    contract: the body must name ``steps`` explicitly (an iterate call
+    without a step count is a client bug, not a 1-step job).
     """
     media = content_type.split(";")[0].strip().lower()
     if media == CONTENT_TYPE_GRIDS:
@@ -117,7 +133,7 @@ def request_from_body(content_type: str, body: bytes,
                              "/v1/iterate requires 'steps' in the header")
         if not grids:
             # Generated-inputs form: benchmark + shape/seed in the header.
-            return ExecutionRequest.from_wire(meta)
+            return ExecutionRequest.from_wire(meta), meta
         program = meta.get("program")
         deadline_ms = meta.get("deadline_ms")
         return ExecutionRequest(
@@ -131,7 +147,7 @@ def request_from_body(content_type: str, body: bytes,
             priority=str(meta.get("priority", "normal")),
             deadline_ms=None if deadline_ms is None else float(deadline_ms),
             steps=int(meta.get("steps", 1)),
-        )
+        ), meta
     if media in (CONTENT_TYPE_JSON, ""):
         try:
             message = json.loads(body.decode("utf-8"))
@@ -142,9 +158,17 @@ def request_from_body(content_type: str, body: bytes,
         if steps_required and "steps" not in message:
             raise _HTTPError(400, BAD_REQUEST,
                              "/v1/iterate requires 'steps' in the body")
-        return ExecutionRequest.from_wire(message)
+        return ExecutionRequest.from_wire(message), message
     raise _HTTPError(400, BAD_REQUEST,
                      f"unsupported content type {media!r}")
+
+
+def request_from_body(content_type: str, body: bytes,
+                      steps_required: bool = False) -> ExecutionRequest:
+    """Decode one HTTP body into an :class:`ExecutionRequest`."""
+    request, _meta = request_and_meta_from_body(content_type, body,
+                                               steps_required)
+    return request
 
 
 def response_body(response: ExecutionResponse,
@@ -272,6 +296,113 @@ async def serve_http(
         await write_response(writer, status, content_type, prefix, buffers,
                              close=close)
 
+    async def write_job_json(writer: asyncio.StreamWriter, status: int,
+                             payload: Dict[str, object],
+                             close: bool = False) -> None:
+        body = json.dumps(payload).encode("utf-8") + b"\n"
+        await write_response(writer, status, CONTENT_TYPE_JSON, body, [],
+                             close=close)
+
+    async def handle_jobs(method: str, path: str, headers: Dict[str, str],
+                          body: bytes, writer: asyncio.StreamWriter,
+                          accept: str, keep_alive: bool) -> None:
+        """The durable-jobs surface.
+
+        ``POST /v1/jobs`` submits (same body forms as ``/v1/iterate``,
+        plus ``job_key`` — the idempotency token — and an optional
+        ``checkpoint_every``); ``GET /v1/jobs`` lists, ``GET
+        /v1/jobs/<id>`` polls status, ``GET /v1/jobs/<id>/result``
+        fetches the final grid (binary when ``Accept`` names the grid
+        framing), ``DELETE /v1/jobs/<id>`` cancels at the next segment
+        boundary.  Job manager calls hold a lock and may touch disk, so
+        every one runs off the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        close = not keep_alive
+        parts = [part for part in path.split("/") if part]  # v1/jobs/...
+        try:
+            if len(parts) == 2:
+                if method == "POST":
+                    request, meta = await loop.run_in_executor(
+                        None, request_and_meta_from_body,
+                        headers.get("content-type", ""), body,
+                    )
+                    checkpoint_every = meta.get("checkpoint_every")
+                    job = await loop.run_in_executor(
+                        None, lambda: service.jobs.submit(
+                            request,
+                            job_key=(str(meta["job_key"])
+                                     if meta.get("job_key") else None),
+                            checkpoint_every=(int(checkpoint_every)
+                                              if checkpoint_every else None),
+                        )
+                    )
+                    await write_job_json(writer, 200,
+                                         {"ok": True, "job": job},
+                                         close=close)
+                    return
+                if method == "GET":
+                    jobs = await loop.run_in_executor(
+                        None, service.jobs.list_jobs)
+                    await write_job_json(writer, 200,
+                                         {"ok": True, "jobs": jobs},
+                                         close=close)
+                    return
+                await write_error(writer, 405, BAD_REQUEST,
+                                  "/v1/jobs supports POST and GET", accept)
+                return
+            job_id = parts[2]
+            if len(parts) == 3 and method == "GET":
+                job = await loop.run_in_executor(None, service.jobs.status,
+                                                 job_id)
+                await write_job_json(writer, 200, {"ok": True, "job": job},
+                                     close=close)
+                return
+            if len(parts) == 3 and method == "DELETE":
+                job = await loop.run_in_executor(None, service.jobs.cancel,
+                                                 job_id)
+                await write_job_json(writer, 200, {"ok": True, "job": job},
+                                     close=close)
+                return
+            if len(parts) == 4 and parts[3] == "result" and method == "GET":
+                try:
+                    job, result = await loop.run_in_executor(
+                        None, service.jobs.result, job_id)
+                except JobNotFound:
+                    raise
+                except JobError as error:
+                    # Not completed (yet): a conflict with the job's
+                    # current state, not a malformed request.
+                    await write_error(writer, 409, CANCELLED, str(error),
+                                      accept)
+                    return
+                if CONTENT_TYPE_GRIDS in accept.lower():
+                    prefix, buffers = await loop.run_in_executor(
+                        None, encode_grid_payload,
+                        {"ok": True, "job": job},
+                        [np.asarray(result, dtype=np.float64)],
+                    )
+                    await write_response(writer, 200, CONTENT_TYPE_GRIDS,
+                                         prefix, buffers, close=close)
+                    return
+                payload = await loop.run_in_executor(
+                    None, lambda: {"ok": True, "job": job,
+                                   "result": np.asarray(result).tolist()})
+                await write_job_json(writer, 200, payload, close=close)
+                return
+            await write_error(writer, 404, NOT_FOUND,
+                              f"unknown job route {path!r}", accept)
+        except _HTTPError as error:
+            await write_error(writer, error.status, error.code, str(error),
+                              accept)
+        except JobNotFound as error:
+            await write_error(writer, 404, NOT_FOUND, str(error), accept)
+        except JobError as error:
+            await write_error(writer, 400, BAD_REQUEST, str(error), accept)
+        except Exception as error:  # noqa: BLE001 - malformed job payload
+            await write_error(writer, 400, BAD_REQUEST,
+                              f"{type(error).__name__}: {error}", accept)
+
     async def handle_one(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> bool:
         """Serve one request; returns False when the connection should close."""
@@ -296,6 +427,23 @@ async def serve_http(
             body = json.dumps({"status": "ok"}).encode("utf-8") + b"\n"
             await write_response(writer, 200, CONTENT_TYPE_JSON, body, [],
                                  close=not keep_alive)
+            return keep_alive
+        if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+            try:
+                body = await _read_body(reader, headers, max_request_bytes)
+            except _HTTPError as error:
+                if error.code == REQUEST_TOO_LARGE:
+                    _REJECTS_TOTAL.inc(label="too_large")
+                await write_error(writer, error.status, error.code,
+                                  str(error), accept, close=True)
+                return False
+            if not _authorized(headers, auth_key):
+                _REJECTS_TOTAL.inc(label="unauthorized")
+                await write_error(writer, 401, UNAUTHORIZED,
+                                  "missing or invalid auth key", accept)
+                return keep_alive
+            await handle_jobs(method, path, headers, body, writer, accept,
+                              keep_alive)
             return keep_alive
         if path not in ("/v1/execute", "/v1/iterate"):
             await write_error(writer, 404, BAD_REQUEST,
@@ -377,6 +525,7 @@ async def serve_http(
 
 
 __all__ = [
+    "request_and_meta_from_body",
     "request_from_body",
     "response_body",
     "serve_http",

@@ -1,0 +1,847 @@
+"""Durable multi-timestep jobs: checkpointed execution and crash recovery.
+
+A ``steps > 1`` request served synchronously is all-or-nothing: if the
+server dies at step T-1 of a 10k-step Hotspot trajectory, every step is
+lost.  This module makes the *work itself* durable.  Submitting a job
+returns an id immediately; a :class:`JobManager` worker executes the
+trajectory in ``checkpoint_every``-step **segments** through the same
+double-buffered plan path the synchronous route uses
+(:meth:`~repro.backend.base.NumpyBackend.iterate_state`), and after each
+segment atomically persists a checkpoint under ``job_dir``:
+
+.. code-block:: text
+
+    <job_dir>/<job_id>/
+        job.json            manifest: status, steps, completed, deadline, …
+        ckpt-00000007.rpg   RPG1-framed carry state after step 7
+        ckpt-00000014.rpg   (the newest two checkpoints are kept)
+        result.rpg          final grid, written on completion
+
+Checkpoints reuse the RPG1 wire framing (:mod:`repro.service.wire`), so
+every carry buffer carries a per-buffer sha256 — plus one whole-checkpoint
+``sha256`` over the canonical manifest fields and the concatenated grid
+bytes, so a flipped bit in either metadata or data is detected at load.
+Writes are write-tmp → flush → fsync → rename → fsync(dir), so a crash at
+any instant leaves either the old complete checkpoint or the new complete
+checkpoint, never a torn one.
+
+**Recovery**: :meth:`JobManager.recover` (run at server startup) scans the
+job dir; incomplete jobs resume from their newest *valid* checkpoint —
+checkpoints that fail checksum validation are discarded (counted in
+``repro_job_corrupt_checkpoints_total``) and the previous one is used.
+Because segment boundaries replay through the same plan tapes with the
+same carry values, a resumed trajectory is **bit-identical** to an
+uninterrupted run (property-tested per suite app in
+``tests/service/test_jobs.py``).  A step-0 checkpoint is written at submit
+time,
+so even a crash before the first segment completes loses nothing.
+
+**Idempotency**: clients supply a ``job_key`` (the client library
+generates a uuid4 before the first attempt); re-submitting the same key —
+e.g. a retry after an ambiguous transport failure, or after a server
+restart — returns the existing job instead of starting a second
+trajectory.
+
+**Bounded retention**: terminal jobs older than ``job_ttl_s`` are purged
+(memory and disk); at most ``max_resident`` completed results stay
+resident in memory (the ``repro_jobs_resident_results`` gauge), older ones
+are dropped to disk and reloaded on demand.
+
+Fault points (:mod:`repro.faults`): ``job.crash_after_checkpoint``
+abandons the worker right after a checkpoint persists — on-disk state is
+exactly what a ``kill -9`` leaves — and ``job.checkpoint_corrupt`` flips a
+byte of a checkpoint *after* its checksums were computed, which is how the
+corrupt-fallback path is tested end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import shutil
+import threading
+import time
+import uuid
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import faults as _faults
+from ..apps.base import squeeze_result
+from ..backend.plan import normalize_carry
+from ..telemetry import registry as _telemetry
+from .requests import (
+    CANCELLED,
+    DEADLINE_EXCEEDED,
+    NOT_FOUND,
+    ExecutionRequest,
+    ServiceError,
+)
+from .wire import WireFormatError, decode_grid_payload, encode_grid_payload
+
+log = logging.getLogger("repro.service.jobs")
+
+_SUBMITS_TOTAL = _telemetry.counter(
+    "repro_job_submits_total", "Durable jobs accepted (idempotent-deduped "
+    "re-submits are not counted).")
+_CHECKPOINTS_TOTAL = _telemetry.counter(
+    "repro_job_checkpoints_total", "Job checkpoints atomically persisted.")
+_RESUMES_TOTAL = _telemetry.counter(
+    "repro_job_resumes_total", "Incomplete jobs resumed from a checkpoint "
+    "after a restart.")
+_COMPLETIONS_TOTAL = _telemetry.counter(
+    "repro_job_completions_total", "Jobs that ran to completion.")
+_FAILURES_TOTAL = _telemetry.counter(
+    "repro_job_failures_total", "Jobs that terminated with an error "
+    "(including mid-trajectory deadline sheds).")
+_CANCELLATIONS_TOTAL = _telemetry.counter(
+    "repro_job_cancellations_total", "Jobs cancelled between segments.")
+_CORRUPT_CHECKPOINTS_TOTAL = _telemetry.counter(
+    "repro_job_corrupt_checkpoints_total",
+    "Checkpoints discarded at recovery because checksum validation failed.")
+_RESULTS_EVICTED_TOTAL = _telemetry.counter(
+    "repro_job_results_evicted_total",
+    "Resident job results evicted by the max-resident bound (still "
+    "servable from disk when a job dir is configured).")
+_CHECKPOINT_SECONDS = _telemetry.histogram(
+    "repro_job_checkpoint_seconds",
+    "Wall time to persist one job checkpoint (encode + fsync + rename).")
+
+#: Job lifecycle states.  ``queued`` and ``running`` are recoverable;
+#: ``completed`` / ``failed`` / ``cancelled`` are terminal.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+TERMINAL = (COMPLETED, FAILED, JOB_CANCELLED)
+
+_MANIFEST = "job.json"
+_RESULT = "result.rpg"
+_CKPT_PREFIX = "ckpt-"
+_CKPT_SUFFIX = ".rpg"
+
+
+class JobError(ServiceError):
+    """A job operation failed (bad submission, wrong state)."""
+
+
+class JobNotFound(JobError):
+    """No job with that id (or it aged out past the TTL)."""
+
+
+class JobIntegrityError(JobError):
+    """A checkpoint or result file failed checksum validation."""
+
+
+# ---------------------------------------------------------------------------
+# Framing: RPG1 payloads with a whole-file integrity hash
+# ---------------------------------------------------------------------------
+
+def _frame(meta: Dict[str, object], grids: List[np.ndarray]) -> bytes:
+    """RPG1-frame ``meta`` + ``grids`` with a whole-payload sha256.
+
+    The hash covers the canonical JSON of ``meta`` (sorted keys, before the
+    ``sha256`` field is added) followed by every grid's raw bytes — so a
+    flipped bit in *either* the metadata (step index, digest) or the data
+    fails validation, independently of the per-buffer hashes the RPG1
+    descriptors already carry.
+    """
+    digest = hashlib.sha256(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for grid in grids:
+        digest.update(np.ascontiguousarray(grid).tobytes())
+    framed = dict(meta)
+    framed["sha256"] = digest.hexdigest()
+    prefix, buffers = encode_grid_payload(framed, grids)
+    return prefix + b"".join(bytes(buffer) for buffer in buffers)
+
+
+def _unframe(data: bytes) -> Tuple[Dict[str, object], List[np.ndarray]]:
+    """Decode + validate a framed payload; raises :class:`JobIntegrityError`."""
+    try:
+        meta, grids = decode_grid_payload(data)
+    except WireFormatError as error:
+        raise JobIntegrityError(str(error)) from error
+    expected = meta.pop("sha256", None)
+    if expected is None:
+        raise JobIntegrityError("payload carries no integrity hash")
+    digest = hashlib.sha256(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for grid in grids:
+        digest.update(np.ascontiguousarray(grid).tobytes())
+    if digest.hexdigest() != str(expected):
+        raise JobIntegrityError(
+            f"payload checksum mismatch (expected {expected}, "
+            f"got {digest.hexdigest()})")
+    return meta, grids
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """write-tmp → flush → fsync → rename → fsync(dir): crash-atomic."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class _InjectedCrash(BaseException):
+    """``job.crash_after_checkpoint`` fired: abandon the worker *without*
+    recording a failure, leaving on-disk state exactly as process death
+    would.  BaseException so ordinary ``except Exception`` failure
+    accounting does not catch it."""
+
+
+# ---------------------------------------------------------------------------
+# Job records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Job:
+    """One durable job's in-memory record (mirrors ``job.json``)."""
+
+    job_id: str
+    job_key: str
+    benchmark: str
+    steps: int
+    checkpoint_every: int
+    shape: Tuple[int, ...]
+    num_inputs: int
+    size_env: Dict[str, int] = field(default_factory=dict)
+    priority: str = "normal"
+    deadline_at: Optional[float] = None       # absolute wall clock (epoch s)
+    digest: str = ""
+    status: str = QUEUED
+    completed_steps: int = 0
+    error: Optional[str] = None
+    code: Optional[str] = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    resumes: int = 0
+    #: In-memory carry state (the inputs of the next step) and result.
+    state: Optional[List[np.ndarray]] = None
+    result: Optional[np.ndarray] = None
+    cancel_requested: bool = False
+
+    def manifest(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "job_key": self.job_key,
+            "benchmark": self.benchmark,
+            "steps": self.steps,
+            "checkpoint_every": self.checkpoint_every,
+            "shape": list(self.shape),
+            "num_inputs": self.num_inputs,
+            "size_env": dict(self.size_env),
+            "priority": self.priority,
+            "deadline_at": self.deadline_at,
+            "digest": self.digest,
+            "status": self.status,
+            "completed_steps": self.completed_steps,
+            "error": self.error,
+            "code": self.code,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "resumes": self.resumes,
+        }
+
+    @staticmethod
+    def from_manifest(data: Dict[str, object]) -> "Job":
+        return Job(
+            job_id=str(data["job_id"]),
+            job_key=str(data.get("job_key") or data["job_id"]),
+            benchmark=str(data["benchmark"]),
+            steps=int(data["steps"]),
+            checkpoint_every=int(data.get("checkpoint_every", 1)),
+            shape=tuple(int(n) for n in data.get("shape") or ()),
+            num_inputs=int(data.get("num_inputs", 1)),
+            size_env={str(k): int(v)
+                      for k, v in dict(data.get("size_env") or {}).items()},
+            priority=str(data.get("priority", "normal")),
+            deadline_at=(None if data.get("deadline_at") is None
+                         else float(data["deadline_at"])),
+            digest=str(data.get("digest", "")),
+            status=str(data.get("status", QUEUED)),
+            completed_steps=int(data.get("completed_steps", 0)),
+            error=data.get("error"),
+            code=data.get("code"),
+            created_at=float(data.get("created_at", 0.0)),
+            updated_at=float(data.get("updated_at", 0.0)),
+            resumes=int(data.get("resumes", 0)),
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """The wire/status view of this job."""
+        return {
+            "job_id": self.job_id,
+            "job_key": self.job_key,
+            "benchmark": self.benchmark,
+            "status": self.status,
+            "steps": self.steps,
+            "completed_steps": self.completed_steps,
+            "checkpoint_every": self.checkpoint_every,
+            "priority": self.priority,
+            "resumes": self.resumes,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "error": self.error,
+            "code": self.code,
+        }
+
+
+#: ``resolve(benchmark, shape, size_env) -> (program, carry_spec, digest)``.
+Resolver = Callable[[str, Tuple[int, ...], Dict[str, int]],
+                    Tuple[object, Optional[Tuple], str]]
+
+
+def suite_resolver(benchmark: str, shape: Tuple[int, ...],
+                   size_env: Dict[str, int]):
+    """The default resolver: the benchmark suite's program + carry spec."""
+    from ..apps.suite import get_benchmark
+    from ..core.ir import structural_digest
+
+    bench = get_benchmark(benchmark)
+    program = bench.build_program()
+    return program, bench.carry_spec(), structural_digest(program)
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+class JobManager:
+    """Executes, checkpoints, recovers, and retires durable jobs.
+
+    Thread-safe: submissions and status/result/cancel queries may come
+    from any thread (the event loop, HTTP handlers, tests); one background
+    worker thread drains the job queue so trajectory execution never
+    blocks the caller.  ``job_dir=None`` runs memory-only (no durability
+    across restarts, same segmented semantics) — the mode unit tests use
+    for the deadline/cancel/TTL behaviours that don't need a disk.
+    """
+
+    def __init__(
+        self,
+        backend,
+        resolve: Optional[Resolver] = None,
+        job_dir: Optional[str] = None,
+        checkpoint_every: int = 16,
+        job_ttl_s: float = 3600.0,
+        max_resident: int = 64,
+        keep_checkpoints: int = 2,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise JobError("checkpoint_every must be >= 1")
+        if keep_checkpoints < 1:
+            raise JobError("keep_checkpoints must be >= 1")
+        self.backend = backend
+        self.resolve: Resolver = resolve if resolve is not None else suite_resolver
+        self.job_dir = Path(job_dir) if job_dir else None
+        self.checkpoint_every = int(checkpoint_every)
+        self.job_ttl_s = float(job_ttl_s)
+        self.max_resident = int(max_resident)
+        self.keep_checkpoints = int(keep_checkpoints)
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: Deque[str] = deque()
+        self._closed = False
+        self._worker: Optional[threading.Thread] = None
+        # Operational counters (scraped via the service stats section).
+        self.checkpoints_written = 0
+        self.jobs_resumed = 0
+        self.corrupt_checkpoints = 0
+        self.results_evicted = 0
+        if self.job_dir is not None:
+            self.job_dir.mkdir(parents=True, exist_ok=True)
+        self._register_gauge()
+
+    # -- gauges ---------------------------------------------------------------
+    def _register_gauge(self) -> None:
+        manager_ref = weakref.ref(self)
+
+        def resident() -> float:
+            manager = manager_ref()
+            if manager is None:
+                return 0.0
+            with manager._lock:
+                return float(sum(
+                    1 for job in manager._jobs.values()
+                    if job.result is not None
+                ))
+
+        _telemetry.gauge(
+            "repro_jobs_resident_results",
+            "Completed job results currently resident in memory.",
+            fn=resident,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-jobs", daemon=True)
+            self._worker.start()
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the worker (in-flight segment finishes; queue is left)."""
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=timeout_s)
+            self._worker = None
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, request: ExecutionRequest,
+               job_key: Optional[str] = None,
+               checkpoint_every: Optional[int] = None) -> Dict[str, object]:
+        """Accept a job; returns its descriptor immediately.
+
+        Idempotent on ``job_key``: a key already known (in memory or on
+        disk, including across a restart) returns the existing job's
+        descriptor without starting a second trajectory — which is what
+        makes client retries safe even after ambiguous transport failures.
+        """
+        if request.benchmark is None:
+            raise JobError("durable jobs require a benchmark-keyed request "
+                           "(program-carrying jobs cannot be re-resolved "
+                           "after a restart)")
+        self._sweep()
+        key = str(job_key) if job_key else uuid.uuid4().hex
+        with self._lock:
+            existing = self._by_key.get(key)
+            if existing is not None and existing in self._jobs:
+                return self._jobs[existing].describe()
+            now = time.time()
+            job = Job(
+                job_id=uuid.uuid4().hex[:16],
+                job_key=key,
+                benchmark=request.benchmark,
+                steps=request.steps,
+                checkpoint_every=int(checkpoint_every
+                                     or self.checkpoint_every),
+                shape=tuple(request.inputs[0].shape) if request.inputs else (),
+                num_inputs=len(request.inputs),
+                size_env=dict(request.size_env or {}),
+                priority=request.priority,
+                deadline_at=(now + request.deadline_ms / 1e3
+                             if request.deadline_ms is not None else None),
+                status=QUEUED,
+                created_at=now,
+                updated_at=now,
+                state=[np.asarray(grid, dtype=np.float64)
+                       for grid in request.inputs],
+            )
+            if job.checkpoint_every < 1:
+                raise JobError("checkpoint_every must be >= 1")
+            try:
+                _, _, job.digest = self.resolve(job.benchmark, job.shape,
+                                                job.size_env)
+            except Exception as error:
+                raise JobError(f"cannot resolve job program: {error}")
+            # The step-0 checkpoint: a crash before the first segment
+            # completes must still be recoverable from disk.
+            self._persist_checkpoint(job)
+            self._persist_manifest(job)
+            self._jobs[job.job_id] = job
+            self._by_key[key] = job.job_id
+            self._queue.append(job.job_id)
+            _SUBMITS_TOTAL.inc()
+            self._wake.notify_all()
+        self._ensure_worker()
+        return job.describe()
+
+    # -- queries --------------------------------------------------------------
+    def _get(self, job_id: str) -> Job:
+        job = self._jobs.get(str(job_id))
+        if job is None:
+            raise JobNotFound(f"no job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        self._sweep()
+        with self._lock:
+            return self._get(job_id).describe()
+
+    def result(self, job_id: str) -> Tuple[Dict[str, object], np.ndarray]:
+        """The completed job's descriptor + final grid.
+
+        Raises :class:`JobError` while the job is still queued/running and
+        :class:`JobNotFound` after it aged out.  Evicted results are
+        reloaded (and checksum-validated) from disk.
+        """
+        self._sweep()
+        with self._lock:
+            job = self._get(job_id)
+            if job.status != COMPLETED:
+                raise JobError(
+                    f"job {job_id} is {job.status}, not completed"
+                    + (f": {job.error}" if job.error else ""))
+            if job.result is None:
+                job.result = self._load_result(job)
+            self._evict_residents(keep=job.job_id)
+            return job.describe(), job.result
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Request cancellation; takes effect at the next segment boundary.
+
+        A still-queued job is cancelled immediately; a terminal job is
+        returned unchanged (cancel is idempotent).
+        """
+        with self._lock:
+            job = self._get(job_id)
+            if job.status in TERMINAL:
+                return job.describe()
+            job.cancel_requested = True
+            if job.status == QUEUED:
+                self._finish(job, JOB_CANCELLED, error="cancelled by client",
+                             code=CANCELLED)
+            return job.describe()
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        self._sweep()
+        with self._lock:
+            return [job.describe() for job in self._jobs.values()]
+
+    def wait(self, job_id: str, timeout_s: float = 30.0) -> Dict[str, object]:
+        """Block until the job reaches a terminal state (test helper)."""
+        deadline = time.monotonic() + timeout_s
+        with self._wake:
+            while True:
+                job = self._get(job_id)
+                if job.status in TERMINAL:
+                    return job.describe()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JobError(f"timed out waiting for job {job_id}")
+                self._wake.wait(timeout=min(remaining, 0.5))
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "jobs": by_status,
+                "queue_depth": len(self._queue),
+                "checkpoints_written": self.checkpoints_written,
+                "jobs_resumed": self.jobs_resumed,
+                "corrupt_checkpoints": self.corrupt_checkpoints,
+                "results_evicted": self.results_evicted,
+                "resident_results": sum(
+                    1 for job in self._jobs.values()
+                    if job.result is not None),
+                "checkpoint_every": self.checkpoint_every,
+                "job_ttl_s": self.job_ttl_s,
+                "max_resident": self.max_resident,
+                "job_dir": str(self.job_dir) if self.job_dir else None,
+            }
+
+    # -- recovery -------------------------------------------------------------
+    def recover(self) -> int:
+        """Scan the job dir; resume incomplete jobs; return how many.
+
+        Completed/failed/cancelled jobs are re-registered (results stay on
+        disk until asked for).  Incomplete jobs load their newest *valid*
+        checkpoint — corrupt ones are discarded with a counter bump and
+        the previous one is tried; a job with no valid checkpoint at all
+        is failed, never silently re-run from scratch.
+        """
+        if self.job_dir is None:
+            return 0
+        resumed = 0
+        for manifest_path in sorted(self.job_dir.glob(f"*/{_MANIFEST}")):
+            try:
+                job = Job.from_manifest(
+                    json.loads(manifest_path.read_text(encoding="utf-8")))
+            except (OSError, ValueError, KeyError) as error:
+                log.warning("skipping unreadable job manifest %s: %s",
+                            manifest_path, error)
+                continue
+            with self._lock:
+                if job.job_id in self._jobs:
+                    continue
+                self._jobs[job.job_id] = job
+                self._by_key[job.job_key] = job.job_id
+                if job.status in TERMINAL:
+                    continue
+                loaded = self._load_latest_checkpoint(job)
+                if loaded is None:
+                    self._finish(job, FAILED,
+                                 error="no valid checkpoint survived; "
+                                       "refusing to silently re-run")
+                    continue
+                step, state = loaded
+                job.completed_steps = step
+                job.state = state
+                job.status = QUEUED
+                job.resumes += 1
+                self.jobs_resumed += 1
+                _RESUMES_TOTAL.inc()
+                self._persist_manifest(job)
+                self._queue.append(job.job_id)
+                self._wake.notify_all()
+                resumed += 1
+                log.info("resuming job %s (%s) from step %d/%d",
+                         job.job_id, job.benchmark, step, job.steps)
+        if resumed:
+            self._ensure_worker()
+        self._sweep()
+        return resumed
+
+    # -- execution ------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait(timeout=0.5)
+                if self._closed:
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs.get(job_id)
+                if job is None or job.status != QUEUED:
+                    continue
+                job.status = RUNNING
+                job.updated_at = time.time()
+                self._persist_manifest(job)
+            try:
+                self._run_job(job)
+            except _InjectedCrash:
+                # Simulated process death: leave the job exactly as a real
+                # crash would (manifest still "running", newest checkpoint
+                # on disk) and abandon this worker thread.  recover() is
+                # what brings the job back.
+                log.warning("job %s: injected crash after checkpoint",
+                            job.job_id)
+                return
+            except Exception as error:  # noqa: BLE001 - recorded per job
+                with self._lock:
+                    self._finish(job, FAILED,
+                                 error=f"{type(error).__name__}: {error}")
+
+    def _run_job(self, job: Job) -> None:
+        program, carry, digest = self.resolve(job.benchmark, job.shape,
+                                              job.size_env)
+        if job.digest and digest and job.digest != digest:
+            with self._lock:
+                self._finish(job, FAILED,
+                             error=f"program digest changed across restart "
+                                   f"({job.digest[:12]} -> {digest[:12]}); "
+                                   "refusing to resume")
+            return
+        spec = normalize_carry(carry, job.num_inputs)
+        state = job.state
+        if state is None:
+            raise JobError(f"job {job.job_id} has no carry state")
+        while job.completed_steps < job.steps:
+            if job.cancel_requested:
+                with self._lock:
+                    self._finish(job, JOB_CANCELLED,
+                                 error="cancelled by client", code=CANCELLED)
+                return
+            if job.deadline_at is not None and time.time() >= job.deadline_at:
+                # The mid-trajectory shed: stop burning steps the moment
+                # the deadline passes a segment boundary.
+                with self._lock:
+                    self._finish(
+                        job, FAILED,
+                        error=f"deadline exceeded after "
+                              f"{job.completed_steps}/{job.steps} steps",
+                        code=DEADLINE_EXCEEDED)
+                return
+            segment = min(job.checkpoint_every,
+                          job.steps - job.completed_steps)
+            _, state = self.backend.iterate_state(
+                program, state, segment, carry=carry,
+                size_env=job.size_env or None)
+            with self._lock:
+                job.state = state
+                job.completed_steps += segment
+                job.updated_at = time.time()
+                self._persist_checkpoint(job)
+                self._persist_manifest(job)
+            if _faults.ARMED and _faults.should_fail(
+                    "job.crash_after_checkpoint"):
+                raise _InjectedCrash()
+        # The final output is the carry slot the spec feeds it back into
+        # (normalize_carry guarantees one exists) — identical to the array
+        # iterate() would have returned, so resume-at-completion needs no
+        # separately persisted per-segment output.
+        out = state[spec.index("out")]
+        result = squeeze_result(np.asarray(out, dtype=np.float64))
+        with self._lock:
+            job.result = result
+            self._persist_result(job, result)
+            self._finish(job, COMPLETED)
+            self._evict_residents(keep=job.job_id)
+
+    def _finish(self, job: Job, status: str, error: Optional[str] = None,
+                code: Optional[str] = None) -> None:
+        """Move a job to a terminal state (caller holds the lock)."""
+        job.status = status
+        job.error = error
+        job.code = code
+        job.updated_at = time.time()
+        if status != COMPLETED:
+            job.state = None
+        self._persist_manifest(job)
+        if status == COMPLETED:
+            _COMPLETIONS_TOTAL.inc()
+        elif status == JOB_CANCELLED:
+            _CANCELLATIONS_TOTAL.inc()
+        else:
+            _FAILURES_TOTAL.inc()
+        self._wake.notify_all()
+
+    # -- persistence ----------------------------------------------------------
+    def _dir_for(self, job: Job) -> Optional[Path]:
+        if self.job_dir is None:
+            return None
+        path = self.job_dir / job.job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def _persist_manifest(self, job: Job) -> None:
+        directory = self._dir_for(job)
+        if directory is None:
+            return
+        _atomic_write(directory / _MANIFEST,
+                      json.dumps(job.manifest(), indent=2).encode("utf-8"))
+
+    def _persist_checkpoint(self, job: Job) -> None:
+        directory = self._dir_for(job)
+        if directory is None or job.state is None:
+            return
+        started = time.perf_counter()
+        meta = {
+            "job_id": job.job_id,
+            "step": job.completed_steps,
+            "steps": job.steps,
+            "digest": job.digest,
+            "benchmark": job.benchmark,
+        }
+        data = _frame(meta, job.state)
+        if _faults.ARMED and _faults.should_fail("job.checkpoint_corrupt"):
+            # Flip one byte of the *body* after every checksum was
+            # computed: recovery must detect this and fall back.
+            corrupted = bytearray(data)
+            corrupted[-1] ^= 0xFF
+            data = bytes(corrupted)
+        path = directory / f"{_CKPT_PREFIX}{job.completed_steps:08d}{_CKPT_SUFFIX}"
+        _atomic_write(path, data)
+        self.checkpoints_written += 1
+        _CHECKPOINTS_TOTAL.inc()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+        for stale in self._checkpoints(directory)[:-self.keep_checkpoints]:
+            stale.unlink(missing_ok=True)
+
+    @staticmethod
+    def _checkpoints(directory: Path) -> List[Path]:
+        return sorted(directory.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}"))
+
+    def _load_latest_checkpoint(
+        self, job: Job
+    ) -> Optional[Tuple[int, List[np.ndarray]]]:
+        directory = self.job_dir / job.job_id if self.job_dir else None
+        if directory is None or not directory.is_dir():
+            return None
+        for path in reversed(self._checkpoints(directory)):
+            try:
+                meta, grids = _unframe(path.read_bytes())
+            except (OSError, JobIntegrityError) as error:
+                self.corrupt_checkpoints += 1
+                _CORRUPT_CHECKPOINTS_TOTAL.inc()
+                log.warning("discarding corrupt checkpoint %s: %s",
+                            path, error)
+                path.unlink(missing_ok=True)
+                continue
+            if str(meta.get("job_id")) != job.job_id:
+                continue
+            if len(grids) != job.num_inputs:
+                self.corrupt_checkpoints += 1
+                _CORRUPT_CHECKPOINTS_TOTAL.inc()
+                continue
+            return int(meta["step"]), grids
+        return None
+
+    def _persist_result(self, job: Job, result: np.ndarray) -> None:
+        directory = self._dir_for(job)
+        if directory is None:
+            return
+        meta = {"job_id": job.job_id, "steps": job.steps,
+                "digest": job.digest, "benchmark": job.benchmark}
+        _atomic_write(directory / _RESULT, _frame(meta, [result]))
+
+    def _load_result(self, job: Job) -> np.ndarray:
+        directory = self.job_dir / job.job_id if self.job_dir else None
+        path = directory / _RESULT if directory is not None else None
+        if path is None or not path.is_file():
+            raise JobError(f"job {job.job_id}'s result is no longer resident "
+                           "and no job dir holds it")
+        meta, grids = _unframe(path.read_bytes())
+        if str(meta.get("job_id")) != job.job_id or len(grids) != 1:
+            raise JobIntegrityError(
+                f"result file for {job.job_id} names job "
+                f"{meta.get('job_id')!r}")
+        return grids[0]
+
+    # -- retention ------------------------------------------------------------
+    def _evict_residents(self, keep: Optional[str] = None) -> None:
+        """Bound resident results to ``max_resident`` (caller holds lock)."""
+        residents = [job for job in self._jobs.values()
+                     if job.result is not None and job.job_id != keep]
+        overflow = (len(residents) + (1 if keep is not None else 0)
+                    - self.max_resident)
+        if overflow <= 0:
+            return
+        residents.sort(key=lambda job: job.updated_at)
+        for job in residents[:overflow]:
+            job.result = None
+            self.results_evicted += 1
+            _RESULTS_EVICTED_TOTAL.inc()
+
+    def _sweep(self) -> None:
+        """Drop terminal jobs older than the TTL (memory + disk)."""
+        now = time.time()
+        with self._lock:
+            expired = [
+                job for job in self._jobs.values()
+                if job.status in TERMINAL
+                and now - job.updated_at > self.job_ttl_s
+            ]
+            for job in expired:
+                self._jobs.pop(job.job_id, None)
+                if self._by_key.get(job.job_key) == job.job_id:
+                    self._by_key.pop(job.job_key, None)
+                if self.job_dir is not None:
+                    shutil.rmtree(self.job_dir / job.job_id,
+                                  ignore_errors=True)
+
+
+__all__ = [
+    "COMPLETED",
+    "FAILED",
+    "JOB_CANCELLED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL",
+    "Job",
+    "JobError",
+    "JobIntegrityError",
+    "JobManager",
+    "JobNotFound",
+    "suite_resolver",
+]

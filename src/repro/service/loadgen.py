@@ -1157,20 +1157,287 @@ def check_chaos(report: Dict[str, object],
     return problems
 
 
+# ---------------------------------------------------------------------------
+# Job-durability drill: SIGKILL the server mid-job, restart, assert recovery
+# ---------------------------------------------------------------------------
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _scrape_metric(host: str, port: int, name: str) -> Optional[float]:
+    """One unlabelled sample from the telemetry sidecar's ``/metrics``."""
+    import urllib.request
+
+    with urllib.request.urlopen(f"http://{host}:{port}/metrics",
+                                timeout=10) as response:
+        text = response.read().decode("utf-8")
+    for line in text.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[1])
+    return None
+
+
+def _spawn_serve(host: str, ports: Dict[str, int], job_dir: str,
+                 checkpoint_every: int, auth_key: Optional[str],
+                 log_path: str):
+    """One ``repro serve`` subprocess configured for durable jobs."""
+    import subprocess
+    import sys
+
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", host,
+        "--port", str(ports["tcp"]),
+        "--http-port", str(ports["http"]),
+        "--metrics-port", str(ports["metrics"]),
+        "--no-store",
+        "--window-ms", "1",
+        "--job-dir", job_dir,
+        "--checkpoint-every", str(checkpoint_every),
+        "--log-level", "info",
+    ]
+    if auth_key:
+        argv += ["--auth-key", auth_key]
+    log_file = open(log_path, "ab")
+    try:
+        return subprocess.Popen(argv, stdout=log_file, stderr=log_file)
+    finally:
+        log_file.close()
+
+
+def _wait_ready(make_client, timeout_s: float = 30.0):
+    """A client whose endpoint answers ping, or raise after ``timeout_s``."""
+    deadline = time.monotonic() + timeout_s
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        client = make_client()
+        try:
+            if client.ping(timeout_s=2.0):
+                return client
+        except Exception as error:  # noqa: BLE001 - still booting
+            last_error = error
+        client.close()
+        time.sleep(0.05)
+    raise RuntimeError(f"server did not become ready within {timeout_s:g}s "
+                       f"(last error: {last_error})")
+
+
+def run_job_drill(
+    benchmark: str = "heat",
+    steps: int = 512,
+    checkpoint_every: int = 8,
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    job_dir: Optional[str] = None,
+    auth_key: Optional[str] = "drill-key",
+    kill_after_steps: Optional[int] = None,
+    timeout_s: float = 180.0,
+    host: str = "127.0.0.1",
+) -> Dict[str, object]:
+    """The durability drill: kill -9 a server mid-job, restart, verify.
+
+    A ``repro serve`` subprocess (authenticated HTTP + durable jobs under
+    a fresh ``--job-dir``) receives one long checkpointed job; once its
+    status shows at least ``kill_after_steps`` completed (default: one
+    checkpoint segment) the server is SIGKILLed — no drain, no flush, the
+    exact failure the checkpoint format exists for.  A second server is
+    started on the same ports with the same ``--job-dir``; the drill then
+    asserts the job **resumed** (``resumes == 1``, never restarted from
+    step 0), **completed**, and produced a final grid **bit-identical** to
+    the uninterrupted local ``benchmark.iterate`` reference, and that the
+    restarted server's ``/metrics`` shows ``repro_job_checkpoints_total
+    >= 1`` and ``repro_job_resumes_total == 1``.
+    """
+    import shutil
+    import tempfile
+
+    from ..client import ClientConfig, StencilClient
+
+    bench = get_benchmark(benchmark)
+    shape = tuple(shape
+                  or tuple(min(extent, 64) for extent in bench.default_shape))
+    inputs = bench.make_inputs(shape, seed)
+    expected = np.asarray(bench.iterate(inputs, steps), dtype=np.float64)
+    kill_after = int(kill_after_steps or checkpoint_every)
+
+    owns_dir = job_dir is None
+    job_dir = job_dir or tempfile.mkdtemp(prefix="repro-job-drill-")
+    ports = {"tcp": _free_port(), "http": _free_port(),
+             "metrics": _free_port()}
+    log_path = os.path.join(job_dir, "serve.log")
+    problems: List[str] = []
+    report: Dict[str, object] = {
+        "benchmark": benchmark,
+        "steps": steps,
+        "checkpoint_every": checkpoint_every,
+        "shape": list(shape),
+        "job_dir": job_dir,
+        "server_log": log_path,
+        "authenticated": bool(auth_key),
+    }
+
+    def make_client() -> StencilClient:
+        return StencilClient(ClientConfig(host=host, port=ports["http"],
+                                          transport="http",
+                                          auth_key=auth_key))
+
+    started = time.perf_counter()
+    server = _spawn_serve(host, ports, job_dir, checkpoint_every, auth_key,
+                          log_path)
+    try:
+        client = _wait_ready(make_client)
+        try:
+            request = ExecutionRequest(
+                inputs=[np.array(grid) for grid in inputs],
+                benchmark=benchmark, steps=steps,
+            )
+            job = client.submit_job(request,
+                                    checkpoint_every=checkpoint_every)
+            job_id = str(job["job_id"])
+            report["job_id"] = job_id
+            # Wait for the first durable progress, then pull the plug.
+            completed_at_kill = 0
+            kill_deadline = time.monotonic() + timeout_s
+            while True:
+                status = client.job_status(job_id)
+                completed_at_kill = int(status.get("completed_steps") or 0)
+                if status.get("status") not in ("queued", "running"):
+                    problems.append(
+                        f"job reached {status.get('status')!r} before the "
+                        "kill — grow --steps or shrink --checkpoint-every")
+                    break
+                if completed_at_kill >= kill_after:
+                    break
+                if time.monotonic() > kill_deadline:
+                    problems.append(
+                        f"no checkpointed progress within {timeout_s:g}s")
+                    break
+                time.sleep(0.01)
+        finally:
+            client.close()
+        report["completed_steps_at_kill"] = completed_at_kill
+        log.info("job drill: SIGKILL server (pid %d) at %d/%d steps",
+                 server.pid, completed_at_kill, steps)
+        os.kill(server.pid, signal.SIGKILL)
+        server.wait(timeout=30)
+
+        # The restart: same ports, same --job-dir, nothing else carried over.
+        server = _spawn_serve(host, ports, job_dir, checkpoint_every,
+                              auth_key, log_path)
+        client = _wait_ready(make_client)
+        try:
+            final = client.wait_job(job_id, timeout_s=timeout_s)
+            report["final_status"] = final.get("status")
+            report["resumes"] = int(final.get("resumes") or 0)
+            report["completed_steps"] = int(final.get("completed_steps") or 0)
+            if final.get("status") == "completed":
+                _job, result = client.job_result(job_id)
+                report["bit_identical"] = bool(
+                    result.dtype == expected.dtype
+                    and result.shape == expected.shape
+                    and result.tobytes() == expected.tobytes()
+                )
+            else:
+                report["bit_identical"] = False
+                problems.append(
+                    f"job ended {final.get('status')!r} after restart: "
+                    f"{final.get('error')}")
+        finally:
+            client.close()
+        report["metrics"] = {
+            "repro_job_checkpoints_total": _scrape_metric(
+                host, ports["metrics"], "repro_job_checkpoints_total"),
+            "repro_job_resumes_total": _scrape_metric(
+                host, ports["metrics"], "repro_job_resumes_total"),
+        }
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except Exception:  # noqa: BLE001 - last resort
+                server.kill()
+                server.wait(timeout=15)
+    report["wall_s"] = time.perf_counter() - started
+    report["problems"] = problems
+    if owns_dir and not problems and report.get("bit_identical"):
+        shutil.rmtree(job_dir, ignore_errors=True)
+    return report
+
+
+def format_job_drill(report: Dict[str, object]) -> str:
+    """Human-readable (and CI-greppable) durability-drill report."""
+    metrics = dict(report.get("metrics") or {})
+    lines = [
+        f"job drill {report['benchmark']}: {report['steps']} steps, "
+        f"checkpoint every {report['checkpoint_every']} "
+        f"({'authenticated ' if report.get('authenticated') else ''}http)",
+        f"  killed -9 at {report.get('completed_steps_at_kill')}/"
+        f"{report['steps']} steps, restarted with the same --job-dir",
+        f"  outcome: status={report.get('final_status')} "
+        f"resumes={report.get('resumes')} "
+        f"bit_identical={report.get('bit_identical')}",
+        f"  metrics: checkpoints_total="
+        f"{metrics.get('repro_job_checkpoints_total')} "
+        f"resumes_total={metrics.get('repro_job_resumes_total')}",
+        f"  wall: {float(report.get('wall_s') or 0.0):.1f}s "
+        f"(log: {report.get('server_log')})",
+    ]
+    for problem in report.get("problems") or []:
+        lines.append(f"  problem: {problem}")
+    return "\n".join(lines)
+
+
+def check_job_drill(report: Dict[str, object]) -> List[str]:
+    """The durability contract (empty = pass)."""
+    problems = list(report.get("problems") or [])
+    if report.get("final_status") != "completed":
+        problems.append(
+            f"job did not complete (status {report.get('final_status')!r})")
+    if not report.get("bit_identical"):
+        problems.append(
+            "recovered result is not bit-identical to the uninterrupted run")
+    kill_point = int(report.get("completed_steps_at_kill") or 0)
+    if not 0 < kill_point < int(report.get("steps") or 0):
+        problems.append(
+            f"kill point {kill_point} was not mid-trajectory")
+    if int(report.get("resumes") or 0) < 1:
+        problems.append("job reports zero resumes — it never crashed?")
+    metrics = dict(report.get("metrics") or {})
+    checkpoints = metrics.get("repro_job_checkpoints_total")
+    if checkpoints is None or checkpoints < 1:
+        problems.append(
+            f"repro_job_checkpoints_total = {checkpoints}, expected >= 1")
+    resumes = metrics.get("repro_job_resumes_total")
+    if resumes != 1:
+        problems.append(
+            f"repro_job_resumes_total = {resumes}, expected exactly 1")
+    return problems
+
+
 __all__ = [
     "CHAOS_ACTIONS",
     "build_mixed_requests",
     "build_requests",
     "check_batching",
     "check_chaos",
+    "check_job_drill",
     "check_no_high_shed",
     "check_sharding",
     "format_chaos_loadgen",
+    "format_job_drill",
     "format_loadgen",
     "format_mixed_loadgen",
     "parse_chaos",
     "parse_mix",
     "run_chaos_loadgen",
+    "run_job_drill",
     "run_loadgen",
     "run_mixed_loadgen",
 ]

@@ -37,6 +37,8 @@ UNAUTHORIZED = "Unauthorized"
 REQUEST_TOO_LARGE = "RequestTooLarge"
 BAD_REQUEST = "BadRequest"
 UNAVAILABLE = "Unavailable"
+NOT_FOUND = "NotFound"
+CANCELLED = "Cancelled"
 
 
 @dataclass
@@ -246,7 +248,9 @@ class ExecutionResponse:
 __all__ = [
     "ADMISSION_REJECTED",
     "BAD_REQUEST",
+    "CANCELLED",
     "DEADLINE_EXCEEDED",
+    "NOT_FOUND",
     "PRIORITIES",
     "REQUEST_TOO_LARGE",
     "UNAUTHORIZED",

@@ -47,6 +47,7 @@ import numpy as np
 from ..apps.base import squeeze_result
 from ..backend.base import NumpyBackend
 from ..backend.cache import CompilationCache
+from ..backend.plan import iterate_state_generic
 from ..backend.fuse import replay_pool
 from ..backend.numpy_backend import CompileError
 from ..core.serialize import SerializationError, program_to_dict
@@ -54,10 +55,13 @@ from ..engine.store import ResultsStore
 from ..telemetry import registry as _telemetry
 from ..telemetry.registry import BATCH_BUCKETS
 from ..telemetry.trace import TraceRing
+from .jobs import JobError, JobManager, JobNotFound
 from .metrics import shards_section, stats_report
 from .registry import DigestCircuitBreaker, TunedKernelRegistry
 from .requests import (
+    CANCELLED,
     DEADLINE_EXCEEDED,
+    NOT_FOUND,
     PRIORITIES,
     REQUEST_TOO_LARGE,
     UNAUTHORIZED,
@@ -130,6 +134,19 @@ _REJECTS_TOTAL = _telemetry.counter(
 
 #: Upper bound on one TCP request line / HTTP body unless overridden.
 DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class _DeadlineShed:
+    """A ``steps > 1`` request expired at a segment boundary mid-trajectory.
+
+    Stands in a group's output slot (computed on the executor thread) so
+    the response loop — back on the event loop — turns it into a
+    structured ``DeadlineExceeded`` shed instead of a result.
+    """
+
+    completed_steps: int
+    steps: int
 
 
 @dataclass
@@ -292,6 +309,18 @@ class StencilService:
         quarantine it to the generic unfused local path for
         ``breaker_cooldown_s``, then let a single half-open probe try the
         fast path again.  ``0`` disables the breaker.
+    job_dir:
+        Directory for durable-job checkpoints (:mod:`~repro.service.jobs`).
+        ``None`` keeps jobs memory-only (no recovery across restarts).
+    checkpoint_every:
+        Steps per durable-job execution segment — a checkpoint is
+        atomically persisted after each segment, and the synchronous
+        ``steps > 1`` path re-checks deadlines at the same cadence.
+    job_ttl_s:
+        How long terminal jobs (and their on-disk results) are retained.
+    max_resident_jobs:
+        At most this many completed results stay resident in memory;
+        older ones drop to disk and reload on demand.
     """
 
     def __init__(
@@ -315,6 +344,10 @@ class StencilService:
         max_respawns: int = 5,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 5.0,
+        job_dir: Optional[str] = None,
+        checkpoint_every: int = 16,
+        job_ttl_s: float = 3600.0,
+        max_resident_jobs: int = 64,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be >= 1")
@@ -372,7 +405,31 @@ class StencilService:
         self.rejects: Dict[str, int] = {}
         #: Request-lifecycle traces (``repro trace`` / the /trace route).
         self.tracer = TraceRing(capacity=trace_capacity, slow_ms=trace_slow_ms)
+        #: Durable multi-timestep jobs: checkpointed execution + recovery.
+        self.checkpoint_every = int(checkpoint_every)
+        self.jobs = JobManager(
+            backend=self.backend,
+            resolve=self._resolve_job,
+            job_dir=job_dir,
+            checkpoint_every=checkpoint_every,
+            job_ttl_s=job_ttl_s,
+            max_resident=max_resident_jobs,
+        )
         self._register_gauges()
+
+    def _resolve_job(self, benchmark: str, shape: Tuple[int, ...],
+                     size_env: Dict[str, int]):
+        """The job manager's program resolver: same routing as ``_admit``,
+        so a resumed job replays through the identical tuned variant."""
+        from ..apps.suite import get_benchmark
+
+        plan = self.registry.plan_for(benchmark=benchmark)
+        program, _variant, _source = plan.program_for(tuple(shape))
+        try:
+            carry = get_benchmark(benchmark).carry_spec()
+        except Exception:  # noqa: BLE001 - unknown key: default carry
+            carry = None
+        return program, carry, plan.digest
 
     def _register_gauges(self) -> None:
         """Point the live service gauges at this instance (scrape-time only).
@@ -434,6 +491,13 @@ class StencilService:
             self.supervisor = ShardSupervisor(
                 self.executor, self._wires, max_respawns=self.max_respawns)
             self.supervisor.start()
+        # Durable-job recovery: resume incomplete jobs from their newest
+        # valid checkpoint before traffic arrives (disk scan off the loop).
+        resumed = await asyncio.get_running_loop().run_in_executor(
+            None, self.jobs.recover
+        )
+        if resumed:
+            log.info("resumed %d incomplete durable job(s)", resumed)
         return self
 
     async def stop(self) -> None:
@@ -460,6 +524,9 @@ class StencilService:
         if self._tune_tasks:
             await asyncio.gather(*self._tune_tasks, return_exceptions=True)
         self._tune_tasks.clear()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.jobs.close
+        )
         if self.executor is not None:
             # Blocking pipe shutdowns; keep them off the event loop.
             await asyncio.get_running_loop().run_in_executor(
@@ -867,6 +934,13 @@ class StencilService:
                 # The caller gave up (e.g. wait_for cancelled the submit);
                 # its slot in the sweep is discarded, everyone else's stands.
                 continue
+            if isinstance(output, _DeadlineShed):
+                # Expired at a segment boundary mid-trajectory: structured
+                # shed, not a result (and not a served request).
+                self._shed(item, reason=(
+                    f"deadline exceeded mid-trajectory after "
+                    f"{output.completed_steps}/{output.steps} steps"))
+                continue
             item.future.set_result(
                 ExecutionResponse(
                     result=output if item.request.return_result else None,
@@ -1028,6 +1102,45 @@ class StencilService:
             timings,
         )
 
+    def _iterate_deadlined(self, item: _Pending, steps: int, carry,
+                           force_generic: bool):
+        """One request's T-step trajectory, shed-aware.
+
+        Without a deadline the whole trajectory runs as one plan loop.
+        With one, it runs in ``checkpoint_every``-step segments (the same
+        cadence durable jobs checkpoint at), re-checking the deadline at
+        every boundary; expiry returns a :class:`_DeadlineShed` marker the
+        response loop turns into a structured ``DeadlineExceeded`` shed.
+        Segment boundaries re-bind the copied carry state into the same
+        pooled plan buffers, so the segmented result is bit-identical to
+        the monolithic loop.
+        """
+        size_env = item.request.size_env or None
+        if item.expires_at is None:
+            if force_generic:
+                return self.backend.iterate_generic(
+                    item.program, item.request.inputs, steps,
+                    carry=carry, size_env=size_env)
+            return self.backend.iterate(item.program, item.request.inputs,
+                                        steps, carry=carry, size_env=size_env)
+        state = item.request.inputs
+        out = None
+        done = 0
+        while done < steps:
+            if time.perf_counter() >= item.expires_at:
+                return _DeadlineShed(completed_steps=done, steps=steps)
+            segment = min(self.checkpoint_every, steps - done)
+            if force_generic:
+                out, state = iterate_state_generic(
+                    self.backend, item.program, state, segment,
+                    carry=carry, size_env=size_env)
+            else:
+                out, state = self.backend.iterate_state(
+                    item.program, state, segment, carry=carry,
+                    size_env=size_env)
+            done += segment
+        return out
+
     def _carry_spec(self, item: _Pending):
         """The iterate() carry specification for one request's benchmark.
 
@@ -1061,28 +1174,25 @@ class StencilService:
         if head.request.steps > 1:
             # Iterative jobs: one double-buffered plan replay loop per
             # request (grouped by key so they share the cached plan, but
-            # each request's T-step trajectory is its own).  Crosschecked
-            # against the generic per-sweep loop when enabled.
+            # each request's T-step trajectory is its own).  Deadlined
+            # requests run in checkpoint-sized segments with the deadline
+            # re-checked at each boundary — a request that expires at step
+            # k of T stops there instead of burning the remaining T-k
+            # steps.  Crosschecked against the generic per-sweep loop when
+            # enabled (segmentation is bit-identical to one monolithic
+            # iterate, so the check holds either way).
             carry = self._carry_spec(head)
             steps = head.request.steps
-            if force_generic:
-                swept = [
-                    self.backend.iterate_generic(
-                        item.program, item.request.inputs, steps,
-                        carry=carry, size_env=item.request.size_env or None)
-                    for item in group
-                ]
-            else:
-                swept = [
-                    self.backend.iterate(item.program, item.request.inputs,
-                                         steps, carry=carry,
-                                         size_env=item.request.size_env or None)
-                    for item in group
-                ]
+            swept = [
+                self._iterate_deadlined(item, steps, carry, force_generic)
+                for item in group
+            ]
             replay_done = time.perf_counter()
             crosschecked = 0
             if self.crosscheck:
                 for item, output in zip(group, swept):
+                    if isinstance(output, _DeadlineShed):
+                        continue
                     generic = self.backend.iterate_generic(
                         item.program, item.request.inputs, steps,
                         carry=carry, size_env=item.request.size_env or None)
@@ -1093,7 +1203,8 @@ class StencilService:
                         )
                     crosschecked += 1
             return (
-                [squeeze_result(np.asarray(output, dtype=np.float64))
+                [output if isinstance(output, _DeadlineShed)
+                 else squeeze_result(np.asarray(output, dtype=np.float64))
                  for output in swept],
                 crosschecked,
                 {"replay_ms": (replay_done - resolve_started) * 1e3},
@@ -1294,6 +1405,7 @@ class StencilService:
                 "max_inflight_per_digest": self.max_inflight_per_digest,
             },
             "registry": self.registry.stats(),
+            "jobs": self.jobs.stats(),
             "plans": self.backend.plans.stats() if self.use_plans else None,
             "shards": (
                 shards_section(self.executor.stats())
@@ -1397,7 +1509,70 @@ async def _handle_message(service: StencilService,
         )
         response = await service.submit(request)
         return await loop.run_in_executor(None, response.to_wire)
+    if op in ("job_submit", "job_status", "job_result", "job_cancel",
+              "job_list"):
+        return await _handle_job_op(service, op, message)
     return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def _handle_job_op(service: StencilService, op: str,
+                         message: Dict[str, object]) -> Dict[str, object]:
+    """Durable-job ops, all answered off the event loop (lock + disk I/O).
+
+    ``job_submit`` reuses the execute wire form plus ``job_key`` (the
+    idempotency token) and an optional per-job ``checkpoint_every``;
+    the rest take a ``job_id``.  Errors come back in-band with structured
+    codes (``NotFound`` for an unknown/aged-out id).
+    """
+    loop = asyncio.get_running_loop()
+    try:
+        if op == "job_submit":
+            request = await loop.run_in_executor(
+                None, ExecutionRequest.from_wire, message
+            )
+            checkpoint_every = message.get("checkpoint_every")
+            job = await loop.run_in_executor(
+                None, lambda: service.jobs.submit(
+                    request,
+                    job_key=(str(message["job_key"])
+                             if message.get("job_key") else None),
+                    checkpoint_every=(int(checkpoint_every)
+                                      if checkpoint_every else None),
+                )
+            )
+            return {"ok": True, "job": job}
+        job_id = str(message.get("job_id") or "")
+        if op == "job_status":
+            job = await loop.run_in_executor(None, service.jobs.status,
+                                             job_id)
+            return {"ok": True, "job": job}
+        if op == "job_cancel":
+            job = await loop.run_in_executor(None, service.jobs.cancel,
+                                             job_id)
+            return {"ok": True, "job": job}
+        if op == "job_list":
+            jobs = await loop.run_in_executor(None, service.jobs.list_jobs)
+            return {"ok": True, "jobs": jobs}
+        # job_result: descriptor + the final grid (JSON-listed on TCP).
+        try:
+            job, result = await loop.run_in_executor(None,
+                                                     service.jobs.result,
+                                                     job_id)
+        except JobNotFound:
+            raise
+        except JobError as error:
+            # Not completed (yet): a conflict with the job's state, the
+            # same code the HTTP surface answers 409 with.
+            return {"ok": False, "code": CANCELLED, "error": str(error)}
+        return {
+            "ok": True, "job": job,
+            "result": await loop.run_in_executor(
+                None, np.asarray(result).tolist),
+        }
+    except JobNotFound as error:
+        return {"ok": False, "code": NOT_FOUND, "error": str(error)}
+    except JobError as error:
+        return {"ok": False, "code": BAD_REQUEST, "error": str(error)}
 
 
 class ServedGate:

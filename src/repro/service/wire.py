@@ -19,17 +19,41 @@ payload changes representation.  Encoders yield the raw array buffers as
 memoryviews — :func:`iter_chunks` turns them into bounded-size chunks for
 chunked HTTP upload, so neither side ever materialises the full body as
 one string or list.
+
+**End-to-end payload integrity**: every grid descriptor carries a
+``sha256`` of its raw little-endian bytes, computed at encode time and
+verified at decode time on *both* sides of the wire (server decoding an
+upload, client decoding a download).  A flipped bit anywhere between the
+two ``hashlib`` calls — a proxy mangling a body, a truncated buffer that
+still happens to parse, injected corruption — surfaces as a structured
+:class:`WireFormatError` instead of silently executing (or returning) a
+corrupted grid.  The same framing backs durable-job checkpoints on disk
+(:mod:`repro.service.jobs`), so storage corruption is caught by the same
+checksums.  The ``wire.payload_corrupt`` fault point
+(:mod:`repro.faults`) flips one byte of the first grid *after* the
+checksums are computed, which is how tests and chaos drills prove the
+detection path end to end.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults as _faults
+from ..telemetry import registry as _telemetry
+
 MAGIC = b"RPG1"
+
+_CHECKSUM_FAILURES_TOTAL = _telemetry.counter(
+    "repro_wire_checksum_failures_total",
+    "Grid payloads rejected at decode because a per-buffer sha256 "
+    "did not match.",
+)
 
 #: Content type of the binary grid body (requests and responses).
 CONTENT_TYPE_GRIDS = "application/x-repro-grids"
@@ -60,11 +84,19 @@ def encode_grid_payload(
         array = np.ascontiguousarray(grid)
         if array.dtype.byteorder == ">":  # normalise to little-endian
             array = array.astype(array.dtype.newbyteorder("<"))
+        buffer = memoryview(array).cast("B")
         descriptors.append({
             "shape": list(array.shape),
             "dtype": array.dtype.str.lstrip("<=|"),
+            "sha256": hashlib.sha256(buffer).hexdigest(),
         })
-        buffers.append(memoryview(array).cast("B"))
+        buffers.append(buffer)
+    if _faults.ARMED and buffers and _faults.should_fail("wire.payload_corrupt"):
+        # Flip one byte of the first grid *after* its checksum was taken,
+        # so the decoder's verification must catch it.
+        corrupted = bytearray(buffers[0])
+        corrupted[0] ^= 0xFF
+        buffers[0] = memoryview(bytes(corrupted))
     header = dict(meta)
     header["grids"] = descriptors
     header_bytes = json.dumps(header).encode("utf-8")
@@ -119,12 +151,22 @@ def decode_grid_payload(
     """
     header, offset = decode_grid_header(data)
     grids: List[np.ndarray] = []
-    for descriptor in header.get("grids") or []:
+    for index, descriptor in enumerate(header.get("grids") or []):
         shape = tuple(int(extent) for extent in descriptor["shape"])
         dtype = np.dtype(str(descriptor["dtype"])).newbyteorder("<")
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         if offset + nbytes > len(data):
             raise WireFormatError("truncated grid payload body")
+        expected: Optional[str] = descriptor.get("sha256")
+        if expected is not None:
+            actual = hashlib.sha256(data[offset:offset + nbytes]).hexdigest()
+            if actual != str(expected):
+                _CHECKSUM_FAILURES_TOTAL.inc()
+                raise WireFormatError(
+                    f"grid {index} checksum mismatch: payload corrupted in "
+                    f"transit or at rest (expected sha256 {expected}, "
+                    f"got {actual})"
+                )
         flat = np.frombuffer(data, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)),
                              offset=offset)
         grids.append(flat.reshape(shape).astype(dtype.newbyteorder("="),

@@ -43,6 +43,20 @@ class TestParsing:
         assert schedules[0].at == 3 and schedules[0].times == 1
         assert schedules[1].p == 0.5 and schedules[1].seed == 9
 
+    def test_job_and_wire_points_parse_with_the_full_grammar(self):
+        schedules = faults.parse_schedule(
+            "job.crash_after_checkpoint:at=2,"
+            "job.checkpoint_corrupt:at=1:times=3,"
+            "wire.payload_corrupt:p=0.25:seed=4")
+        assert [s.point for s in schedules] == [
+            "job.crash_after_checkpoint",
+            "job.checkpoint_corrupt",
+            "wire.payload_corrupt",
+        ]
+        assert schedules[0].at == 2
+        assert schedules[1].times == 3
+        assert schedules[2].p == 0.25 and schedules[2].seed == 4
+
 
 class TestSchedules:
     def test_bare_point_fires_on_every_hit(self):
@@ -109,14 +123,36 @@ class TestArming:
             capture_output=True, text=True, check=True)
         assert out.stdout.strip() == "True"
 
+    def test_spawned_interpreter_inherits_a_job_fault(self):
+        # Durable-job drills arm `job.*` points the same way: exported to
+        # the environment so restarted servers (and spawned shards) pick
+        # the schedule up at import time.
+        code = ("import repro.faults as f; "
+                "print([f.should_fail('job.crash_after_checkpoint')"
+                " for _ in range(3)])")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**__import__('os').environ,
+                 faults.ENV_VAR: "job.crash_after_checkpoint:at=2"},
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == "[False, True, False]"
+
 
 class TestZeroOverheadWhenDisarmed:
-    def test_disarmed_guard_allocates_nothing(self):
+    @pytest.mark.parametrize("point", [
+        "pool.alloc_fail",
+        # The durable-job guards sit on the checkpoint/encode hot paths:
+        # they must stay free when no schedule is armed, same as the rest.
+        "job.crash_after_checkpoint",
+        "job.checkpoint_corrupt",
+        "wire.payload_corrupt",
+    ])
+    def test_disarmed_guard_allocates_nothing(self, point):
         # The production guard is `faults.ARMED and faults.should_fail(...)`;
         # disarmed it must short-circuit on the module bool with zero
         # allocations — the serving hot path runs it per group.
         def guard():
-            return faults.ARMED and faults.should_fail("pool.alloc_fail")
+            return faults.ARMED and faults.should_fail(point)
 
         guard()  # warm anything lazy
         tracemalloc.start()
